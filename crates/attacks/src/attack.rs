@@ -1,0 +1,531 @@
+//! The five poisoning attacks of paper §III.A.
+
+use crate::gradient::GradientSource;
+use rand::Rng;
+use safeloc_nn::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Discriminant-only attack identifier, used to enumerate attacks in sweeps
+/// and reports (Figs. 5 and 6 iterate over exactly these five).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Clean Label Backdoor.
+    Clb,
+    /// Fast Gradient Sign Method.
+    Fgsm,
+    /// Projected Gradient Descent.
+    Pgd,
+    /// Momentum Iterative Method.
+    Mim,
+    /// Label flipping.
+    LabelFlip,
+}
+
+/// All five attack kinds in the paper's presentation order.
+pub const ALL_ATTACK_KINDS: [AttackKind; 5] = [
+    AttackKind::Clb,
+    AttackKind::Fgsm,
+    AttackKind::Pgd,
+    AttackKind::Mim,
+    AttackKind::LabelFlip,
+];
+
+/// The four backdoor (input-perturbation) attacks.
+pub const BACKDOOR_KINDS: [AttackKind; 4] = [
+    AttackKind::Clb,
+    AttackKind::Fgsm,
+    AttackKind::Pgd,
+    AttackKind::Mim,
+];
+
+impl AttackKind {
+    /// `true` for the input-perturbation (backdoor) attacks.
+    pub fn is_backdoor(&self) -> bool {
+        !matches!(self, AttackKind::LabelFlip)
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackKind::Clb => "CLB",
+            AttackKind::Fgsm => "FGSM",
+            AttackKind::Pgd => "PGD",
+            AttackKind::Mim => "MIM",
+            AttackKind::LabelFlip => "Label Flip",
+        }
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully parameterized poisoning attack.
+///
+/// Construct via the convenience constructors ([`Attack::fgsm`],
+/// [`Attack::of_kind`], …) or the variants directly for full control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Attack {
+    /// Eq. 1: `X + ε · δ(∇J)` where the mask `δ` keeps only the
+    /// `mask_fraction` highest-|gradient| input dimensions (sign preserved),
+    /// making the perturbation sparse and hard to spot.
+    CleanLabelBackdoor {
+        /// Perturbation magnitude in normalized RSS units.
+        epsilon: f32,
+        /// Fraction of input dimensions perturbed (paper's mask).
+        mask_fraction: f32,
+    },
+    /// Eq. 2: `X + ε · sign(∇J)` — one-step, dense.
+    Fgsm {
+        /// Perturbation magnitude in normalized RSS units.
+        epsilon: f32,
+    },
+    /// Eq. 3: iterative ascent with L2-normalized steps, projected back into
+    /// the L2 ε-ball around the clean input after every step.
+    Pgd {
+        /// Ball radius in normalized RSS units.
+        epsilon: f32,
+        /// Number of ascent iterations.
+        steps: usize,
+        /// Step size as a fraction of ε (per iteration).
+        step_fraction: f32,
+    },
+    /// Eq. 4: PGD with momentum-accumulated gradients (Dong et al.), which
+    /// keeps the ascent direction stable across iterations.
+    Mim {
+        /// Ball radius in normalized RSS units.
+        epsilon: f32,
+        /// Number of ascent iterations.
+        steps: usize,
+        /// Momentum coefficient α.
+        momentum: f32,
+    },
+    /// Eq. 5: flips a `fraction` of labels to a uniformly random *different*
+    /// class; the RSS data is left untouched.
+    LabelFlip {
+        /// Fraction of samples whose labels are flipped (the ε axis of
+        /// Fig. 5 for this attack).
+        fraction: f32,
+    },
+}
+
+impl Attack {
+    /// CLB with the default 25% gradient mask.
+    pub fn clb(epsilon: f32) -> Self {
+        Attack::CleanLabelBackdoor {
+            epsilon,
+            mask_fraction: 0.25,
+        }
+    }
+
+    /// FGSM at magnitude `epsilon`.
+    pub fn fgsm(epsilon: f32) -> Self {
+        Attack::Fgsm { epsilon }
+    }
+
+    /// PGD with the standard 10 steps at ε/4 step size.
+    pub fn pgd(epsilon: f32) -> Self {
+        Attack::Pgd {
+            epsilon,
+            steps: 10,
+            step_fraction: 0.25,
+        }
+    }
+
+    /// MIM with 10 steps and momentum 0.9.
+    pub fn mim(epsilon: f32) -> Self {
+        Attack::Mim {
+            epsilon,
+            steps: 10,
+            momentum: 0.9,
+        }
+    }
+
+    /// Label flipping at `fraction`.
+    pub fn label_flip(fraction: f32) -> Self {
+        Attack::LabelFlip { fraction }
+    }
+
+    /// Default-parameter attack of `kind` at intensity `epsilon`.
+    pub fn of_kind(kind: AttackKind, epsilon: f32) -> Self {
+        match kind {
+            AttackKind::Clb => Self::clb(epsilon),
+            AttackKind::Fgsm => Self::fgsm(epsilon),
+            AttackKind::Pgd => Self::pgd(epsilon),
+            AttackKind::Mim => Self::mim(epsilon),
+            AttackKind::LabelFlip => Self::label_flip(epsilon),
+        }
+    }
+
+    /// This attack's kind.
+    pub fn kind(&self) -> AttackKind {
+        match self {
+            Attack::CleanLabelBackdoor { .. } => AttackKind::Clb,
+            Attack::Fgsm { .. } => AttackKind::Fgsm,
+            Attack::Pgd { .. } => AttackKind::Pgd,
+            Attack::Mim { .. } => AttackKind::Mim,
+            Attack::LabelFlip { .. } => AttackKind::LabelFlip,
+        }
+    }
+
+    /// The attack's intensity knob (ε or flip fraction).
+    pub fn epsilon(&self) -> f32 {
+        match *self {
+            Attack::CleanLabelBackdoor { epsilon, .. } => epsilon,
+            Attack::Fgsm { epsilon } => epsilon,
+            Attack::Pgd { epsilon, .. } => epsilon,
+            Attack::Mim { epsilon, .. } => epsilon,
+            Attack::LabelFlip { fraction } => fraction,
+        }
+    }
+
+    /// Poisons a batch of fingerprints.
+    ///
+    /// Backdoor attacks return perturbed RSS (clamped to `[0,1]`) with the
+    /// original labels; label flipping returns the original RSS with flipped
+    /// labels. `model` supplies the loss gradients (the attacker holds a
+    /// copy of the distributed global model, per the paper's threat model);
+    /// `n_classes` bounds the flipped labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != x.rows()`, or for label flipping if
+    /// `n_classes < 2` while a flip is requested.
+    pub fn poison(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        model: &dyn GradientSource,
+        n_classes: usize,
+        rng: &mut impl Rng,
+    ) -> (Matrix, Vec<usize>) {
+        assert_eq!(labels.len(), x.rows(), "one label per row");
+        match *self {
+            Attack::CleanLabelBackdoor {
+                epsilon,
+                mask_fraction,
+            } => {
+                let grad = model.loss_input_gradient(x, labels);
+                let masked = top_k_sign_mask(&grad, mask_fraction);
+                let poisoned = {
+                    let mut p = x.clone();
+                    p.axpy(epsilon, &masked);
+                    p.clamp(0.0, 1.0)
+                };
+                (poisoned, labels.to_vec())
+            }
+            Attack::Fgsm { epsilon } => {
+                let grad = model.loss_input_gradient(x, labels);
+                let signs = grad.map(|v| {
+                    if v > 0.0 {
+                        1.0
+                    } else if v < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    }
+                });
+                let mut p = x.clone();
+                p.axpy(epsilon, &signs);
+                (p.clamp(0.0, 1.0), labels.to_vec())
+            }
+            Attack::Pgd {
+                epsilon,
+                steps,
+                step_fraction,
+            } => {
+                let p = iterative_ascent(x, labels, model, epsilon, steps, step_fraction, 0.0);
+                (p, labels.to_vec())
+            }
+            Attack::Mim {
+                epsilon,
+                steps,
+                momentum,
+            } => {
+                let p = iterative_ascent(x, labels, model, epsilon, steps, 0.25, momentum);
+                (p, labels.to_vec())
+            }
+            Attack::LabelFlip { fraction } => {
+                let n = labels.len();
+                let k = ((fraction.clamp(0.0, 1.0)) * n as f32).round() as usize;
+                if k > 0 {
+                    assert!(n_classes >= 2, "cannot flip labels with < 2 classes");
+                }
+                let mut idx: Vec<usize> = (0..n).collect();
+                // Partial Fisher–Yates: choose k random victims.
+                for i in 0..k.min(n) {
+                    let j = rng.gen_range(i..n);
+                    idx.swap(i, j);
+                }
+                let mut flipped = labels.to_vec();
+                for &i in idx.iter().take(k.min(n)) {
+                    flipped[i] = flip_label(labels[i], n_classes, rng);
+                }
+                (x.clone(), flipped)
+            }
+        }
+    }
+}
+
+/// Picks a uniformly random class different from `y`.
+fn flip_label(y: usize, n_classes: usize, rng: &mut impl Rng) -> usize {
+    let mut new = rng.gen_range(0..n_classes - 1);
+    if new >= y {
+        new += 1;
+    }
+    new
+}
+
+/// Keeps the `fraction` largest-|v| entries per row, mapped to ±1; zeroes the
+/// rest. This is the CLB mask δ.
+fn top_k_sign_mask(grad: &Matrix, fraction: f32) -> Matrix {
+    let cols = grad.cols();
+    let k = ((fraction.clamp(0.0, 1.0)) * cols as f32).ceil() as usize;
+    let mut out = Matrix::zeros(grad.rows(), cols);
+    for r in 0..grad.rows() {
+        let row = grad.row(r);
+        let mut order: Vec<usize> = (0..cols).collect();
+        order.sort_by(|&a, &b| {
+            row[b]
+                .abs()
+                .partial_cmp(&row[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &c in order.iter().take(k) {
+            let s = if row[c] > 0.0 {
+                1.0
+            } else if row[c] < 0.0 {
+                -1.0
+            } else {
+                0.0
+            };
+            out.set(r, c, s);
+        }
+    }
+    out
+}
+
+/// Shared PGD/MIM loop: L2-normalized (optionally momentum-accumulated)
+/// ascent steps, projected into the per-row L2 ε-ball and the `[0,1]` box.
+fn iterative_ascent(
+    x: &Matrix,
+    labels: &[usize],
+    model: &dyn GradientSource,
+    epsilon: f32,
+    steps: usize,
+    step_fraction: f32,
+    momentum: f32,
+) -> Matrix {
+    let mut current = x.clone();
+    let mut velocity = Matrix::zeros(x.rows(), x.cols());
+    let step = epsilon * step_fraction.max(1e-3);
+    for _ in 0..steps.max(1) {
+        let grad = model.loss_input_gradient(&current, labels);
+        // Per-row L2 normalization of the update direction.
+        let mut dir = grad;
+        for r in 0..dir.rows() {
+            let norm: f32 = dir.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for v in dir.row_mut(r) {
+                    *v /= norm;
+                }
+            }
+        }
+        if momentum > 0.0 {
+            velocity.scale_assign(momentum);
+            velocity.add_assign(&dir);
+            dir = velocity.clone();
+        }
+        current.axpy(step, &dir);
+        // Project each row's perturbation back into the L2 ε-ball.
+        for r in 0..current.rows() {
+            let norm: f32 = current
+                .row(r)
+                .iter()
+                .zip(x.row(r))
+                .map(|(c, o)| (c - o) * (c - o))
+                .sum::<f32>()
+                .sqrt();
+            if norm > epsilon && norm > 1e-12 {
+                let scale = epsilon / norm;
+                let orig = x.row(r).to_vec();
+                for (c, o) in current.row_mut(r).iter_mut().zip(orig) {
+                    *c = o + (*c - o) * scale;
+                }
+            }
+        }
+        current = current.clamp(0.0, 1.0);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use safeloc_nn::{Activation, Sequential};
+
+    fn model() -> Sequential {
+        Sequential::mlp(&[6, 10, 4], Activation::Relu, 3)
+    }
+
+    fn batch() -> (Matrix, Vec<usize>) {
+        (
+            Matrix::from_rows(&[
+                vec![0.2, 0.4, 0.6, 0.8, 0.5, 0.3],
+                vec![0.9, 0.1, 0.5, 0.2, 0.7, 0.6],
+            ]),
+            vec![0, 3],
+        )
+    }
+
+    #[test]
+    fn fgsm_perturbation_is_bounded_by_epsilon() {
+        let (x, y) = batch();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (px, py) = Attack::fgsm(0.05).poison(&x, &y, &model(), 4, &mut rng);
+        assert_eq!(py, y);
+        assert!(px.sub(&x).max_abs() <= 0.05 + 1e-6);
+        assert!(px.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // It actually moved something.
+        assert!(px.sub(&x).max_abs() > 1e-4);
+    }
+
+    #[test]
+    fn clb_perturbs_only_masked_fraction() {
+        let (x, y) = batch();
+        let mut rng = StdRng::seed_from_u64(0);
+        let attack = Attack::CleanLabelBackdoor {
+            epsilon: 0.1,
+            mask_fraction: 0.25,
+        };
+        let (px, py) = attack.poison(&x, &y, &model(), 4, &mut rng);
+        assert_eq!(py, y, "CLB must keep labels clean");
+        for r in 0..x.rows() {
+            let changed = x
+                .row(r)
+                .iter()
+                .zip(px.row(r))
+                .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+                .count();
+            // ceil(0.25 * 6) = 2 dims at most (clamping can reduce it).
+            assert!(changed <= 2, "row {r}: {changed} dims changed");
+        }
+    }
+
+    #[test]
+    fn pgd_stays_in_l2_ball() {
+        let (x, y) = batch();
+        let mut rng = StdRng::seed_from_u64(0);
+        let eps = 0.2;
+        let (px, _) = Attack::pgd(eps).poison(&x, &y, &model(), 4, &mut rng);
+        for r in 0..x.rows() {
+            let norm: f32 = px
+                .row(r)
+                .iter()
+                .zip(x.row(r))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            assert!(norm <= eps + 1e-5, "row {r}: ||δ||₂ = {norm} > {eps}");
+        }
+    }
+
+    #[test]
+    fn mim_stays_in_l2_ball_and_moves() {
+        let (x, y) = batch();
+        let mut rng = StdRng::seed_from_u64(0);
+        let eps = 0.15;
+        let (px, _) = Attack::mim(eps).poison(&x, &y, &model(), 4, &mut rng);
+        for r in 0..x.rows() {
+            let norm: f32 = px
+                .row(r)
+                .iter()
+                .zip(x.row(r))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            assert!(norm <= eps + 1e-5);
+        }
+        assert!(px.sub(&x).max_abs() > 1e-4, "MIM did not move the input");
+    }
+
+    #[test]
+    fn iterative_attacks_raise_loss_more_than_fgsm() {
+        use safeloc_nn::SparseCrossEntropyLoss;
+        let (x, y) = batch();
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(0);
+        let eps = 0.3;
+        let (fgsm_x, _) = Attack::fgsm(eps).poison(&x, &y, &m, 4, &mut rng);
+        let (pgd_x, _) = Attack::pgd(eps).poison(&x, &y, &m, 4, &mut rng);
+        let clean = SparseCrossEntropyLoss.loss(&m.forward(&x), &y);
+        let l_fgsm = SparseCrossEntropyLoss.loss(&m.forward(&fgsm_x), &y);
+        let l_pgd = SparseCrossEntropyLoss.loss(&m.forward(&pgd_x), &y);
+        assert!(l_fgsm > clean, "FGSM did not increase loss");
+        assert!(l_pgd > clean, "PGD did not increase loss");
+    }
+
+    #[test]
+    fn label_flip_changes_exactly_fraction_of_labels() {
+        let x = Matrix::zeros(10, 4);
+        let y: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (px, py) = Attack::label_flip(0.5).poison(&x, &y, &model_for(4), 3, &mut rng);
+        assert_eq!(px, x, "label flip must not touch RSS");
+        let changed = py.iter().zip(&y).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 5);
+        // All labels remain valid classes.
+        assert!(py.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn label_flip_fraction_one_changes_everything() {
+        let x = Matrix::zeros(7, 2);
+        let y = vec![1usize; 7];
+        let mut rng = StdRng::seed_from_u64(9);
+        let (_, py) = Attack::label_flip(1.0).poison(&x, &y, &model_for(2), 5, &mut rng);
+        assert!(py.iter().all(|&l| l != 1));
+    }
+
+    #[test]
+    fn label_flip_zero_is_identity() {
+        let x = Matrix::zeros(4, 2);
+        let y = vec![0usize, 1, 2, 0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let (px, py) = Attack::label_flip(0.0).poison(&x, &y, &model_for(2), 3, &mut rng);
+        assert_eq!(px, x);
+        assert_eq!(py, y);
+    }
+
+    #[test]
+    fn of_kind_round_trips() {
+        for kind in ALL_ATTACK_KINDS {
+            let a = Attack::of_kind(kind, 0.3);
+            assert_eq!(a.kind(), kind);
+            assert!((a.epsilon() - 0.3).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backdoor_classification() {
+        assert!(AttackKind::Fgsm.is_backdoor());
+        assert!(AttackKind::Clb.is_backdoor());
+        assert!(!AttackKind::LabelFlip.is_backdoor());
+        assert_eq!(BACKDOOR_KINDS.len(), 4);
+    }
+
+    #[test]
+    fn display_labels_match_paper() {
+        assert_eq!(AttackKind::Clb.to_string(), "CLB");
+        assert_eq!(AttackKind::LabelFlip.to_string(), "Label Flip");
+    }
+
+    fn model_for(in_dim: usize) -> Sequential {
+        Sequential::mlp(&[in_dim, 4, 3], Activation::Relu, 0)
+    }
+}

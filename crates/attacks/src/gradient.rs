@@ -1,0 +1,56 @@
+//! The gradient interface attacked models must expose.
+
+use safeloc_nn::{Matrix, Sequential};
+
+/// A model that can report the gradient of its classification loss with
+/// respect to the input — the quantity Eqs. 1–4 of the paper are built from.
+///
+/// Implemented here for [`Sequential`] (the baselines' DNN global models);
+/// the `safeloc` crate implements it for the fused network.
+pub trait GradientSource {
+    /// `dL/dx` of the cross-entropy classification loss at `(x, labels)`.
+    ///
+    /// Shape must equal `x`'s shape.
+    fn loss_input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix;
+}
+
+impl GradientSource for Sequential {
+    fn loss_input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
+        self.input_gradient(x, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_nn::Activation;
+
+    #[test]
+    fn sequential_gradient_has_input_shape() {
+        let m = Sequential::mlp(&[5, 4, 3], Activation::Relu, 1);
+        let x = Matrix::from_rows(&[vec![0.1; 5], vec![0.9; 5]]);
+        let g = m.loss_input_gradient(&x, &[0, 2]);
+        assert_eq!(g.shape(), x.shape());
+        assert!(!g.has_non_finite());
+    }
+
+    #[test]
+    fn gradient_ascent_increases_loss() {
+        use safeloc_nn::SparseCrossEntropyLoss;
+        let m = Sequential::mlp(&[4, 8, 3], Activation::Relu, 2);
+        let x = Matrix::from_rows(&[vec![0.3, 0.6, 0.2, 0.8]]);
+        let y = [1usize];
+        let g = m.loss_input_gradient(&x, &y);
+        let stepped = {
+            let mut s = x.clone();
+            s.axpy(0.05 / g.l2_norm().max(1e-9), &g);
+            s
+        };
+        let before = SparseCrossEntropyLoss.loss(&m.forward(&x), &y);
+        let after = SparseCrossEntropyLoss.loss(&m.forward(&stepped), &y);
+        assert!(
+            after >= before - 1e-5,
+            "ascent along gradient decreased loss: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Parameter grids used by the paper's sweeps.
+
+/// The ε grid of Fig. 5 (and the τ-selection study of Fig. 4): 0.01 to 0.09
+/// in steps of 0.01, then 0.1 to 1.0 in steps of 0.1 — 19 points.
+pub fn paper_epsilon_grid() -> Vec<f32> {
+    let mut grid = Vec::with_capacity(19);
+    for i in 1..10 {
+        grid.push(i as f32 * 0.01);
+    }
+    for i in 1..=10 {
+        grid.push(i as f32 * 0.1);
+    }
+    grid
+}
+
+/// The τ grid of Fig. 4: 0.05 to 0.5 in steps of 0.05 — 10 points.
+pub fn paper_tau_grid() -> Vec<f32> {
+    (1..=10).map(|i| i as f32 * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_grid_matches_paper() {
+        let g = paper_epsilon_grid();
+        assert_eq!(g.len(), 19);
+        assert!((g[0] - 0.01).abs() < 1e-6);
+        assert!((g[8] - 0.09).abs() < 1e-6);
+        assert!((g[9] - 0.1).abs() < 1e-6);
+        assert!((g[18] - 1.0).abs() < 1e-6);
+        // Strictly increasing.
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn tau_grid_matches_paper() {
+        let g = paper_tau_grid();
+        assert_eq!(g.len(), 10);
+        assert!((g[0] - 0.05).abs() < 1e-6);
+        assert!((g[1] - 0.1).abs() < 1e-6);
+        assert!((g[9] - 0.5).abs() < 1e-6);
+    }
+}

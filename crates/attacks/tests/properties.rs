@@ -1,0 +1,133 @@
+//! Property-based tests for the attack invariants the defenses rely on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safeloc_attacks::{Attack, AttackKind, ALL_ATTACK_KINDS};
+use safeloc_nn::{Activation, Matrix, Sequential};
+
+fn input_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0.0f32..1.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every attack keeps poisoned RSS inside the valid [0,1] range.
+    #[test]
+    fn poisoned_rss_stays_normalized(
+        x in input_strategy(3, 6),
+        eps in 0.01f32..1.0,
+        seed in 0u64..100,
+        kind_idx in 0usize..5,
+    ) {
+        let model = Sequential::mlp(&[6, 8, 4], Activation::Relu, 1);
+        let labels = vec![0usize, 1, 2];
+        let attack = Attack::of_kind(ALL_ATTACK_KINDS[kind_idx], eps);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (px, py) = attack.poison(&x, &labels, &model, 4, &mut rng);
+        prop_assert!(px.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert_eq!(py.len(), labels.len());
+        prop_assert!(py.iter().all(|&l| l < 4));
+    }
+
+    /// FGSM's perturbation never exceeds ε per dimension.
+    #[test]
+    fn fgsm_linf_bound(
+        x in input_strategy(2, 5),
+        eps in 0.01f32..0.5,
+        seed in 0u64..50,
+    ) {
+        let model = Sequential::mlp(&[5, 6, 3], Activation::Relu, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (px, _) = Attack::fgsm(eps).poison(&x, &[0, 1], &model, 3, &mut rng);
+        prop_assert!(px.sub(&x).max_abs() <= eps + 1e-5);
+    }
+
+    /// PGD and MIM perturbations stay inside the per-row L2 ε-ball.
+    #[test]
+    fn iterative_l2_bound(
+        x in input_strategy(2, 5),
+        eps in 0.05f32..0.5,
+        seed in 0u64..50,
+        use_mim in any::<bool>(),
+    ) {
+        let model = Sequential::mlp(&[5, 6, 3], Activation::Relu, 2);
+        let attack = if use_mim { Attack::mim(eps) } else { Attack::pgd(eps) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (px, _) = attack.poison(&x, &[0, 1], &model, 3, &mut rng);
+        for r in 0..x.rows() {
+            let norm: f32 = px.row(r).iter().zip(x.row(r))
+                .map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+            prop_assert!(norm <= eps + 1e-4, "row {} norm {} > {}", r, norm, eps);
+        }
+    }
+
+    /// Label flipping changes round(fraction*n) labels, never to an invalid
+    /// class and never to the original.
+    #[test]
+    fn label_flip_count_and_validity(
+        frac in 0.0f32..=1.0,
+        n in 1usize..30,
+        n_classes in 2usize..10,
+        seed in 0u64..100,
+    ) {
+        let model = Sequential::mlp(&[3, 4, 2], Activation::Relu, 0);
+        let x = Matrix::zeros(n, 3);
+        let labels: Vec<usize> = (0..n).map(|i| i % n_classes).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (px, py) = Attack::label_flip(frac).poison(&x, &labels, &model, n_classes, &mut rng);
+        prop_assert_eq!(px, x);
+        let expected = ((frac * n as f32).round() as usize).min(n);
+        let changed = py.iter().zip(&labels).filter(|(a, b)| a != b).count();
+        prop_assert_eq!(changed, expected);
+        prop_assert!(py.iter().all(|&l| l < n_classes));
+    }
+
+    /// Backdoor attacks never change labels; label flipping never changes X.
+    #[test]
+    fn attack_type_separation(
+        x in input_strategy(2, 4),
+        eps in 0.05f32..0.8,
+        seed in 0u64..50,
+    ) {
+        let model = Sequential::mlp(&[4, 5, 3], Activation::Relu, 7);
+        let labels = vec![0usize, 2];
+        for kind in ALL_ATTACK_KINDS {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (px, py) = Attack::of_kind(kind, eps).poison(&x, &labels, &model, 3, &mut rng);
+            if kind.is_backdoor() {
+                prop_assert_eq!(&py, &labels, "{} altered labels", kind);
+            } else {
+                prop_assert_eq!(&px, &x, "{} altered RSS", kind);
+            }
+        }
+    }
+
+    /// Stronger ε never *shrinks* the FGSM perturbation norm.
+    #[test]
+    fn fgsm_monotone_in_epsilon(
+        x in input_strategy(1, 6),
+        seed in 0u64..30,
+    ) {
+        let model = Sequential::mlp(&[6, 8, 3], Activation::Relu, 4);
+        let labels = vec![1usize];
+        let mut norms = Vec::new();
+        for eps in [0.05f32, 0.2, 0.5] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (px, _) = Attack::fgsm(eps).poison(&x, &labels, &model, 3, &mut rng);
+            norms.push(px.sub(&x).l2_norm());
+        }
+        prop_assert!(norms[0] <= norms[1] + 1e-5 && norms[1] <= norms[2] + 1e-5,
+            "norms not monotone: {:?}", norms);
+    }
+}
+
+#[test]
+fn all_kinds_are_enumerated_once() {
+    use std::collections::HashSet;
+    let set: HashSet<_> = ALL_ATTACK_KINDS.iter().map(|k| k.label()).collect();
+    assert_eq!(set.len(), 5);
+    assert!(ALL_ATTACK_KINDS.contains(&AttackKind::LabelFlip));
+}

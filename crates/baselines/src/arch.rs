@@ -1,0 +1,99 @@
+//! Layer-width choices for the baseline global models.
+//!
+//! The originals do not publish exact widths for the Wi-Fi localization
+//! setting, so widths are chosen to (a) match each paper's qualitative
+//! description ("three-layer DNN", "simple MLP", "resource-intensive") and
+//! (b) preserve Table I's parameter-count ordering:
+//! SAFELOC < FEDCC < FEDHIL < ONLAD < FEDLOC < FEDLS.
+
+/// FEDLOC's three-layer DNN (the paper's heaviest single localizer after
+/// FEDLS).
+pub fn fedloc_dims(input_dim: usize, n_classes: usize) -> Vec<usize> {
+    vec![input_dim, 608, 176, n_classes]
+}
+
+/// FEDHIL's three-layer DNN.
+pub fn fedhil_dims(input_dim: usize, n_classes: usize) -> Vec<usize> {
+    vec![input_dim, 480, 128, n_classes]
+}
+
+/// KRUM's "simple MLP".
+pub fn krum_dims(input_dim: usize, n_classes: usize) -> Vec<usize> {
+    vec![input_dim, 128, n_classes]
+}
+
+/// FEDCC's DNN — closest in size to SAFELOC's fused model.
+pub fn fedcc_dims(input_dim: usize, n_classes: usize) -> Vec<usize> {
+    vec![input_dim, 216, 104, n_classes]
+}
+
+/// FEDLS's large localizer (the "resource-intensive" entry of Table I).
+pub fn fedls_dims(input_dim: usize, n_classes: usize) -> Vec<usize> {
+    vec![input_dim, 512, 256, n_classes]
+}
+
+/// ONLAD's localizer.
+pub fn onlad_localizer_dims(input_dim: usize, n_classes: usize) -> Vec<usize> {
+    vec![input_dim, 512, 160, n_classes]
+}
+
+/// ONLAD's on-device anomaly-detector autoencoder.
+///
+/// The hidden layer is an *undercomplete* bottleneck (one third of the input
+/// width): an overcomplete AE would learn the identity map and reconstruct
+/// poisoned inputs perfectly, blinding the detector.
+pub fn onlad_detector_dims(input_dim: usize) -> Vec<usize> {
+    vec![input_dim, (input_dim / 3).max(4), input_dim]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mlp_params(dims: &[usize]) -> usize {
+        dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// Table I ordering: SAFELOC < FEDCC < FEDHIL < ONLAD < FEDLOC < FEDLS
+    /// for the paper's Building-1 shape (203 APs, 60 RPs).
+    #[test]
+    fn parameter_ordering_matches_table_one() {
+        let (d, c) = (203, 60);
+        // SAFELOC fused: encoder 128-89-62, decoder 89-d, classifier 62-c.
+        let safeloc = (d * 128 + 128)
+            + (128 * 89 + 89)
+            + (89 * 62 + 62)
+            + (62 * 89 + 89)
+            + (89 * d + d)
+            + (62 * c + c);
+        let fedcc = mlp_params(&fedcc_dims(d, c));
+        let fedhil = mlp_params(&fedhil_dims(d, c));
+        let onlad = mlp_params(&onlad_localizer_dims(d, c)) + mlp_params(&onlad_detector_dims(d));
+        let fedloc = mlp_params(&fedloc_dims(d, c));
+        let fedls = mlp_params(&fedls_dims(d, c));
+        assert!(
+            safeloc < fedcc && fedcc < fedhil && fedhil < onlad && onlad < fedloc && fedloc < fedls,
+            "ordering broken: SAFELOC {safeloc}, FEDCC {fedcc}, FEDHIL {fedhil}, \
+             ONLAD {onlad}, FEDLOC {fedloc}, FEDLS {fedls}"
+        );
+    }
+
+    #[test]
+    fn ratios_are_in_the_paper_ballpark() {
+        // Paper ratios to SAFELOC: FEDCC 1.05, FEDHIL 2.37, ONLAD 3.17,
+        // FEDLOC 3.35, FEDLS 6.88. Ours should be within a factor ~2 of
+        // those (geometry differs since the paper's input width is unknown).
+        let (d, c) = (203, 60);
+        let safeloc = (d * 128 + 128)
+            + (128 * 89 + 89)
+            + (89 * 62 + 62)
+            + (62 * 89 + 89)
+            + (89 * d + d)
+            + (62 * c + c);
+        let ratio = |p: usize| p as f32 / safeloc as f32;
+        assert!((0.8..2.2).contains(&ratio(mlp_params(&fedcc_dims(d, c)))));
+        assert!((1.5..4.0).contains(&ratio(mlp_params(&fedhil_dims(d, c)))));
+        assert!((2.0..6.0).contains(&ratio(mlp_params(&fedloc_dims(d, c)))));
+        assert!((3.0..10.0).contains(&ratio(mlp_params(&fedls_dims(d, c)))));
+    }
+}

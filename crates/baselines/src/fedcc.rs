@@ -1,0 +1,79 @@
+//! FEDCC (Jeong et al. 2022): DNN + similarity clustering of updates.
+
+use crate::arch::fedcc_dims;
+use safeloc_dataset::FingerprintSet;
+use safeloc_fl::{Client, ClusterAggregator, Framework, SequentialFlServer, ServerConfig};
+use safeloc_nn::Matrix;
+
+/// FEDCC: clusters client updates by gradient similarity and aggregates
+/// only the majority cluster.
+///
+/// Resilient to label flipping (flipped LMs form their own cluster) but —
+/// per the paper's Fig. 6 analysis — weak against strong backdoors, where
+/// honest heterogeneous clients scatter enough that legitimate updates land
+/// in the discarded cluster.
+#[derive(Debug, Clone)]
+pub struct FedCc {
+    inner: SequentialFlServer,
+}
+
+impl FedCc {
+    /// Creates FEDCC for a building.
+    pub fn new(input_dim: usize, n_classes: usize, cfg: ServerConfig) -> Self {
+        Self {
+            inner: SequentialFlServer::named(
+                "FEDCC",
+                &fedcc_dims(input_dim, n_classes),
+                Box::new(ClusterAggregator::default()),
+                cfg,
+            ),
+        }
+    }
+}
+
+impl Framework for FedCc {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn pretrain(&mut self, train: &FingerprintSet) {
+        self.inner.pretrain(train);
+    }
+
+    fn round(&mut self, clients: &mut [Client]) {
+        self.inner.round(clients);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.inner.predict(x)
+    }
+
+    fn num_params(&self) -> usize {
+        self.inner.num_params()
+    }
+
+    fn clone_box(&self) -> Box<dyn Framework> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+
+    #[test]
+    fn trains_with_clustering() {
+        let data = BuildingDataset::generate(Building::tiny(1), &DatasetConfig::tiny(), 1);
+        let mut f = FedCc::new(
+            data.building.num_aps(),
+            data.building.num_rps(),
+            ServerConfig::tiny(),
+        );
+        assert_eq!(f.name(), "FEDCC");
+        f.pretrain(&data.server_train);
+        let mut clients = Client::from_dataset(&data, 0);
+        f.round(&mut clients);
+        assert!(f.accuracy(&data.server_train.x, &data.server_train.labels) > 0.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! FEDLS (Luong et al. 2023): large DNN + server-side latent-space
+//! anomaly filtering of updates.
+
+use crate::arch::fedls_dims;
+use safeloc_dataset::FingerprintSet;
+use safeloc_fl::{Client, Framework, LatentFilterAggregator, SequentialFlServer, ServerConfig};
+use safeloc_nn::Matrix;
+
+/// FEDLS: every round, the server projects the received update deltas into
+/// a latent space, fits an autoencoder, and drops updates whose
+/// reconstruction error is anomalous before FedAvg.
+///
+/// The "resource-intensive" baseline of Table I: it deploys the largest
+/// localizer and runs a second model server-side. Strong on label flipping;
+/// weaker on backdoors whose LM-space footprint hides inside the
+/// heterogeneity scatter (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct FedLs {
+    inner: SequentialFlServer,
+}
+
+impl FedLs {
+    /// Creates FEDLS for a building.
+    pub fn new(input_dim: usize, n_classes: usize, cfg: ServerConfig) -> Self {
+        Self {
+            inner: SequentialFlServer::named(
+                "FEDLS",
+                &fedls_dims(input_dim, n_classes),
+                Box::new(LatentFilterAggregator::new(cfg.seed)),
+                cfg,
+            ),
+        }
+    }
+}
+
+impl Framework for FedLs {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn pretrain(&mut self, train: &FingerprintSet) {
+        self.inner.pretrain(train);
+    }
+
+    fn round(&mut self, clients: &mut [Client]) {
+        self.inner.round(clients);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.inner.predict(x)
+    }
+
+    fn num_params(&self) -> usize {
+        self.inner.num_params()
+    }
+
+    fn clone_box(&self) -> Box<dyn Framework> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+
+    #[test]
+    fn trains_with_latent_filtering() {
+        let data = BuildingDataset::generate(Building::tiny(1), &DatasetConfig::tiny(), 1);
+        let mut f = FedLs::new(
+            data.building.num_aps(),
+            data.building.num_rps(),
+            ServerConfig::tiny(),
+        );
+        assert_eq!(f.name(), "FEDLS");
+        f.pretrain(&data.server_train);
+        let mut clients = Client::from_dataset(&data, 0);
+        f.round(&mut clients);
+        assert!(f.accuracy(&data.server_train.x, &data.server_train.labels) > 0.5);
+    }
+
+    #[test]
+    fn is_the_largest_framework() {
+        let f = FedLs::new(100, 20, ServerConfig::tiny());
+        let fedloc = crate::FedLoc::new(100, 20, ServerConfig::tiny());
+        assert!(f.num_params() > fedloc.num_params());
+    }
+}

@@ -1,0 +1,64 @@
+//! The six baseline FL indoor-localization frameworks the paper compares
+//! SAFELOC against (§II, §V).
+//!
+//! | Framework | Global model | Aggregation | Defense |
+//! |---|---|---|---|
+//! | [`FedLoc`] | 3-layer DNN | FedAvg | none |
+//! | [`FedHil`] | 3-layer DNN | selective per-tensor | outlier tensors dropped |
+//! | [`KrumFramework`] | small MLP | Krum selection | distance-based LM filtering |
+//! | [`FedCc`] | DNN | 2-means clustering | minority cluster dropped |
+//! | [`FedLs`] | large DNN + server AE | latent-space filtering | anomalous updates dropped |
+//! | [`Onlad`] | DNN + on-device AE | FedAvg | poisoned *samples* dropped on device |
+//!
+//! All implement [`safeloc_fl::Framework`] so the benches treat
+//! them interchangeably with SAFELOC. Layer widths (see
+//! [`arch`]) are chosen to preserve the paper's Table I parameter-count
+//! ordering (SAFELOC < FEDCC < FEDHIL < ONLAD < FEDLOC < FEDLS); the
+//! originals' exact widths are not published for the localization setting.
+//!
+//! # Example
+//!
+//! ```
+//! use safeloc_baselines::FedLoc;
+//! use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+//! use safeloc_fl::{Client, Framework, ServerConfig};
+//!
+//! let data = BuildingDataset::generate(Building::tiny(2), &DatasetConfig::tiny(), 2);
+//! let mut f = FedLoc::new(data.building.num_aps(), data.building.num_rps(), ServerConfig::tiny());
+//! f.pretrain(&data.server_train);
+//! let mut clients = Client::from_dataset(&data, 0);
+//! f.round(&mut clients);
+//! assert_eq!(f.name(), "FEDLOC");
+//! ```
+
+pub mod arch;
+pub mod fedcc;
+pub mod fedhil;
+pub mod fedloc;
+pub mod fedls;
+pub mod krum;
+pub mod onlad;
+
+pub use fedcc::FedCc;
+pub use fedhil::FedHil;
+pub use fedloc::FedLoc;
+pub use fedls::FedLs;
+pub use krum::KrumFramework;
+pub use onlad::Onlad;
+
+use safeloc_fl::{Framework, ServerConfig};
+
+/// Builds every baseline for a building, in the paper's comparison order.
+pub fn all_baselines(
+    input_dim: usize,
+    n_classes: usize,
+    cfg: ServerConfig,
+) -> Vec<Box<dyn Framework>> {
+    vec![
+        Box::new(Onlad::new(input_dim, n_classes, cfg)),
+        Box::new(FedLs::new(input_dim, n_classes, cfg)),
+        Box::new(FedCc::new(input_dim, n_classes, cfg)),
+        Box::new(FedHil::new(input_dim, n_classes, cfg)),
+        Box::new(FedLoc::new(input_dim, n_classes, cfg)),
+    ]
+}

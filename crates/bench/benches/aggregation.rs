@@ -1,0 +1,49 @@
+//! Server-side aggregation cost per strategy (supports Table I's overhead
+//! comparison: SAFELOC's saliency map vs. the baselines' rules).
+//!
+//! Run with `cargo bench -p safeloc-bench --bench aggregation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safeloc::SaliencyAggregator;
+use safeloc_fl::{
+    Aggregator, ClientUpdate, ClusterAggregator, FedAvg, Krum, LatentFilterAggregator,
+    SelectiveAggregator,
+};
+use safeloc_nn::{Activation, HasParams, NamedParams, Sequential};
+
+fn updates(n_clients: usize) -> (NamedParams, Vec<ClientUpdate>) {
+    // Realistically sized model: the paper's fused architecture for B1.
+    let gm = Sequential::mlp(&[203, 128, 89, 62, 60], Activation::Relu, 0);
+    let global = gm.snapshot();
+    let updates = (0..n_clients)
+        .map(|i| {
+            let perturbed = global.scale(1.0 + 0.01 * (i as f32 + 1.0));
+            ClientUpdate::new(i, perturbed, 100)
+        })
+        .collect();
+    (global, updates)
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let (global, ups) = updates(6);
+    let mut group = c.benchmark_group("aggregation_strategies");
+    let mut strategies: Vec<Box<dyn Aggregator>> = vec![
+        Box::new(FedAvg),
+        Box::new(Krum::new(1)),
+        Box::new(SelectiveAggregator::default()),
+        Box::new(ClusterAggregator::default()),
+        Box::new(LatentFilterAggregator::new(0)),
+        Box::new(SaliencyAggregator::default()),
+    ];
+    for strategy in &mut strategies {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &(&global, &ups),
+            |b, (g, u)| b.iter(|| strategy.aggregate(g, u)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Poison-generation cost per attack (supports Fig. 5's 19-point ε sweep:
+//! the iterative attacks dominate its runtime).
+//!
+//! Run with `cargo bench -p safeloc-bench --bench attack_generation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safeloc_attacks::{Attack, ALL_ATTACK_KINDS};
+use safeloc_nn::{Activation, Matrix, Sequential};
+
+fn bench_attacks(c: &mut Criterion) {
+    let model = Sequential::mlp(&[203, 128, 60], Activation::Relu, 3);
+    let x = Matrix::from_fn(90, 203, |r, c| ((r * 31 + c * 7) % 100) as f32 / 100.0);
+    let labels: Vec<usize> = (0..90).map(|i| i % 60).collect();
+
+    let mut group = c.benchmark_group("attack_generation");
+    for kind in ALL_ATTACK_KINDS {
+        let attack = Attack::of_kind(kind, 0.3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &attack,
+            |b, a| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    a.poison(&x, &labels, &model, 60, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

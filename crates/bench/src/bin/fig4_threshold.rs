@@ -1,0 +1,73 @@
+//! Fig. 4 — impact of the reconstruction threshold τ on mean localization
+//! error across the five buildings.
+//!
+//! The paper sweeps τ from 0.05 to 0.5 and finds τ = 0.1 optimal: smaller τ
+//! needlessly de-noises clean heterogeneous-device data, larger τ lets
+//! backdoor poison through.
+//!
+//! ```text
+//! cargo run -p safeloc-bench --release --bin fig4_threshold [--quick|--full] [--seed N]
+//! ```
+
+use safeloc_attacks::Attack;
+use safeloc_bench::{build_dataset, pretrained_safeloc, run_scenario, HarnessConfig, Scale, Scenario};
+use safeloc_metrics::{markdown_table, ErrorStats};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let rounds = (cfg.rounds() / 2).max(2);
+    let taus: Vec<f32> = match cfg.scale {
+        Scale::Quick => vec![0.05, 0.1, 0.25, 0.5],
+        _ => vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5],
+    };
+    // The HTC U11 introduces a mix of backdoor and label-flip poison, as in
+    // the paper's τ study.
+    let attacks = [
+        Attack::fgsm(0.3),
+        Attack::mim(0.2),
+        Attack::label_flip(0.5),
+    ];
+
+    println!("# Fig. 4 — mean localization error vs. reconstruction threshold τ\n");
+    println!("scale: {:?}, seed: {}, rounds/scenario: {rounds}\n", cfg.scale, cfg.seed);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let buildings = cfg.buildings();
+    let mut per_building_series: Vec<(usize, Vec<(f32, f32)>)> = Vec::new();
+
+    for building in buildings {
+        let id = building.id;
+        let data = build_dataset(building, cfg.seed);
+        let template = pretrained_safeloc(&data, &cfg);
+        let mut series = Vec::new();
+        for &tau in &taus {
+            let mut variant = template.clone();
+            variant.set_tau(tau);
+            let mut errors = Vec::new();
+            for (k, attack) in attacks.iter().enumerate() {
+                let scenario =
+                    Scenario::paper(Some(attack.clone()), rounds, cfg.seed ^ (k as u64 + 1));
+                errors.extend(run_scenario(&variant, &data, &scenario));
+            }
+            let stats = ErrorStats::from_errors(&errors);
+            series.push((tau, stats.mean));
+        }
+        eprintln!("  building {id} done");
+        per_building_series.push((id, series));
+    }
+
+    let mut header: Vec<String> = vec!["tau".into()];
+    for (id, _) in &per_building_series {
+        header.push(format!("B{id} mean (m)"));
+    }
+    for (i, &tau) in taus.iter().enumerate() {
+        let mut row = vec![format!("{tau:.2}")];
+        for (_, series) in &per_building_series {
+            row.push(format!("{:.2}", series[i].1));
+        }
+        rows.push(row);
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    println!("{}", markdown_table(&header_refs, &rows));
+    println!("\npaper: minimum at tau = 0.1; stable to ~0.25; errors grow past 0.3, peaking at 0.45-0.5");
+}

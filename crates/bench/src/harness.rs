@@ -1,0 +1,308 @@
+//! Shared experiment plumbing: scales, dataset/framework construction and
+//! the standard attack-scenario runner.
+
+use safeloc::{SafeLoc, SafeLocConfig};
+use safeloc_attacks::{Attack, PoisonInjector};
+use safeloc_baselines::{FedCc, FedHil, FedLoc, FedLs, Onlad};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceProfile};
+use safeloc_fl::{Client, Framework, ServerConfig};
+use safeloc_metrics::localization_errors;
+
+/// Experiment scale, selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test: one small building, short training, coarse grids.
+    Quick,
+    /// Scaled-down-but-converged defaults (see `DESIGN.md` §5).
+    Default,
+    /// The paper's §V.A configuration (700 epochs, 10 rounds) — hours.
+    Full,
+}
+
+/// Command-line configuration shared by every bench binary.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// Parses `--quick`, `--full` and `--seed N` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut scale = Scale::Default;
+        let mut seed = 42;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                "--seed" => {
+                    i += 1;
+                    seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed requires an integer"));
+                }
+                other => panic!("unknown argument {other:?} (expected --quick/--full/--seed N)"),
+            }
+            i += 1;
+        }
+        Self { scale, seed }
+    }
+
+    /// Server configuration for the baselines at this scale.
+    pub fn server_config(&self) -> ServerConfig {
+        match self.scale {
+            Scale::Quick => ServerConfig {
+                pretrain_epochs: 60,
+                ..ServerConfig::default_scale(self.seed)
+            },
+            Scale::Default => ServerConfig::default_scale(self.seed),
+            Scale::Full => ServerConfig::paper(self.seed),
+        }
+    }
+
+    /// SAFELOC configuration at this scale.
+    pub fn safeloc_config(&self) -> SafeLocConfig {
+        match self.scale {
+            Scale::Quick => SafeLocConfig {
+                pretrain_epochs: 60,
+                ..SafeLocConfig::default_scale(self.seed)
+            },
+            Scale::Default => SafeLocConfig::default_scale(self.seed),
+            Scale::Full => SafeLocConfig::paper(self.seed),
+        }
+    }
+
+    /// Federated rounds per scenario.
+    pub fn rounds(&self) -> usize {
+        match self.scale {
+            Scale::Quick => 4,
+            Scale::Default => 8,
+            Scale::Full => 10,
+        }
+    }
+
+    /// The buildings evaluated at this scale.
+    pub fn buildings(&self) -> Vec<Building> {
+        default_buildings(self.scale)
+    }
+}
+
+/// Buildings per scale: `Quick` uses only Building 5 (the smallest: 90 RPs,
+/// 78 APs); the other scales use all five paper buildings.
+pub fn default_buildings(scale: Scale) -> Vec<Building> {
+    match scale {
+        Scale::Quick => vec![Building::paper(5)],
+        _ => Building::paper_all(),
+    }
+}
+
+/// Generates the experimental bundle for one building with the paper's
+/// six-phone protocol.
+pub fn build_dataset(building: Building, seed: u64) -> BuildingDataset {
+    BuildingDataset::generate(building, &DatasetConfig::paper(), seed)
+}
+
+/// Builds SAFELOC followed by the five compared baselines, all untrained.
+pub fn build_frameworks(
+    input_dim: usize,
+    n_classes: usize,
+    cfg: &HarnessConfig,
+) -> Vec<Box<dyn Framework>> {
+    let server = cfg.server_config();
+    vec![
+        Box::new(SafeLoc::new(input_dim, n_classes, cfg.safeloc_config())),
+        Box::new(Onlad::new(input_dim, n_classes, server)),
+        Box::new(FedLs::new(input_dim, n_classes, server)),
+        Box::new(FedCc::new(input_dim, n_classes, server)),
+        Box::new(FedHil::new(input_dim, n_classes, server)),
+        Box::new(FedLoc::new(input_dim, n_classes, server)),
+    ]
+}
+
+/// Builds and pretrains a SAFELOC instance for `data`.
+pub fn pretrained_safeloc(data: &BuildingDataset, cfg: &HarnessConfig) -> SafeLoc {
+    let mut f = SafeLoc::new(
+        data.building.num_aps(),
+        data.building.num_rps(),
+        cfg.safeloc_config(),
+    );
+    f.pretrain(&data.server_train);
+    f
+}
+
+/// One attack scenario: which attack, which clients are compromised, and
+/// how many federated rounds run before evaluation.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The attack; `None` is the clean baseline.
+    pub attack: Option<Attack>,
+    /// Indices of compromised clients (the paper compromises the HTC U11).
+    pub attacker_ids: Vec<usize>,
+    /// Federated rounds before evaluation.
+    pub rounds: usize,
+    /// Scenario seed (clients/injectors derive their streams from it).
+    pub seed: u64,
+    /// Attacker update-boost factor; `None` = `n_clients / n_attackers`
+    /// (model replacement, shared across colluders), `Some(1.0)` =
+    /// honest-magnitude data poisoning only.
+    pub boost: Option<f32>,
+    /// Colluding attackers share one poison stream (identical flip
+    /// choices), so their updates push coherently instead of cancelling.
+    /// Matters only with several attackers (Fig. 7).
+    pub coherent: bool,
+}
+
+impl Scenario {
+    /// The paper's standard single-attacker scenario (HTC U11 compromised,
+    /// model-replacement boost).
+    pub fn paper(attack: Option<Attack>, rounds: usize, seed: u64) -> Self {
+        Self {
+            attack,
+            attacker_ids: vec![DeviceProfile::ATTACKER_DEVICE],
+            rounds,
+            seed,
+            boost: None,
+            coherent: false,
+        }
+    }
+}
+
+/// Runs `scenario` on a **clone** of the pretrained `template` framework and
+/// returns per-sample localization errors (meters) over the five
+/// non-training devices' held-out test sets.
+pub fn run_scenario(
+    template: &dyn Framework,
+    data: &BuildingDataset,
+    scenario: &Scenario,
+) -> Vec<f32> {
+    let mut framework = template.clone_box();
+    let mut clients = Client::from_dataset(data, scenario.seed);
+    // Model-replacement boost: k colluding attackers share the n× factor so
+    // their combined mass steers a plain mean exactly once.
+    let boost = scenario
+        .boost
+        .unwrap_or(clients.len() as f32 / scenario.attacker_ids.len().max(1) as f32);
+    if let Some(attack) = &scenario.attack {
+        for &id in &scenario.attacker_ids {
+            if id < clients.len() {
+                let stream = if scenario.coherent {
+                    scenario.seed ^ 0xC0117DE
+                } else {
+                    scenario.seed ^ ((id as u64 + 1) << 24)
+                };
+                clients[id].injector =
+                    Some(PoisonInjector::new(attack.clone(), stream).with_boost(boost));
+            }
+        }
+    }
+    framework.run_rounds(&mut clients, scenario.rounds);
+    evaluate_errors(framework.as_ref(), data)
+}
+
+/// Localization errors of `framework` over the non-training devices' test
+/// sets (the paper's evaluation protocol).
+pub fn evaluate_errors(framework: &dyn Framework, data: &BuildingDataset) -> Vec<f32> {
+    let mut errors = Vec::new();
+    for (_, set) in data.eval_sets() {
+        let pred = framework.predict(&set.x);
+        errors.extend(localization_errors(&data.building, &pred, &set.labels));
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_metrics::ErrorStats;
+
+    fn quick_cfg() -> HarnessConfig {
+        HarnessConfig {
+            scale: Scale::Quick,
+            seed: 7,
+        }
+    }
+
+    fn tiny_dataset() -> BuildingDataset {
+        BuildingDataset::generate(Building::tiny(3), &DatasetConfig::tiny(), 3)
+    }
+
+    #[test]
+    fn scales_pick_buildings() {
+        assert_eq!(default_buildings(Scale::Quick).len(), 1);
+        assert_eq!(default_buildings(Scale::Default).len(), 5);
+        assert_eq!(default_buildings(Scale::Full).len(), 5);
+    }
+
+    #[test]
+    fn full_scale_uses_paper_epochs() {
+        let cfg = HarnessConfig {
+            scale: Scale::Full,
+            seed: 0,
+        };
+        assert_eq!(cfg.server_config().pretrain_epochs, 700);
+        assert_eq!(cfg.safeloc_config().pretrain_epochs, 700);
+        assert_eq!(cfg.rounds(), 10);
+    }
+
+    #[test]
+    fn frameworks_come_in_paper_order() {
+        let fw = build_frameworks(20, 8, &quick_cfg());
+        let names: Vec<&str> = fw.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            ["SAFELOC", "ONLAD", "FEDLS", "FEDCC", "FEDHIL", "FEDLOC"]
+        );
+    }
+
+    #[test]
+    fn scenario_runner_produces_errors_for_every_eval_sample() {
+        let data = tiny_dataset();
+        let mut f = SafeLoc::new(
+            data.building.num_aps(),
+            data.building.num_rps(),
+            safeloc::SafeLocConfig::tiny(),
+        );
+        f.pretrain(&data.server_train);
+        let scenario = Scenario {
+            attack: Some(Attack::label_flip(0.5)),
+            attacker_ids: vec![1],
+            rounds: 1,
+            seed: 3,
+            boost: None,
+            coherent: false,
+        };
+        let errors = run_scenario(&f, &data, &scenario);
+        let expected: usize = data.eval_sets().iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(errors.len(), expected);
+        let stats = ErrorStats::from_errors(&errors);
+        assert!(stats.mean.is_finite());
+    }
+
+    #[test]
+    fn clean_scenario_beats_random_guessing() {
+        let data = tiny_dataset();
+        let mut f = SafeLoc::new(
+            data.building.num_aps(),
+            data.building.num_rps(),
+            safeloc::SafeLocConfig::tiny(),
+        );
+        f.pretrain(&data.server_train);
+        let clean = Scenario {
+            attack: None,
+            attacker_ids: vec![],
+            rounds: 1,
+            seed: 3,
+            boost: None,
+            coherent: false,
+        };
+        let errors = run_scenario(&f, &data, &clean);
+        let stats = ErrorStats::from_errors(&errors);
+        // Random guessing on the tiny serpentine floor is ~2.5 m mean.
+        assert!(stats.mean < 2.5, "clean mean error {}", stats.mean);
+    }
+}

@@ -1,0 +1,26 @@
+//! Benchmark harness regenerating every table and figure of the SAFELOC
+//! paper.
+//!
+//! Each binary in `src/bin/` reproduces one experiment (see `DESIGN.md` §3
+//! for the full index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1_motivation` | Fig. 1 — FEDLOC/FEDHIL degradation under attack |
+//! | `fig4_threshold` | Fig. 4 — τ sweep |
+//! | `fig5_heatmap` | Fig. 5 — attack × ε heatmap |
+//! | `fig6_comparison` | Fig. 6 — SAFELOC vs. state-of-the-art |
+//! | `fig7_scalability` | Fig. 7 — client-count scaling |
+//! | `table1_overhead` | Table I — parameters + inference latency |
+//! | `ablation` | (ours) design-choice attribution |
+//!
+//! Every binary accepts `--quick` (smoke-test scale), `--full` (the paper's
+//! 700-epoch configuration) and `--seed N`; the default is a
+//! scaled-down-but-converged configuration (`DESIGN.md` §5).
+
+pub mod harness;
+
+pub use harness::{
+    build_dataset, build_frameworks, default_buildings, evaluate_errors, pretrained_safeloc,
+    run_scenario, HarnessConfig, Scale, Scenario,
+};

@@ -1,0 +1,318 @@
+//! The end-to-end SAFELOC framework: fused network + RCE detection +
+//! saliency-map aggregation, wired into the `safeloc-fl` engine.
+
+use crate::config::SafeLocConfig;
+use crate::fused::{FusedConfig, FusedNetwork};
+use crate::saliency::SaliencyAggregator;
+use crate::detector::calibrate_tau;
+use safeloc_dataset::FingerprintSet;
+use safeloc_fl::{Aggregator, Client, ClientUpdate, Framework};
+use safeloc_nn::{Adam, HasParams, Matrix, TrainConfig};
+
+/// The SAFELOC framework (paper §IV).
+///
+/// Lifecycle (matching Fig. 2 and §IV):
+///
+/// 1. [`SafeLoc::pretrain`] — the fused network is trained on the server's
+///    clean survey split with the joint CE + MSE loss.
+/// 2. [`SafeLoc::round`] — the GM is distributed; each client de-noises its
+///    local data through the autoencoder (RCE > τ ⇒ replaced with its
+///    reconstruction, neutralizing backdoor perturbations), retrains its LM
+///    for 5 epochs at the reduced rate, and uploads it. The server applies
+///    saliency-map aggregation, which suppresses the weight deviations that
+///    label-flipped training produces.
+/// 3. [`Framework::predict`] — detection-aware inference: flagged inputs
+///    are classified from their re-encoded reconstruction.
+#[derive(Clone)]
+pub struct SafeLoc {
+    net: FusedNetwork,
+    aggregator: SaliencyAggregator,
+    cfg: SafeLocConfig,
+    /// p95 of the clean training data's RCE, calibrated at pretraining;
+    /// τ is read relative to this baseline (`DESIGN.md` §5).
+    rce_baseline: f32,
+    rounds_run: usize,
+}
+
+impl std::fmt::Debug for SafeLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SafeLoc")
+            .field("params", &self.net.num_params())
+            .field("tau", &self.cfg.tau)
+            .field("aggregation", &self.cfg.aggregation)
+            .field("rounds_run", &self.rounds_run)
+            .finish()
+    }
+}
+
+impl SafeLoc {
+    /// Creates the framework for a building with `input_dim` visible APs and
+    /// `n_classes` reference points.
+    pub fn new(input_dim: usize, n_classes: usize, cfg: SafeLocConfig) -> Self {
+        let net = FusedNetwork::new(&FusedConfig {
+            input_dim,
+            encoder_dims: cfg.encoder_dims.clone(),
+            decoder_hidden: cfg.decoder_hidden.clone(),
+            n_classes,
+            seed: cfg.seed,
+        });
+        let aggregator = SaliencyAggregator::new(cfg.aggregation);
+        Self {
+            net,
+            aggregator,
+            cfg,
+            rce_baseline: f32::INFINITY, // calibrated during pretrain
+            rounds_run: 0,
+        }
+    }
+
+    /// The detection threshold in raw RCE units:
+    /// `baseline · (1 + τ)`.
+    pub fn effective_threshold(&self) -> f32 {
+        self.rce_baseline * (1.0 + self.cfg.tau)
+    }
+
+    /// The calibrated clean-data RCE baseline (p95 of the training split).
+    pub fn rce_baseline(&self) -> f32 {
+        self.rce_baseline
+    }
+
+    /// The deployed fused network.
+    pub fn network(&self) -> &FusedNetwork {
+        &self.net
+    }
+
+    /// The active reconstruction threshold τ.
+    pub fn tau(&self) -> f32 {
+        self.cfg.tau
+    }
+
+    /// Replaces τ (Fig. 4 sweeps this on a pretrained model).
+    pub fn set_tau(&mut self, tau: f32) {
+        self.cfg.tau = tau;
+    }
+
+    /// Overrides the saliency sharpness (0 makes S ≡ 1, i.e. plain delta
+    /// averaging — the ablation's "no saliency" variant).
+    pub fn set_saliency_sharpness(&mut self, sharpness: f32) {
+        self.aggregator.sharpness = sharpness;
+    }
+
+    /// The framework configuration.
+    pub fn config(&self) -> &SafeLocConfig {
+        &self.cfg
+    }
+
+    /// Collects one round of client updates (exposed for tests/ablations).
+    pub fn collect_updates(&self, clients: &mut [Client]) -> Vec<ClientUpdate> {
+        let n_classes = self.net.n_classes();
+        let round_salt = (self.rounds_run as u64 + 1) << 16;
+        clients
+            .iter_mut()
+            .map(|c| {
+                // 1. A backdoor attacker perturbs the RSS feed before the
+                //    pipeline sees it (Fig. 2).
+                let base = c.base_labels(&self.net, &self.cfg.local);
+                let x = c.round_rss(&self.net, &base, n_classes);
+                // 2. Client-side poison detection + de-noising (§IV.A):
+                //    rows whose RCE exceeds τ are replaced by their
+                //    reconstructions, neutralizing the perturbation.
+                let (den_x, _) =
+                    self.net
+                        .denoise_matrix(&x, self.effective_threshold(), self.cfg.rce_mode);
+                // 3. Labeling per protocol — under self-training the labels
+                //    come from the *de-noised* input, which is what defeats
+                //    the backdoor payload.
+                let labels = match self.cfg.local.labeling {
+                    safeloc_fl::LabelingMode::SelfTrain => self.net.predict(&den_x),
+                    safeloc_fl::LabelingMode::Surveyed => c.local.labels.clone(),
+                };
+                // 4. A label-flipping attacker corrupts the final labels —
+                //    invisible to the client-side defense by construction.
+                let labels = c.round_labels(labels, n_classes);
+                // 5. Lightweight local retraining of the fused LM.
+                let mut lm = self.net.clone();
+                let mut opt = Adam::new(self.cfg.local.learning_rate);
+                let n = den_x.rows();
+                lm.fit_augmented(
+                    &den_x,
+                    &labels,
+                    &mut opt,
+                    &TrainConfig::new(
+                        self.cfg.local.epochs,
+                        self.cfg.local.batch_size,
+                        c.seed ^ round_salt,
+                    ),
+                    self.cfg.detach_decoder,
+                    self.cfg.recon_weight,
+                    self.cfg.augment.as_ref(),
+                );
+                let params = c.finalize_params(&self.net.snapshot(), lm.snapshot());
+                ClientUpdate::new(c.id, params, n)
+            })
+            .collect()
+    }
+}
+
+impl Framework for SafeLoc {
+    fn name(&self) -> &'static str {
+        "SAFELOC"
+    }
+
+    fn pretrain(&mut self, train: &FingerprintSet) {
+        let mut opt = Adam::new(self.cfg.pretrain_lr);
+        self.net.fit_augmented(
+            &train.x,
+            &train.labels,
+            &mut opt,
+            &TrainConfig::new(self.cfg.pretrain_epochs, self.cfg.batch_size, self.cfg.seed),
+            self.cfg.detach_decoder,
+            self.cfg.recon_weight,
+            self.cfg.augment.as_ref(),
+        );
+        // Calibrate the clean-data baseline the τ tolerance is read against.
+        // The server knows phones vary, so the baseline is measured on a
+        // device-augmented replica of its survey split — otherwise clean
+        // data from unseen phones would sit above any small τ.
+        let calib_x = match &self.cfg.augment {
+            Some(a) => {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0xCA11B);
+                a.apply(&train.x, &mut rng)
+            }
+            None => train.x.clone(),
+        };
+        self.rce_baseline = calibrate_tau(&self.net, &calib_x, self.cfg.rce_mode, 0.95, 1.0);
+    }
+
+    fn round(&mut self, clients: &mut [Client]) {
+        let updates = self.collect_updates(clients);
+        let next = self.aggregator.aggregate(&self.net.snapshot(), &updates);
+        self.net
+            .load(&next)
+            .expect("saliency aggregation preserves architecture");
+        self.rounds_run += 1;
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.net
+            .predict_with_detection(x, self.effective_threshold(), self.cfg.rce_mode)
+            .labels
+    }
+
+    fn num_params(&self) -> usize {
+        self.net.num_params()
+    }
+
+    fn clone_box(&self) -> Box<dyn Framework> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_attacks::{Attack, PoisonInjector};
+    use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+
+    fn dataset() -> BuildingDataset {
+        BuildingDataset::generate(Building::tiny(6), &DatasetConfig::tiny(), 6)
+    }
+
+    fn pretrained(data: &BuildingDataset) -> SafeLoc {
+        let mut f = SafeLoc::new(
+            data.building.num_aps(),
+            data.building.num_rps(),
+            SafeLocConfig::tiny(),
+        );
+        f.pretrain(&data.server_train);
+        f
+    }
+
+    #[test]
+    fn pretraining_learns_the_survey_split() {
+        let data = dataset();
+        let f = pretrained(&data);
+        let acc = f
+            .network()
+            .accuracy(&data.server_train.x, &data.server_train.labels);
+        assert!(acc > 0.8, "pretrain accuracy {acc}");
+    }
+
+    #[test]
+    fn clean_rounds_preserve_accuracy() {
+        let data = dataset();
+        let mut f = pretrained(&data);
+        let before = f.accuracy(&data.server_train.x, &data.server_train.labels);
+        let mut clients = Client::from_dataset(&data, 0);
+        f.run_rounds(&mut clients, 3);
+        let after = f.accuracy(&data.server_train.x, &data.server_train.labels);
+        assert!(
+            after > before - 0.25,
+            "clean rounds collapsed accuracy {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn survives_full_label_flip_attacker() {
+        let data = dataset();
+        let mut f = pretrained(&data);
+        let eval = &data.client_test[0];
+        let before = f.accuracy(&eval.x, &eval.labels);
+        let mut clients = Client::from_dataset(&data, 0);
+        let last = clients.len() - 1;
+        clients[last].injector = Some(PoisonInjector::new(Attack::label_flip(1.0), 5));
+        f.run_rounds(&mut clients, 4);
+        let after = f.accuracy(&eval.x, &eval.labels);
+        assert!(
+            after > before - 0.3,
+            "label-flip attacker broke SAFELOC: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn survives_fgsm_attacker() {
+        let data = dataset();
+        let mut f = pretrained(&data);
+        let eval = &data.client_test[0];
+        let before = f.accuracy(&eval.x, &eval.labels);
+        let mut clients = Client::from_dataset(&data, 0);
+        let last = clients.len() - 1;
+        clients[last].injector = Some(PoisonInjector::new(Attack::fgsm(0.5), 5));
+        f.run_rounds(&mut clients, 4);
+        let after = f.accuracy(&eval.x, &eval.labels);
+        assert!(
+            after > before - 0.3,
+            "FGSM attacker broke SAFELOC: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn round_is_deterministic() {
+        let data = dataset();
+        let run = || {
+            let mut f = pretrained(&data);
+            let mut clients = Client::from_dataset(&data, 0);
+            f.round(&mut clients);
+            f.network().snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tau_is_adjustable() {
+        let data = dataset();
+        let mut f = pretrained(&data);
+        f.set_tau(0.3);
+        assert!((f.tau() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn debug_shows_configuration() {
+        let data = dataset();
+        let f = pretrained(&data);
+        let s = format!("{f:?}");
+        assert!(s.contains("tau"));
+        assert!(s.contains("SafeLoc"));
+    }
+}

@@ -1,0 +1,904 @@
+//! The fused neural network (paper §IV.A, Fig. 3).
+//!
+//! One compact model with three parts sharing a bottleneck:
+//!
+//! ```text
+//!             ┌────────────┐      ┌───────────────────┐
+//!  x ───────▶ │  encoder   │─ z ─▶│ de-noising decoder│──▶ x̂ (reconstruction)
+//!  (n_aps)    │ 128-89-62  │  │   │     89-n_aps      │
+//!             └────────────┘  │   └───────────────────┘
+//!                             │   ┌───────────────────┐
+//!                             └──▶│  classifier head  │──▶ logits (n_rps)
+//!                                 └───────────────────┘
+//! ```
+//!
+//! The reconstruction error between `x` and `x̂` drives backdoor *detection*
+//! (RCE > τ ⇒ flagged); flagged fingerprints are *de-noised* by re-encoding
+//! their reconstruction and classifying the new latent vector. Following the
+//! paper's "freeze the gradients from the encoder" note, reconstruction
+//! gradients are stopped at the bottleneck by default, so the encoder is
+//! shaped by the classification loss while the decoder learns to invert it.
+
+use crate::config::RceMode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safeloc_attacks::GradientSource;
+use safeloc_fl::client::PredictLabels;
+use safeloc_nn::{
+    gather_labels, gather_rows, shuffled_batches, Activation, Dense, HasParams, Init, Matrix,
+    MseLoss, Optimizer, SparseCrossEntropyLoss, TrainConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// Architecture description for a [`FusedNetwork`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedConfig {
+    /// Input width (number of APs).
+    pub input_dim: usize,
+    /// Encoder widths; the last entry is the bottleneck (paper: 128-89-62).
+    pub encoder_dims: Vec<usize>,
+    /// Decoder hidden widths (paper: 89); the final reconstruction layer
+    /// back to `input_dim` is appended automatically.
+    pub decoder_hidden: Vec<usize>,
+    /// Number of reference points (classifier width).
+    pub n_classes: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl FusedConfig {
+    /// The paper's architecture for a given input width and class count.
+    pub fn paper(input_dim: usize, n_classes: usize, seed: u64) -> Self {
+        Self {
+            input_dim,
+            encoder_dims: vec![128, 89, 62],
+            decoder_hidden: vec![89],
+            n_classes,
+            seed,
+        }
+    }
+}
+
+/// The fused autoencoder + classifier model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedNetwork {
+    enc: Vec<Dense>,
+    dec: Vec<Dense>,
+    cls: Dense,
+}
+
+/// Cached forward state for one batch.
+#[derive(Debug, Clone)]
+pub struct FusedTrace {
+    enc_in: Vec<Matrix>,
+    enc_pre: Vec<Matrix>,
+    /// Bottleneck activations.
+    pub z: Matrix,
+    dec_in: Vec<Matrix>,
+    dec_pre: Vec<Matrix>,
+    /// Reconstruction of the input.
+    pub recon: Matrix,
+    /// Classification logits.
+    pub logits: Matrix,
+}
+
+/// Gradients for every tensor plus the input.
+#[derive(Debug, Clone)]
+pub struct FusedGrads {
+    flat: Vec<Matrix>,
+    /// `dL/dx`.
+    pub input: Matrix,
+}
+
+impl FusedGrads {
+    /// Gradients in [`HasParams`] tensor order.
+    pub fn into_flat(self) -> Vec<Matrix> {
+        self.flat
+    }
+}
+
+/// Device-heterogeneity augmentation used during fused-network training:
+/// per-row constant offset (a phone's calibration bias) plus per-element
+/// Gaussian jitter (antenna/channel response), in normalized RSS units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DaeAugment {
+    /// Std-dev of the per-row constant offset.
+    pub offset_std: f32,
+    /// Std-dev of the per-element jitter.
+    pub noise_std: f32,
+}
+
+impl DaeAugment {
+    /// The default augmentation, matching the fleet's dB-domain spread.
+    pub fn paper() -> Self {
+        Self {
+            offset_std: 0.08,
+            noise_std: 0.04,
+        }
+    }
+
+    /// Returns an augmented copy of `x`, clamped to `[0, 1]`.
+    pub fn apply(&self, x: &Matrix, rng: &mut impl rand::Rng) -> Matrix {
+        use rand_distr::{Distribution, Normal};
+        let offset = Normal::new(0.0f32, self.offset_std.max(1e-9)).expect("finite std");
+        let jitter = Normal::new(0.0f32, self.noise_std.max(1e-9)).expect("finite std");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row_offset = offset.sample(rng);
+            for v in out.row_mut(r) {
+                // Unheard APs (exact zeros) stay unheard: device bias cannot
+                // conjure signal out of the noise floor.
+                if *v > 0.0 {
+                    *v = (*v + row_offset + jitter.sample(rng)).clamp(0.0, 1.0);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Detection-aware prediction output.
+#[derive(Debug, Clone)]
+pub struct DetectionOutcome {
+    /// Predicted RP label per row.
+    pub labels: Vec<usize>,
+    /// Whether each row was flagged (RCE > τ) and de-noised.
+    pub flagged: Vec<bool>,
+    /// Per-row reconstruction error.
+    pub rce: Vec<f32>,
+}
+
+impl FusedNetwork {
+    /// Builds the network described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension list is empty or zero-width.
+    pub fn new(cfg: &FusedConfig) -> Self {
+        assert!(!cfg.encoder_dims.is_empty(), "encoder needs at least one layer");
+        assert!(cfg.input_dim > 0 && cfg.n_classes > 0, "degenerate dimensions");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut enc = Vec::with_capacity(cfg.encoder_dims.len());
+        let mut prev = cfg.input_dim;
+        for &d in &cfg.encoder_dims {
+            assert!(d > 0, "zero-width encoder layer");
+            enc.push(Dense::new(prev, d, Init::HeUniform, &mut rng));
+            prev = d;
+        }
+        let bottleneck = prev;
+        let mut dec = Vec::with_capacity(cfg.decoder_hidden.len() + 1);
+        for &d in &cfg.decoder_hidden {
+            assert!(d > 0, "zero-width decoder layer");
+            dec.push(Dense::new(prev, d, Init::HeUniform, &mut rng));
+            prev = d;
+        }
+        dec.push(Dense::new(prev, cfg.input_dim, Init::HeUniform, &mut rng));
+        let cls = Dense::new(bottleneck, cfg.n_classes, Init::HeUniform, &mut rng);
+        Self { enc, dec, cls }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.enc[0].in_dim()
+    }
+
+    /// Bottleneck width.
+    pub fn bottleneck_dim(&self) -> usize {
+        self.enc.last().expect("non-empty").out_dim()
+    }
+
+    /// Number of reference-point classes.
+    pub fn n_classes(&self) -> usize {
+        self.cls.out_dim()
+    }
+
+    /// Encodes a batch to bottleneck activations.
+    pub fn encode(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.enc {
+            h = Activation::Relu.forward(&layer.forward(&h));
+        }
+        h
+    }
+
+    /// Decodes bottleneck activations to a reconstruction.
+    pub fn decode(&self, z: &Matrix) -> Matrix {
+        let mut h = z.clone();
+        let last = self.dec.len() - 1;
+        for (i, layer) in self.dec.iter().enumerate() {
+            let pre = layer.forward(&h);
+            h = if i == last {
+                pre
+            } else {
+                Activation::Relu.forward(&pre)
+            };
+        }
+        h
+    }
+
+    /// Classification logits from bottleneck activations.
+    pub fn classify_latent(&self, z: &Matrix) -> Matrix {
+        self.cls.forward(z)
+    }
+
+    /// Full forward pass with cached intermediates.
+    pub fn forward_trace(&self, x: &Matrix) -> FusedTrace {
+        let mut enc_in = Vec::with_capacity(self.enc.len());
+        let mut enc_pre = Vec::with_capacity(self.enc.len());
+        let mut h = x.clone();
+        for layer in &self.enc {
+            enc_in.push(h.clone());
+            let pre = layer.forward(&h);
+            h = Activation::Relu.forward(&pre);
+            enc_pre.push(pre);
+        }
+        let z = h;
+        let mut dec_in = Vec::with_capacity(self.dec.len());
+        let mut dec_pre = Vec::with_capacity(self.dec.len());
+        let mut d = z.clone();
+        let last = self.dec.len() - 1;
+        for (i, layer) in self.dec.iter().enumerate() {
+            dec_in.push(d.clone());
+            let pre = layer.forward(&d);
+            d = if i == last {
+                pre.clone()
+            } else {
+                Activation::Relu.forward(&pre)
+            };
+            dec_pre.push(pre);
+        }
+        let recon = d;
+        let logits = self.cls.forward(&z);
+        FusedTrace {
+            enc_in,
+            enc_pre,
+            z,
+            dec_in,
+            dec_pre,
+            recon,
+            logits,
+        }
+    }
+
+    /// Plain classification (no detection): encode → classify → argmax.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.classify_latent(&self.encode(x)).argmax_rows()
+    }
+
+    /// Per-row reconstruction error under `mode`.
+    pub fn rce(&self, x: &Matrix, mode: RceMode) -> Vec<f32> {
+        let recon = self.decode(&self.encode(x));
+        rce_rows(x, &recon, mode)
+    }
+
+    /// The paper's client-side inference (§IV.A): rows whose RCE ≤ τ are
+    /// classified from their latent vector; rows above τ are de-noised —
+    /// their *reconstruction* is re-encoded and that latent vector is
+    /// classified instead.
+    pub fn predict_with_detection(&self, x: &Matrix, tau: f32, mode: RceMode) -> DetectionOutcome {
+        let z = self.encode(x);
+        let recon = self.decode(&z);
+        let rce = rce_rows(x, &recon, mode);
+        let logits = self.classify_latent(&z);
+        let mut labels = logits.argmax_rows();
+        let flagged: Vec<bool> = rce.iter().map(|&r| r > tau).collect();
+        let flagged_rows: Vec<usize> = flagged
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect();
+        if !flagged_rows.is_empty() {
+            let sub = gather_rows(&recon, &flagged_rows);
+            let z2 = self.encode(&sub);
+            let relabeled = self.classify_latent(&z2).argmax_rows();
+            for (slot, &row) in flagged_rows.iter().enumerate() {
+                labels[row] = relabeled[slot];
+            }
+        }
+        DetectionOutcome {
+            labels,
+            flagged,
+            rce,
+        }
+    }
+
+    /// Replaces rows whose RCE exceeds τ with their reconstructions — the
+    /// de-noising step applied to a client's local data before retraining.
+    pub fn denoise_matrix(&self, x: &Matrix, tau: f32, mode: RceMode) -> (Matrix, Vec<bool>) {
+        let recon = self.decode(&self.encode(x));
+        let rce = rce_rows(x, &recon, mode);
+        let mut out = x.clone();
+        let mut flagged = vec![false; x.rows()];
+        for (r, &err) in rce.iter().enumerate() {
+            if err > tau {
+                flagged[r] = true;
+                let src = recon.row(r).to_vec();
+                for (dst, v) in out.row_mut(r).iter_mut().zip(src) {
+                    *dst = v.clamp(0.0, 1.0);
+                }
+            }
+        }
+        (out, flagged)
+    }
+
+    /// Backward pass. `d_logits` and `d_recon` are the loss gradients at the
+    /// two heads (either may be `None`); with `detach_decoder` the
+    /// reconstruction gradient stops at the bottleneck.
+    pub fn backward(
+        &self,
+        trace: &FusedTrace,
+        d_logits: Option<&Matrix>,
+        d_recon: Option<&Matrix>,
+        detach_decoder: bool,
+    ) -> FusedGrads {
+        let batch_z = &trace.z;
+        // Classifier head.
+        let (cls_gw, cls_gb, dz_cls) = match d_logits {
+            Some(g) => {
+                let grads = self.cls.backward(batch_z, g);
+                (grads.w, grads.b, Some(grads.x))
+            }
+            None => (
+                Matrix::zeros(self.cls.in_dim(), self.cls.out_dim()),
+                Matrix::zeros(1, self.cls.out_dim()),
+                None,
+            ),
+        };
+        // Decoder stack.
+        let mut dec_grads: Vec<(Matrix, Matrix)> = self
+            .dec
+            .iter()
+            .map(|l| {
+                (
+                    Matrix::zeros(l.in_dim(), l.out_dim()),
+                    Matrix::zeros(1, l.out_dim()),
+                )
+            })
+            .collect();
+        let mut dz_dec: Option<Matrix> = None;
+        if let Some(g) = d_recon {
+            let mut grad = g.clone();
+            let last = self.dec.len() - 1;
+            for i in (0..self.dec.len()).rev() {
+                let grad_pre = if i == last {
+                    grad.clone() // identity output activation
+                } else {
+                    Activation::Relu.backward(&trace.dec_pre[i], &grad)
+                };
+                let g = self.dec[i].backward(&trace.dec_in[i], &grad_pre);
+                dec_grads[i] = (g.w, g.b);
+                grad = g.x;
+            }
+            dz_dec = Some(grad);
+        }
+        // Combine bottleneck gradients.
+        let mut dz = match (dz_cls, dz_dec) {
+            (Some(a), Some(b)) if !detach_decoder => {
+                let mut s = a;
+                s.add_assign(&b);
+                s
+            }
+            (Some(a), _) => a,
+            (None, Some(b)) if !detach_decoder => b,
+            _ => Matrix::zeros(batch_z.rows(), batch_z.cols()),
+        };
+        // Encoder stack.
+        let mut enc_grads: Vec<(Matrix, Matrix)> = self
+            .enc
+            .iter()
+            .map(|l| {
+                (
+                    Matrix::zeros(l.in_dim(), l.out_dim()),
+                    Matrix::zeros(1, l.out_dim()),
+                )
+            })
+            .collect();
+        for i in (0..self.enc.len()).rev() {
+            let grad_pre = Activation::Relu.backward(&trace.enc_pre[i], &dz);
+            let g = self.enc[i].backward(&trace.enc_in[i], &grad_pre);
+            enc_grads[i] = (g.w, g.b);
+            dz = g.x;
+        }
+        let input = dz;
+
+        let mut flat = Vec::with_capacity((self.enc.len() + self.dec.len() + 1) * 2);
+        for (w, b) in enc_grads {
+            flat.push(w);
+            flat.push(b);
+        }
+        for (w, b) in dec_grads {
+            flat.push(w);
+            flat.push(b);
+        }
+        flat.push(cls_gw);
+        flat.push(cls_gb);
+        FusedGrads { flat, input }
+    }
+
+    /// One optimizer step on a batch with the joint loss
+    /// `CE(logits, labels) + recon_weight · MSE(recon, x)`; returns
+    /// `(ce, mse)`.
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        opt: &mut dyn Optimizer,
+        detach_decoder: bool,
+    ) -> (f32, f32) {
+        self.train_batch_weighted(x, labels, opt, detach_decoder, 1.0)
+    }
+
+    /// [`FusedNetwork::train_batch`] with an explicit reconstruction-loss
+    /// weight.
+    pub fn train_batch_weighted(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        opt: &mut dyn Optimizer,
+        detach_decoder: bool,
+        recon_weight: f32,
+    ) -> (f32, f32) {
+        let trace = self.forward_trace(x);
+        let ce = SparseCrossEntropyLoss.loss(&trace.logits, labels);
+        let mse = MseLoss.loss(&trace.recon, x);
+        let d_logits = SparseCrossEntropyLoss.grad(&trace.logits, labels);
+        let d_recon = MseLoss.grad(&trace.recon, x).scale(recon_weight);
+        let grads = self
+            .backward(&trace, Some(&d_logits), Some(&d_recon), detach_decoder)
+            .into_flat();
+        opt.step(self.param_tensors_mut(), &grads);
+        (ce, mse)
+    }
+
+    /// Joint training loop; returns `(mean_ce, mean_mse)` per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != x.rows()`.
+    pub fn fit(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        opt: &mut dyn Optimizer,
+        cfg: &TrainConfig,
+        detach_decoder: bool,
+    ) -> Vec<(f32, f32)> {
+        self.fit_weighted(x, labels, opt, cfg, detach_decoder, 1.0)
+    }
+
+    /// [`FusedNetwork::fit`] with an explicit reconstruction-loss weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != x.rows()`.
+    pub fn fit_weighted(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        opt: &mut dyn Optimizer,
+        cfg: &TrainConfig,
+        detach_decoder: bool,
+        recon_weight: f32,
+    ) -> Vec<(f32, f32)> {
+        self.fit_augmented(x, labels, opt, cfg, detach_decoder, recon_weight, None)
+    }
+
+    /// Full training loop with optional device-heterogeneity augmentation.
+    ///
+    /// With `augment`, a fraction of batches are replaced by augmented
+    /// copies (per-row dB-offset plus Gaussian jitter, i.e. the shape of
+    /// real device variation), and the autoencoder reconstructs the
+    /// *augmented* input. This widens the learned manifold so that clean
+    /// data from unseen phones stays below the detection threshold —
+    /// the tolerance the paper's τ = 0.1 "10% variance" expresses — while
+    /// structured adversarial perturbations remain off-manifold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != x.rows()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_augmented(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        opt: &mut dyn Optimizer,
+        cfg: &TrainConfig,
+        detach_decoder: bool,
+        recon_weight: f32,
+        augment: Option<&DaeAugment>,
+    ) -> Vec<(f32, f32)> {
+        assert_eq!(labels.len(), x.rows(), "one label per row");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut history = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            let mut ce_sum = 0.0;
+            let mut mse_sum = 0.0;
+            let mut batches = 0;
+            for batch in shuffled_batches(x.rows(), cfg.batch_size, &mut rng) {
+                let mut bx = gather_rows(x, &batch);
+                let by = gather_labels(labels, &batch);
+                if let Some(a) = augment {
+                    if rng.gen_bool(0.7) {
+                        bx = a.apply(&bx, &mut rng);
+                    }
+                }
+                let (ce, mse) =
+                    self.train_batch_weighted(&bx, &by, opt, detach_decoder, recon_weight);
+                ce_sum += ce;
+                mse_sum += mse;
+                batches += 1;
+            }
+            let denom = batches.max(1) as f32;
+            history.push((ce_sum / denom, mse_sum / denom));
+        }
+        history
+    }
+
+    /// Classification accuracy (plain path).
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f32 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        self.predict(x)
+            .iter()
+            .zip(labels)
+            .filter(|(p, y)| p == y)
+            .count() as f32
+            / labels.len() as f32
+    }
+}
+
+/// Per-row reconstruction error.
+fn rce_rows(x: &Matrix, recon: &Matrix, mode: RceMode) -> Vec<f32> {
+    match mode {
+        RceMode::MeanSquared => MseLoss.per_row(recon, x),
+        RceMode::Relative => (0..x.rows())
+            .map(|r| {
+                let xr = x.row(r);
+                let rr = recon.row(r);
+                let num: f32 = xr
+                    .iter()
+                    .zip(rr)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                let den: f32 = xr.iter().map(|v| v * v).sum::<f32>().sqrt();
+                num / (den + 1e-9)
+            })
+            .collect(),
+    }
+}
+
+impl HasParams for FusedNetwork {
+    fn param_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for i in 0..self.enc.len() {
+            names.push(format!("enc{i}.w"));
+            names.push(format!("enc{i}.b"));
+        }
+        for i in 0..self.dec.len() {
+            names.push(format!("dec{i}.w"));
+            names.push(format!("dec{i}.b"));
+        }
+        names.push("cls.w".to_string());
+        names.push("cls.b".to_string());
+        names
+    }
+
+    fn param_tensors(&self) -> Vec<&Matrix> {
+        let mut out = Vec::new();
+        for l in &self.enc {
+            out.push(l.weights());
+            out.push(l.bias());
+        }
+        for l in &self.dec {
+            out.push(l.weights());
+            out.push(l.bias());
+        }
+        out.push(self.cls.weights());
+        out.push(self.cls.bias());
+        out
+    }
+
+    fn param_tensors_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out = Vec::new();
+        for l in &mut self.enc {
+            let (w, b) = l.parts_mut();
+            out.push(w);
+            out.push(b);
+        }
+        for l in &mut self.dec {
+            let (w, b) = l.parts_mut();
+            out.push(w);
+            out.push(b);
+        }
+        let (w, b) = self.cls.parts_mut();
+        out.push(w);
+        out.push(b);
+        out
+    }
+}
+
+impl PredictLabels for FusedNetwork {
+    fn predict_labels(&self, x: &Matrix) -> Vec<usize> {
+        self.predict(x)
+    }
+}
+
+impl GradientSource for FusedNetwork {
+    fn loss_input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
+        let trace = self.forward_trace(x);
+        let d_logits = SparseCrossEntropyLoss.grad(&trace.logits, labels);
+        self.backward(&trace, Some(&d_logits), None, true).input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_nn::Adam;
+
+    fn cfg() -> FusedConfig {
+        FusedConfig {
+            input_dim: 10,
+            encoder_dims: vec![12, 6],
+            decoder_hidden: vec![12],
+            n_classes: 4,
+            seed: 7,
+        }
+    }
+
+    fn toy_data() -> (Matrix, Vec<usize>) {
+        // Four well-separated prototypes + noise-free copies.
+        let protos = [
+            vec![0.9, 0.9, 0.1, 0.1, 0.5, 0.2, 0.8, 0.3, 0.1, 0.6],
+            vec![0.1, 0.2, 0.9, 0.8, 0.1, 0.7, 0.2, 0.9, 0.4, 0.1],
+            vec![0.5, 0.1, 0.4, 0.2, 0.9, 0.9, 0.1, 0.1, 0.8, 0.3],
+            vec![0.2, 0.7, 0.2, 0.6, 0.3, 0.1, 0.5, 0.5, 0.2, 0.9],
+        ];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, p) in protos.iter().enumerate() {
+            for jitter in 0..6 {
+                let row: Vec<f32> = p
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v + 0.01 * ((jitter + i) % 3) as f32).min(1.0))
+                    .collect();
+                rows.push(row);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn architecture_dimensions() {
+        let net = FusedNetwork::new(&cfg());
+        assert_eq!(net.input_dim(), 10);
+        assert_eq!(net.bottleneck_dim(), 6);
+        assert_eq!(net.n_classes(), 4);
+        // enc: 10*12+12 + 12*6+6 = 132+12+72+6 = 210
+        // dec: 6*12+12 + 12*10+10 = 84+130 = 214 ... compute precisely below
+        let expect = (10 * 12 + 12) + (12 * 6 + 6) + (6 * 12 + 12) + (12 * 10 + 10) + (6 * 4 + 4);
+        assert_eq!(net.num_params(), expect);
+    }
+
+    #[test]
+    fn paper_architecture_matches_section_v() {
+        let c = FusedConfig::paper(203, 60, 0);
+        let net = FusedNetwork::new(&c);
+        assert_eq!(net.bottleneck_dim(), 62);
+        // encoder 203-128-89-62, decoder 62-89-203, classifier 62-60.
+        let expect = (203 * 128 + 128)
+            + (128 * 89 + 89)
+            + (89 * 62 + 62)
+            + (62 * 89 + 89)
+            + (89 * 203 + 203)
+            + (62 * 60 + 60);
+        assert_eq!(net.num_params(), expect);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = FusedNetwork::new(&cfg());
+        let x = Matrix::zeros(3, 10);
+        let t = net.forward_trace(&x);
+        assert_eq!(t.z.shape(), (3, 6));
+        assert_eq!(t.recon.shape(), (3, 10));
+        assert_eq!(t.logits.shape(), (3, 4));
+    }
+
+    #[test]
+    fn joint_training_learns_both_heads() {
+        let (x, y) = toy_data();
+        let mut net = FusedNetwork::new(&cfg());
+        let mut opt = Adam::new(5e-3);
+        let hist = net.fit(&x, &y, &mut opt, &TrainConfig::new(300, 0, 1), true);
+        let (ce0, mse0) = hist[0];
+        let (ce1, mse1) = *hist.last().unwrap();
+        assert!(ce1 < ce0 * 0.5, "CE did not drop: {ce0} -> {ce1}");
+        assert!(mse1 < mse0 * 0.5, "MSE did not drop: {mse0} -> {mse1}");
+        assert!(net.accuracy(&x, &y) > 0.9, "acc {}", net.accuracy(&x, &y));
+        // Clean data reconstructs well.
+        let rce = net.rce(&x, RceMode::Relative);
+        let mean: f32 = rce.iter().sum::<f32>() / rce.len() as f32;
+        assert!(mean < 0.2, "clean relative RCE too high: {mean}");
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_differences_joint() {
+        let net = FusedNetwork::new(&cfg());
+        let x = Matrix::from_rows(&[vec![0.3; 10], vec![0.7; 10]]);
+        let y = [1usize, 2];
+        let loss = |n: &FusedNetwork| {
+            let t = n.forward_trace(&x);
+            SparseCrossEntropyLoss.loss(&t.logits, &y) + MseLoss.loss(&t.recon, &x)
+        };
+        let trace = net.forward_trace(&x);
+        let d_logits = SparseCrossEntropyLoss.grad(&trace.logits, &y);
+        let d_recon = MseLoss.grad(&trace.recon, &x);
+        let grads = net
+            .backward(&trace, Some(&d_logits), Some(&d_recon), false)
+            .into_flat();
+        let h = 1e-3;
+        let names = net.param_names();
+        for (ti, tensor) in net.param_tensors().iter().enumerate() {
+            let probes = [(0usize, 0usize), (tensor.rows() - 1, tensor.cols() - 1)];
+            for &(r, c) in &probes {
+                let mut np = net.clone();
+                let mut nm = net.clone();
+                {
+                    let t = &mut np.param_tensors_mut()[ti];
+                    let v = t.get(r, c);
+                    t.set(r, c, v + h);
+                }
+                {
+                    let t = &mut nm.param_tensors_mut()[ti];
+                    let v = t.get(r, c);
+                    t.set(r, c, v - h);
+                }
+                let num = (loss(&np) - loss(&nm)) / (2.0 * h);
+                let ana = grads[ti].get(r, c);
+                assert!(
+                    (num - ana).abs() < 5e-3,
+                    "{} ({r},{c}): numeric {num} vs analytic {ana}",
+                    names[ti]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detached_mode_zeroes_encoder_recon_gradient() {
+        let net = FusedNetwork::new(&cfg());
+        let x = Matrix::from_rows(&[vec![0.4; 10]]);
+        let trace = net.forward_trace(&x);
+        let d_recon = MseLoss.grad(&trace.recon, &x.scale(0.5));
+        // Reconstruction-only gradients, detached: encoder grads must be 0.
+        let grads = net.backward(&trace, None, Some(&d_recon), true).into_flat();
+        // First 4 tensors are the two encoder layers.
+        for g in &grads[..4] {
+            assert!(g.l2_norm() == 0.0, "encoder leaked recon gradient");
+        }
+        // Decoder tensors must be non-zero.
+        assert!(grads[4].l2_norm() > 0.0);
+        // Joint mode: encoder grads become non-zero.
+        let joint = net.backward(&trace, None, Some(&d_recon), false).into_flat();
+        assert!(joint[0].l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let net = FusedNetwork::new(&cfg());
+        let x = Matrix::from_rows(&[vec![0.5, 0.2, 0.8, 0.1, 0.6, 0.3, 0.9, 0.4, 0.7, 0.2]]);
+        let y = [2usize];
+        let g = net.loss_input_gradient(&x, &y);
+        let h = 1e-3;
+        for c in [0usize, 4, 9] {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp.set(0, c, x.get(0, c) + h);
+            xm.set(0, c, x.get(0, c) - h);
+            let lp = SparseCrossEntropyLoss.loss(&net.forward_trace(&xp).logits, &y);
+            let lm = SparseCrossEntropyLoss.loss(&net.forward_trace(&xm).logits, &y);
+            let num = (lp - lm) / (2.0 * h);
+            assert!(
+                (num - g.get(0, c)).abs() < 1e-3,
+                "col {c}: {num} vs {}",
+                g.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn detection_flags_perturbed_rows() {
+        let (x, y) = toy_data();
+        let mut net = FusedNetwork::new(&cfg());
+        let mut opt = Adam::new(5e-3);
+        net.fit(&x, &y, &mut opt, &TrainConfig::new(400, 0, 1), true);
+
+        // Clean rows: RCE small. Perturbed rows: RCE larger.
+        let clean_rce = net.rce(&x, RceMode::Relative);
+        let clean_mean = clean_rce.iter().sum::<f32>() / clean_rce.len() as f32;
+        let noisy = x.map(|v| (v + 0.35).min(1.0));
+        let noisy_rce = net.rce(&noisy, RceMode::Relative);
+        let noisy_mean = noisy_rce.iter().sum::<f32>() / noisy_rce.len() as f32;
+        assert!(
+            noisy_mean > clean_mean * 1.5,
+            "detector blind: clean {clean_mean}, noisy {noisy_mean}"
+        );
+
+        // Threshold between the two means flags mostly noisy rows.
+        let tau = (clean_mean + noisy_mean) / 2.0;
+        let out = net.predict_with_detection(&noisy, tau, RceMode::Relative);
+        let flags = out.flagged.iter().filter(|&&f| f).count();
+        assert!(
+            flags > noisy.rows() / 2,
+            "only {flags}/{} noisy rows flagged",
+            noisy.rows()
+        );
+        let clean_out = net.predict_with_detection(&x, tau, RceMode::Relative);
+        let false_alarms = clean_out.flagged.iter().filter(|&&f| f).count();
+        assert!(
+            false_alarms < x.rows() / 4,
+            "{false_alarms}/{} clean rows misflagged",
+            x.rows()
+        );
+    }
+
+    #[test]
+    fn denoise_replaces_only_flagged_rows() {
+        let (x, y) = toy_data();
+        let mut net = FusedNetwork::new(&cfg());
+        let mut opt = Adam::new(5e-3);
+        net.fit(&x, &y, &mut opt, &TrainConfig::new(300, 0, 1), true);
+        let mut mixed = x.clone();
+        // Corrupt row 0 heavily.
+        for c in 0..mixed.cols() {
+            let v = mixed.get(0, c);
+            mixed.set(0, c, (v + 0.5).min(1.0));
+        }
+        let rce = net.rce(&mixed, RceMode::Relative);
+        let tau = (rce[0] + rce[1]) / 2.0; // between corrupted and clean
+        let (den, flagged) = net.denoise_matrix(&mixed, tau, RceMode::Relative);
+        assert!(flagged[0], "corrupted row not flagged");
+        assert_ne!(den.row(0), mixed.row(0), "flagged row not replaced");
+        for r in 1..mixed.rows() {
+            if !flagged[r] {
+                assert_eq!(den.row(r), mixed.row(r), "clean row {r} was altered");
+            }
+        }
+        assert!(den.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn snapshot_load_round_trip() {
+        let net = FusedNetwork::new(&cfg());
+        let snap = net.snapshot();
+        assert_eq!(snap.num_params(), net.num_params());
+        let mut other = FusedNetwork::new(&FusedConfig { seed: 99, ..cfg() });
+        other.load(&snap).unwrap();
+        let x = Matrix::from_rows(&[vec![0.3; 10]]);
+        assert_eq!(net.forward_trace(&x).logits, other.forward_trace(&x).logits);
+    }
+
+    #[test]
+    fn rce_modes_scale_differently() {
+        let net = FusedNetwork::new(&cfg());
+        let x = Matrix::from_rows(&[vec![0.5; 10]]);
+        let rel = net.rce(&x, RceMode::Relative);
+        let mse = net.rce(&x, RceMode::MeanSquared);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(mse.len(), 1);
+        assert!(rel[0] >= 0.0 && mse[0] >= 0.0);
+    }
+
+    #[test]
+    fn predict_labels_trait_matches_plain_predict() {
+        let net = FusedNetwork::new(&cfg());
+        let x = Matrix::from_rows(&[vec![0.2; 10], vec![0.9; 10]]);
+        assert_eq!(net.predict(&x), net.predict_labels(&x));
+    }
+}

@@ -1,0 +1,263 @@
+//! Saliency-map based aggregation (paper §IV.B, Eqs. 6–9).
+//!
+//! For every weight tensor of every returned local model, the server
+//! computes the elementwise deviation from the global model (Eq. 6), maps
+//! it through the inverse-deviation saliency `S = 1 / (1 + |ΔW|)` (Eq. 7,
+//! values in `(0, 1]`), and uses `S` to shrink the influence of heavily
+//! deviating weights before aggregation (Eqs. 8–9).
+//!
+//! Eq. 9 as printed (`W'_GM = W_GM + W_Adj`) has no fixed point — with
+//! identical models it doubles the weights — so two readings are provided
+//! (see `DESIGN.md` §5):
+//!
+//! * [`AggregationMode::Normalized`] (default):
+//!   `W'_GM = W_GM + mean_i(S_i ∘ (W_LM,i − W_GM))`. The saliency gates the
+//!   *update direction*; identical models are a fixed point, and the
+//!   elementwise step is bounded by `|Δ|/(1+|Δ|) < 1`, which is exactly the
+//!   bounded-influence property the paper claims.
+//! * [`AggregationMode::Literal`]: Eq. 9 as printed, applied to the mean
+//!   adjusted LM and damped by ½ so identical models remain a fixed point:
+//!   `W'_GM = (W_GM + mean_i(S_i ∘ W_LM,i)) / 2`.
+
+use safeloc_fl::{Aggregator, ClientUpdate};
+use safeloc_nn::{Matrix, NamedParams};
+use serde::{Deserialize, Serialize};
+
+/// Interpretation of Eq. 9 (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// Saliency-gated delta aggregation (default, convergent).
+    Normalized,
+    /// The printed equation, damped to have a fixed point.
+    Literal,
+}
+
+/// Elementwise saliency matrix `S = 1 / (1 + k·|lm − gm|)` (Eqs. 6–7).
+///
+/// `sharpness` (`k`) rescales the deviation into the regime where Eq. 7
+/// discriminates: the equation as printed assumes deviations of order 1,
+/// while Adam-trained local updates deviate by O(0.1) per weight — at that
+/// scale `1/(1+ΔW) ≈ 0.9` and poisoned tensors would pass almost untouched.
+/// `k = 10` maps a 0.1-deviation to the saliency the paper's Eq. 7 assigns
+/// a deviation of 1.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn saliency_matrix(lm: &Matrix, gm: &Matrix, sharpness: f32) -> Matrix {
+    lm.sub(gm).map(move |d| 1.0 / (1.0 + sharpness * d.abs()))
+}
+
+/// SAFELOC's server-side aggregation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaliencyAggregator {
+    /// Eq. 9 interpretation.
+    pub mode: AggregationMode,
+    /// Deviation rescaling `k` in `S = 1/(1 + k·|ΔW|)` (see
+    /// [`saliency_matrix`]).
+    pub sharpness: f32,
+}
+
+impl SaliencyAggregator {
+    /// Creates the aggregator with the default sharpness of 10.
+    pub fn new(mode: AggregationMode) -> Self {
+        Self {
+            mode,
+            sharpness: 10.0,
+        }
+    }
+
+    /// Overrides the deviation sharpness.
+    pub fn with_sharpness(mut self, sharpness: f32) -> Self {
+        self.sharpness = sharpness;
+        self
+    }
+}
+
+impl Default for SaliencyAggregator {
+    fn default() -> Self {
+        Self::new(AggregationMode::Normalized)
+    }
+}
+
+impl Aggregator for SaliencyAggregator {
+    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
+        let updates: Vec<&ClientUpdate> = updates
+            .iter()
+            .filter(|u| !u.params.has_non_finite())
+            .collect();
+        if updates.is_empty() {
+            return global.clone();
+        }
+        let n = updates.len() as f32;
+        let mut out = global.clone();
+        match self.mode {
+            AggregationMode::Normalized => {
+                // W' = W_GM + mean_i( S_i ∘ (W_LM,i − W_GM) )
+                for (name, tensor) in out.iter_mut() {
+                    let gm = global.get(name).expect("same arch");
+                    let mut acc = gm.scale(0.0);
+                    for u in &updates {
+                        let lm = u.params.get(name).expect("same arch");
+                        let s = saliency_matrix(lm, gm, self.sharpness);
+                        let gated = s.hadamard(&lm.sub(gm));
+                        acc.axpy(1.0 / n, &gated);
+                    }
+                    tensor.add_assign(&acc);
+                }
+            }
+            AggregationMode::Literal => {
+                // W' = ( W_GM + mean_i( S_i ∘ W_LM,i ) ) / 2
+                for (name, tensor) in out.iter_mut() {
+                    let gm = global.get(name).expect("same arch");
+                    let mut acc = gm.scale(0.0);
+                    for u in &updates {
+                        let lm = u.params.get(name).expect("same arch");
+                        let s = saliency_matrix(lm, gm, self.sharpness);
+                        acc.axpy(1.0 / n, &s.hadamard(lm));
+                    }
+                    let mut next = gm.add(&acc);
+                    next.scale_assign(0.5);
+                    *tensor = next;
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            AggregationMode::Normalized => "Saliency",
+            AggregationMode::Literal => "Saliency(Literal)",
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Aggregator> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(w: &[f32]) -> NamedParams {
+        NamedParams::new(vec![(
+            "w".into(),
+            Matrix::from_vec(1, w.len(), w.to_vec()).unwrap(),
+        )])
+    }
+
+    fn update(id: usize, w: &[f32]) -> ClientUpdate {
+        ClientUpdate::new(id, params(w), 10)
+    }
+
+    #[test]
+    fn saliency_values_in_unit_interval() {
+        let lm = Matrix::row_vector(&[0.0, 1.0, -3.0, 100.0]);
+        let gm = Matrix::row_vector(&[0.0, 0.0, 0.0, 0.0]);
+        // sharpness 1 = the paper's Eq. 7 exactly.
+        let s = saliency_matrix(&lm, &gm, 1.0);
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-6, "zero deviation -> saliency 1");
+        assert!((s.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!((s.get(0, 2) - 0.25).abs() < 1e-6);
+        assert!(s.get(0, 3) < 0.01, "huge deviation -> tiny saliency");
+        assert!(s.as_slice().iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+
+    #[test]
+    fn sharpness_rescales_deviations() {
+        let lm = Matrix::row_vector(&[0.1]);
+        let gm = Matrix::row_vector(&[0.0]);
+        let soft = saliency_matrix(&lm, &gm, 1.0).get(0, 0);
+        let sharp = saliency_matrix(&lm, &gm, 10.0).get(0, 0);
+        assert!((soft - 1.0 / 1.1).abs() < 1e-6);
+        assert!((sharp - 0.5).abs() < 1e-6, "k=10 maps 0.1 deviation to S=0.5");
+    }
+
+    #[test]
+    fn identical_updates_are_a_fixed_point_normalized() {
+        let g = params(&[1.0, -2.0, 0.5]);
+        let u = vec![
+            ClientUpdate::new(0, g.clone(), 1),
+            ClientUpdate::new(1, g.clone(), 1),
+        ];
+        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn identical_updates_are_a_fixed_point_literal() {
+        let g = params(&[1.0]);
+        // S = 1 for identical, so W' = (W + W)/2 ... wait: S∘W_LM = 1*1 = 1,
+        // mean = 1, W' = (1 + 1)/2 = 1. Fixed point holds.
+        let u = vec![ClientUpdate::new(0, g.clone(), 1)];
+        let out = SaliencyAggregator::new(AggregationMode::Literal).aggregate(&g, &u);
+        let w = out.get("w").unwrap().get(0, 0);
+        assert!((w - 1.0).abs() < 1e-6, "literal fixed point broken: {w}");
+    }
+
+    #[test]
+    fn small_honest_updates_pass_almost_unchanged() {
+        let g = params(&[0.0]);
+        let u = vec![update(0, &[0.1])];
+        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        let w = out.get("w").unwrap().get(0, 0);
+        // S = 1/(1 + 10·0.1) = 0.5; step = 0.05 = 50% of the honest delta.
+        assert!((w - 0.05).abs() < 1e-3, "honest update over-suppressed: {w}");
+    }
+
+    #[test]
+    fn large_poisoned_updates_are_bounded() {
+        let g = params(&[0.0]);
+        let u = vec![update(0, &[1000.0])];
+        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        let w = out.get("w").unwrap().get(0, 0);
+        // Elementwise influence bound: |Δ|/(1+k|Δ|) < 1/k.
+        assert!(w < 0.1, "poisoned step not bounded: {w}");
+        assert!(w > 0.099, "bound should be tight for huge deltas: {w}");
+    }
+
+    #[test]
+    fn poisoned_minority_is_damped_relative_to_fedavg() {
+        let g = params(&[0.0]);
+        let honest = [0.1f32, 0.12, 0.09, 0.11, 0.1];
+        let mut updates: Vec<ClientUpdate> =
+            honest.iter().enumerate().map(|(i, &w)| update(i, &[w])).collect();
+        updates.push(update(9, &[50.0])); // attacker
+        let out = SaliencyAggregator::default().aggregate(&g, &updates);
+        let w = out.get("w").unwrap().get(0, 0);
+        // FedAvg would land at (0.52/6 of sum…) ≈ 8.42; saliency keeps the
+        // step near the honest consensus plus a bounded attacker residue.
+        let fedavg = (honest.iter().sum::<f32>() + 50.0) / 6.0;
+        assert!(w < fedavg / 10.0, "saliency barely better than FedAvg: {w} vs {fedavg}");
+        assert!(w < 0.1, "aggregate drifted: {w}");
+    }
+
+    #[test]
+    fn empty_round_keeps_global() {
+        let g = params(&[3.0]);
+        assert_eq!(SaliencyAggregator::default().aggregate(&g, &[]), g);
+        assert_eq!(
+            SaliencyAggregator::new(AggregationMode::Literal).aggregate(&g, &[]),
+            g
+        );
+    }
+
+    #[test]
+    fn non_finite_updates_are_dropped() {
+        let g = params(&[0.0]);
+        let u = vec![update(0, &[0.2]), update(1, &[f32::NAN])];
+        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        assert!(!out.has_non_finite());
+    }
+
+    #[test]
+    fn names_distinguish_modes() {
+        assert_eq!(SaliencyAggregator::default().name(), "Saliency");
+        assert_eq!(
+            SaliencyAggregator::new(AggregationMode::Literal).name(),
+            "Saliency(Literal)"
+        );
+    }
+}

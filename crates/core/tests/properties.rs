@@ -1,0 +1,165 @@
+//! Property-based tests for the SAFELOC core invariants.
+
+use proptest::prelude::*;
+use safeloc::{saliency_matrix, AggregationMode, FusedConfig, FusedNetwork, RceMode, SaliencyAggregator};
+use safeloc_fl::{Aggregator, ClientUpdate};
+use safeloc_nn::{HasParams, Matrix, NamedParams};
+
+fn matrix_strategy(rows: usize, cols: usize, lo: f32, hi: f32) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(lo..hi, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+fn tiny_net(seed: u64) -> FusedNetwork {
+    FusedNetwork::new(&FusedConfig {
+        input_dim: 6,
+        encoder_dims: vec![8, 4],
+        decoder_hidden: vec![8],
+        n_classes: 3,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Saliency values always live in (0, 1], for any sharpness.
+    #[test]
+    fn saliency_is_a_gate(
+        lm in matrix_strategy(2, 5, -100.0, 100.0),
+        gm in matrix_strategy(2, 5, -100.0, 100.0),
+        k in 0.0f32..50.0,
+    ) {
+        let s = saliency_matrix(&lm, &gm, k);
+        prop_assert!(s.as_slice().iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-6));
+    }
+
+    /// Zero deviation always maps to saliency exactly 1.
+    #[test]
+    fn identical_weights_have_full_saliency(
+        w in matrix_strategy(1, 8, -10.0, 10.0),
+        k in 0.0f32..50.0,
+    ) {
+        let s = saliency_matrix(&w, &w, k);
+        prop_assert!(s.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    /// Normalized aggregation moves every element by strictly less than
+    /// 1/sharpness per round — the bounded-influence guarantee.
+    #[test]
+    fn normalized_aggregation_is_bounded(
+        gm_vals in prop::collection::vec(-2.0f32..2.0, 6),
+        deltas in prop::collection::vec(-100.0f32..100.0, 6),
+    ) {
+        let gm = NamedParams::new(vec![(
+            "w".into(),
+            Matrix::from_vec(1, 6, gm_vals.clone()).unwrap(),
+        )]);
+        let lm = NamedParams::new(vec![(
+            "w".into(),
+            Matrix::from_vec(
+                1,
+                6,
+                gm_vals.iter().zip(&deltas).map(|(g, d)| g + d).collect(),
+            )
+            .unwrap(),
+        )]);
+        let mut agg = SaliencyAggregator::new(AggregationMode::Normalized);
+        let out = agg.aggregate(&gm, &[ClientUpdate::new(0, lm, 1)]);
+        let step = out.get("w").unwrap().sub(gm.get("w").unwrap());
+        let bound = 1.0 / agg.sharpness;
+        prop_assert!(
+            step.as_slice().iter().all(|v| v.abs() < bound + 1e-5),
+            "step exceeded 1/k bound: {:?}", step
+        );
+    }
+
+    /// Aggregating any set of finite updates never produces non-finite
+    /// weights, in either mode.
+    #[test]
+    fn aggregation_preserves_finiteness(
+        vals in prop::collection::vec(-1000.0f32..1000.0, 12),
+        literal in any::<bool>(),
+    ) {
+        let gm = NamedParams::new(vec![(
+            "w".into(),
+            Matrix::from_vec(1, 4, vals[..4].to_vec()).unwrap(),
+        )]);
+        let updates: Vec<ClientUpdate> = (0..2)
+            .map(|i| {
+                ClientUpdate::new(
+                    i,
+                    NamedParams::new(vec![(
+                        "w".into(),
+                        Matrix::from_vec(1, 4, vals[4 * (i + 1)..4 * (i + 2)].to_vec()).unwrap(),
+                    )]),
+                    1,
+                )
+            })
+            .collect();
+        let mode = if literal { AggregationMode::Literal } else { AggregationMode::Normalized };
+        let out = SaliencyAggregator::new(mode).aggregate(&gm, &updates);
+        prop_assert!(!out.has_non_finite());
+    }
+
+    /// The detection pipeline never panics and always returns one label and
+    /// one flag per row, for arbitrary normalized inputs and thresholds.
+    #[test]
+    fn detection_is_total(
+        x in matrix_strategy(3, 6, 0.0, 1.0),
+        tau in 0.0f32..5.0,
+        seed in 0u64..50,
+    ) {
+        let net = tiny_net(seed);
+        let out = net.predict_with_detection(&x, tau, RceMode::Relative);
+        prop_assert_eq!(out.labels.len(), 3);
+        prop_assert_eq!(out.flagged.len(), 3);
+        prop_assert_eq!(out.rce.len(), 3);
+        prop_assert!(out.labels.iter().all(|&l| l < 3));
+        prop_assert!(out.rce.iter().all(|r| r.is_finite() && *r >= 0.0));
+    }
+
+    /// De-noising returns values in [0,1] and touches only flagged rows.
+    #[test]
+    fn denoise_only_touches_flagged_rows(
+        x in matrix_strategy(4, 6, 0.0, 1.0),
+        tau in 0.05f32..3.0,
+        seed in 0u64..50,
+    ) {
+        let net = tiny_net(seed);
+        let (den, flagged) = net.denoise_matrix(&x, tau, RceMode::Relative);
+        prop_assert!(den.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for r in 0..x.rows() {
+            if !flagged[r] {
+                prop_assert_eq!(den.row(r), x.row(r), "unflagged row {} was altered", r);
+            }
+        }
+    }
+
+    /// An infinite threshold flags nothing; a negative threshold flags
+    /// everything (RCE >= 0).
+    #[test]
+    fn threshold_extremes(
+        x in matrix_strategy(3, 6, 0.01, 1.0),
+        seed in 0u64..20,
+    ) {
+        let net = tiny_net(seed);
+        let none = net.predict_with_detection(&x, f32::INFINITY, RceMode::Relative);
+        prop_assert!(none.flagged.iter().all(|&f| !f));
+        let all = net.predict_with_detection(&x, -1.0, RceMode::Relative);
+        prop_assert!(all.flagged.iter().all(|&f| f));
+    }
+
+    /// Snapshot/load through NamedParams preserves fused-network behaviour.
+    #[test]
+    fn fused_snapshot_round_trip(seed in 0u64..100) {
+        let net = tiny_net(seed);
+        let mut other = tiny_net(seed + 1);
+        other.load(&net.snapshot()).unwrap();
+        let x = Matrix::from_rows(&[vec![0.25; 6]]);
+        prop_assert_eq!(net.predict(&x), other.predict(&x));
+        let a = net.rce(&x, RceMode::Relative);
+        let b = other.rce(&x, RceMode::Relative);
+        prop_assert!((a[0] - b[0]).abs() < 1e-6);
+    }
+}

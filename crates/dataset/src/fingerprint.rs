@@ -1,0 +1,133 @@
+//! Fingerprint sets: batches of normalized RSS rows with RP labels.
+
+use safeloc_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A batch of fingerprints: `x` is `(n, n_aps)` with `[0,1]`-normalized RSS,
+/// `labels[i]` is the reference-point index of row `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FingerprintSet {
+    /// Normalized RSS rows.
+    pub x: Matrix,
+    /// Reference-point label per row.
+    pub labels: Vec<usize>,
+}
+
+impl FingerprintSet {
+    /// Creates a set, validating that rows and labels line up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != x.rows()`.
+    pub fn new(x: Matrix, labels: Vec<usize>) -> Self {
+        assert_eq!(labels.len(), x.rows(), "one label per fingerprint row");
+        Self { x, labels }
+    }
+
+    /// An empty set with `n_aps` feature columns.
+    pub fn empty(n_aps: usize) -> Self {
+        Self {
+            x: Matrix::zeros(0, n_aps),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of fingerprints.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the set has no fingerprints.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality (number of APs).
+    pub fn num_aps(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Appends all fingerprints of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if feature dimensionalities differ.
+    pub fn extend(&mut self, other: &FingerprintSet) {
+        assert_eq!(self.num_aps(), other.num_aps(), "AP count mismatch");
+        let mut rows: Vec<Vec<f32>> = self.x.iter_rows().map(|r| r.to_vec()).collect();
+        rows.extend(other.x.iter_rows().map(|r| r.to_vec()));
+        self.x = Matrix::from_rows(&rows);
+        self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Selects a subset of rows by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> FingerprintSet {
+        FingerprintSet::new(
+            safeloc_nn::gather_rows(&self.x, indices),
+            indices.iter().map(|&i| self.labels[i]).collect(),
+        )
+    }
+
+    /// Largest label present, or `None` for an empty set.
+    pub fn max_label(&self) -> Option<usize> {
+        self.labels.iter().copied().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set2() -> FingerprintSet {
+        FingerprintSet::new(
+            Matrix::from_rows(&[vec![0.1, 0.2], vec![0.3, 0.4]]),
+            vec![0, 1],
+        )
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let s = set2();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_aps(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per fingerprint row")]
+    fn new_rejects_mismatched_labels() {
+        let _ = FingerprintSet::new(Matrix::zeros(2, 3), vec![0]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = FingerprintSet::empty(5);
+        assert!(s.is_empty());
+        assert_eq!(s.num_aps(), 5);
+        assert_eq!(s.max_label(), None);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = set2();
+        let b = FingerprintSet::new(Matrix::from_rows(&[vec![0.5, 0.6]]), vec![7]);
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.labels, vec![0, 1, 7]);
+        assert_eq!(a.x.row(2), &[0.5, 0.6]);
+        assert_eq!(a.max_label(), Some(7));
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let s = set2();
+        let sub = s.subset(&[1]);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.labels, vec![1]);
+        assert_eq!(sub.x.row(0), &[0.3, 0.4]);
+    }
+}

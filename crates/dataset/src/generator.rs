@@ -1,0 +1,275 @@
+//! End-to-end dataset generation mirroring the paper's §V.A protocol:
+//! train on Motorola Z2 (5 fingerprints/RP), test on the other five phones
+//! (1 fingerprint/RP), with per-client local data for federated rounds.
+
+use crate::building::Building;
+use crate::device::DeviceProfile;
+use crate::fingerprint::FingerprintSet;
+use crate::propagation::{PropagationModel, RadioMap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safeloc_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Dataset-generation knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Radio model.
+    pub propagation: PropagationModel,
+    /// Devices carried by clients (the paper's six phones by default).
+    pub devices: Vec<DeviceProfile>,
+    /// Index into `devices` of the phone used for server-side training.
+    pub train_device: usize,
+    /// Fingerprints per RP collected by the training device (paper: 5).
+    pub train_fp_per_rp: usize,
+    /// Fingerprints per RP in each client's local (re-training) split.
+    pub client_fp_per_rp: usize,
+    /// Fingerprints per RP in each client's held-out test split (paper: 1).
+    pub test_fp_per_rp: usize,
+}
+
+impl DatasetConfig {
+    /// The paper's protocol: six phones, train on Motorola Z2 with 5
+    /// fingerprints/RP, test with 1 fingerprint/RP on the rest.
+    pub fn paper() -> Self {
+        Self {
+            propagation: PropagationModel::default(),
+            devices: DeviceProfile::paper_fleet(),
+            train_device: DeviceProfile::TRAIN_DEVICE,
+            train_fp_per_rp: 5,
+            client_fp_per_rp: 2,
+            test_fp_per_rp: 1,
+        }
+    }
+
+    /// Scales the client fleet to `n` devices (Fig. 7's scalability sweep),
+    /// topping up with synthetic phones.
+    pub fn with_fleet(mut self, n: usize, seed: u64) -> Self {
+        self.devices = DeviceProfile::fleet(n.max(self.train_device + 1), seed);
+        self
+    }
+
+    /// Small counts for tests and doc examples.
+    pub fn tiny() -> Self {
+        Self {
+            propagation: PropagationModel::default(),
+            devices: DeviceProfile::paper_fleet().into_iter().take(3).collect(),
+            train_device: 2,
+            train_fp_per_rp: 3,
+            client_fp_per_rp: 1,
+            test_fp_per_rp: 1,
+        }
+    }
+}
+
+/// The complete experimental bundle for one building.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildingDataset {
+    /// The floorplan (geometry + label→coordinate mapping).
+    pub building: Building,
+    /// Frozen ground-truth radio environment.
+    pub radio_map: RadioMap,
+    /// Server-side training split, collected by the training device.
+    pub server_train: FingerprintSet,
+    /// Per-client local data, one entry per device in config order
+    /// (including the training device, which also acts as a client).
+    pub client_local: Vec<FingerprintSet>,
+    /// Per-client held-out test split, aligned with `client_local`.
+    pub client_test: Vec<FingerprintSet>,
+    /// The device profiles, aligned with the client splits.
+    pub devices: Vec<DeviceProfile>,
+    /// Which device collected `server_train`.
+    pub train_device: usize,
+}
+
+impl BuildingDataset {
+    /// Generates the bundle for `building` under `cfg`, deterministically
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.train_device` is out of range or `cfg.devices` is
+    /// empty.
+    pub fn generate(building: Building, cfg: &DatasetConfig, seed: u64) -> Self {
+        assert!(!cfg.devices.is_empty(), "at least one device required");
+        assert!(
+            cfg.train_device < cfg.devices.len(),
+            "train_device {} out of range {}",
+            cfg.train_device,
+            cfg.devices.len()
+        );
+        let radio_map = RadioMap::generate(&building, &cfg.propagation, seed);
+
+        let collect = |device: &DeviceProfile, fp_per_rp: usize, stream: u64| -> FingerprintSet {
+            let mut rng = StdRng::seed_from_u64(seed ^ stream);
+            let n = building.num_rps() * fp_per_rp;
+            let mut rows = Vec::with_capacity(n);
+            let mut labels = Vec::with_capacity(n);
+            for rp in 0..building.num_rps() {
+                for _ in 0..fp_per_rp {
+                    rows.push(radio_map.measure(rp, device, &mut rng));
+                    labels.push(rp);
+                }
+            }
+            FingerprintSet::new(Matrix::from_rows(&rows), labels)
+        };
+
+        let server_train = collect(
+            &cfg.devices[cfg.train_device],
+            cfg.train_fp_per_rp,
+            0x7EA1_0000,
+        );
+        let client_local: Vec<FingerprintSet> = cfg
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| collect(d, cfg.client_fp_per_rp, 0xC11E_0000 + i as u64))
+            .collect();
+        let client_test: Vec<FingerprintSet> = cfg
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| collect(d, cfg.test_fp_per_rp, 0x7E57_0000 + i as u64))
+            .collect();
+
+        Self {
+            building,
+            radio_map,
+            server_train,
+            client_local,
+            client_test,
+            devices: cfg.devices.clone(),
+            train_device: cfg.train_device,
+        }
+    }
+
+    /// Number of clients (devices).
+    pub fn num_clients(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The held-out test sets of every device *except* the training device —
+    /// the paper evaluates on the five non-training phones.
+    pub fn eval_sets(&self) -> Vec<(usize, &FingerprintSet)> {
+        self.client_test
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.train_device)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BuildingDataset {
+        BuildingDataset::generate(Building::tiny(1), &DatasetConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn shapes_follow_config() {
+        let d = tiny();
+        let n_rps = d.building.num_rps();
+        assert_eq!(d.server_train.len(), n_rps * 3);
+        assert_eq!(d.client_local.len(), 3);
+        assert_eq!(d.client_test.len(), 3);
+        for c in &d.client_local {
+            assert_eq!(c.len(), n_rps);
+            assert_eq!(c.num_aps(), d.building.num_aps());
+        }
+    }
+
+    #[test]
+    fn labels_cover_all_rps() {
+        let d = tiny();
+        let max = d.server_train.max_label().unwrap();
+        assert_eq!(max, d.building.num_rps() - 1);
+        for rp in 0..d.building.num_rps() {
+            assert!(d.server_train.labels.contains(&rp));
+        }
+    }
+
+    #[test]
+    fn all_values_normalized() {
+        let d = tiny();
+        for set in std::iter::once(&d.server_train)
+            .chain(&d.client_local)
+            .chain(&d.client_test)
+        {
+            assert!(set.x.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.server_train, b.server_train);
+        assert_eq!(a.client_test, b.client_test);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = BuildingDataset::generate(Building::tiny(1), &DatasetConfig::tiny(), 11);
+        let b = BuildingDataset::generate(Building::tiny(1), &DatasetConfig::tiny(), 12);
+        assert_ne!(a.server_train, b.server_train);
+    }
+
+    #[test]
+    fn eval_sets_exclude_train_device() {
+        let d = tiny();
+        let evals = d.eval_sets();
+        assert_eq!(evals.len(), 2);
+        assert!(evals.iter().all(|(i, _)| *i != d.train_device));
+    }
+
+    #[test]
+    fn paper_config_matches_protocol() {
+        let cfg = DatasetConfig::paper();
+        assert_eq!(cfg.devices.len(), 6);
+        assert_eq!(cfg.train_fp_per_rp, 5);
+        assert_eq!(cfg.test_fp_per_rp, 1);
+        assert_eq!(cfg.devices[cfg.train_device].name, "Motorola Z2");
+    }
+
+    #[test]
+    fn fleet_scaling_preserves_train_device() {
+        let cfg = DatasetConfig::paper().with_fleet(12, 0);
+        assert_eq!(cfg.devices.len(), 12);
+        assert_eq!(cfg.devices[cfg.train_device].name, "Motorola Z2");
+    }
+
+    #[test]
+    fn training_split_is_learnable() {
+        // A nearest-neighbour classifier on the training split should beat
+        // random guessing by a wide margin on the test split of another
+        // device — i.e. the synthetic data actually supports localization.
+        let d = tiny();
+        let train = &d.server_train;
+        let test = &d.client_test[0];
+        let mut hits = 0;
+        for (i, row) in test.x.iter_rows().enumerate() {
+            let mut best = (f32::INFINITY, 0usize);
+            for (j, trow) in train.x.iter_rows().enumerate() {
+                let dist: f32 = row
+                    .iter()
+                    .zip(trow)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if dist < best.0 {
+                    best = (dist, train.labels[j]);
+                }
+            }
+            if best.1 == test.labels[i] {
+                hits += 1;
+            }
+        }
+        let acc = hits as f32 / test.len() as f32;
+        let chance = 1.0 / d.building.num_rps() as f32;
+        assert!(
+            acc > chance * 3.0,
+            "kNN accuracy {acc} too close to chance {chance}"
+        );
+    }
+}

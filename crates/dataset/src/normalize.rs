@@ -1,0 +1,66 @@
+//! RSS normalization: the paper standardizes RSS between 0 dBm (strongest)
+//! and −100 dBm (weakest); models consume values in `[0, 1]`.
+
+/// Weakest representable RSS; also the "AP not heard" sentinel.
+pub const RSS_FLOOR_DBM: f32 = -100.0;
+
+/// Strongest representable RSS.
+pub const RSS_CEIL_DBM: f32 = 0.0;
+
+/// Maps dBm in `[-100, 0]` to `[0, 1]` (clamping out-of-range values).
+///
+/// `0.0` means "not heard / weakest", `1.0` means strongest — the same
+/// convention the paper's standardization uses.
+pub fn dbm_to_unit(dbm: f32) -> f32 {
+    ((dbm.clamp(RSS_FLOOR_DBM, RSS_CEIL_DBM)) - RSS_FLOOR_DBM) / (RSS_CEIL_DBM - RSS_FLOOR_DBM)
+}
+
+/// Inverse of [`dbm_to_unit`] for unit values in `[0, 1]` (clamped).
+pub fn unit_to_dbm(unit: f32) -> f32 {
+    RSS_FLOOR_DBM + unit.clamp(0.0, 1.0) * (RSS_CEIL_DBM - RSS_FLOOR_DBM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(dbm_to_unit(RSS_FLOOR_DBM), 0.0);
+        assert_eq!(dbm_to_unit(RSS_CEIL_DBM), 1.0);
+        assert_eq!(unit_to_dbm(0.0), RSS_FLOOR_DBM);
+        assert_eq!(unit_to_dbm(1.0), RSS_CEIL_DBM);
+    }
+
+    #[test]
+    fn midpoint() {
+        assert!((dbm_to_unit(-50.0) - 0.5).abs() < 1e-6);
+        assert!((unit_to_dbm(0.5) + 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn out_of_range_is_clamped() {
+        assert_eq!(dbm_to_unit(-150.0), 0.0);
+        assert_eq!(dbm_to_unit(20.0), 1.0);
+        assert_eq!(unit_to_dbm(-0.5), RSS_FLOOR_DBM);
+        assert_eq!(unit_to_dbm(1.5), RSS_CEIL_DBM);
+    }
+
+    #[test]
+    fn round_trip_within_range() {
+        for dbm in [-99.0f32, -73.5, -40.0, -1.0] {
+            let back = unit_to_dbm(dbm_to_unit(dbm));
+            assert!((back - dbm).abs() < 1e-3, "{dbm} -> {back}");
+        }
+    }
+
+    #[test]
+    fn monotonic() {
+        let mut last = -1.0;
+        for i in 0..=100 {
+            let u = dbm_to_unit(-100.0 + i as f32);
+            assert!(u > last);
+            last = u;
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Indoor radio propagation: log-distance path loss with log-normal shadow
+//! fading, frozen into a per-building [`RadioMap`].
+//!
+//! The radio map is the "ground truth" of the simulation: for every
+//! (RP, AP) pair it stores the RSS a perfectly calibrated receiver would
+//! observe. Shadow fading is sampled **once** per (RP, AP) pair — walls and
+//! furniture do not move between measurements — so repeated fingerprints at
+//! the same RP differ only by device distortion and measurement noise,
+//! exactly like real survey data.
+
+use crate::building::Building;
+use crate::device::DeviceProfile;
+use crate::normalize::{dbm_to_unit, RSS_FLOOR_DBM};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use safeloc_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Log-distance path-loss model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// Path-loss exponent; ~3.0 for obstructed indoor environments
+    /// (ITU indoor office: 2.8–3.3).
+    pub path_loss_exponent: f32,
+    /// Standard deviation of log-normal shadow fading, in dB.
+    pub shadowing_db: f32,
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        Self {
+            path_loss_exponent: 3.2,
+            shadowing_db: 6.0,
+        }
+    }
+}
+
+impl PropagationModel {
+    /// Deterministic mean RSS (dBm) at distance `d` meters from an AP whose
+    /// received power at 1 m is `tx_dbm`.
+    pub fn mean_rss_dbm(&self, tx_dbm: f32, d: f32) -> f32 {
+        let d = d.max(0.5); // avoid the near-field singularity
+        tx_dbm - 10.0 * self.path_loss_exponent * d.log10()
+    }
+}
+
+/// The frozen ground-truth RSS of one building: a `(n_rps, n_aps)` matrix of
+/// dBm values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioMap {
+    base_dbm: Matrix,
+}
+
+impl RadioMap {
+    /// Generates the radio map for `building` under `model`, with shadow
+    /// fading drawn deterministically from `seed`.
+    pub fn generate(building: &Building, model: &PropagationModel, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AD0_11A9);
+        let shadow = Normal::new(0.0f32, model.shadowing_db.max(0.0))
+            .expect("shadowing_db is finite and non-negative");
+        let n_rps = building.num_rps();
+        let n_aps = building.num_aps();
+        let mut base = Matrix::zeros(n_rps, n_aps);
+        for (r, rp) in building.rps().iter().enumerate() {
+            for (a, ap) in building.aps().iter().enumerate() {
+                let dx = rp.x - ap.x;
+                let dy = rp.y - ap.y;
+                let d = (dx * dx + dy * dy + ap.z * ap.z).sqrt();
+                let mean = model.mean_rss_dbm(ap.tx_dbm, d);
+                let rss = mean + shadow.sample(&mut rng);
+                base.set(r, a, rss.clamp(RSS_FLOOR_DBM, 0.0));
+            }
+        }
+        Self { base_dbm: base }
+    }
+
+    /// Number of reference points covered.
+    pub fn num_rps(&self) -> usize {
+        self.base_dbm.rows()
+    }
+
+    /// Number of access points covered.
+    pub fn num_aps(&self) -> usize {
+        self.base_dbm.cols()
+    }
+
+    /// Ground-truth dBm row for RP `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn truth_dbm(&self, label: usize) -> &[f32] {
+        self.base_dbm.row(label)
+    }
+
+    /// Simulates one fingerprint measurement of RP `label` by `device`,
+    /// returning `[0,1]`-normalized RSS values (one per AP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn measure(&self, label: usize, device: &DeviceProfile, rng: &mut impl Rng) -> Vec<f32> {
+        self.truth_dbm(label)
+            .iter()
+            .enumerate()
+            .map(|(ap, &dbm)| dbm_to_unit(device.measure_dbm(dbm, ap, rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_decays_with_distance() {
+        let m = PropagationModel::default();
+        let near = m.mean_rss_dbm(-40.0, 1.0);
+        let mid = m.mean_rss_dbm(-40.0, 10.0);
+        let far = m.mean_rss_dbm(-40.0, 30.0);
+        assert!(near > mid && mid > far);
+        // 10x distance under n=3.2 costs 32 dB.
+        assert!((near - mid - 32.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn near_field_is_clamped() {
+        let m = PropagationModel::default();
+        assert_eq!(m.mean_rss_dbm(-40.0, 0.0), m.mean_rss_dbm(-40.0, 0.5));
+    }
+
+    #[test]
+    fn radio_map_shapes_match_building() {
+        let b = Building::tiny(1);
+        let map = RadioMap::generate(&b, &PropagationModel::default(), 1);
+        assert_eq!(map.num_rps(), b.num_rps());
+        assert_eq!(map.num_aps(), b.num_aps());
+    }
+
+    #[test]
+    fn radio_map_is_deterministic() {
+        let b = Building::tiny(1);
+        let a = RadioMap::generate(&b, &PropagationModel::default(), 5);
+        let c = RadioMap::generate(&b, &PropagationModel::default(), 5);
+        assert_eq!(a, c);
+        let d = RadioMap::generate(&b, &PropagationModel::default(), 6);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn truth_values_are_in_range() {
+        let b = Building::paper(5);
+        let map = RadioMap::generate(&b, &PropagationModel::default(), 2);
+        for r in 0..map.num_rps() {
+            for &v in map.truth_dbm(r) {
+                assert!((RSS_FLOOR_DBM..=0.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_rps_have_similar_fingerprints() {
+        // Spatial consistency: adjacent RPs (1 m apart) must be much more
+        // similar than RPs at opposite ends of the path, else localization
+        // is impossible.
+        let b = Building::paper(1);
+        let map = RadioMap::generate(&b, &PropagationModel::default(), 3);
+        let dist = |a: usize, c: usize| -> f32 {
+            map.truth_dbm(a)
+                .iter()
+                .zip(map.truth_dbm(c))
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let near = dist(0, 1);
+        let far = dist(0, b.num_rps() - 1);
+        assert!(
+            far > near * 1.5,
+            "no spatial structure: near {near}, far {far}"
+        );
+    }
+
+    #[test]
+    fn measurements_are_normalized() {
+        let b = Building::tiny(2);
+        let map = RadioMap::generate(&b, &PropagationModel::default(), 2);
+        let device = &DeviceProfile::paper_fleet()[0];
+        let mut rng = StdRng::seed_from_u64(0);
+        let fp = map.measure(3, device, &mut rng);
+        assert_eq!(fp.len(), b.num_aps());
+        assert!(fp.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn different_devices_see_different_fingerprints() {
+        let b = Building::tiny(2);
+        let map = RadioMap::generate(&b, &PropagationModel::default(), 2);
+        let fleet = DeviceProfile::paper_fleet();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let fa = map.measure(0, &fleet[0], &mut rng_a);
+        let fb = map.measure(0, &fleet[4], &mut rng_b);
+        let diff: f32 = fa.iter().zip(&fb).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 0.05, "device heterogeneity not visible: {diff}");
+    }
+}

@@ -1,0 +1,221 @@
+//! FEDCC-style clustering aggregation: group updates by similarity, keep
+//! the majority cluster.
+
+use super::{finite_updates, Aggregator};
+use crate::update::ClientUpdate;
+use safeloc_nn::{Matrix, NamedParams};
+
+/// Clustering defense following the paper's §II summary of FEDCC:
+/// "clustering techniques to group LMs based on gradient similarity,
+/// allowing it to detect and exclude poisoned updates".
+///
+/// The update deltas (LM − GM) are flattened and split by 2-means with
+/// cosine distance; the larger cluster is federated-averaged. When the two
+/// clusters are nearly indistinguishable (no attack), everything is kept.
+///
+/// The known failure mode — reproduced in Fig. 6 — is that under strong
+/// *backdoor* perturbations honest heterogeneous clients scatter enough
+/// that legitimate updates land in the minority cluster and get dropped.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterAggregator {
+    /// Minimum cosine separation between centroids for the split to count
+    /// as an attack; below this everything is aggregated.
+    pub separation_threshold: f32,
+}
+
+impl ClusterAggregator {
+    /// Creates the aggregator with the given separation threshold.
+    pub fn new(separation_threshold: f32) -> Self {
+        Self {
+            separation_threshold,
+        }
+    }
+}
+
+impl Default for ClusterAggregator {
+    fn default() -> Self {
+        Self::new(0.15)
+    }
+}
+
+fn cosine(a: &Matrix, b: &Matrix) -> f32 {
+    let dot = a.flat_dot(b);
+    let na = a.l2_norm();
+    let nb = b.l2_norm();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Cosine distance in `[0, 2]`.
+fn cos_dist(a: &Matrix, b: &Matrix) -> f32 {
+    1.0 - cosine(a, b)
+}
+
+impl Aggregator for ClusterAggregator {
+    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
+        let updates = finite_updates(updates);
+        if updates.is_empty() {
+            return global.clone();
+        }
+        if updates.len() <= 2 {
+            // Too few to cluster meaningfully; plain average.
+            let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
+            return NamedParams::mean(&snaps);
+        }
+
+        let deltas: Vec<Matrix> = updates
+            .iter()
+            .map(|u| u.params.delta(global).flatten())
+            .collect();
+
+        // Deterministic 2-means seeding: the pair with maximal cosine
+        // distance becomes the initial centroids.
+        let n = deltas.len();
+        let (mut ca, mut cb, mut best) = (0usize, 1usize, -1.0f32);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = cos_dist(&deltas[i], &deltas[j]);
+                if d > best {
+                    best = d;
+                    ca = i;
+                    cb = j;
+                }
+            }
+        }
+        if best < self.separation_threshold {
+            // No meaningful split — aggregate everyone.
+            let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
+            return NamedParams::mean(&snaps);
+        }
+
+        let mut centroid_a = deltas[ca].clone();
+        let mut centroid_b = deltas[cb].clone();
+        let mut assignment = vec![0u8; n];
+        for _ in 0..10 {
+            let mut changed = false;
+            for (i, d) in deltas.iter().enumerate() {
+                let side = if cos_dist(d, &centroid_a) <= cos_dist(d, &centroid_b) {
+                    0
+                } else {
+                    1
+                };
+                if assignment[i] != side {
+                    assignment[i] = side;
+                    changed = true;
+                }
+            }
+            // Recompute centroids.
+            for side in 0..2u8 {
+                let members: Vec<&Matrix> = deltas
+                    .iter()
+                    .zip(&assignment)
+                    .filter(|(_, &a)| a == side)
+                    .map(|(d, _)| d)
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let mut acc = members[0].scale(0.0);
+                for m in &members {
+                    acc.axpy(1.0 / members.len() as f32, m);
+                }
+                if side == 0 {
+                    centroid_a = acc;
+                } else {
+                    centroid_b = acc;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let count_a = assignment.iter().filter(|&&a| a == 0).count();
+        let majority: u8 = if count_a * 2 >= n { 0 } else { 1 };
+        let kept: Vec<NamedParams> = updates
+            .iter()
+            .zip(&assignment)
+            .filter(|(_, &a)| a == majority)
+            .map(|(u, _)| u.params.clone())
+            .collect();
+        if kept.is_empty() {
+            return global.clone();
+        }
+        NamedParams::mean(&kept)
+    }
+
+    fn name(&self) -> &'static str {
+        "Cluster"
+    }
+
+    fn clone_box(&self) -> Box<dyn Aggregator> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{params, update};
+    use super::*;
+
+    #[test]
+    fn majority_cluster_wins() {
+        let g = params(&[0.0, 0.0], &[0.0]);
+        // Four honest updates pointing one way, two poisoned the other way.
+        let u = vec![
+            update(0, &[1.0, 0.1], &[0.0]),
+            update(1, &[1.1, 0.0], &[0.0]),
+            update(2, &[0.9, 0.05], &[0.0]),
+            update(3, &[1.0, -0.05], &[0.0]),
+            update(4, &[-5.0, 5.0], &[0.0]),
+            update(5, &[-5.2, 5.1], &[0.0]),
+        ];
+        let out = ClusterAggregator::default().aggregate(&g, &u);
+        let w0 = out.get("layer0.w").unwrap().get(0, 0);
+        assert!((0.8..=1.2).contains(&w0), "poisoned cluster won: {w0}");
+    }
+
+    #[test]
+    fn homogeneous_updates_all_aggregate() {
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![
+            update(0, &[1.0], &[0.0]),
+            update(1, &[1.01], &[0.0]),
+            update(2, &[0.99], &[0.0]),
+        ];
+        let out = ClusterAggregator::default().aggregate(&g, &u);
+        let w = out.get("layer0.w").unwrap().get(0, 0);
+        assert!((w - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_or_fewer_updates_average() {
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![update(0, &[2.0], &[0.0]), update(1, &[4.0], &[0.0])];
+        let out = ClusterAggregator::default().aggregate(&g, &u);
+        assert!((out.get("layer0.w").unwrap().get(0, 0) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_round_keeps_global() {
+        let g = params(&[5.0], &[5.0]);
+        assert_eq!(ClusterAggregator::default().aggregate(&g, &[]), g);
+    }
+
+    #[test]
+    fn ties_keep_the_first_cluster() {
+        // 2 vs 2: majority rule keeps cluster 0 (count_a * 2 >= n).
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![
+            update(0, &[1.0], &[0.0]),
+            update(1, &[1.0], &[0.0]),
+            update(2, &[-1.0], &[0.0]),
+            update(3, &[-1.0], &[0.0]),
+        ];
+        let out = ClusterAggregator::default().aggregate(&g, &u);
+        assert!(!out.has_non_finite());
+    }
+}

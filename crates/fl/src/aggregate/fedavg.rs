@@ -1,0 +1,90 @@
+//! Federated averaging (McMahan et al.) — FEDLOC's aggregation rule.
+
+use super::{finite_updates, Aggregator};
+use crate::update::ClientUpdate;
+use safeloc_nn::NamedParams;
+
+/// Sample-weighted federated averaging: the next GM is the weighted mean of
+/// the client LMs. No defense whatsoever — this is why FEDLOC collapses
+/// under poisoning in Figs. 1 and 6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+impl Aggregator for FedAvg {
+    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
+        let updates = finite_updates(updates);
+        if updates.is_empty() {
+            return global.clone();
+        }
+        let total: f32 = updates.iter().map(|u| u.num_samples.max(1) as f32).sum();
+        let mut acc = global.scale(0.0);
+        for u in &updates {
+            let w = u.num_samples.max(1) as f32 / total;
+            acc.axpy(w, &u.params);
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn clone_box(&self) -> Box<dyn Aggregator> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{params, update};
+    use super::*;
+
+    #[test]
+    fn equal_weights_average() {
+        let g = params(&[0.0, 0.0], &[0.0]);
+        let u = vec![
+            update(0, &[2.0, 0.0], &[1.0]),
+            update(1, &[0.0, 4.0], &[3.0]),
+        ];
+        let out = FedAvg.aggregate(&g, &u);
+        assert_eq!(out.get("layer0.w").unwrap().as_slice(), &[1.0, 2.0]);
+        assert_eq!(out.get("layer0.b").unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn sample_counts_weight_the_mean() {
+        let g = params(&[0.0], &[0.0]);
+        let mut a = update(0, &[0.0], &[0.0]);
+        let mut b = update(1, &[4.0], &[4.0]);
+        a.num_samples = 30;
+        b.num_samples = 10;
+        let out = FedAvg.aggregate(&g, &[a, b]);
+        assert!((out.get("layer0.w").unwrap().get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_round_keeps_global() {
+        let g = params(&[1.0, 2.0], &[3.0]);
+        assert_eq!(FedAvg.aggregate(&g, &[]), g);
+    }
+
+    #[test]
+    fn non_finite_updates_are_dropped() {
+        let g = params(&[0.0], &[0.0]);
+        let good = update(0, &[2.0], &[2.0]);
+        let bad = update(1, &[f32::NAN], &[0.0]);
+        let out = FedAvg.aggregate(&g, &[good, bad]);
+        assert_eq!(out.get("layer0.w").unwrap().as_slice(), &[2.0]);
+        assert!(!out.has_non_finite());
+    }
+
+    #[test]
+    fn identical_updates_are_a_fixed_point() {
+        let g = params(&[1.0, -1.0], &[0.5]);
+        let u = vec![
+            ClientUpdate::new(0, g.clone(), 5),
+            ClientUpdate::new(1, g.clone(), 5),
+        ];
+        assert_eq!(FedAvg.aggregate(&g, &u), g);
+    }
+}

@@ -1,0 +1,153 @@
+//! Krum (Blanchard et al. / El Mhamdi et al.): select the single update
+//! closest to its peers — the earliest FL indoor-localization defense the
+//! paper cites as [22].
+
+use super::{finite_updates, Aggregator};
+use crate::update::ClientUpdate;
+use safeloc_nn::NamedParams;
+
+/// Krum selection: the next GM is the one LM whose summed squared distance
+/// to its `n - f - 2` nearest peers is smallest, where `f` is the assumed
+/// number of Byzantine clients.
+///
+/// Robust to a minority of arbitrary updates, but discards the
+/// collaborative signal of every non-selected client — the paper's §II
+/// criticism ("fails to incorporate collaborative learning from all
+/// clients").
+#[derive(Debug, Clone, Copy)]
+pub struct Krum {
+    /// Assumed number of malicious clients.
+    pub assumed_byzantine: usize,
+}
+
+impl Krum {
+    /// Krum assuming `f` Byzantine clients.
+    pub fn new(f: usize) -> Self {
+        Self {
+            assumed_byzantine: f,
+        }
+    }
+}
+
+impl Default for Krum {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Aggregator for Krum {
+    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
+        let updates = finite_updates(updates);
+        if updates.is_empty() {
+            return global.clone();
+        }
+        if updates.len() == 1 {
+            return updates[0].params.clone();
+        }
+        let n = updates.len();
+        // Number of closest neighbours to score against.
+        let k = n.saturating_sub(self.assumed_byzantine + 2).max(1);
+        let mut best = (f32::INFINITY, 0usize);
+        for i in 0..n {
+            let mut dists: Vec<f32> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let d = updates[i].params.l2_distance(&updates[j].params);
+                    d * d
+                })
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let score: f32 = dists.iter().take(k).sum();
+            if score < best.0 {
+                best = (score, i);
+            }
+        }
+        updates[best.1].params.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "Krum"
+    }
+
+    fn clone_box(&self) -> Box<dyn Aggregator> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{params, update};
+    use super::*;
+
+    #[test]
+    fn selects_the_consensus_update() {
+        let g = params(&[0.0], &[0.0]);
+        // Three near-identical honest updates and one outlier.
+        let u = vec![
+            update(0, &[1.0], &[1.0]),
+            update(1, &[1.1], &[1.0]),
+            update(2, &[0.9], &[1.0]),
+            update(3, &[50.0], &[-50.0]),
+        ];
+        let out = Krum::new(1).aggregate(&g, &u);
+        let w = out.get("layer0.w").unwrap().get(0, 0);
+        assert!((0.8..=1.2).contains(&w), "picked the outlier: {w}");
+    }
+
+    #[test]
+    fn single_update_is_returned_as_is() {
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![update(0, &[3.0], &[4.0])];
+        let out = Krum::default().aggregate(&g, &u);
+        assert_eq!(out, u[0].params);
+    }
+
+    #[test]
+    fn empty_round_keeps_global() {
+        let g = params(&[7.0], &[8.0]);
+        assert_eq!(Krum::default().aggregate(&g, &[]), g);
+    }
+
+    #[test]
+    fn ignores_non_finite_outliers() {
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![
+            update(0, &[1.0], &[1.0]),
+            update(1, &[f32::INFINITY], &[0.0]),
+            update(2, &[1.05], &[1.0]),
+        ];
+        let out = Krum::new(1).aggregate(&g, &u);
+        assert!(!out.has_non_finite());
+    }
+
+    #[test]
+    fn resists_minority_collusion() {
+        // Krum's guarantee needs n >= 2f + 3; with f = 2 that is n >= 7.
+        let g = params(&[0.0], &[0.0]);
+        let mut u: Vec<_> = (0..5)
+            .map(|i| update(i, &[1.0 + i as f32 * 0.02], &[0.0]))
+            .collect();
+        u.push(update(5, &[10.0], &[0.0]));
+        u.push(update(6, &[10.0], &[0.0]));
+        let out = Krum::new(2).aggregate(&g, &u);
+        let w = out.get("layer0.w").unwrap().get(0, 0);
+        assert!(w < 2.0, "collusion won: {w}");
+    }
+
+    #[test]
+    fn below_guarantee_threshold_collusion_can_win() {
+        // Documents the boundary: with n = 5 < 2f + 3 two identical
+        // colluders have zero mutual distance and Krum selects them.
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![
+            update(0, &[1.0], &[0.0]),
+            update(1, &[1.02], &[0.0]),
+            update(2, &[0.98], &[0.0]),
+            update(3, &[10.0], &[0.0]),
+            update(4, &[10.0], &[0.0]),
+        ];
+        let out = Krum::new(2).aggregate(&g, &u);
+        let w = out.get("layer0.w").unwrap().get(0, 0);
+        assert!(w > 2.0, "expected the documented failure mode, got {w}");
+    }
+}

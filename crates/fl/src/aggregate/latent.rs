@@ -1,0 +1,235 @@
+//! FEDLS-style latent-space anomaly filtering.
+
+use super::{finite_updates, Aggregator};
+use crate::update::ClientUpdate;
+use safeloc_nn::{
+    Activation, Adam, Dense, Init, Matrix, MseLoss, NamedParams, Optimizer, Sequential,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Latent-space update filtering, following the paper's §II summary of
+/// FEDLS: "autoencoder-based latent space representations to detect
+/// anomalous LM updates".
+///
+/// Update deltas are random-projected to a small feature space (the deltas
+/// have tens of thousands of dimensions; FEDLS's own encoder serves the
+/// same role), an autoencoder is fit on the round's features, and updates
+/// whose reconstruction error exceeds `mean + z_threshold·std` are dropped
+/// before federated averaging.
+///
+/// This is the "resource-intensive" baseline of Table I: it runs a second,
+/// large model server-side every round.
+#[derive(Debug, Clone)]
+pub struct LatentFilterAggregator {
+    /// Random-projection feature dimension.
+    pub feature_dim: usize,
+    /// Autoencoder training epochs per round.
+    pub ae_epochs: usize,
+    /// Rejection threshold in standard deviations above the mean RCE.
+    pub z_threshold: f32,
+    /// Seed for the projection and AE init.
+    pub seed: u64,
+    projection: Option<Matrix>,
+    /// Feature rows of previously *accepted* updates: the AE is trained on
+    /// this benign history, not on the round under test — otherwise a small
+    /// round lets the AE memorize the outlier it is supposed to flag.
+    history: Vec<Vec<f32>>,
+}
+
+impl LatentFilterAggregator {
+    /// Creates the aggregator with sensible defaults (32-d features, 60
+    /// epochs, 1.8σ rejection).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            feature_dim: 32,
+            ae_epochs: 60,
+            z_threshold: 1.8,
+            seed,
+            projection: None,
+            history: Vec::new(),
+        }
+    }
+
+    fn project(&mut self, flat: &Matrix) -> Matrix {
+        let d = flat.cols();
+        if self
+            .projection
+            .as_ref()
+            .map(|p| p.rows() != d)
+            .unwrap_or(true)
+        {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9801_77CE);
+            let scale = (1.0 / self.feature_dim as f32).sqrt();
+            self.projection = Some(Init::Uniform(scale).matrix(d, self.feature_dim, &mut rng));
+        }
+        flat.matmul(self.projection.as_ref().expect("just built"))
+    }
+}
+
+impl Aggregator for LatentFilterAggregator {
+    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
+        let updates = finite_updates(updates);
+        if updates.is_empty() {
+            return global.clone();
+        }
+        if updates.len() < 3 {
+            let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
+            return NamedParams::mean(&snaps);
+        }
+
+        // Feature matrix: one row per update, scaled by the round's median
+        // row norm so magnitudes stay comparable across rounds while
+        // preserving outlier magnitude *within* the round.
+        let raw_rows: Vec<Vec<f32>> = updates
+            .iter()
+            .map(|u| {
+                let flat = u.params.delta(global).flatten();
+                self.project(&flat).into_vec()
+            })
+            .collect();
+        let mut norms: Vec<f32> = raw_rows
+            .iter()
+            .map(|r| r.iter().map(|v| v * v).sum::<f32>().sqrt())
+            .collect();
+        norms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median_norm = norms[norms.len() / 2].max(1e-9);
+        let rows: Vec<Vec<f32>> = raw_rows
+            .iter()
+            .map(|r| r.iter().map(|v| v / median_norm).collect())
+            .collect();
+        let features = Matrix::from_rows(&rows);
+
+        // Anomaly score per update: while the benign history is short, use a
+        // robust distance to the round's coordinate-wise median; afterwards,
+        // the reconstruction error of an AE trained on the accepted history
+        // (FEDLS's latent-space detector proper).
+        let scores: Vec<f32> = if self.history.len() < 4 {
+            let cols = features.cols();
+            let mut median = vec![0.0f32; cols];
+            for (c, m) in median.iter_mut().enumerate() {
+                let mut col: Vec<f32> = (0..features.rows()).map(|r| features.get(r, c)).collect();
+                col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                *m = col[col.len() / 2];
+            }
+            (0..features.rows())
+                .map(|r| {
+                    features
+                        .row(r)
+                        .iter()
+                        .zip(&median)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f32>()
+                        .sqrt()
+                })
+                .collect()
+        } else {
+            let hist = Matrix::from_rows(&self.history);
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xAE0);
+            let f = self.feature_dim;
+            let ae = vec![
+                Dense::new(f, f / 2, Init::HeUniform, &mut rng),
+                Dense::new(f / 2, f, Init::HeUniform, &mut rng),
+            ];
+            let mut ae = Sequential::from_layers(ae, vec![Activation::Relu, Activation::Identity]);
+            let mut opt = Adam::new(5e-3);
+            for _ in 0..self.ae_epochs {
+                let trace = ae.forward_trace(&hist);
+                let grad = MseLoss.grad(trace.output(), &hist);
+                let grads = ae.backward(&trace, &grad).into_flat();
+                use safeloc_nn::HasParams;
+                opt.step(ae.param_tensors_mut(), &grads);
+            }
+            let recon = ae.forward(&features);
+            MseLoss.per_row(&recon, &features)
+        };
+
+        let mean = scores.iter().sum::<f32>() / scores.len() as f32;
+        let var =
+            scores.iter().map(|r| (r - mean) * (r - mean)).sum::<f32>() / scores.len() as f32;
+        let std = var.sqrt();
+        let threshold = mean + self.z_threshold * std.max(1e-12);
+
+        let mut kept: Vec<NamedParams> = Vec::new();
+        for ((u, row), &score) in updates.iter().zip(&rows).zip(&scores) {
+            if score <= threshold {
+                kept.push(u.params.clone());
+                self.history.push(row.clone());
+            }
+        }
+        // Bound the benign history.
+        if self.history.len() > 60 {
+            let excess = self.history.len() - 60;
+            self.history.drain(..excess);
+        }
+        if kept.is_empty() {
+            return global.clone();
+        }
+        NamedParams::mean(&kept)
+    }
+
+    fn name(&self) -> &'static str {
+        "LatentFilter"
+    }
+
+    fn clone_box(&self) -> Box<dyn Aggregator> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{params, update};
+    use super::*;
+
+    #[test]
+    fn empty_round_keeps_global() {
+        let g = params(&[1.0], &[1.0]);
+        assert_eq!(LatentFilterAggregator::new(0).aggregate(&g, &[]), g);
+    }
+
+    #[test]
+    fn small_rounds_average() {
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![update(0, &[2.0], &[0.0]), update(1, &[4.0], &[0.0])];
+        let out = LatentFilterAggregator::new(0).aggregate(&g, &u);
+        assert!((out.get("layer0.w").unwrap().get(0, 0) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gross_outlier_is_filtered() {
+        let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
+        let mut u = vec![
+            update(0, &[1.0, 1.0, 1.0, 1.0], &[0.1]),
+            update(1, &[1.1, 0.9, 1.0, 1.05], &[0.1]),
+            update(2, &[0.95, 1.05, 0.98, 1.0], &[0.1]),
+            update(3, &[1.02, 1.0, 1.03, 0.97], &[0.1]),
+        ];
+        u.push(update(4, &[-80.0, 90.0, -70.0, 60.0], &[5.0]));
+        let out = LatentFilterAggregator::new(1).aggregate(&g, &u);
+        let w = out.get("layer0.w").unwrap().get(0, 0);
+        assert!(w.abs() < 5.0, "outlier leaked: {w}");
+    }
+
+    #[test]
+    fn homogeneous_updates_mostly_survive() {
+        let g = params(&[0.0, 0.0], &[0.0]);
+        let u: Vec<_> = (0..6)
+            .map(|i| update(i, &[1.0 + i as f32 * 0.01, 1.0], &[0.2]))
+            .collect();
+        let out = LatentFilterAggregator::new(2).aggregate(&g, &u);
+        let w = out.get("layer0.w").unwrap().get(0, 0);
+        assert!((0.9..=1.1).contains(&w), "homogeneous mean off: {w}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = params(&[0.0, 0.0], &[0.0]);
+        let u: Vec<_> = (0..5)
+            .map(|i| update(i, &[i as f32, 1.0], &[0.0]))
+            .collect();
+        let a = LatentFilterAggregator::new(7).aggregate(&g, &u);
+        let b = LatentFilterAggregator::new(7).aggregate(&g, &u);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,75 @@
+//! Server-side aggregation strategies.
+//!
+//! Each strategy turns the current global model plus a set of client
+//! updates into the next global model. The five rules here cover the
+//! baselines the paper compares against; SAFELOC's saliency-map rule lives
+//! in the `safeloc` crate.
+
+mod cluster;
+mod fedavg;
+mod krum;
+mod latent;
+mod selective;
+
+pub use cluster::ClusterAggregator;
+pub use fedavg::FedAvg;
+pub use krum::Krum;
+pub use latent::LatentFilterAggregator;
+pub use selective::SelectiveAggregator;
+
+use crate::update::ClientUpdate;
+use safeloc_nn::NamedParams;
+
+/// A server-side aggregation rule.
+pub trait Aggregator: Send {
+    /// Produces the next global model from the current one and this round's
+    /// client updates.
+    ///
+    /// Implementations must return `global.clone()` when `updates` is empty
+    /// (a round where every client dropped out must not corrupt the GM).
+    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Boxed clone, so servers holding `Box<dyn Aggregator>` are clonable
+    /// (the bench harness clones pretrained frameworks across scenarios).
+    fn clone_box(&self) -> Box<dyn Aggregator>;
+}
+
+impl Clone for Box<dyn Aggregator> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Filters out updates containing NaN/Inf — shared guard used by every
+/// aggregator so one crashed client cannot poison the GM with non-finite
+/// weights.
+pub(crate) fn finite_updates(updates: &[ClientUpdate]) -> Vec<&ClientUpdate> {
+    updates.iter().filter(|u| !u.params.has_non_finite()).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use safeloc_nn::Matrix;
+
+    /// A tiny two-tensor snapshot for aggregator tests.
+    pub fn params(w: &[f32], b: &[f32]) -> NamedParams {
+        NamedParams::new(vec![
+            (
+                "layer0.w".into(),
+                Matrix::from_vec(1, w.len(), w.to_vec()).unwrap(),
+            ),
+            (
+                "layer0.b".into(),
+                Matrix::from_vec(1, b.len(), b.to_vec()).unwrap(),
+            ),
+        ])
+    }
+
+    pub fn update(id: usize, w: &[f32], b: &[f32]) -> ClientUpdate {
+        ClientUpdate::new(id, params(w, b), 10)
+    }
+}

@@ -1,0 +1,50 @@
+//! The uniform interface the benchmark harness drives.
+
+use crate::client::Client;
+use safeloc_dataset::FingerprintSet;
+use safeloc_nn::Matrix;
+
+/// A complete FL indoor-localization framework: one global model plus one
+/// aggregation rule plus the client-side protocol.
+///
+/// Implemented by [`SequentialFlServer`](crate::SequentialFlServer) (and the
+/// named baselines wrapping it in `safeloc-baselines`) and by the `safeloc`
+/// crate's `SafeLoc` framework. The benchmark harness treats every framework
+/// identically: `pretrain` → repeated `round` → `predict`.
+pub trait Framework {
+    /// Framework name as printed in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Server-side pretraining of the global model on the survey split.
+    fn pretrain(&mut self, train: &FingerprintSet);
+
+    /// One federated round: distribute the GM, let every client train (and
+    /// possibly poison), aggregate.
+    fn round(&mut self, clients: &mut [Client]);
+
+    /// Predicted RP labels for a batch of fingerprints.
+    fn predict(&self, x: &Matrix) -> Vec<usize>;
+
+    /// Total deployed parameter count (Table I).
+    fn num_params(&self) -> usize;
+
+    /// Boxed clone — lets the bench harness pretrain a framework once and
+    /// fork it across attack scenarios.
+    fn clone_box(&self) -> Box<dyn Framework>;
+
+    /// Classification accuracy helper.
+    fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f32 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let pred = self.predict(x);
+        pred.iter().zip(labels).filter(|(p, y)| p == y).count() as f32 / labels.len() as f32
+    }
+
+    /// Runs `n` federated rounds.
+    fn run_rounds(&mut self, clients: &mut [Client], n: usize) {
+        for _ in 0..n {
+            self.round(clients);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Hand-rolled federated-learning engine for the SAFELOC reproduction.
+//!
+//! The paper's setting (§III): a central server holds a global model (GM),
+//! distributes it to clients (phones), each client retrains a local model
+//! (LM) on its own fingerprints — possibly poisoned — and the server
+//! aggregates the returned LMs into the next GM.
+//!
+//! This crate provides the pieces every framework shares:
+//!
+//! * [`Client`] — local data + optional [`PoisonInjector`](safeloc_attacks::PoisonInjector),
+//!   with the client-side training protocol in [`LocalTrainConfig`].
+//! * [`ClientUpdate`] — an LM come back to the server as
+//!   [`NamedParams`](safeloc_nn::NamedParams).
+//! * [`Aggregator`] — the server-side combination rule, with the five
+//!   baseline strategies implemented: [`FedAvg`], [`Krum`],
+//!   [`SelectiveAggregator`] (FEDHIL), [`ClusterAggregator`] (FEDCC) and
+//!   [`LatentFilterAggregator`] (FEDLS). SAFELOC's saliency-map aggregation
+//!   lives in the `safeloc` crate — it is the paper's contribution.
+//! * [`SequentialFlServer`] — a complete FL server around a
+//!   [`Sequential`](safeloc_nn::Sequential) DNN global model; every baseline
+//!   framework is this server with a different architecture + aggregator.
+//! * [`Framework`] — the uniform interface the benchmark harness drives:
+//!   pretrain → federated rounds → predict.
+//!
+//! # Example
+//!
+//! ```
+//! use safeloc_fl::{Client, FedAvg, Framework, SequentialFlServer, ServerConfig};
+//! use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+//!
+//! let data = BuildingDataset::generate(Building::tiny(3), &DatasetConfig::tiny(), 3);
+//! let mut server = SequentialFlServer::new(
+//!     &[data.building.num_aps(), 32, data.building.num_rps()],
+//!     Box::new(FedAvg),
+//!     ServerConfig::tiny(),
+//! );
+//! server.pretrain(&data.server_train);
+//! let mut clients = Client::from_dataset(&data, 1);
+//! server.round(&mut clients);
+//! let acc = server.accuracy(&data.client_test[0].x, &data.client_test[0].labels);
+//! assert!(acc > 0.2, "accuracy {acc}");
+//! ```
+
+pub mod aggregate;
+pub mod client;
+pub mod framework;
+pub mod server;
+pub mod update;
+
+pub use aggregate::{
+    Aggregator, ClusterAggregator, FedAvg, Krum, LatentFilterAggregator, SelectiveAggregator,
+};
+pub use client::{Client, LabelingMode, LocalTrainConfig};
+pub use framework::Framework;
+pub use server::{SequentialFlServer, ServerConfig};
+pub use update::ClientUpdate;

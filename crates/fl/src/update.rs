@@ -1,0 +1,42 @@
+//! Client → server model updates.
+
+use safeloc_nn::NamedParams;
+use serde::{Deserialize, Serialize};
+
+/// A local model returned to the server after client-side training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientUpdate {
+    /// Which client produced the update.
+    pub client_id: usize,
+    /// The full LM weights (not a delta — aggregation rules that want the
+    /// delta compute it against the current GM).
+    pub params: NamedParams,
+    /// Number of local samples trained on (FedAvg weighting).
+    pub num_samples: usize,
+}
+
+impl ClientUpdate {
+    /// Creates an update.
+    pub fn new(client_id: usize, params: NamedParams, num_samples: usize) -> Self {
+        Self {
+            client_id,
+            params,
+            num_samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_nn::Matrix;
+
+    #[test]
+    fn holds_what_it_was_given() {
+        let p = NamedParams::new(vec![("w".into(), Matrix::zeros(2, 2))]);
+        let u = ClientUpdate::new(3, p.clone(), 40);
+        assert_eq!(u.client_id, 3);
+        assert_eq!(u.num_samples, 40);
+        assert_eq!(u.params, p);
+    }
+}

@@ -1,0 +1,59 @@
+//! Label predictions → localization errors in meters.
+
+use safeloc_dataset::Building;
+
+/// Per-sample localization error in meters: the distance between the
+/// predicted RP's coordinates and the true RP's coordinates.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any label is out of range for
+/// `building`.
+pub fn localization_errors(building: &Building, predicted: &[usize], truth: &[usize]) -> Vec<f32> {
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "prediction/truth length mismatch"
+    );
+    predicted
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| building.label_error_m(p, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_predictions_have_zero_error() {
+        let b = Building::tiny(0);
+        let labels = vec![0, 3, 7];
+        let errs = localization_errors(&b, &labels, &labels);
+        assert!(errs.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn neighbouring_rp_costs_about_one_meter() {
+        let b = Building::paper(1);
+        // RPs 0 and 1 are adjacent on the 1 m path.
+        let errs = localization_errors(&b, &[1], &[0]);
+        assert!((errs[0] - 1.0).abs() < 0.01, "got {}", errs[0]);
+    }
+
+    #[test]
+    fn distant_rp_costs_more() {
+        let b = Building::paper(1);
+        let near = localization_errors(&b, &[1], &[0])[0];
+        let far = localization_errors(&b, &[59], &[0])[0];
+        assert!(far > near * 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let b = Building::tiny(0);
+        let _ = localization_errors(&b, &[0, 1], &[0]);
+    }
+}

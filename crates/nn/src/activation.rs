@@ -1,0 +1,146 @@
+//! Elementwise activation functions with explicit backward passes.
+
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An elementwise activation function.
+///
+/// The backward pass takes the layer's *pre-activation* input and the
+/// gradient flowing from above, returning the gradient with respect to the
+/// pre-activation values. Softmax is intentionally absent: classification
+/// heads emit logits and use the fused
+/// [`SparseCrossEntropyLoss`](crate::SparseCrossEntropyLoss).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// `f(x) = max(0, x)` — used by every layer in the paper's models.
+    Relu,
+    /// `f(x) = x` for `x > 0`, `alpha * x` otherwise.
+    LeakyRelu(f32),
+    /// Logistic sigmoid, used by the ONLAD-style online autoencoder.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to every element of `x`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::LeakyRelu(a) => {
+                let a = *a;
+                x.map(move |v| if v > 0.0 { v } else { a * v })
+            }
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Tanh => x.map(f32::tanh),
+        }
+    }
+
+    /// Gradient with respect to the pre-activation input.
+    ///
+    /// `pre` is the matrix that was passed to [`Activation::forward`] and
+    /// `grad_out` is `dL/d(forward(pre))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre` and `grad_out` have different shapes.
+    pub fn backward(&self, pre: &Matrix, grad_out: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => grad_out.clone(),
+            Activation::Relu => {
+                let mask = pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                grad_out.hadamard(&mask)
+            }
+            Activation::LeakyRelu(a) => {
+                let a = *a;
+                let mask = pre.map(move |v| if v > 0.0 { 1.0 } else { a });
+                grad_out.hadamard(&mask)
+            }
+            Activation::Sigmoid => {
+                let d = pre.map(|v| {
+                    let s = sigmoid(v);
+                    s * (1.0 - s)
+                });
+                grad_out.hadamard(&d)
+            }
+            Activation::Tanh => {
+                let d = pre.map(|v| 1.0 - v.tanh() * v.tanh());
+                grad_out.hadamard(&d)
+            }
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(act: Activation, x: f32) -> f32 {
+        let h = 1e-3;
+        let a = act.forward(&Matrix::row_vector(&[x + h]));
+        let b = act.forward(&Matrix::row_vector(&[x - h]));
+        (a.get(0, 0) - b.get(0, 0)) / (2.0 * h)
+    }
+
+    #[test]
+    fn relu_forward() {
+        let x = Matrix::row_vector(&[-1.0, 0.0, 2.0]);
+        assert_eq!(Activation::Relu.forward(&x).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_forward() {
+        let x = Matrix::row_vector(&[-2.0, 3.0]);
+        let y = Activation::LeakyRelu(0.1).forward(&x);
+        assert!((y.get(0, 0) + 0.2).abs() < 1e-6);
+        assert_eq!(y.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let x = Matrix::row_vector(&[-50.0, 0.0, 50.0]);
+        let y = Activation::Sigmoid.forward(&x);
+        assert!(y.get(0, 0) < 1e-6);
+        assert!((y.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!(y.get(0, 2) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let points = [-1.5f32, -0.3, 0.4, 2.0];
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu(0.05),
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            for &p in &points {
+                let pre = Matrix::row_vector(&[p]);
+                let ones = Matrix::row_vector(&[1.0]);
+                let analytic = act.backward(&pre, &ones).get(0, 0);
+                let numeric = finite_diff(act, p);
+                assert!(
+                    (analytic - numeric).abs() < 1e-2,
+                    "{act:?} at {p}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_scales_with_upstream_gradient() {
+        let pre = Matrix::row_vector(&[2.0, -2.0]);
+        let g = Matrix::row_vector(&[3.0, 3.0]);
+        let out = Activation::Relu.backward(&pre, &g);
+        assert_eq!(out.as_slice(), &[3.0, 0.0]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Mini-batch utilities shared by every training loop in the workspace.
+
+use crate::tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits `0..n` into shuffled batches of at most `batch_size` indices.
+///
+/// The final batch may be smaller. With `batch_size == 0` a single batch
+/// containing everything is returned (full-batch training).
+pub fn shuffled_batches(n: usize, batch_size: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    if batch_size == 0 || batch_size >= n {
+        return if idx.is_empty() { Vec::new() } else { vec![idx] };
+    }
+    idx.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+/// Gathers the rows of `x` at `indices` into a new matrix.
+///
+/// # Panics
+///
+/// Panics if any index is out of range.
+pub fn gather_rows(x: &Matrix, indices: &[usize]) -> Matrix {
+    let mut rows = Vec::with_capacity(indices.len());
+    for &i in indices {
+        rows.push(x.row(i).to_vec());
+    }
+    Matrix::from_rows(&rows)
+}
+
+/// Gathers labels at `indices`.
+///
+/// # Panics
+///
+/// Panics if any index is out of range.
+pub fn gather_labels(labels: &[usize], indices: &[usize]) -> Vec<usize> {
+    indices.iter().map(|&i| labels[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_cover_all_indices_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches = shuffled_batches(10, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_batch_size_means_full_batch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches = shuffled_batches(5, 0, &mut rng);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 5);
+    }
+
+    #[test]
+    fn empty_input_gives_no_batches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(shuffled_batches(0, 4, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn gather_rows_selects_in_order() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let g = gather_rows(&x, &[2, 0]);
+        assert_eq!(g.row(0), &[2.0, 2.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_labels_selects_in_order() {
+        assert_eq!(gather_labels(&[10, 20, 30], &[2, 2, 0]), vec![30, 30, 10]);
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let a = shuffled_batches(20, 7, &mut StdRng::seed_from_u64(5));
+        let b = shuffled_batches(20, 7, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

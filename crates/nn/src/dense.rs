@@ -1,0 +1,216 @@
+//! Fully-connected layer with explicit forward and backward passes.
+
+use crate::init::Init;
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected (dense) layer: `y = x W + b`.
+///
+/// Weights are stored `(in_dim, out_dim)` so a `(batch, in_dim)` input maps
+/// to a `(batch, out_dim)` output with a single matmul.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+}
+
+/// Gradients produced by [`Dense::backward`].
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// `dL/dW`, shaped like the weight matrix.
+    pub w: Matrix,
+    /// `dL/db`, shaped like the bias row vector.
+    pub b: Matrix,
+    /// `dL/dx`, shaped like the layer input — this is what flows to the
+    /// previous layer, and ultimately what the gradient-based poisoning
+    /// attacks read off at the input.
+    pub x: Matrix,
+}
+
+impl Dense {
+    /// Creates a layer with `init`-initialized weights and zero biases.
+    pub fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut impl Rng) -> Self {
+        Self {
+            w: init.matrix(in_dim, out_dim, rng),
+            b: Matrix::zeros(1, out_dim),
+        }
+    }
+
+    /// Builds a layer directly from a weight matrix and bias row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `1 x w.cols()`.
+    pub fn from_parts(w: Matrix, b: Matrix) -> Self {
+        assert_eq!(b.shape(), (1, w.cols()), "bias must be 1x{}", w.cols());
+        Self { w, b }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Number of trainable parameters (`in*out + out`).
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Mutable access to the weight matrix.
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.w
+    }
+
+    /// The bias row vector.
+    pub fn bias(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Mutable access to the bias row vector.
+    pub fn bias_mut(&mut self) -> &mut Matrix {
+        &mut self.b
+    }
+
+    /// Simultaneous mutable access to weights and bias (split borrow), used
+    /// when collecting all parameter tensors of a model.
+    pub fn parts_mut(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.w, &mut self.b)
+    }
+
+    /// Forward pass: `x W + b` for a `(batch, in_dim)` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w).add_row_broadcast(&self.b)
+    }
+
+    /// Backward pass.
+    ///
+    /// `x` is the input that produced the forward output and `grad_out` is
+    /// `dL/dy` with shape `(batch, out_dim)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between `x`, `grad_out` and the layer.
+    pub fn backward(&self, x: &Matrix, grad_out: &Matrix) -> DenseGrads {
+        assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
+        assert_eq!(grad_out.cols(), self.out_dim(), "grad width mismatch");
+        assert_eq!(x.rows(), grad_out.rows(), "batch mismatch");
+        DenseGrads {
+            w: x.transposed_matmul(grad_out),
+            b: grad_out.sum_rows(),
+            x: grad_out.matmul_transposed(&self.w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Dense {
+        let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::row_vector(&[0.1, 0.2, 0.3]);
+        Dense::from_parts(w, b)
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let l = layer();
+        let x = Matrix::row_vector(&[1.0, 1.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (1, 3));
+        let expect = [5.1, 7.2, 9.3];
+        for (a, e) in y.as_slice().iter().zip(expect) {
+            assert!((a - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_bias() {
+        assert_eq!(layer().num_params(), 2 * 3 + 3);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let l = layer();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let g = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        let grads = l.backward(&x, &g);
+        assert_eq!(grads.w.shape(), (2, 3));
+        assert_eq!(grads.b.shape(), (1, 3));
+        assert_eq!(grads.x.shape(), (2, 2));
+    }
+
+    /// Finite-difference check of all three gradients on a random layer.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let l = Dense::new(4, 3, Init::HeUniform, &mut rng);
+        let x = Init::Uniform(1.0).matrix(2, 4, &mut rng);
+        // Scalar loss L = sum(forward(x)).
+        let loss = |l: &Dense, x: &Matrix| l.forward(x).sum();
+        let grad_out = Matrix::filled(2, 3, 1.0); // dL/dy for L = sum(y)
+        let grads = l.backward(&x, &grad_out);
+        let h = 1e-3;
+
+        // dL/dW
+        for r in 0..4 {
+            for c in 0..3 {
+                let mut lp = l.clone();
+                let mut lm = l.clone();
+                lp.weights_mut().set(r, c, l.weights().get(r, c) + h);
+                lm.weights_mut().set(r, c, l.weights().get(r, c) - h);
+                let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+                assert!(
+                    (num - grads.w.get(r, c)).abs() < 1e-2,
+                    "dW({r},{c}): numeric {num} vs analytic {}",
+                    grads.w.get(r, c)
+                );
+            }
+        }
+        // dL/db
+        for c in 0..3 {
+            let mut lp = l.clone();
+            let mut lm = l.clone();
+            lp.bias_mut().set(0, c, l.bias().get(0, c) + h);
+            lm.bias_mut().set(0, c, l.bias().get(0, c) - h);
+            let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+            assert!((num - grads.b.get(0, c)).abs() < 1e-2);
+        }
+        // dL/dx
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp.set(r, c, x.get(r, c) + h);
+                xm.set(r, c, x.get(r, c) - h);
+                let num = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * h);
+                assert!((num - grads.x.get(r, c)).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be 1x3")]
+    fn from_parts_validates_bias() {
+        let w = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(1, 2);
+        let _ = Dense::from_parts(w, b);
+    }
+}

@@ -1,0 +1,224 @@
+//! Optimizers: plain SGD and Adam (the paper trains everything with Adam).
+
+use crate::tensor::Matrix;
+
+/// A first-order optimizer over an ordered list of parameter tensors.
+///
+/// The parameter order must be stable across calls — optimizers with state
+/// (Adam) key their moment estimates by position. Models expose their
+/// parameters in a fixed order via [`crate::HasParams`].
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or any pair differs in
+    /// shape, or (for stateful optimizers) if shapes changed between calls.
+    fn step(&mut self, params: Vec<&mut Matrix>, grads: &[Matrix]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (used for the reduced client-side rate).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent: `p -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: Vec<&mut Matrix>, grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        for (p, g) in params.into_iter().zip(grads) {
+            p.axpy(-self.lr, g);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias-corrected moment estimates.
+///
+/// The paper's configuration is `lr = 0.001` for server-side training and
+/// `lr = 0.0001` for lightweight client-side updates; betas and epsilon are
+/// the standard defaults.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an Adam optimizer with explicit hyperparameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Clears the moment estimates (e.g. when re-using the optimizer for a
+    /// fresh model of the same shape).
+    pub fn reset_state(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: Vec<&mut Matrix>, grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+            self.v = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter count changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .into_iter()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.shape(), g.shape(), "param/grad shape mismatch");
+            assert_eq!(p.len(), m.len(), "parameter shape changed between steps");
+            let ps = p.as_mut_slice();
+            let gs = g.as_slice();
+            for i in 0..ps.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gs[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gs[i] * gs[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                ps[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Matrix) -> Matrix {
+        // L = sum(p^2) => dL/dp = 2p
+        p.scale(2.0)
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut p = Matrix::row_vector(&[5.0, -3.0]);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = quadratic_grad(&p);
+            opt.step(vec![&mut p], &[g]);
+        }
+        assert!(p.l2_norm() < 1e-3, "did not converge: {p:?}");
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut p = Matrix::row_vector(&[5.0, -3.0]);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            let g = quadratic_grad(&p);
+            opt.step(vec![&mut p], &[g]);
+        }
+        assert!(p.l2_norm() < 1e-2, "did not converge: {p:?}");
+    }
+
+    #[test]
+    fn adam_handles_sparse_gradient_scales() {
+        // Ill-conditioned quadratic: Adam should still make progress on the
+        // shallow direction thanks to per-coordinate scaling.
+        let mut p = Matrix::row_vector(&[1.0, 1.0]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..500 {
+            let g = Matrix::row_vector(&[2.0 * p.get(0, 0) * 100.0, 2.0 * p.get(0, 1) * 0.01]);
+            opt.step(vec![&mut p], &[g]);
+        }
+        assert!(p.get(0, 0).abs() < 1e-2);
+        assert!(p.get(0, 1).abs() < 0.5, "shallow direction made no progress");
+    }
+
+    #[test]
+    fn first_adam_step_is_lr_sized() {
+        // With bias correction the very first step is ~lr * sign(g).
+        let mut p = Matrix::row_vector(&[0.0]);
+        let mut opt = Adam::new(0.1);
+        let g = Matrix::row_vector(&[3.7]);
+        opt.step(vec![&mut p], &[g]);
+        assert!((p.get(0, 0) + 0.1).abs() < 1e-4, "got {}", p.get(0, 0));
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut a = Adam::new(0.001);
+        assert_eq!(a.learning_rate(), 0.001);
+        a.set_learning_rate(0.0001);
+        assert_eq!(a.learning_rate(), 0.0001);
+        assert_eq!(a.steps(), 0);
+    }
+
+    #[test]
+    fn reset_state_clears_moments() {
+        let mut p = Matrix::row_vector(&[1.0]);
+        let mut opt = Adam::new(0.1);
+        opt.step(vec![&mut p], &[Matrix::row_vector(&[1.0])]);
+        assert_eq!(opt.steps(), 1);
+        opt.reset_state();
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "params/grads length mismatch")]
+    fn step_validates_lengths() {
+        let mut p = Matrix::row_vector(&[1.0]);
+        Sgd::new(0.1).step(vec![&mut p], &[]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the tensor and parameter algebra that the
+//! federated-learning layer depends on.
+
+use proptest::prelude::*;
+use safeloc_nn::{Activation, HasParams, Matrix, NamedParams, Sequential, SparseCrossEntropyLoss};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in matrix_strategy(3, 5),
+        b in matrix_strategy(5, 2),
+    ) {
+        // (A B)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn add_is_commutative(a in matrix_strategy(4, 4), b in matrix_strategy(4, 4)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn scale_then_sum_scales_sum(a in matrix_strategy(3, 3), k in -5.0f32..5.0) {
+        let lhs = a.scale(k).sum();
+        let rhs = a.sum() * k;
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn l2_distance_triangle_inequality(
+        a in matrix_strategy(2, 5),
+        b in matrix_strategy(2, 5),
+        c in matrix_strategy(2, 5),
+    ) {
+        let ab = a.l2_distance(&b);
+        let bc = b.l2_distance(&c);
+        let ac = a.l2_distance(&c);
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in matrix_strategy(4, 6)) {
+        let p = SparseCrossEntropyLoss.probabilities(&logits);
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative(x in matrix_strategy(3, 7)) {
+        let y = Activation::Relu.forward(&x);
+        prop_assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn named_params_mean_is_bounded_by_extremes(
+        a in matrix_strategy(2, 3),
+        b in matrix_strategy(2, 3),
+    ) {
+        let pa = NamedParams::new(vec![("w".into(), a.clone())]);
+        let pb = NamedParams::new(vec![("w".into(), b.clone())]);
+        let m = NamedParams::mean(&[pa, pb]);
+        let mt = m.get("w").unwrap();
+        for i in 0..a.len() {
+            let lo = a.as_slice()[i].min(b.as_slice()[i]);
+            let hi = a.as_slice()[i].max(b.as_slice()[i]);
+            prop_assert!(mt.as_slice()[i] >= lo - 1e-4 && mt.as_slice()[i] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_in_unit_range(
+        a in matrix_strategy(1, 8),
+        b in matrix_strategy(1, 8),
+    ) {
+        let pa = NamedParams::new(vec![("w".into(), a)]);
+        let pb = NamedParams::new(vec![("w".into(), b)]);
+        let c = pa.cosine_similarity(&pb);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c));
+    }
+
+    #[test]
+    fn snapshot_load_round_trips_arbitrary_weights(
+        seed in 0u64..1000,
+        scale in 0.1f32..3.0,
+    ) {
+        let m = Sequential::mlp(&[5, 4, 3], Activation::Relu, seed);
+        let scaled = m.snapshot().scale(scale);
+        let mut m2 = Sequential::mlp(&[5, 4, 3], Activation::Relu, seed + 1);
+        m2.load(&scaled).unwrap();
+        prop_assert_eq!(m2.snapshot(), scaled);
+    }
+
+    #[test]
+    fn input_gradient_is_zero_where_network_is_dead(
+        seed in 0u64..100,
+    ) {
+        // With all-negative inputs into ReLU and zero bias the network output
+        // is constant in a neighbourhood only if every first-layer unit is
+        // dead; we just assert the gradient is finite and shaped correctly.
+        let m = Sequential::mlp(&[4, 6, 3], Activation::Relu, seed);
+        let x = Matrix::row_vector(&[0.5, -0.5, 0.25, -0.25]);
+        let g = m.input_gradient(&x, &[0]);
+        prop_assert_eq!(g.shape(), (1, 4));
+        prop_assert!(!g.has_non_finite());
+    }
+}

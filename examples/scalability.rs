@@ -1,0 +1,53 @@
+//! Fleet-scaling demo: grow the client fleet with synthetic phones and an
+//! increasing number of colluding attackers, as in the paper's Fig. 7.
+//!
+//! ```text
+//! cargo run -p safeloc-bench --release --example scalability
+//! ```
+
+use safeloc::{SafeLoc, SafeLocConfig};
+use safeloc_attacks::{Attack, PoisonInjector};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+use safeloc_fl::{Client, Framework};
+use safeloc_metrics::{localization_errors, ErrorStats};
+
+fn main() {
+    for (total, poisoned) in [(6usize, 1usize), (12, 4), (18, 8)] {
+        let cfg = DatasetConfig::paper().with_fleet(total, 9);
+        let data = BuildingDataset::generate(Building::paper(5), &cfg, 9);
+
+        let mut framework = SafeLoc::new(
+            data.building.num_aps(),
+            data.building.num_rps(),
+            SafeLocConfig::default_scale(9),
+        );
+        framework.pretrain(&data.server_train);
+
+        let mut clients = Client::from_dataset(&data, 9);
+        let boost = total as f32 / poisoned as f32;
+        let mut compromised = 0;
+        for id in (0..clients.len()).rev() {
+            if compromised == poisoned {
+                break;
+            }
+            if id == data.train_device {
+                continue;
+            }
+            clients[id].injector =
+                Some(PoisonInjector::new(Attack::label_flip(0.6), 9 + id as u64).with_boost(boost));
+            compromised += 1;
+        }
+
+        framework.run_rounds(&mut clients, 3);
+
+        let mut errors = Vec::new();
+        for (_, set) in data.eval_sets() {
+            let pred = framework.predict(&set.x);
+            errors.extend(localization_errors(&data.building, &pred, &set.labels));
+        }
+        println!(
+            "fleet ({total:>2} clients, {poisoned:>2} poisoned): {}",
+            ErrorStats::from_errors(&errors)
+        );
+    }
+}

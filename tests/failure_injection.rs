@@ -1,0 +1,126 @@
+//! Integration: failure injection — the federated pipeline must survive
+//! dropped clients, empty rounds, NaN-weight updates and degenerate data.
+
+use safeloc::{SafeLoc, SafeLocConfig, SaliencyAggregator};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, FingerprintSet};
+use safeloc_fl::{
+    Aggregator, Client, ClientUpdate, ClusterAggregator, FedAvg, Framework, Krum,
+    LatentFilterAggregator, SelectiveAggregator, SequentialFlServer, ServerConfig,
+};
+use safeloc_nn::{HasParams, Matrix, NamedParams};
+
+fn dataset() -> BuildingDataset {
+    BuildingDataset::generate(Building::tiny(13), &DatasetConfig::tiny(), 13)
+}
+
+fn all_aggregators() -> Vec<Box<dyn Aggregator>> {
+    vec![
+        Box::new(FedAvg),
+        Box::new(Krum::new(1)),
+        Box::new(SelectiveAggregator::default()),
+        Box::new(ClusterAggregator::default()),
+        Box::new(LatentFilterAggregator::new(0)),
+        Box::new(SaliencyAggregator::default()),
+    ]
+}
+
+#[test]
+fn every_aggregator_survives_an_empty_round() {
+    let gm = NamedParams::new(vec![(
+        "w".into(),
+        Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap(),
+    )]);
+    for mut agg in all_aggregators() {
+        let out = agg.aggregate(&gm, &[]);
+        assert_eq!(out, gm, "{} corrupted the GM on an empty round", agg.name());
+    }
+}
+
+#[test]
+fn every_aggregator_rejects_all_nan_updates() {
+    let gm = NamedParams::new(vec![(
+        "w".into(),
+        Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap(),
+    )]);
+    let nan_update = ClientUpdate::new(
+        0,
+        NamedParams::new(vec![(
+            "w".into(),
+            Matrix::from_vec(1, 3, vec![f32::NAN, f32::INFINITY, 0.0]).unwrap(),
+        )]),
+        10,
+    );
+    for mut agg in all_aggregators() {
+        let out = agg.aggregate(&gm, std::slice::from_ref(&nan_update));
+        assert!(
+            !out.has_non_finite(),
+            "{} let NaN weights into the GM",
+            agg.name()
+        );
+    }
+}
+
+#[test]
+fn rounds_with_a_subset_of_clients_work() {
+    let data = dataset();
+    let mut server = SequentialFlServer::new(
+        &[data.building.num_aps(), 12, data.building.num_rps()],
+        Box::new(FedAvg),
+        ServerConfig::tiny(),
+    );
+    server.pretrain(&data.server_train);
+    let mut clients = Client::from_dataset(&data, 13);
+    // Only one client shows up this round.
+    let mut solo = clients.split_off(clients.len() - 1);
+    server.round(&mut solo);
+    // Nobody shows up the next round.
+    let mut nobody: Vec<Client> = Vec::new();
+    server.round(&mut nobody);
+    let acc = server.accuracy(&data.server_train.x, &data.server_train.labels);
+    assert!(acc > 0.3, "server lost the model after sparse rounds: {acc}");
+}
+
+#[test]
+fn safeloc_handles_single_sample_clients() {
+    let data = dataset();
+    let mut f = SafeLoc::new(
+        data.building.num_aps(),
+        data.building.num_rps(),
+        SafeLocConfig::tiny(),
+    );
+    f.pretrain(&data.server_train);
+    let mut clients = Client::from_dataset(&data, 13);
+    for c in &mut clients {
+        c.local = c.local.subset(&[0]); // one fingerprint each
+    }
+    f.round(&mut clients);
+    let test = &data.client_test[0];
+    assert!(f.accuracy(&test.x, &test.labels) > 0.2);
+}
+
+#[test]
+fn safeloc_predicts_on_degenerate_inputs() {
+    let data = dataset();
+    let mut f = SafeLoc::new(
+        data.building.num_aps(),
+        data.building.num_rps(),
+        SafeLocConfig::tiny(),
+    );
+    f.pretrain(&data.server_train);
+    // All-zero fingerprint (no AP heard) and all-ones (saturated).
+    let x = Matrix::from_rows(&[
+        vec![0.0; data.building.num_aps()],
+        vec![1.0; data.building.num_aps()],
+    ]);
+    let labels = f.predict(&x);
+    assert_eq!(labels.len(), 2);
+    assert!(labels.iter().all(|&l| l < data.building.num_rps()));
+}
+
+#[test]
+fn empty_fingerprint_sets_are_harmless() {
+    let set = FingerprintSet::empty(10);
+    assert_eq!(set.len(), 0);
+    let sub = set.subset(&[]);
+    assert!(sub.is_empty());
+}
