@@ -103,11 +103,7 @@ impl PoisonInjector {
 struct NoGradient;
 
 impl GradientSource for NoGradient {
-    fn loss_input_gradient(
-        &self,
-        x: &safeloc_nn::Matrix,
-        _labels: &[usize],
-    ) -> safeloc_nn::Matrix {
+    fn loss_input_gradient(&self, x: &safeloc_nn::Matrix, _labels: &[usize]) -> safeloc_nn::Matrix {
         safeloc_nn::Matrix::zeros(x.rows(), x.cols())
     }
 }

@@ -20,12 +20,7 @@ impl KrumFramework {
     }
 
     /// Creates the KRUM framework assuming `f` Byzantine clients.
-    pub fn with_byzantine(
-        input_dim: usize,
-        n_classes: usize,
-        cfg: ServerConfig,
-        f: usize,
-    ) -> Self {
+    pub fn with_byzantine(input_dim: usize, n_classes: usize, cfg: ServerConfig, f: usize) -> Self {
         Self {
             inner: SequentialFlServer::named(
                 "KRUM",

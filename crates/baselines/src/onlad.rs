@@ -2,6 +2,7 @@
 //! detection + separate localization DNN, aggregated with FedAvg.
 
 use crate::arch::{onlad_detector_dims, onlad_localizer_dims};
+use rayon::prelude::*;
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::client::train_sequential_lm;
 use safeloc_fl::{Aggregator, Client, ClientUpdate, FedAvg, Framework, ServerConfig};
@@ -104,7 +105,11 @@ impl Framework for Onlad {
         self.detector.fit_autoencoder(
             &train.x,
             &mut ae_opt,
-            &TrainConfig::new(self.cfg.pretrain_epochs, self.cfg.batch_size, self.cfg.seed ^ 1),
+            &TrainConfig::new(
+                self.cfg.pretrain_epochs,
+                self.cfg.batch_size,
+                self.cfg.seed ^ 1,
+            ),
         );
         // Calibrate the sample-level threshold at p95 of clean RCE × 1.3.
         let mut rce = self.detector.relative_reconstruction_error(&train.x);
@@ -116,23 +121,29 @@ impl Framework for Onlad {
     fn round(&mut self, clients: &mut [Client]) {
         let n_classes = self.localizer.out_dim();
         let round_salt = (self.rounds_run as u64 + 1) << 16;
+        // One snapshot shared across the fleet; clients are independent,
+        // so detection + local retraining runs in parallel.
+        let gm_snapshot = self.localizer.snapshot();
+        let localizer = &self.localizer;
+        let detector = &*self;
+        let local = &self.cfg.local;
         let updates: Vec<ClientUpdate> = clients
-            .iter_mut()
+            .par_iter_mut()
             .map(|c| {
                 // Backdoor attackers perturb the RSS feed first.
-                let base = c.base_labels(&self.localizer, &self.cfg.local);
-                let x = c.round_rss(&self.localizer, &base, n_classes);
+                let base = c.base_labels(localizer, local);
+                let x = c.round_rss(localizer, &base, n_classes);
                 // On-device detection: drop anomalous samples.
-                let keep = self.keep_indices(&x);
+                let keep = detector.keep_indices(&x);
                 if keep.is_empty() {
                     // Everything flagged: the client sits this round out by
                     // returning the GM unchanged.
-                    return ClientUpdate::new(c.id, self.localizer.snapshot(), 0);
+                    return ClientUpdate::new(c.id, gm_snapshot.clone(), 0);
                 }
                 let x = safeloc_nn::gather_rows(&x, &keep);
                 // Labeling per protocol on the surviving rows.
-                let labels = match self.cfg.local.labeling {
-                    safeloc_fl::LabelingMode::SelfTrain => self.localizer.predict(&x),
+                let labels = match local.labeling {
+                    safeloc_fl::LabelingMode::SelfTrain => localizer.predict(&x),
                     safeloc_fl::LabelingMode::Surveyed => {
                         keep.iter().map(|&i| c.local.labels[i]).collect()
                     }
@@ -140,13 +151,8 @@ impl Framework for Onlad {
                 // Label-flipping attackers corrupt the final labels.
                 let labels = c.round_labels(labels, n_classes);
                 let filtered = FingerprintSet::new(x, labels);
-                let params = train_sequential_lm(
-                    &self.localizer,
-                    &filtered,
-                    &self.cfg.local,
-                    c.seed ^ round_salt,
-                );
-                let params = c.finalize_params(&self.localizer.snapshot(), params);
+                let params = train_sequential_lm(localizer, &filtered, local, c.seed ^ round_salt);
+                let params = c.finalize_params(&gm_snapshot, params);
                 ClientUpdate::new(c.id, params, filtered.len())
             })
             .collect();

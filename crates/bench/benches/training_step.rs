@@ -1,0 +1,99 @@
+//! Full training step on the paper-sized model: the seed allocation-per-op
+//! scalar path vs the allocation-free workspace path, plus the serial vs
+//! parallel federated round.
+//!
+//! Run with `cargo bench -p safeloc-bench --bench training_step`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safeloc_bench::naive;
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+use safeloc_fl::{Client, FedAvg, Framework, LocalTrainConfig, SequentialFlServer, ServerConfig};
+use safeloc_nn::{Activation, Adam, Matrix, Sequential, Workspace};
+
+const DIMS: [usize; 5] = [203, 128, 89, 62, 60];
+const BATCH: usize = 32;
+
+fn batch() -> (Matrix, Vec<usize>) {
+    let x = Matrix::from_fn(BATCH, DIMS[0], |r, c| {
+        ((r * 131 + c * 31) % 1000) as f32 / 1000.0
+    });
+    let labels = (0..BATCH).map(|i| i % DIMS[4]).collect();
+    (x, labels)
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let (x, labels) = batch();
+    let mut group = c.benchmark_group("training_step");
+
+    let mut seed_model = Sequential::mlp(&DIMS, Activation::Relu, 7);
+    let mut seed_opt = Adam::new(1e-3);
+    group.bench_function("seed_alloc_per_op", |b| {
+        b.iter(|| naive::train_step(&mut seed_model, &x, &labels, &mut seed_opt))
+    });
+
+    let mut model = Sequential::mlp(&DIMS, Activation::Relu, 7);
+    let mut opt = Adam::new(1e-3);
+    let mut ws = Workspace::new();
+    group.bench_function("workspace_blocked", |b| {
+        b.iter(|| model.train_batch_with(&x, &labels, &mut opt, &mut ws))
+    });
+    group.finish();
+}
+
+fn bench_federated_round(c: &mut Criterion) {
+    // Paper Building 1 (203 APs, 60 RPs) with the full paper-sized model.
+    let data = BuildingDataset::generate(Building::paper(1), &DatasetConfig::paper(), 1);
+    // Short pretraining (setup cost only), the paper's client protocol for
+    // the timed rounds (5 epochs at batch 16).
+    let cfg = ServerConfig {
+        local: LocalTrainConfig::paper(),
+        ..ServerConfig::tiny()
+    };
+    let mut server = SequentialFlServer::new(
+        &[
+            data.building.num_aps(),
+            128,
+            89,
+            62,
+            data.building.num_rps(),
+        ],
+        Box::new(FedAvg),
+        cfg,
+    );
+    server.pretrain(&data.server_train);
+
+    let mut group = c.benchmark_group("federated_round");
+    group.sample_size(10);
+    let local = LocalTrainConfig::paper();
+    group.bench_function("seed_serial_scalar", |b| {
+        b.iter(|| {
+            let mut gm = server.global_model().clone();
+            let mut clients = Client::from_dataset(&data, 0);
+            naive::seed_round(&mut gm, &mut clients, &local);
+        })
+    });
+    group.bench_function("rebuilt_one_thread", |b| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        b.iter(|| {
+            pool.install(|| {
+                let mut s = server.clone();
+                let mut clients = Client::from_dataset(&data, 0);
+                s.round(&mut clients);
+            })
+        })
+    });
+    group.bench_function("rebuilt_parallel", |b| {
+        b.iter(|| {
+            let mut s = server.clone();
+            let mut clients = Client::from_dataset(&data, 0);
+            s.round(&mut clients);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step, bench_federated_round);
+criterion_main!(benches);

@@ -57,7 +57,10 @@ fn main() {
     ];
 
     println!("# Ablation — SAFELOC variants (building 5)\n");
-    println!("scale: {:?}, seed: {}, rounds: {rounds}\n", cfg.scale, cfg.seed);
+    println!(
+        "scale: {:?}, seed: {}, rounds: {rounds}\n",
+        cfg.scale, cfg.seed
+    );
 
     let base = cfg.safeloc_config();
     let mut rows = Vec::new();

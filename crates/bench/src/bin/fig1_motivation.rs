@@ -19,7 +19,10 @@ fn main() {
     let cfg = HarnessConfig::from_args();
     let rounds = cfg.rounds();
     println!("# Fig. 1 — FEDLOC / FEDHIL degradation under poisoning\n");
-    println!("scale: {:?}, seed: {}, rounds/scenario: {rounds}\n", cfg.scale, cfg.seed);
+    println!(
+        "scale: {:?}, seed: {}, rounds/scenario: {rounds}\n",
+        cfg.scale, cfg.seed
+    );
 
     let attacks: [(&str, Option<Attack>); 3] = [
         ("Clean", None),
@@ -79,7 +82,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["framework", "scenario", "best (m)", "mean (m)", "worst (m)", "mean vs clean"],
+            &[
+                "framework",
+                "scenario",
+                "best (m)",
+                "mean (m)",
+                "worst (m)",
+                "mean vs clean"
+            ],
             &rows
         )
     );

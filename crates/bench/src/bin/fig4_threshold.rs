@@ -10,7 +10,9 @@
 //! ```
 
 use safeloc_attacks::Attack;
-use safeloc_bench::{build_dataset, pretrained_safeloc, run_scenario, HarnessConfig, Scale, Scenario};
+use safeloc_bench::{
+    build_dataset, pretrained_safeloc, run_scenario, HarnessConfig, Scale, Scenario,
+};
 use safeloc_metrics::{markdown_table, ErrorStats};
 
 fn main() {
@@ -22,14 +24,13 @@ fn main() {
     };
     // The HTC U11 introduces a mix of backdoor and label-flip poison, as in
     // the paper's τ study.
-    let attacks = [
-        Attack::fgsm(0.3),
-        Attack::mim(0.2),
-        Attack::label_flip(0.5),
-    ];
+    let attacks = [Attack::fgsm(0.3), Attack::mim(0.2), Attack::label_flip(0.5)];
 
     println!("# Fig. 4 — mean localization error vs. reconstruction threshold τ\n");
-    println!("scale: {:?}, seed: {}, rounds/scenario: {rounds}\n", cfg.scale, cfg.seed);
+    println!(
+        "scale: {:?}, seed: {}, rounds/scenario: {rounds}\n",
+        cfg.scale, cfg.seed
+    );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let buildings = cfg.buildings();
@@ -69,5 +70,7 @@ fn main() {
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     println!("{}", markdown_table(&header_refs, &rows));
-    println!("\npaper: minimum at tau = 0.1; stable to ~0.25; errors grow past 0.3, peaking at 0.45-0.5");
+    println!(
+        "\npaper: minimum at tau = 0.1; stable to ~0.25; errors grow past 0.3, peaking at 0.45-0.5"
+    );
 }

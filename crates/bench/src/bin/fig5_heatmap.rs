@@ -10,7 +10,9 @@
 //! ```
 
 use safeloc_attacks::{Attack, AttackKind, ALL_ATTACK_KINDS};
-use safeloc_bench::{build_dataset, pretrained_safeloc, run_scenario, HarnessConfig, Scale, Scenario};
+use safeloc_bench::{
+    build_dataset, pretrained_safeloc, run_scenario, HarnessConfig, Scale, Scenario,
+};
 use safeloc_dataset::Building;
 use safeloc_metrics::{heatmap, ErrorStats};
 
@@ -57,7 +59,10 @@ fn main() {
     }
 
     let col_labels: Vec<String> = epsilons.iter().map(|e| format!("{e:.2}")).collect();
-    let row_labels: Vec<String> = ALL_ATTACK_KINDS.iter().map(|k| k.label().to_string()).collect();
+    let row_labels: Vec<String> = ALL_ATTACK_KINDS
+        .iter()
+        .map(|k| k.label().to_string())
+        .collect();
     let values: Vec<Vec<f32>> = cells
         .iter()
         .map(|row| {
@@ -67,7 +72,10 @@ fn main() {
         })
         .collect();
 
-    println!("{}", heatmap("attack \\ eps", &col_labels, &row_labels, &values));
+    println!(
+        "{}",
+        heatmap("attack \\ eps", &col_labels, &row_labels, &values)
+    );
 
     // Summary checks against the paper's claims.
     let flip_idx = ALL_ATTACK_KINDS

@@ -21,8 +21,10 @@ fn main() {
     let eps_flip = 0.6;
 
     println!("# Fig. 6 — comparison with the state of the art\n");
-    println!("scale: {:?}, seed: {}, rounds: {rounds}, eps: backdoor {eps_backdoor}, flip {eps_flip}\n",
-        cfg.scale, cfg.seed);
+    println!(
+        "scale: {:?}, seed: {}, rounds: {rounds}, eps: backdoor {eps_backdoor}, flip {eps_flip}\n",
+        cfg.scale, cfg.seed
+    );
 
     // errors[framework][scenario] pooled over buildings.
     let framework_names = ["SAFELOC", "ONLAD", "FEDLS", "FEDCC", "FEDHIL", "FEDLOC"];
@@ -76,7 +78,13 @@ fn main() {
         println!(
             "{}",
             markdown_table(
-                &["framework", "best (m)", "mean (m)", "worst (m)", "mean vs SAFELOC"],
+                &[
+                    "framework",
+                    "best (m)",
+                    "mean (m)",
+                    "worst (m)",
+                    "mean vs SAFELOC"
+                ],
                 &rows
             )
         );

@@ -21,17 +21,27 @@ fn main() {
     let rounds = (cfg.rounds() / 2).max(2);
     let grid: Vec<(usize, usize)> = match cfg.scale {
         Scale::Quick => vec![(6, 1), (12, 4), (24, 12)],
-        _ => vec![(6, 1), (9, 2), (12, 4), (15, 6), (18, 8), (21, 10), (24, 12)],
+        _ => vec![
+            (6, 1),
+            (9, 2),
+            (12, 4),
+            (15, 6),
+            (18, 8),
+            (21, 10),
+            (24, 12),
+        ],
     };
     let building_id = 5; // smallest building keeps the 24-client runs tractable
     println!("# Fig. 7 — mean error vs. (total, poisoned) clients\n");
-    println!("scale: {:?}, seed: {}, rounds: {rounds}, building: {building_id}\n", cfg.scale, cfg.seed);
+    println!(
+        "scale: {:?}, seed: {}, rounds: {rounds}, building: {building_id}\n",
+        cfg.scale, cfg.seed
+    );
 
     let mut rows = Vec::new();
     for &(total, poisoned) in &grid {
         let dataset_cfg = DatasetConfig::paper().with_fleet(total, cfg.seed);
-        let data =
-            BuildingDataset::generate(Building::paper(building_id), &dataset_cfg, cfg.seed);
+        let data = BuildingDataset::generate(Building::paper(building_id), &dataset_cfg, cfg.seed);
         // Poisoned clients: the HTC U11 plus the last synthetic phones.
         let mut attacker_ids = vec![safeloc_dataset::DeviceProfile::ATTACKER_DEVICE];
         let mut next = total - 1;
@@ -87,7 +97,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["(clients, poisoned)", "SAFELOC (m)", "ONLAD (m)", "FEDHIL (m)"],
+            &[
+                "(clients, poisoned)",
+                "SAFELOC (m)",
+                "ONLAD (m)",
+                "FEDHIL (m)"
+            ],
             &rows
         )
     );

@@ -1,0 +1,309 @@
+//! Emits the machine-readable performance baseline `BENCH_nn.json`.
+//!
+//! Measures the numeric hot paths against the preserved seed
+//! implementations (`safeloc_bench::naive`):
+//!
+//! * blocked matmul kernels vs the seed scalar loops, on the paper-sized
+//!   layer shapes (203→128→89→62→60 at batch 32),
+//! * the allocation-free workspace training step vs the seed
+//!   allocation-per-op step,
+//! * one federated round, serial vs all available threads,
+//! * every aggregation strategy on paper-sized updates (including the seed
+//!   per-candidate Krum next to the shared-distance-matrix Krum).
+//!
+//! Usage: `perf_report [--quick] [--seed N] [--out PATH]`. `--quick` cuts
+//! sample counts for CI smoke runs; the default writes `BENCH_nn.json` in
+//! the working directory.
+
+use safeloc::SaliencyAggregator;
+use safeloc_bench::naive;
+use safeloc_bench::perf::{
+    time_median_ns, AggregationTiming, KernelTiming, PerfReport, RoundTiming, StepTiming,
+};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+use safeloc_fl::{
+    Aggregator, Client, ClientUpdate, ClusterAggregator, FedAvg, Framework, Krum,
+    LatentFilterAggregator, SequentialFlServer, ServerConfig,
+};
+use safeloc_nn::{Activation, Adam, HasParams, Matrix, Sequential, Workspace};
+
+/// The paper's Building-1 global-model geometry.
+const PAPER_DIMS: [usize; 5] = [203, 128, 89, 62, 60];
+const BATCH: usize = 32;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        seed: 42,
+        out: "BENCH_nn.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                i += 1;
+                args.seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed requires an integer"));
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("--out requires a path"));
+            }
+            other => panic!("unknown argument {other:?} (expected --quick/--seed N/--out PATH)"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn fill_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 131 + c * 31) as u64 ^ salt) % 1000) as f32 / 500.0 - 1.0
+    })
+}
+
+fn bench_kernels(samples: usize, reps: usize) -> Vec<KernelTiming> {
+    let mut out = Vec::new();
+    // Forward shapes of every paper layer at batch 32.
+    for w in PAPER_DIMS.windows(2) {
+        let (k, n) = (w[0], w[1]);
+        let a = fill_matrix(BATCH, k, 1);
+        let b = fill_matrix(k, n, 2);
+        let mut buf = Matrix::zeros(BATCH, n);
+        let naive_ns = time_median_ns(samples, || {
+            for _ in 0..reps {
+                std::hint::black_box(naive::matmul(&a, &b));
+            }
+        }) / reps as f64;
+        let blocked_ns = time_median_ns(samples, || {
+            for _ in 0..reps {
+                a.matmul_into(&b, &mut buf);
+                std::hint::black_box(&buf);
+            }
+        }) / reps as f64;
+        out.push(KernelTiming {
+            kernel: "matmul".into(),
+            shape: format!("{BATCH}x{k} * {k}x{n}"),
+            naive_ns,
+            blocked_ns,
+            speedup: naive_ns / blocked_ns.max(1.0),
+        });
+    }
+    // Backward shapes: dX = grad · Wᵀ and dW = Xᵀ · grad for the widest layer.
+    let (k, n) = (PAPER_DIMS[0], PAPER_DIMS[1]);
+    let grad = fill_matrix(BATCH, n, 3);
+    let w = fill_matrix(k, n, 4);
+    let x = fill_matrix(BATCH, k, 5);
+    let mut buf = Matrix::zeros(0, 0);
+    let naive_ns = time_median_ns(samples, || {
+        for _ in 0..reps {
+            std::hint::black_box(naive::matmul_transposed(&grad, &w));
+        }
+    }) / reps as f64;
+    let blocked_ns = time_median_ns(samples, || {
+        for _ in 0..reps {
+            grad.matmul_transposed_into(&w, &mut buf);
+            std::hint::black_box(&buf);
+        }
+    }) / reps as f64;
+    out.push(KernelTiming {
+        kernel: "matmul_transposed".into(),
+        shape: format!("{BATCH}x{n} * ({k}x{n})^T"),
+        naive_ns,
+        blocked_ns,
+        speedup: naive_ns / blocked_ns.max(1.0),
+    });
+    let naive_ns = time_median_ns(samples, || {
+        for _ in 0..reps {
+            std::hint::black_box(naive::transposed_matmul(&x, &grad));
+        }
+    }) / reps as f64;
+    let blocked_ns = time_median_ns(samples, || {
+        for _ in 0..reps {
+            x.transposed_matmul_into(&grad, &mut buf);
+            std::hint::black_box(&buf);
+        }
+    }) / reps as f64;
+    out.push(KernelTiming {
+        kernel: "transposed_matmul".into(),
+        shape: format!("({BATCH}x{k})^T * {BATCH}x{n}"),
+        naive_ns,
+        blocked_ns,
+        speedup: naive_ns / blocked_ns.max(1.0),
+    });
+    out
+}
+
+fn bench_training_step(samples: usize, seed: u64) -> StepTiming {
+    let x = fill_matrix(BATCH, PAPER_DIMS[0], seed);
+    let labels: Vec<usize> = (0..BATCH).map(|i| i % PAPER_DIMS[4]).collect();
+
+    let mut naive_model = Sequential::mlp(&PAPER_DIMS, Activation::Relu, seed);
+    let mut naive_opt = Adam::new(1e-3);
+    let naive_ns = time_median_ns(samples, || {
+        std::hint::black_box(naive::train_step(
+            &mut naive_model,
+            &x,
+            &labels,
+            &mut naive_opt,
+        ));
+    });
+
+    let mut model = Sequential::mlp(&PAPER_DIMS, Activation::Relu, seed);
+    let mut opt = Adam::new(1e-3);
+    let mut ws = Workspace::new();
+    let workspace_ns = time_median_ns(samples, || {
+        std::hint::black_box(model.train_batch_with(&x, &labels, &mut opt, &mut ws));
+    });
+
+    StepTiming {
+        dims: PAPER_DIMS.to_vec(),
+        batch: BATCH,
+        naive_ns,
+        workspace_ns,
+        speedup: naive_ns / workspace_ns.max(1.0),
+    }
+}
+
+fn bench_round(quick: bool, seed: u64) -> RoundTiming {
+    // Six-phone fleet on paper Building 1 with the full paper-sized global
+    // model (203→128→89→62→60); `--quick` only reduces sample counts so
+    // round timings stay representative.
+    let data = BuildingDataset::generate(Building::paper(1), &DatasetConfig::paper(), seed);
+    // Short pretraining (setup cost only), the paper's client protocol for
+    // the timed rounds (5 epochs at batch 16).
+    let cfg = ServerConfig {
+        local: safeloc_fl::LocalTrainConfig::paper(),
+        ..ServerConfig::tiny()
+    };
+    let mut server = SequentialFlServer::new(
+        &[
+            data.building.num_aps(),
+            128,
+            89,
+            62,
+            data.building.num_rps(),
+        ],
+        Box::new(FedAvg),
+        cfg,
+    );
+    server.pretrain(&data.server_train);
+
+    let samples = if quick { 3 } else { 5 };
+    let local = safeloc_fl::LocalTrainConfig::paper();
+    let seed_ns = time_median_ns(samples, || {
+        let mut gm = server.global_model().clone();
+        let mut clients = Client::from_dataset(&data, seed);
+        naive::seed_round(&mut gm, &mut clients, &local);
+    });
+    let run_round = || {
+        let mut s = server.clone();
+        let mut clients = Client::from_dataset(&data, seed);
+        s.round(&mut clients);
+    };
+    let serial_ns = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool")
+        .install(|| time_median_ns(samples, run_round));
+    let threads = rayon::current_num_threads();
+    let parallel_ns = time_median_ns(samples, run_round);
+
+    RoundTiming {
+        clients: data.num_clients(),
+        seed_ms: seed_ns / 1e6,
+        serial_ms: serial_ns / 1e6,
+        parallel_ms: parallel_ns / 1e6,
+        threads,
+        speedup_vs_seed: seed_ns / parallel_ns.max(1.0),
+        thread_speedup: serial_ns / parallel_ns.max(1.0),
+    }
+}
+
+fn paper_sized_updates(
+    n_clients: usize,
+    seed: u64,
+) -> (safeloc_nn::NamedParams, Vec<ClientUpdate>) {
+    let gm = Sequential::mlp(&PAPER_DIMS, Activation::Relu, seed);
+    let gm_params = gm.snapshot();
+    let updates: Vec<ClientUpdate> = (0..n_clients)
+        .map(|i| {
+            let mut p = gm_params.clone();
+            // Small deterministic per-client perturbation.
+            let delta = gm_params.scale(1e-3 * (i as f32 + 1.0));
+            p.axpy(1.0, &delta);
+            ClientUpdate::new(i, p, 60)
+        })
+        .collect();
+    (gm_params, updates)
+}
+
+fn bench_aggregation(samples: usize, seed: u64) -> Vec<AggregationTiming> {
+    let (gm, updates) = paper_sized_updates(6, seed);
+    let mut out = Vec::new();
+    let mut timed = |name: &str, mut agg: Box<dyn Aggregator>| {
+        let ns = time_median_ns(samples, || {
+            std::hint::black_box(agg.aggregate(&gm, &updates));
+        });
+        out.push(AggregationTiming {
+            strategy: name.to_string(),
+            micros: ns / 1e3,
+        });
+    };
+    timed("FedAvg", Box::new(FedAvg));
+    timed("Krum(shared-matrix)", Box::new(Krum::new(1)));
+    timed("Cluster", Box::<ClusterAggregator>::default());
+    timed("LatentFilter", Box::new(LatentFilterAggregator::new(seed)));
+    timed("Saliency", Box::<SaliencyAggregator>::default());
+    // Seed Krum baseline: per-candidate distance recomputation.
+    let ns = time_median_ns(samples, || {
+        std::hint::black_box(naive::krum_select(&updates, 1));
+    });
+    out.push(AggregationTiming {
+        strategy: "Krum(seed-per-candidate)".to_string(),
+        micros: ns / 1e3,
+    });
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let (samples, reps) = if args.quick { (5, 3) } else { (15, 10) };
+
+    eprintln!("measuring kernels...");
+    let matmul = bench_kernels(samples, reps);
+    eprintln!("measuring training step...");
+    let training_step = bench_training_step(if args.quick { 5 } else { 11 }, args.seed);
+    eprintln!("measuring federated round...");
+    let round = bench_round(args.quick, args.seed);
+    eprintln!("measuring aggregation strategies...");
+    let aggregation = bench_aggregation(if args.quick { 3 } else { 7 }, args.seed);
+
+    let report = PerfReport {
+        schema: "safeloc-bench/perf-report/v1".to_string(),
+        quick: args.quick,
+        threads: rayon::current_num_threads(),
+        matmul,
+        training_step,
+        round,
+        aggregation,
+    };
+
+    println!("{}", report.summary());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, json).expect("write BENCH json");
+    eprintln!("wrote {}", args.out);
+}

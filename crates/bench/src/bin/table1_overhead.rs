@@ -63,11 +63,18 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["framework", "inference latency", "total parameters", "latency vs SAFELOC"],
+            &[
+                "framework",
+                "inference latency",
+                "total parameters",
+                "latency vs SAFELOC"
+            ],
             &rows
         )
     );
-    println!("\npaper (ms on device / params): SAFELOC 64/41094, ONLAD 87/130185, FEDHIL 84/97341,");
+    println!(
+        "\npaper (ms on device / params): SAFELOC 64/41094, ONLAD 87/130185, FEDHIL 84/97341,"
+    );
     println!("FEDCC 67/42993, FEDLS 103/282676, FEDLOC 135/137801");
     println!("\nparameter ordering preserved: SAFELOC < FEDCC < FEDHIL < ONLAD < FEDLOC < FEDLS");
 }

@@ -19,8 +19,11 @@
 //! scaled-down-but-converged configuration (`DESIGN.md` §5).
 
 pub mod harness;
+pub mod naive;
+pub mod perf;
 
 pub use harness::{
     build_dataset, build_frameworks, default_buildings, evaluate_errors, pretrained_safeloc,
     run_scenario, HarnessConfig, Scale, Scenario,
 };
+pub use perf::{time_median_ns, PerfReport};

@@ -1,0 +1,268 @@
+//! The seed generation's scalar, allocation-per-op numeric paths, preserved
+//! verbatim-in-spirit as a permanent performance baseline.
+//!
+//! Everything here is intentionally *not* used by the production code: the
+//! tensor layer now routes through the blocked kernels in
+//! `safeloc_nn::kernels` and the training loop through the reusable
+//! [`Workspace`](safeloc_nn::Workspace). The benches and `perf_report`
+//! binary call these functions to measure how far the hot path has moved —
+//! giving every future PR a stable "seed" reference instead of comparing
+//! against a moving target.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safeloc_fl::{Aggregator, Client, ClientUpdate, FedAvg, LocalTrainConfig};
+use safeloc_nn::{
+    gather_labels, gather_rows, shuffled_batches, Activation, Adam, HasParams, Matrix, NamedParams,
+    Optimizer, Sequential, SparseCrossEntropyLoss,
+};
+
+/// The seed's `Matrix::matmul`: scalar i-k-j loops, fresh output
+/// allocation, and the `a == 0.0` skip in the reduction.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "naive matmul shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        let o_row = &mut ov[i * n..(i + 1) * n];
+        for (p, &aval) in a_row.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let b_row = &bv[p * n..(p + 1) * n];
+            for (o, &bval) in o_row.iter_mut().zip(b_row) {
+                *o += aval * bval;
+            }
+        }
+    }
+    out
+}
+
+/// The seed's `Matrix::matmul_transposed`: single-accumulator dot products.
+pub fn matmul_transposed(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "naive matmul_transposed shape mismatch");
+    let (m, k, r) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, r);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        for j in 0..r {
+            let b_row = &bv[j * k..(j + 1) * k];
+            let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+            ov[i * r + j] = dot;
+        }
+    }
+    out
+}
+
+/// The seed's `Matrix::transposed_matmul`, with the `a == 0.0` skip.
+pub fn transposed_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "naive transposed_matmul shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(k, n);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for row in 0..m {
+        let a_row = &av[row * k..(row + 1) * k];
+        let b_row = &bv[row * n..(row + 1) * n];
+        for (i, &aval) in a_row.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let o_row = &mut ov[i * n..(i + 1) * n];
+            for (o, &bval) in o_row.iter_mut().zip(b_row) {
+                *o += aval * bval;
+            }
+        }
+    }
+    out
+}
+
+/// The seed's forward/backward/step training path: every intermediate —
+/// pre-activations, activation outputs, derivative masks, gradients, the
+/// softmax — is a freshly allocated matrix, and all products go through the
+/// scalar kernels above. Returns the batch loss.
+pub fn train_step(
+    model: &mut Sequential,
+    x: &Matrix,
+    labels: &[usize],
+    opt: &mut dyn Optimizer,
+) -> f32 {
+    let depth = model.depth();
+    // Forward trace.
+    let mut inputs: Vec<Matrix> = Vec::with_capacity(depth + 1);
+    let mut pre: Vec<Matrix> = Vec::with_capacity(depth);
+    let mut acts: Vec<Activation> = Vec::with_capacity(depth);
+    inputs.push(x.clone());
+    for i in 0..depth {
+        let layer = model.layer(i);
+        let act = if i + 1 == depth {
+            Activation::Identity
+        } else {
+            Activation::Relu
+        };
+        let z = {
+            let mut z = matmul(inputs.last().expect("non-empty"), layer.weights());
+            z = z.add_row_broadcast(layer.bias());
+            z
+        };
+        let h = act.forward(&z);
+        pre.push(z);
+        inputs.push(h);
+        acts.push(act);
+    }
+    let logits = inputs.last().expect("non-empty");
+    let loss = SparseCrossEntropyLoss.loss(logits, labels);
+    let mut grad = SparseCrossEntropyLoss.grad(logits, labels);
+    // Backward.
+    let mut grads: Vec<Matrix> = vec![Matrix::zeros(0, 0); depth * 2];
+    for i in (0..depth).rev() {
+        let grad_pre = acts[i].backward(&pre[i], &grad);
+        let layer = model.layer(i);
+        grads[2 * i] = transposed_matmul(&inputs[i], &grad_pre);
+        grads[2 * i + 1] = grad_pre.sum_rows();
+        grad = matmul_transposed(&grad_pre, layer.weights());
+    }
+    use safeloc_nn::HasParams;
+    opt.step(model.param_tensors_mut(), &grads);
+    loss
+}
+
+/// The seed's federated round: every client sequentially (no parallelism)
+/// trains a clone of the GM through the allocation-per-op scalar path
+/// above, the full GM is re-snapshotted once per client, and the updates
+/// are FedAvg-aggregated. This is the wall-clock baseline the rebuilt
+/// round is measured against in `BENCH_nn.json`.
+pub fn seed_round(gm: &mut Sequential, clients: &mut [Client], local: &LocalTrainConfig) {
+    let n_classes = gm.out_dim();
+    let round_salt = 1u64 << 16;
+    let updates: Vec<ClientUpdate> = clients
+        .iter_mut()
+        .map(|c| {
+            let set = c.prepare_round_data(&*gm, n_classes, local);
+            // Seed-style local training: allocation per batch, scalar
+            // kernels per step.
+            let mut lm = gm.clone();
+            let mut opt = Adam::new(local.learning_rate);
+            let mut rng = StdRng::seed_from_u64(c.seed ^ round_salt);
+            for _ in 0..local.epochs {
+                for batch in shuffled_batches(set.x.rows(), local.batch_size, &mut rng) {
+                    let bx = gather_rows(&set.x, &batch);
+                    let by = gather_labels(&set.labels, &batch);
+                    train_step(&mut lm, &bx, &by, &mut opt);
+                }
+            }
+            let params = c.finalize_params(&gm.snapshot(), lm.snapshot());
+            ClientUpdate::new(c.id, params, set.len())
+        })
+        .collect();
+    let mut agg = FedAvg;
+    let next = agg.aggregate(&gm.snapshot(), &updates);
+    gm.load(&next).expect("FedAvg preserves architecture");
+}
+
+/// The seed's Krum: recomputes the full pairwise squared-distance set for
+/// every candidate — `O(n²·d)` per candidate, `O(n³·d)` per round.
+pub fn krum_select(updates: &[ClientUpdate], assumed_byzantine: usize) -> Option<NamedParams> {
+    if updates.is_empty() {
+        return None;
+    }
+    if updates.len() == 1 {
+        return Some(updates[0].params.clone());
+    }
+    let n = updates.len();
+    let k = n.saturating_sub(assumed_byzantine + 2).max(1);
+    let mut best = (f32::INFINITY, 0usize);
+    for i in 0..n {
+        let mut dists: Vec<f32> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let d = updates[i].params.l2_distance(&updates[j].params);
+                d * d
+            })
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let score: f32 = dists.iter().take(k).sum();
+        if score < best.0 {
+            best = (score, i);
+        }
+    }
+    Some(updates[best.1].params.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_fl::{Aggregator, Krum};
+    use safeloc_nn::Adam;
+
+    fn mat(rows: usize, cols: usize, salt: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            (((r * 31 + c * 7) as u64 + salt) % 100) as f32 / 50.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn naive_kernels_agree_with_blocked_kernels() {
+        let a = mat(5, 37, 1);
+        let b = mat(37, 11, 2);
+        let fast = a.matmul(&b);
+        let slow = matmul(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        let bt = mat(11, 37, 3);
+        let fast = a.matmul_transposed(&bt);
+        let slow = matmul_transposed(&a, &bt);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        let c = mat(5, 11, 4);
+        let fast = a.transposed_matmul(&c);
+        let slow = transposed_matmul(&a, &c);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn naive_training_step_tracks_the_workspace_path() {
+        use safeloc_nn::Activation;
+        let mut a = Sequential::mlp(&[12, 8, 4], Activation::Relu, 3);
+        let mut b = a.clone();
+        let x = mat(6, 12, 9);
+        let labels = vec![0usize, 1, 2, 3, 0, 1];
+        let mut oa = Adam::new(1e-3);
+        let mut ob = Adam::new(1e-3);
+        for _ in 0..3 {
+            let la = train_step(&mut a, &x, &labels, &mut oa);
+            let lb = b.train_batch(&x, &labels, &mut ob);
+            assert!((la - lb).abs() < 1e-5, "losses diverged: {la} vs {lb}");
+        }
+        use safeloc_nn::HasParams;
+        let dist = a.snapshot().l2_distance(&b.snapshot());
+        assert!(dist < 1e-3, "weights diverged: {dist}");
+    }
+
+    #[test]
+    fn naive_krum_agrees_with_shared_matrix_krum() {
+        let updates: Vec<ClientUpdate> = (0..6)
+            .map(|i| {
+                let w = if i == 5 { 40.0 } else { 1.0 + i as f32 * 0.01 };
+                ClientUpdate::new(
+                    i,
+                    NamedParams::new(vec![("w".into(), Matrix::filled(1, 8, w))]),
+                    3,
+                )
+            })
+            .collect();
+        let gm = NamedParams::new(vec![("w".into(), Matrix::zeros(1, 8))]);
+        let fast = Krum::new(1).aggregate(&gm, &updates);
+        let slow = krum_select(&updates, 1).unwrap();
+        assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,208 @@
+//! Machine-readable performance reporting (`BENCH_nn.json`).
+//!
+//! The `perf_report` binary times the numeric hot paths — blocked kernels
+//! against the preserved seed baselines in [`crate::naive`], the
+//! allocation-free training step, full federated rounds and every
+//! aggregation strategy — and serializes the results so the perf
+//! trajectory is tracked from PR to PR. Timing here is deliberately plain
+//! `Instant`-based median-of-N so the binary has no bench-harness
+//! dependency and runs in one shot under `--quick`.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Times `f` as the median of `samples` runs, in nanoseconds per run.
+///
+/// Each sample executes `f` once; the first (cold) run is excluded via a
+/// warmup call. Suitable for workloads ≥ ~10 µs — the report's kernels are
+/// timed over inner repetition loops where needed.
+pub fn time_median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    times[times.len() / 2]
+}
+
+/// One kernel-shape measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Kernel name (`matmul`, `matmul_transposed`, `transposed_matmul`).
+    pub kernel: String,
+    /// Shape in `m x k · k x n` notation.
+    pub shape: String,
+    /// Seed scalar-path time, ns per operation.
+    pub naive_ns: f64,
+    /// Blocked-kernel time, ns per operation.
+    pub blocked_ns: f64,
+    /// `naive_ns / blocked_ns`.
+    pub speedup: f64,
+}
+
+/// Training-step measurement on the paper-sized model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTiming {
+    /// Model layer widths.
+    pub dims: Vec<usize>,
+    /// Batch size.
+    pub batch: usize,
+    /// Seed allocation-per-op path, ns per step.
+    pub naive_ns: f64,
+    /// Workspace path, ns per step.
+    pub workspace_ns: f64,
+    /// `naive_ns / workspace_ns`.
+    pub speedup: f64,
+}
+
+/// Federated-round wall time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTiming {
+    /// Client count in the fleet.
+    pub clients: usize,
+    /// Seed-style round (scalar kernels, allocation per op, per-client GM
+    /// snapshot, strictly sequential clients), ms.
+    pub seed_ms: f64,
+    /// Rebuilt round forced onto one thread, ms.
+    pub serial_ms: f64,
+    /// Rebuilt round at the machine's available parallelism, ms.
+    pub parallel_ms: f64,
+    /// Threads used by the parallel measurement.
+    pub threads: usize,
+    /// `seed_ms / parallel_ms` — the headline round speedup.
+    pub speedup_vs_seed: f64,
+    /// `serial_ms / parallel_ms` — the share contributed by threading.
+    pub thread_speedup: f64,
+}
+
+/// Aggregation-rule cost on paper-sized updates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregationTiming {
+    /// Strategy name.
+    pub strategy: String,
+    /// Time per aggregate() call, µs.
+    pub micros: f64,
+}
+
+/// The full report serialized to `BENCH_nn.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Report format version.
+    pub schema: String,
+    /// `true` when produced under `--quick`.
+    pub quick: bool,
+    /// Threads available to the parallel paths.
+    pub threads: usize,
+    /// Per-shape kernel timings.
+    pub matmul: Vec<KernelTiming>,
+    /// Training-step timing.
+    pub training_step: StepTiming,
+    /// Federated-round timing.
+    pub round: RoundTiming,
+    /// Per-strategy aggregation cost, including the preserved seed Krum.
+    pub aggregation: Vec<AggregationTiming>,
+}
+
+impl PerfReport {
+    /// Renders the human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf report ({} threads{})\n",
+            self.threads,
+            if self.quick { ", --quick" } else { "" }
+        ));
+        out.push_str("\nkernels (ns/op, seed scalar vs blocked):\n");
+        for k in &self.matmul {
+            out.push_str(&format!(
+                "  {:<20} {:<18} {:>12.0} -> {:>12.0}  ({:.2}x)\n",
+                k.kernel, k.shape, k.naive_ns, k.blocked_ns, k.speedup
+            ));
+        }
+        out.push_str(&format!(
+            "\ntraining step {:?} batch {}: {:.0} ns -> {:.0} ns ({:.2}x)\n",
+            self.training_step.dims,
+            self.training_step.batch,
+            self.training_step.naive_ns,
+            self.training_step.workspace_ns,
+            self.training_step.speedup
+        ));
+        out.push_str(&format!(
+            "federated round ({} clients): seed {:.1} ms -> {:.1} ms serial -> {:.1} ms on {} \
+             threads ({:.2}x vs seed, {:.2}x from threading)\n",
+            self.round.clients,
+            self.round.seed_ms,
+            self.round.serial_ms,
+            self.round.parallel_ms,
+            self.round.threads,
+            self.round.speedup_vs_seed,
+            self.round.thread_speedup
+        ));
+        out.push_str("\naggregation (µs/round):\n");
+        for a in &self.aggregation {
+            out.push_str(&format!("  {:<24} {:>12.1}\n", a.strategy, a.micros));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_timing_is_positive_and_stable() {
+        let ns = time_median_ns(5, || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = PerfReport {
+            schema: "safeloc-bench/perf-report/v1".into(),
+            quick: true,
+            threads: 4,
+            matmul: vec![KernelTiming {
+                kernel: "matmul".into(),
+                shape: "32x203 * 203x128".into(),
+                naive_ns: 1000.0,
+                blocked_ns: 400.0,
+                speedup: 2.5,
+            }],
+            training_step: StepTiming {
+                dims: vec![203, 128, 89, 62, 60],
+                batch: 32,
+                naive_ns: 5e6,
+                workspace_ns: 2e6,
+                speedup: 2.5,
+            },
+            round: RoundTiming {
+                clients: 6,
+                seed_ms: 300.0,
+                serial_ms: 120.0,
+                parallel_ms: 40.0,
+                threads: 4,
+                speedup_vs_seed: 7.5,
+                thread_speedup: 3.0,
+            },
+            aggregation: vec![AggregationTiming {
+                strategy: "Krum".into(),
+                micros: 800.0,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(report.summary().contains("training step"));
+    }
+}

@@ -2,9 +2,10 @@
 //! saliency-map aggregation, wired into the `safeloc-fl` engine.
 
 use crate::config::SafeLocConfig;
+use crate::detector::calibrate_tau;
 use crate::fused::{FusedConfig, FusedNetwork};
 use crate::saliency::SaliencyAggregator;
-use crate::detector::calibrate_tau;
+use rayon::prelude::*;
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::{Aggregator, Client, ClientUpdate, Framework};
 use safeloc_nn::{Adam, HasParams, Matrix, TrainConfig};
@@ -104,11 +105,19 @@ impl SafeLoc {
     }
 
     /// Collects one round of client updates (exposed for tests/ablations).
+    ///
+    /// Clients are independent — each de-noises and retrains its own clone
+    /// of the fused GM — so the fleet runs in parallel. Per-client seed
+    /// streams and order-preserving collection keep the round
+    /// bitwise-identical across thread counts.
     pub fn collect_updates(&self, clients: &mut [Client]) -> Vec<ClientUpdate> {
         let n_classes = self.net.n_classes();
         let round_salt = (self.rounds_run as u64 + 1) << 16;
+        // One snapshot shared across the fleet (the seed re-snapshotted the
+        // full fused model once per client).
+        let gm_snapshot = self.net.snapshot();
         clients
-            .iter_mut()
+            .par_iter_mut()
             .map(|c| {
                 // 1. A backdoor attacker perturbs the RSS feed before the
                 //    pipeline sees it (Fig. 2).
@@ -147,7 +156,7 @@ impl SafeLoc {
                     self.cfg.recon_weight,
                     self.cfg.augment.as_ref(),
                 );
-                let params = c.finalize_params(&self.net.snapshot(), lm.snapshot());
+                let params = c.finalize_params(&gm_snapshot, lm.snapshot());
                 ClientUpdate::new(c.id, params, n)
             })
             .collect()

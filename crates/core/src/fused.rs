@@ -155,8 +155,14 @@ impl FusedNetwork {
     ///
     /// Panics if any dimension list is empty or zero-width.
     pub fn new(cfg: &FusedConfig) -> Self {
-        assert!(!cfg.encoder_dims.is_empty(), "encoder needs at least one layer");
-        assert!(cfg.input_dim > 0 && cfg.n_classes > 0, "degenerate dimensions");
+        assert!(
+            !cfg.encoder_dims.is_empty(),
+            "encoder needs at least one layer"
+        );
+        assert!(
+            cfg.input_dim > 0 && cfg.n_classes > 0,
+            "degenerate dimensions"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut enc = Vec::with_capacity(cfg.encoder_dims.len());
         let mut prev = cfg.input_dim;
@@ -785,7 +791,9 @@ mod tests {
         // Decoder tensors must be non-zero.
         assert!(grads[4].l2_norm() > 0.0);
         // Joint mode: encoder grads become non-zero.
-        let joint = net.backward(&trace, None, Some(&d_recon), false).into_flat();
+        let joint = net
+            .backward(&trace, None, Some(&d_recon), false)
+            .into_flat();
         assert!(joint[0].l2_norm() > 0.0);
     }
 
@@ -865,8 +873,8 @@ mod tests {
         let (den, flagged) = net.denoise_matrix(&mixed, tau, RceMode::Relative);
         assert!(flagged[0], "corrupted row not flagged");
         assert_ne!(den.row(0), mixed.row(0), "flagged row not replaced");
-        for r in 1..mixed.rows() {
-            if !flagged[r] {
+        for (r, &was_flagged) in flagged.iter().enumerate().skip(1) {
+            if !was_flagged {
                 assert_eq!(den.row(r), mixed.row(r), "clean row {r} was altered");
             }
         }

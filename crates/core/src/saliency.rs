@@ -19,6 +19,7 @@
 //!   adjusted LM and damped by ½ so identical models remain a fixed point:
 //!   `W'_GM = (W_GM + mean_i(S_i ∘ W_LM,i)) / 2`.
 
+use rayon::prelude::*;
 use safeloc_fl::{Aggregator, ClientUpdate};
 use safeloc_nn::{Matrix, NamedParams};
 use serde::{Deserialize, Serialize};
@@ -90,39 +91,49 @@ impl Aggregator for SaliencyAggregator {
             return global.clone();
         }
         let n = updates.len() as f32;
-        let mut out = global.clone();
-        match self.mode {
-            AggregationMode::Normalized => {
-                // W' = W_GM + mean_i( S_i ∘ (W_LM,i − W_GM) )
-                for (name, tensor) in out.iter_mut() {
-                    let gm = global.get(name).expect("same arch");
-                    let mut acc = gm.scale(0.0);
-                    for u in &updates {
-                        let lm = u.params.get(name).expect("same arch");
-                        let s = saliency_matrix(lm, gm, self.sharpness);
-                        let gated = s.hadamard(&lm.sub(gm));
-                        acc.axpy(1.0 / n, &gated);
+        // Tensors are independent, so the per-tensor saliency-gate-and-
+        // average work fans out across threads; names() fixes the order so
+        // results are identical for any thread count.
+        let names: Vec<&str> = global.names();
+        let mode = self.mode;
+        let sharpness = self.sharpness;
+        let next_tensors: Vec<Matrix> = names
+            .par_iter()
+            .map(|name| {
+                let gm = global.get(name).expect("same arch");
+                match mode {
+                    AggregationMode::Normalized => {
+                        // W' = W_GM + mean_i( S_i ∘ (W_LM,i − W_GM) )
+                        let mut acc = gm.scale(0.0);
+                        for u in &updates {
+                            let lm = u.params.get(name).expect("same arch");
+                            let s = saliency_matrix(lm, gm, sharpness);
+                            let gated = s.hadamard(&lm.sub(gm));
+                            acc.axpy(1.0 / n, &gated);
+                        }
+                        acc.add_assign(gm);
+                        acc
                     }
-                    tensor.add_assign(&acc);
-                }
-            }
-            AggregationMode::Literal => {
-                // W' = ( W_GM + mean_i( S_i ∘ W_LM,i ) ) / 2
-                for (name, tensor) in out.iter_mut() {
-                    let gm = global.get(name).expect("same arch");
-                    let mut acc = gm.scale(0.0);
-                    for u in &updates {
-                        let lm = u.params.get(name).expect("same arch");
-                        let s = saliency_matrix(lm, gm, self.sharpness);
-                        acc.axpy(1.0 / n, &s.hadamard(lm));
+                    AggregationMode::Literal => {
+                        // W' = ( W_GM + mean_i( S_i ∘ W_LM,i ) ) / 2
+                        let mut acc = gm.scale(0.0);
+                        for u in &updates {
+                            let lm = u.params.get(name).expect("same arch");
+                            let s = saliency_matrix(lm, gm, sharpness);
+                            acc.axpy(1.0 / n, &s.hadamard(lm));
+                        }
+                        let mut next = gm.add(&acc);
+                        next.scale_assign(0.5);
+                        next
                     }
-                    let mut next = gm.add(&acc);
-                    next.scale_assign(0.5);
-                    *tensor = next;
                 }
-            }
-        }
-        out
+            })
+            .collect();
+        names
+            .into_iter()
+            .map(str::to_string)
+            .zip(next_tensors)
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -158,7 +169,10 @@ mod tests {
         let gm = Matrix::row_vector(&[0.0, 0.0, 0.0, 0.0]);
         // sharpness 1 = the paper's Eq. 7 exactly.
         let s = saliency_matrix(&lm, &gm, 1.0);
-        assert!((s.get(0, 0) - 1.0).abs() < 1e-6, "zero deviation -> saliency 1");
+        assert!(
+            (s.get(0, 0) - 1.0).abs() < 1e-6,
+            "zero deviation -> saliency 1"
+        );
         assert!((s.get(0, 1) - 0.5).abs() < 1e-6);
         assert!((s.get(0, 2) - 0.25).abs() < 1e-6);
         assert!(s.get(0, 3) < 0.01, "huge deviation -> tiny saliency");
@@ -172,7 +186,10 @@ mod tests {
         let soft = saliency_matrix(&lm, &gm, 1.0).get(0, 0);
         let sharp = saliency_matrix(&lm, &gm, 10.0).get(0, 0);
         assert!((soft - 1.0 / 1.1).abs() < 1e-6);
-        assert!((sharp - 0.5).abs() < 1e-6, "k=10 maps 0.1 deviation to S=0.5");
+        assert!(
+            (sharp - 0.5).abs() < 1e-6,
+            "k=10 maps 0.1 deviation to S=0.5"
+        );
     }
 
     #[test]
@@ -204,7 +221,10 @@ mod tests {
         let out = SaliencyAggregator::default().aggregate(&g, &u);
         let w = out.get("w").unwrap().get(0, 0);
         // S = 1/(1 + 10·0.1) = 0.5; step = 0.05 = 50% of the honest delta.
-        assert!((w - 0.05).abs() < 1e-3, "honest update over-suppressed: {w}");
+        assert!(
+            (w - 0.05).abs() < 1e-3,
+            "honest update over-suppressed: {w}"
+        );
     }
 
     #[test]
@@ -222,15 +242,21 @@ mod tests {
     fn poisoned_minority_is_damped_relative_to_fedavg() {
         let g = params(&[0.0]);
         let honest = [0.1f32, 0.12, 0.09, 0.11, 0.1];
-        let mut updates: Vec<ClientUpdate> =
-            honest.iter().enumerate().map(|(i, &w)| update(i, &[w])).collect();
+        let mut updates: Vec<ClientUpdate> = honest
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| update(i, &[w]))
+            .collect();
         updates.push(update(9, &[50.0])); // attacker
         let out = SaliencyAggregator::default().aggregate(&g, &updates);
         let w = out.get("w").unwrap().get(0, 0);
         // FedAvg would land at (0.52/6 of sum…) ≈ 8.42; saliency keeps the
         // step near the honest consensus plus a bounded attacker residue.
         let fedavg = (honest.iter().sum::<f32>() + 50.0) / 6.0;
-        assert!(w < fedavg / 10.0, "saliency barely better than FedAvg: {w} vs {fedavg}");
+        assert!(
+            w < fedavg / 10.0,
+            "saliency barely better than FedAvg: {w} vs {fedavg}"
+        );
         assert!(w < 0.1, "aggregate drifted: {w}");
     }
 

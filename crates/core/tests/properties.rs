@@ -1,7 +1,9 @@
 //! Property-based tests for the SAFELOC core invariants.
 
 use proptest::prelude::*;
-use safeloc::{saliency_matrix, AggregationMode, FusedConfig, FusedNetwork, RceMode, SaliencyAggregator};
+use safeloc::{
+    saliency_matrix, AggregationMode, FusedConfig, FusedNetwork, RceMode, SaliencyAggregator,
+};
 use safeloc_fl::{Aggregator, ClientUpdate};
 use safeloc_nn::{HasParams, Matrix, NamedParams};
 
@@ -129,8 +131,8 @@ proptest! {
         let net = tiny_net(seed);
         let (den, flagged) = net.denoise_matrix(&x, tau, RceMode::Relative);
         prop_assert!(den.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
-        for r in 0..x.rows() {
-            if !flagged[r] {
+        for (r, &was_flagged) in flagged.iter().enumerate() {
+            if !was_flagged {
                 prop_assert_eq!(den.row(r), x.row(r), "unflagged row {} was altered", r);
             }
         }

@@ -138,7 +138,13 @@ impl Building {
             5 => (90, 78),
             _ => panic!("paper buildings are numbered 1..=5, got {id}"),
         };
-        Self::generate(id, &format!("Building {id}"), n_rps, n_aps, 0xB17D + id as u64)
+        Self::generate(
+            id,
+            &format!("Building {id}"),
+            n_rps,
+            n_aps,
+            0xB17D + id as u64,
+        )
     }
 
     /// All five paper buildings.

@@ -113,7 +113,8 @@ impl DeviceProfile {
     ///
     /// Deterministic per `(index, seed)`.
     pub fn synthetic(index: usize, seed: u64) -> DeviceProfile {
-        let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
         DeviceProfile {
             name: format!("Synthetic Phone {index}"),
             offset_db: rng.gen_range(-6.0..6.0),
@@ -230,10 +231,15 @@ mod tests {
     fn measurement_noise_is_bounded_and_nonzero() {
         let d = &DeviceProfile::paper_fleet()[0];
         let mut rng = StdRng::seed_from_u64(2);
-        let samples: Vec<f32> = (0..200).map(|_| d.measure_dbm(-50.0, 0, &mut rng)).collect();
+        let samples: Vec<f32> = (0..200)
+            .map(|_| d.measure_dbm(-50.0, 0, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<f32>() / samples.len() as f32;
         let expect = d.distort_db(-50.0, 0);
-        assert!((mean - expect).abs() < 1.0, "mean {mean} vs expected {expect}");
+        assert!(
+            (mean - expect).abs() < 1.0,
+            "mean {mean} vs expected {expect}"
+        );
         let spread = samples
             .iter()
             .map(|s| (s - mean).abs())

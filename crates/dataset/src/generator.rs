@@ -252,11 +252,7 @@ mod tests {
         for (i, row) in test.x.iter_rows().enumerate() {
             let mut best = (f32::INFINITY, 0usize);
             for (j, trow) in train.x.iter_rows().enumerate() {
-                let dist: f32 = row
-                    .iter()
-                    .zip(trow)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 = row.iter().zip(trow).map(|(a, b)| (a - b) * (a - b)).sum();
                 if dist < best.0 {
                     best = (dist, train.labels[j]);
                 }

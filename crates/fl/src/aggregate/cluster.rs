@@ -1,8 +1,9 @@
 //! FEDCC-style clustering aggregation: group updates by similarity, keep
 //! the majority cluster.
 
-use super::{finite_updates, Aggregator};
+use super::{finite_updates, Aggregator, DistanceMatrix};
 use crate::update::ClientUpdate;
+use rayon::prelude::*;
 use safeloc_nn::{Matrix, NamedParams};
 
 /// Clustering defense following the paper's §II summary of FEDCC:
@@ -67,24 +68,17 @@ impl Aggregator for ClusterAggregator {
         }
 
         let deltas: Vec<Matrix> = updates
-            .iter()
+            .par_iter()
             .map(|u| u.params.delta(global).flatten())
             .collect();
 
         // Deterministic 2-means seeding: the pair with maximal cosine
-        // distance becomes the initial centroids.
+        // distance becomes the initial centroids. All pairwise cosine
+        // distances come from the shared round matrix (computed once, in
+        // parallel) instead of a bespoke O(n²·d) double loop.
         let n = deltas.len();
-        let (mut ca, mut cb, mut best) = (0usize, 1usize, -1.0f32);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = cos_dist(&deltas[i], &deltas[j]);
-                if d > best {
-                    best = d;
-                    ca = i;
-                    cb = j;
-                }
-            }
-        }
+        let pairwise = DistanceMatrix::cosine(&deltas);
+        let (ca, cb, best) = pairwise.max_pair().expect("n > 2 by the guard above");
         if best < self.separation_threshold {
             // No meaningful split — aggregate everyone.
             let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
@@ -152,7 +146,7 @@ impl Aggregator for ClusterAggregator {
     }
 
     fn clone_box(&self) -> Box<dyn Aggregator> {
-        Box::new(self.clone())
+        Box::new(*self)
     }
 }
 

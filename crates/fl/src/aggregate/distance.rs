@@ -1,0 +1,238 @@
+//! Shared pairwise-distance computation for the aggregation rules.
+//!
+//! Krum, FEDCC-style clustering and related defenses all need the same
+//! quantity: distances between every pair of this round's client updates.
+//! The seed implementations recomputed distances per candidate — Krum paid
+//! the full `O(n²·d)` *per* candidate, the exact scaling weakness Fang et
+//! al. call out — and each aggregator rolled its own loop. This module
+//! computes one symmetric matrix per round, with the pair set split across
+//! threads, and every rule reads from it.
+//!
+//! Distances are stored condensed (upper triangle, `n·(n-1)/2` entries);
+//! lookups are `O(1)` and symmetric by construction.
+
+use crate::update::ClientUpdate;
+use rayon::prelude::*;
+
+/// Pairs below this count are computed serially — thread spawn costs more
+/// than the distance arithmetic for tiny client fleets.
+const PARALLEL_MIN_PAIRS: usize = 8;
+
+/// A symmetric `n x n` distance matrix stored as its upper triangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// `values[idx(i, j)]` for `i < j`.
+    values: Vec<f32>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix by evaluating `metric(i, j)` for every pair
+    /// `i < j`, in parallel for non-trivial pair counts.
+    pub fn build(n: usize, metric: impl Fn(usize, usize) -> f32 + Sync + Send) -> Self {
+        let pairs = n * n.saturating_sub(1) / 2;
+        let values: Vec<f32> = if pairs < PARALLEL_MIN_PAIRS {
+            (0..pairs)
+                .map(|p| {
+                    let (i, j) = unflatten(p, n);
+                    metric(i, j)
+                })
+                .collect()
+        } else {
+            (0..pairs)
+                .into_par_iter()
+                .map(|p| {
+                    let (i, j) = unflatten(p, n);
+                    metric(i, j)
+                })
+                .collect()
+        };
+        Self { n, values }
+    }
+
+    /// Squared L2 distances between the flattened parameters of every pair
+    /// of updates — the matrix Krum scores against.
+    pub fn squared_l2(updates: &[&ClientUpdate]) -> Self {
+        Self::build(updates.len(), |i, j| {
+            let d = updates[i].params.l2_distance(&updates[j].params);
+            d * d
+        })
+    }
+
+    /// Cosine distances (`1 − cos`) between flattened update deltas — the
+    /// metric FEDCC-style clustering groups by. `deltas` are the flattened
+    /// `LM − GM` rows.
+    pub fn cosine(deltas: &[safeloc_nn::Matrix]) -> Self {
+        let norms: Vec<f32> = deltas.iter().map(|d| d.l2_norm()).collect();
+        Self::build(deltas.len(), |i, j| {
+            let denom = norms[i] * norms[j];
+            if denom == 0.0 {
+                1.0
+            } else {
+                1.0 - deltas[i].flat_dot(&deltas[j]) / denom
+            }
+        })
+    }
+
+    /// Number of points the matrix covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the matrix covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j` (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.n && j < self.n, "distance index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        self.values[condensed_index(lo, hi, self.n)]
+    }
+
+    /// All distances from point `i` to its peers (excluding itself),
+    /// appended to `out`.
+    pub fn distances_from(&self, i: usize, out: &mut Vec<f32>) {
+        out.clear();
+        for j in 0..self.n {
+            if j != i {
+                out.push(self.get(i, j));
+            }
+        }
+    }
+
+    /// The pair `(i, j)` with the largest distance, or `None` for fewer
+    /// than two points. Ties resolve to the first pair in row-major order.
+    pub fn max_pair(&self) -> Option<(usize, usize, f32)> {
+        if self.n < 2 {
+            return None;
+        }
+        let mut best = (0usize, 1usize, f32::NEG_INFINITY);
+        for p in 0..self.values.len() {
+            if self.values[p] > best.2 {
+                let (i, j) = unflatten(p, self.n);
+                best = (i, j, self.values[p]);
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Index of pair `(i, j)` with `i < j` in the condensed upper triangle.
+#[inline]
+fn condensed_index(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    // Row i starts after all previous rows: sum_{r<i} (n-1-r).
+    i * (n - 1) - i * (i + 1) / 2 + (j - 1)
+}
+
+/// Inverse of [`condensed_index`]: pair for flat position `p`.
+#[inline]
+fn unflatten(p: usize, n: usize) -> (usize, usize) {
+    // Find row i such that row_start(i) <= p < row_start(i+1).
+    let mut i = 0;
+    let mut start = 0;
+    loop {
+        let row_len = n - 1 - i;
+        if p < start + row_len {
+            return (i, i + 1 + (p - start));
+        }
+        start += row_len;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeloc_nn::Matrix;
+
+    #[test]
+    fn condensed_layout_round_trips() {
+        for n in 2..10 {
+            let mut p = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(condensed_index(i, j, n), p);
+                    assert_eq!(unflatten(p, n), (i, j));
+                    p += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_with_zero_diagonal() {
+        let m = DistanceMatrix::build(5, |i, j| (i * 10 + j) as f32);
+        for i in 0..5 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..5 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_metric() {
+        let pts = [0.0f32, 1.5, -2.0, 7.0];
+        let m = DistanceMatrix::build(4, |i, j| (pts[i] - pts[j]).abs());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((m.get(i, j) - (pts[i] - pts[j]).abs()).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_from_excludes_self() {
+        let m = DistanceMatrix::build(4, |i, j| (i + j) as f32);
+        let mut out = Vec::new();
+        m.distances_from(2, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out, vec![2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn max_pair_finds_extreme() {
+        let m = DistanceMatrix::build(4, |i, j| if (i, j) == (1, 3) { 9.0 } else { 1.0 });
+        assert_eq!(m.max_pair(), Some((1, 3, 9.0)));
+        assert_eq!(DistanceMatrix::build(1, |_, _| 0.0).max_pair(), None);
+    }
+
+    #[test]
+    fn cosine_of_identical_directions_is_zero() {
+        let a = Matrix::row_vector(&[1.0, 0.0]);
+        let b = Matrix::row_vector(&[2.0, 0.0]);
+        let c = Matrix::row_vector(&[0.0, 3.0]);
+        let z = Matrix::row_vector(&[0.0, 0.0]);
+        let m = DistanceMatrix::cosine(&[a, b, c, z]);
+        assert!(m.get(0, 1).abs() < 1e-6, "parallel vectors");
+        assert!((m.get(0, 2) - 1.0).abs() < 1e-6, "orthogonal vectors");
+        assert!((m.get(0, 3) - 1.0).abs() < 1e-6, "zero vector convention");
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        // 20 points -> 190 pairs, well above the serial cutoff.
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| DistanceMatrix::build(20, |i, j| ((i * 31 + j * 7) % 97) as f32));
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| DistanceMatrix::build(20, |i, j| ((i * 31 + j * 7) % 97) as f32));
+        assert_eq!(serial, parallel);
+    }
+}

@@ -30,7 +30,7 @@ impl Aggregator for FedAvg {
     }
 
     fn clone_box(&self) -> Box<dyn Aggregator> {
-        Box::new(self.clone())
+        Box::new(*self)
     }
 }
 

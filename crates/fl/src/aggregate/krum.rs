@@ -2,7 +2,7 @@
 //! closest to its peers — the earliest FL indoor-localization defense the
 //! paper cites as [22].
 
-use super::{finite_updates, Aggregator};
+use super::{finite_updates, Aggregator, DistanceMatrix};
 use crate::update::ClientUpdate;
 use safeloc_nn::NamedParams;
 
@@ -47,15 +47,15 @@ impl Aggregator for Krum {
         let n = updates.len();
         // Number of closest neighbours to score against.
         let k = n.saturating_sub(self.assumed_byzantine + 2).max(1);
+        // One symmetric distance pass for the whole round. The seed
+        // recomputed all O(n²) distances per candidate — O(n³·d) total and
+        // each (i, j) pair evaluated twice; this is O(n²·d/2) once, with
+        // the pair set computed in parallel.
+        let distances = DistanceMatrix::squared_l2(&updates);
         let mut best = (f32::INFINITY, 0usize);
+        let mut dists = Vec::with_capacity(n.saturating_sub(1));
         for i in 0..n {
-            let mut dists: Vec<f32> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| {
-                    let d = updates[i].params.l2_distance(&updates[j].params);
-                    d * d
-                })
-                .collect();
+            distances.distances_from(i, &mut dists);
             dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let score: f32 = dists.iter().take(k).sum();
             if score < best.0 {
@@ -70,7 +70,7 @@ impl Aggregator for Krum {
     }
 
     fn clone_box(&self) -> Box<dyn Aggregator> {
-        Box::new(self.clone())
+        Box::new(*self)
     }
 }
 

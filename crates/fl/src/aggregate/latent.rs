@@ -2,11 +2,12 @@
 
 use super::{finite_updates, Aggregator};
 use crate::update::ClientUpdate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
 use safeloc_nn::{
     Activation, Adam, Dense, Init, Matrix, MseLoss, NamedParams, Optimizer, Sequential,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Latent-space update filtering, following the paper's §II summary of
 /// FEDLS: "autoencoder-based latent space representations to detect
@@ -51,8 +52,10 @@ impl LatentFilterAggregator {
         }
     }
 
-    fn project(&mut self, flat: &Matrix) -> Matrix {
-        let d = flat.cols();
+    /// Builds (or rebuilds on dimension change) the random projection and
+    /// returns it, so callers can project many updates in parallel against
+    /// one shared matrix.
+    fn projection_for(&mut self, d: usize) -> &Matrix {
         if self
             .projection
             .as_ref()
@@ -63,7 +66,7 @@ impl LatentFilterAggregator {
             let scale = (1.0 / self.feature_dim as f32).sqrt();
             self.projection = Some(Init::Uniform(scale).matrix(d, self.feature_dim, &mut rng));
         }
-        flat.matmul(self.projection.as_ref().expect("just built"))
+        self.projection.as_ref().expect("just built")
     }
 }
 
@@ -80,12 +83,15 @@ impl Aggregator for LatentFilterAggregator {
 
         // Feature matrix: one row per update, scaled by the round's median
         // row norm so magnitudes stay comparable across rounds while
-        // preserving outlier magnitude *within* the round.
+        // preserving outlier magnitude *within* the round. Each update's
+        // delta-flatten-project chain is independent, so the fleet is
+        // projected in parallel against the shared projection matrix.
+        let projection = self.projection_for(global.num_params());
         let raw_rows: Vec<Vec<f32>> = updates
-            .iter()
+            .par_iter()
             .map(|u| {
                 let flat = u.params.delta(global).flatten();
-                self.project(&flat).into_vec()
+                flat.matmul(projection).into_vec()
             })
             .collect();
         let mut norms: Vec<f32> = raw_rows
@@ -145,8 +151,7 @@ impl Aggregator for LatentFilterAggregator {
         };
 
         let mean = scores.iter().sum::<f32>() / scores.len() as f32;
-        let var =
-            scores.iter().map(|r| (r - mean) * (r - mean)).sum::<f32>() / scores.len() as f32;
+        let var = scores.iter().map(|r| (r - mean) * (r - mean)).sum::<f32>() / scores.len() as f32;
         let std = var.sqrt();
         let threshold = mean + self.z_threshold * std.max(1e-12);
 

@@ -6,12 +6,14 @@
 //! in the `safeloc` crate.
 
 mod cluster;
+mod distance;
 mod fedavg;
 mod krum;
 mod latent;
 mod selective;
 
 pub use cluster::ClusterAggregator;
+pub use distance::DistanceMatrix;
 pub use fedavg::FedAvg;
 pub use krum::Krum;
 pub use latent::LatentFilterAggregator;
@@ -47,7 +49,10 @@ impl Clone for Box<dyn Aggregator> {
 /// aggregator so one crashed client cannot poison the GM with non-finite
 /// weights.
 pub(crate) fn finite_updates(updates: &[ClientUpdate]) -> Vec<&ClientUpdate> {
-    updates.iter().filter(|u| !u.params.has_non_finite()).collect()
+    updates
+        .iter()
+        .filter(|u| !u.params.has_non_finite())
+        .collect()
 }
 
 #[cfg(test)]

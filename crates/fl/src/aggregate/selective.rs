@@ -86,8 +86,16 @@ mod tests {
         let g = params(&[1.0], &[1.0]);
         let u = vec![update(0, &[5.0], &[3.0]), update(1, &[9.0], &[5.0])];
         let out = SelectiveAggregator::new(0.5).aggregate(&g, &u);
-        assert_eq!(out.get("layer0.w").unwrap().get(0, 0), 1.0, "feature tensor changed");
-        assert_eq!(out.get("layer0.b").unwrap().get(0, 0), 4.0, "classifier tensor not averaged");
+        assert_eq!(
+            out.get("layer0.w").unwrap().get(0, 0),
+            1.0,
+            "feature tensor changed"
+        );
+        assert_eq!(
+            out.get("layer0.b").unwrap().get(0, 0),
+            4.0,
+            "classifier tensor not averaged"
+        );
     }
 
     #[test]
@@ -133,8 +141,16 @@ mod tests {
             update(1, &[30.0], &[30.0]), // poisons both tensors
         ];
         let out = SelectiveAggregator::new(0.5).aggregate(&g, &u);
-        assert_eq!(out.get("layer0.w").unwrap().get(0, 0), 0.0, "feature poison leaked");
-        assert_eq!(out.get("layer0.b").unwrap().get(0, 0), 15.0, "classifier poison blocked");
+        assert_eq!(
+            out.get("layer0.w").unwrap().get(0, 0),
+            0.0,
+            "feature poison leaked"
+        );
+        assert_eq!(
+            out.get("layer0.b").unwrap().get(0, 0),
+            15.0,
+            "classifier poison blocked"
+        );
     }
 
     #[test]

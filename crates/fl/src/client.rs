@@ -296,7 +296,12 @@ mod tests {
         );
         assert_eq!(set.x, data.client_local[0].x, "label flip must keep RSS");
         let predicted = model.predict(&set.x);
-        let flips = set.labels.iter().zip(&predicted).filter(|(a, b)| a != b).count();
+        let flips = set
+            .labels
+            .iter()
+            .zip(&predicted)
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(flips, set.len(), "every predicted label should be flipped");
     }
 

@@ -16,6 +16,13 @@
 //!   [`SelectiveAggregator`] (FEDHIL), [`ClusterAggregator`] (FEDCC) and
 //!   [`LatentFilterAggregator`] (FEDLS). SAFELOC's saliency-map aggregation
 //!   lives in the `safeloc` crate — it is the paper's contribution.
+//!   Pairwise-distance rules share one [`aggregate::DistanceMatrix`] per
+//!   round, computed in parallel.
+//!
+//! Clients within a round train in parallel (they are independent by
+//! construction); results are collected in client order and every client
+//! draws from its own seed stream, so rounds are bitwise-identical for any
+//! thread count.
 //! * [`SequentialFlServer`] — a complete FL server around a
 //!   [`Sequential`](safeloc_nn::Sequential) DNN global model; every baseline
 //!   framework is this server with a different architecture + aggregator.

@@ -8,6 +8,7 @@ use crate::aggregate::Aggregator;
 use crate::client::{train_sequential_lm, Client, LocalTrainConfig};
 use crate::framework::Framework;
 use crate::update::ClientUpdate;
+use rayon::prelude::*;
 use safeloc_dataset::FingerprintSet;
 use safeloc_nn::{Activation, Adam, HasParams, Matrix, Sequential, TrainConfig};
 
@@ -140,16 +141,26 @@ impl SequentialFlServer {
     }
 
     /// Collects this round's client updates (shared with tests).
+    ///
+    /// Clients are independent by construction — each trains its own clone
+    /// of the distributed GM on its own local data — so the fleet trains in
+    /// parallel. Results come back in client order and every client draws
+    /// from its own seed stream, so the round is bitwise-identical for any
+    /// thread count (asserted by `tests/parallel_determinism.rs`).
     fn collect_updates(&mut self, clients: &mut [Client]) -> Vec<ClientUpdate> {
         let n_classes = self.gm.out_dim();
         let round_salt = (self.rounds_run as u64 + 1) << 16;
+        let gm = &self.gm;
+        let local = &self.cfg.local;
+        // One snapshot shared across the fleet (the seed re-snapshotted the
+        // full GM once per client).
+        let gm_snapshot = gm.snapshot();
         clients
-            .iter_mut()
+            .par_iter_mut()
             .map(|c| {
-                let set = c.prepare_round_data(&self.gm, n_classes, &self.cfg.local);
-                let params =
-                    train_sequential_lm(&self.gm, &set, &self.cfg.local, c.seed ^ round_salt);
-                let params = c.finalize_params(&self.gm.snapshot(), params);
+                let set = c.prepare_round_data(gm, n_classes, local);
+                let params = train_sequential_lm(gm, &set, local, c.seed ^ round_salt);
+                let params = c.finalize_params(&gm_snapshot, params);
                 ClientUpdate::new(c.id, params, set.len())
             })
             .collect()

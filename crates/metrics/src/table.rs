@@ -98,8 +98,8 @@ mod tests {
     fn heatmap_layout() {
         let out = heatmap(
             "attack \\ eps",
-            &vec!["0.1".into(), "0.5".into()],
-            &vec!["FGSM".into()],
+            &["0.1".into(), "0.5".into()],
+            &["FGSM".into()],
             &[vec![1.25, 3.5]],
         );
         assert!(out.contains("| FGSM | 1.25 | 3.50 |"));

@@ -27,15 +27,23 @@ pub enum Activation {
 impl Activation {
     /// Applies the activation to every element of `x`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        self.forward_assign(&mut out);
+        out
+    }
+
+    /// Applies the activation in place — the hot-path variant used by the
+    /// allocation-free training workspace.
+    pub fn forward_assign(&self, x: &mut Matrix) {
         match self {
-            Activation::Identity => x.clone(),
-            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Identity => {}
+            Activation::Relu => x.map_assign(|v| v.max(0.0)),
             Activation::LeakyRelu(a) => {
                 let a = *a;
-                x.map(move |v| if v > 0.0 { v } else { a * v })
+                x.map_assign(move |v| if v > 0.0 { v } else { a * v });
             }
-            Activation::Sigmoid => x.map(sigmoid),
-            Activation::Tanh => x.map(f32::tanh),
+            Activation::Sigmoid => x.map_assign(sigmoid),
+            Activation::Tanh => x.map_assign(f32::tanh),
         }
     }
 
@@ -48,27 +56,53 @@ impl Activation {
     ///
     /// Panics if `pre` and `grad_out` have different shapes.
     pub fn backward(&self, pre: &Matrix, grad_out: &Matrix) -> Matrix {
+        let mut grad = grad_out.clone();
+        self.backward_assign(pre, &mut grad);
+        grad
+    }
+
+    /// Multiplies `grad` by the activation derivative at `pre`, in place —
+    /// no mask matrix is materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre` and `grad` have different shapes.
+    pub fn backward_assign(&self, pre: &Matrix, grad: &mut Matrix) {
+        assert_eq!(
+            pre.shape(),
+            grad.shape(),
+            "activation backward shape mismatch"
+        );
+        let pre = pre.as_slice();
+        let grad = grad.as_mut_slice();
         match self {
-            Activation::Identity => grad_out.clone(),
+            Activation::Identity => {}
             Activation::Relu => {
-                let mask = pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                grad_out.hadamard(&mask)
+                for (g, &p) in grad.iter_mut().zip(pre) {
+                    if p <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
             }
             Activation::LeakyRelu(a) => {
                 let a = *a;
-                let mask = pre.map(move |v| if v > 0.0 { 1.0 } else { a });
-                grad_out.hadamard(&mask)
+                for (g, &p) in grad.iter_mut().zip(pre) {
+                    if p <= 0.0 {
+                        *g *= a;
+                    }
+                }
             }
             Activation::Sigmoid => {
-                let d = pre.map(|v| {
-                    let s = sigmoid(v);
-                    s * (1.0 - s)
-                });
-                grad_out.hadamard(&d)
+                for (g, &p) in grad.iter_mut().zip(pre) {
+                    let s = sigmoid(p);
+                    *g *= s * (1.0 - s);
+                }
             }
             Activation::Tanh => {
-                let d = pre.map(|v| 1.0 - v.tanh() * v.tanh());
-                grad_out.hadamard(&d)
+                for (g, &p) in grad.iter_mut().zip(pre) {
+                    let t = p.tanh();
+                    *g *= 1.0 - t * t;
+                }
             }
         }
     }

@@ -12,7 +12,11 @@ pub fn shuffled_batches(n: usize, batch_size: usize, rng: &mut impl Rng) -> Vec<
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);
     if batch_size == 0 || batch_size >= n {
-        return if idx.is_empty() { Vec::new() } else { vec![idx] };
+        return if idx.is_empty() {
+            Vec::new()
+        } else {
+            vec![idx]
+        };
     }
     idx.chunks(batch_size).map(|c| c.to_vec()).collect()
 }
@@ -23,11 +27,27 @@ pub fn shuffled_batches(n: usize, batch_size: usize, rng: &mut impl Rng) -> Vec<
 ///
 /// Panics if any index is out of range.
 pub fn gather_rows(x: &Matrix, indices: &[usize]) -> Matrix {
-    let mut rows = Vec::with_capacity(indices.len());
-    for &i in indices {
-        rows.push(x.row(i).to_vec());
+    let mut out = Matrix::zeros(0, 0);
+    gather_rows_into(x, indices, &mut out);
+    out
+}
+
+/// Gathers the rows of `x` at `indices` into a caller-owned buffer
+/// (allocation-free once warm) — the per-batch hot path of every training
+/// loop.
+///
+/// # Panics
+///
+/// Panics if any index is out of range.
+pub fn gather_rows_into(x: &Matrix, indices: &[usize], out: &mut Matrix) {
+    out.ensure_shape(indices.len(), x.cols());
+    for (dst, &i) in out
+        .as_mut_slice()
+        .chunks_exact_mut(x.cols().max(1))
+        .zip(indices)
+    {
+        dst.copy_from_slice(x.row(i));
     }
-    Matrix::from_rows(&rows)
 }
 
 /// Gathers labels at `indices`.
@@ -36,7 +56,20 @@ pub fn gather_rows(x: &Matrix, indices: &[usize]) -> Matrix {
 ///
 /// Panics if any index is out of range.
 pub fn gather_labels(labels: &[usize], indices: &[usize]) -> Vec<usize> {
-    indices.iter().map(|&i| labels[i]).collect()
+    let mut out = Vec::new();
+    gather_labels_into(labels, indices, &mut out);
+    out
+}
+
+/// Gathers labels at `indices` into a caller-owned buffer (allocation-free
+/// once warm).
+///
+/// # Panics
+///
+/// Panics if any index is out of range.
+pub fn gather_labels_into(labels: &[usize], indices: &[usize], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(indices.iter().map(|&i| labels[i]));
 }
 
 #[cfg(test)]

@@ -94,7 +94,19 @@ impl Dense {
     ///
     /// Panics if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.w).add_row_broadcast(&self.b)
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Forward pass into a caller-owned buffer (allocation-free once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast_assign(&self.b);
     }
 
     /// Backward pass.
@@ -106,14 +118,52 @@ impl Dense {
     ///
     /// Panics on shape mismatch between `x`, `grad_out` and the layer.
     pub fn backward(&self, x: &Matrix, grad_out: &Matrix) -> DenseGrads {
+        let mut w = Matrix::zeros(0, 0);
+        let mut b = Matrix::zeros(0, 0);
+        let mut gx = Matrix::zeros(0, 0);
+        self.backward_into(x, grad_out, &mut w, &mut b, &mut gx);
+        DenseGrads { w, b, x: gx }
+    }
+
+    /// Backward pass into caller-owned gradient buffers (allocation-free
+    /// once warm): `dw = xᵀ·grad_out`, `db = Σ_rows grad_out`,
+    /// `dx = grad_out·Wᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between `x`, `grad_out` and the layer.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        grad_out: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Matrix,
+        dx: &mut Matrix,
+    ) {
+        self.param_grads_into(x, grad_out, dw, db);
+        grad_out.matmul_transposed_into(&self.w, dx);
+    }
+
+    /// The parameter-gradient half of [`Dense::backward_into`], without the
+    /// input gradient — what a training step needs from the first layer,
+    /// where `dx` would multiply against the widest weight matrix only to
+    /// be discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between `x`, `grad_out` and the layer.
+    pub fn param_grads_into(
+        &self,
+        x: &Matrix,
+        grad_out: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Matrix,
+    ) {
         assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
         assert_eq!(grad_out.cols(), self.out_dim(), "grad width mismatch");
         assert_eq!(x.rows(), grad_out.rows(), "batch mismatch");
-        DenseGrads {
-            w: x.transposed_matmul(grad_out),
-            b: grad_out.sum_rows(),
-            x: grad_out.matmul_transposed(&self.w),
-        }
+        x.transposed_matmul_into(grad_out, dw);
+        grad_out.sum_rows_into(db);
     }
 }
 

@@ -8,9 +8,10 @@ use rand::Rng;
 /// The SAFELOC models use ReLU activations throughout, so [`Init::HeUniform`]
 /// is the default; [`Init::XavierUniform`] suits the sigmoid/tanh layers in
 /// some baselines.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Init {
     /// He/Kaiming uniform: `U(-sqrt(6/fan_in), sqrt(6/fan_in))`.
+    #[default]
     HeUniform,
     /// Xavier/Glorot uniform: `U(-sqrt(6/(fan_in+fan_out)), ...)`.
     XavierUniform,
@@ -18,12 +19,6 @@ pub enum Init {
     Uniform(f32),
     /// All zeros (biases).
     Zeros,
-}
-
-impl Default for Init {
-    fn default() -> Self {
-        Init::HeUniform
-    }
 }
 
 impl Init {

@@ -3,20 +3,31 @@
 //! This crate is the hand-rolled ML stack the paper's models are built on:
 //!
 //! * [`Matrix`] — a row-major `f32` matrix with the linear-algebra ops needed
-//!   for dense networks (matmul, transpose, elementwise algebra, reductions).
+//!   for dense networks (matmul, transpose, elementwise algebra, reductions),
+//!   including `*_into` variants that write into caller-owned buffers.
+//! * [`kernels`] — the register-blocked matmul kernels every product routes
+//!   through (see the module docs for the design rationale and measured
+//!   speedups over the seed scalar loops).
 //! * [`Dense`] — a fully-connected layer with explicit forward/backward.
-//! * [`Activation`] — ReLU / LeakyReLU / Sigmoid / Tanh / Identity.
+//! * [`Activation`] — ReLU / LeakyReLU / Sigmoid / Tanh / Identity, with
+//!   in-place `forward_assign` / `backward_assign` hot-path variants.
 //! * [`MseLoss`] / [`SparseCrossEntropyLoss`] — the two losses the paper
-//!   trains with (autoencoder reconstruction and RP classification).
-//! * [`Sgd`] / [`Adam`] — optimizers over named parameter lists.
+//!   trains with (autoencoder reconstruction and RP classification); the
+//!   softmax/NLL pass is fused in `loss_and_grad_into`.
+//! * [`Sgd`] / [`Adam`] — optimizers over named parameter lists, streaming
+//!   updates through [`optim::ParamStream`] without per-step allocation.
 //! * [`Sequential`] — an MLP assembled from the above, with mini-batch
 //!   training, prediction and **input gradients** (required by the
 //!   gradient-based poisoning attacks in `safeloc-attacks`).
+//! * [`Workspace`] — reusable forward/backward scratch; a warm
+//!   `train_batch_with` step performs zero heap allocations
+//!   (`tests/alloc_free.rs`).
 //! * [`NamedParams`] / [`HasParams`] — the named-tensor views that the
 //!   federated-learning layer (`safeloc-fl`) aggregates over.
 //!
-//! Everything is deterministic given a seed; there is no global RNG and no
-//! threading inside the math.
+//! Everything is deterministic given a seed; there is no global RNG, and
+//! the only threading is the row-chunked parallel [`Sequential::predict`],
+//! which is bitwise order-independent.
 //!
 //! # Example
 //!
@@ -42,6 +53,7 @@ pub mod activation;
 pub mod data;
 pub mod dense;
 pub mod init;
+pub mod kernels;
 pub mod loss;
 pub mod optim;
 pub mod params;
@@ -49,11 +61,13 @@ pub mod sequential;
 pub mod tensor;
 
 pub use activation::Activation;
-pub use data::{gather_labels, gather_rows, shuffled_batches};
+pub use data::{
+    gather_labels, gather_labels_into, gather_rows, gather_rows_into, shuffled_batches,
+};
 pub use dense::{Dense, DenseGrads};
 pub use init::Init;
 pub use loss::{MseLoss, SparseCrossEntropyLoss};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{HasParams, NamedParams, ParamError};
-pub use sequential::{Sequential, TrainConfig};
+pub use sequential::{Sequential, TrainConfig, Workspace};
 pub use tensor::{Matrix, ShapeError};

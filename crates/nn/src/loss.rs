@@ -22,8 +22,14 @@ impl MseLoss {
     ///
     /// Panics if `pred` and `target` have different shapes.
     pub fn loss(&self, pred: &Matrix, target: &Matrix) -> f32 {
-        let diff = pred.sub(target);
-        diff.as_slice().iter().map(|v| v * v).sum::<f32>() / diff.len().max(1) as f32
+        assert_eq!(pred.shape(), target.shape(), "mse loss shape mismatch");
+        let sum: f32 = pred
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum();
+        sum / pred.len().max(1) as f32
     }
 
     /// Gradient `dL/dpred = 2 (pred - target) / n`.
@@ -32,8 +38,29 @@ impl MseLoss {
     ///
     /// Panics if `pred` and `target` have different shapes.
     pub fn grad(&self, pred: &Matrix, target: &Matrix) -> Matrix {
-        let n = pred.len().max(1) as f32;
-        pred.sub(target).scale(2.0 / n)
+        let mut out = Matrix::zeros(0, 0);
+        self.grad_into(pred, target, &mut out);
+        out
+    }
+
+    /// [`MseLoss::grad`] into a caller-owned buffer (allocation-free once
+    /// warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` and `target` have different shapes.
+    pub fn grad_into(&self, pred: &Matrix, target: &Matrix, out: &mut Matrix) {
+        assert_eq!(pred.shape(), target.shape(), "mse grad shape mismatch");
+        let scale = 2.0 / pred.len().max(1) as f32;
+        out.ensure_shape(pred.rows(), pred.cols());
+        for ((o, &p), &t) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice())
+            .zip(target.as_slice())
+        {
+            *o = (p - t) * scale;
+        }
     }
 
     /// Per-row mean-squared error, one value per batch row.
@@ -47,11 +74,7 @@ impl MseLoss {
             .map(|r| {
                 let p = pred.row(r);
                 let t = target.row(r);
-                p.iter()
-                    .zip(t)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f32>()
-                    / p.len().max(1) as f32
+                p.iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / p.len().max(1) as f32
             })
             .collect()
     }
@@ -68,7 +91,15 @@ pub struct SparseCrossEntropyLoss;
 impl SparseCrossEntropyLoss {
     /// Row-wise softmax of `logits` (numerically stabilized).
     pub fn probabilities(&self, logits: &Matrix) -> Matrix {
-        let mut out = logits.clone();
+        let mut out = Matrix::zeros(0, 0);
+        self.probabilities_into(logits, &mut out);
+        out
+    }
+
+    /// Row-wise softmax into a caller-owned buffer (allocation-free once
+    /// warm).
+    pub fn probabilities_into(&self, logits: &Matrix, out: &mut Matrix) {
+        out.copy_from(logits);
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -81,7 +112,6 @@ impl SparseCrossEntropyLoss {
                 *v /= sum;
             }
         }
-        out
     }
 
     /// Mean negative log-likelihood of `labels` under `logits`.
@@ -95,7 +125,11 @@ impl SparseCrossEntropyLoss {
         let probs = self.probabilities(logits);
         let mut total = 0.0;
         for (r, &y) in labels.iter().enumerate() {
-            assert!(y < logits.cols(), "label {y} out of range {}", logits.cols());
+            assert!(
+                y < logits.cols(),
+                "label {y} out of range {}",
+                logits.cols()
+            );
             total -= probs.get(r, y).max(1e-12).ln();
         }
         total / labels.len().max(1) as f32
@@ -108,16 +142,40 @@ impl SparseCrossEntropyLoss {
     /// Panics if `labels.len() != logits.rows()` or any label is out of
     /// range.
     pub fn grad(&self, logits: &Matrix, labels: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.loss_and_grad_into(logits, labels, &mut out);
+        out
+    }
+
+    /// Computes the mean NLL **and** writes `dL/dlogits` into `grad` in one
+    /// softmax pass — the fused hot-path variant used by the training
+    /// workspace (the separate `loss` + `grad` calls each ran their own
+    /// softmax).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()` or any label is out of
+    /// range.
+    pub fn loss_and_grad_into(&self, logits: &Matrix, labels: &[usize], grad: &mut Matrix) -> f32 {
         assert_eq!(labels.len(), logits.rows(), "one label per row required");
-        let mut g = self.probabilities(logits);
+        self.probabilities_into(logits, grad);
         let batch = labels.len().max(1) as f32;
+        let inv_batch = 1.0 / batch;
+        let mut total = 0.0;
         for (r, &y) in labels.iter().enumerate() {
-            assert!(y < logits.cols(), "label {y} out of range {}", logits.cols());
-            let v = g.get(r, y);
-            g.set(r, y, v - 1.0);
+            assert!(
+                y < logits.cols(),
+                "label {y} out of range {}",
+                logits.cols()
+            );
+            let row = grad.row_mut(r);
+            total -= row[y].max(1e-12).ln();
+            row[y] -= 1.0;
+            for v in row.iter_mut() {
+                *v *= inv_batch;
+            }
         }
-        g.scale_assign(1.0 / batch);
-        g
+        total / batch
     }
 }
 

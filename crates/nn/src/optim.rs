@@ -1,6 +1,34 @@
 //! Optimizers: plain SGD and Adam (the paper trains everything with Adam).
 
+use crate::params::HasParams;
 use crate::tensor::Matrix;
+
+/// A source of parameter tensors streamed to an optimizer in fixed order.
+///
+/// Every [`HasParams`] model is a `ParamStream` (via
+/// [`HasParams::visit_param_tensors_mut`]), as is a plain
+/// `Vec<&mut Matrix>`. Streaming lets optimizers update parameters without
+/// the caller materializing a reference `Vec` per step — one of the two
+/// allocations the workspace training path eliminates.
+pub trait ParamStream {
+    /// Calls `f` once per parameter tensor, in the model's canonical
+    /// order.
+    fn visit(&mut self, f: &mut dyn FnMut(&mut Matrix));
+}
+
+impl<T: HasParams> ParamStream for T {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut Matrix)) {
+        self.visit_param_tensors_mut(f);
+    }
+}
+
+impl ParamStream for Vec<&mut Matrix> {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut Matrix)) {
+        for p in self.iter_mut() {
+            f(p);
+        }
+    }
+}
 
 /// A first-order optimizer over an ordered list of parameter tensors.
 ///
@@ -8,13 +36,24 @@ use crate::tensor::Matrix;
 /// (Adam) key their moment estimates by position. Models expose their
 /// parameters in a fixed order via [`crate::HasParams`].
 pub trait Optimizer {
-    /// Applies one update step.
+    /// Applies one update step to parameters streamed by `params`
+    /// (allocation-free once warm).
     ///
     /// # Panics
     ///
-    /// Panics if `params` and `grads` differ in length or any pair differs in
-    /// shape, or (for stateful optimizers) if shapes changed between calls.
-    fn step(&mut self, params: Vec<&mut Matrix>, grads: &[Matrix]);
+    /// Panics if the stream and `grads` differ in length or any pair
+    /// differs in shape, or (for stateful optimizers) if shapes changed
+    /// between calls.
+    fn step_stream(&mut self, params: &mut dyn ParamStream, grads: &[Matrix]);
+
+    /// Applies one update step to an explicit parameter list.
+    ///
+    /// # Panics
+    ///
+    /// As [`Optimizer::step_stream`].
+    fn step(&mut self, mut params: Vec<&mut Matrix>, grads: &[Matrix]) {
+        self.step_stream(&mut params, grads);
+    }
 
     /// Current learning rate.
     fn learning_rate(&self) -> f32;
@@ -37,11 +76,15 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: Vec<&mut Matrix>, grads: &[Matrix]) {
-        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
-        for (p, g) in params.into_iter().zip(grads) {
-            p.axpy(-self.lr, g);
-        }
+    fn step_stream(&mut self, params: &mut dyn ParamStream, grads: &[Matrix]) {
+        let lr = self.lr;
+        let mut i = 0;
+        params.visit(&mut |p| {
+            assert!(i < grads.len(), "params/grads length mismatch");
+            p.axpy(-lr, &grads[i]);
+            i += 1;
+        });
+        assert_eq!(i, grads.len(), "params/grads length mismatch");
     }
 
     fn learning_rate(&self) -> f32 {
@@ -103,33 +146,37 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: Vec<&mut Matrix>, grads: &[Matrix]) {
-        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+    fn step_stream(&mut self, params: &mut dyn ParamStream, grads: &[Matrix]) {
         if self.m.is_empty() {
             self.m = grads.iter().map(|g| vec![0.0; g.len()]).collect();
             self.v = grads.iter().map(|g| vec![0.0; g.len()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "parameter count changed");
+        assert_eq!(self.m.len(), grads.len(), "parameter count changed");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in params
-            .into_iter()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
-        {
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (moments_m, moments_v) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        params.visit(&mut |p| {
+            assert!(idx < grads.len(), "params/grads length mismatch");
+            let g = &grads[idx];
+            let m = &mut moments_m[idx];
+            let v = &mut moments_v[idx];
             assert_eq!(p.shape(), g.shape(), "param/grad shape mismatch");
             assert_eq!(p.len(), m.len(), "parameter shape changed between steps");
             let ps = p.as_mut_slice();
             let gs = g.as_slice();
             for i in 0..ps.len() {
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gs[i];
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gs[i] * gs[i];
+                m[i] = beta1 * m[i] + (1.0 - beta1) * gs[i];
+                v[i] = beta2 * v[i] + (1.0 - beta2) * gs[i] * gs[i];
                 let m_hat = m[i] / bc1;
                 let v_hat = v[i] / bc2;
-                ps[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                ps[i] -= lr * m_hat / (v_hat.sqrt() + eps);
             }
-        }
+            idx += 1;
+        });
+        assert_eq!(idx, grads.len(), "params/grads length mismatch");
     }
 
     fn learning_rate(&self) -> f32 {
@@ -183,7 +230,10 @@ mod tests {
             opt.step(vec![&mut p], &[g]);
         }
         assert!(p.get(0, 0).abs() < 1e-2);
-        assert!(p.get(0, 1).abs() < 0.5, "shallow direction made no progress");
+        assert!(
+            p.get(0, 1).abs() < 0.5,
+            "shallow direction made no progress"
+        );
     }
 
     #[test]

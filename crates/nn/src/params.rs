@@ -50,7 +50,10 @@ impl fmt::Display for ParamError {
                 index,
                 expected,
                 found,
-            } => write!(f, "tensor {index}: expected name {expected:?}, found {found:?}"),
+            } => write!(
+                f,
+                "tensor {index}: expected name {expected:?}, found {found:?}"
+            ),
             ParamError::ShapeMismatch {
                 name,
                 expected,
@@ -306,6 +309,18 @@ pub trait HasParams {
     /// Ordered mutable references to the parameter tensors.
     fn param_tensors_mut(&mut self) -> Vec<&mut Matrix>;
 
+    /// Visits every parameter tensor mutably in [`HasParams::param_names`]
+    /// order without materializing the reference `Vec` — the
+    /// allocation-free path optimizers stream updates through.
+    ///
+    /// The default delegates to [`HasParams::param_tensors_mut`] (and thus
+    /// allocates); hot-path models override it with a direct loop.
+    fn visit_param_tensors_mut(&mut self, f: &mut dyn FnMut(&mut Matrix)) {
+        for t in self.param_tensors_mut() {
+            f(t);
+        }
+    }
+
     /// Total scalar parameter count.
     fn num_params(&self) -> usize {
         self.param_tensors().iter().map(|t| t.len()).sum()
@@ -412,7 +427,10 @@ mod tests {
         let wrong_shape = snap(&[("w", vec![1.0, 2.0])]);
         assert!(matches!(
             a.check_arch(&wrong_count),
-            Err(ParamError::CountMismatch { expected: 1, found: 2 })
+            Err(ParamError::CountMismatch {
+                expected: 1,
+                found: 2
+            })
         ));
         assert!(matches!(
             a.check_arch(&wrong_name),

@@ -2,16 +2,21 @@
 //! global models and the building block of everything else.
 
 use crate::activation::Activation;
-use crate::data::{gather_labels, gather_rows, shuffled_batches};
+use crate::data::{gather_labels_into, gather_rows_into, shuffled_batches};
 use crate::dense::Dense;
 use crate::init::Init;
-use crate::loss::SparseCrossEntropyLoss;
+use crate::loss::{MseLoss, SparseCrossEntropyLoss};
 use crate::optim::Optimizer;
 use crate::params::{HasParams, NamedParams};
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Row count below which batch prediction stays single-threaded — at tiny
+/// batch sizes thread spawn overhead exceeds the forward-pass cost.
+const PARALLEL_PREDICT_MIN_ROWS: usize = 64;
 
 /// Training-loop configuration shared across the workspace.
 ///
@@ -57,7 +62,11 @@ pub struct Sequential {
 }
 
 /// Cached forward-pass state used by the backward pass.
-#[derive(Debug, Clone)]
+///
+/// Reusable: [`Sequential::forward_trace_into`] reshapes the cached
+/// matrices in place, so a trace that has seen a batch shape once never
+/// allocates for it again.
+#[derive(Debug, Clone, Default)]
 pub struct ForwardTrace {
     /// `inputs[i]` is the input to layer `i`; `inputs.last()` is the final
     /// output (post-activation of the last layer).
@@ -67,9 +76,59 @@ pub struct ForwardTrace {
 }
 
 impl ForwardTrace {
+    /// An empty trace ready to be filled by
+    /// [`Sequential::forward_trace_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// The network output for this trace.
     pub fn output(&self) -> &Matrix {
         self.inputs.last().expect("trace always holds the output")
+    }
+}
+
+/// Reusable scratch buffers for one training stream.
+///
+/// Holds the forward trace, the flat per-tensor gradient list and the two
+/// ping-pong matrices the backward pass streams gradients through. After
+/// the first (warmup) step on a given batch shape, a full forward+backward
+/// step through [`Sequential::train_batch_with`] performs **zero heap
+/// allocations** — verified by `tests/alloc_free.rs` with a counting
+/// allocator.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    trace: ForwardTrace,
+    /// Flat gradients in [`HasParams`] order (`layer0.w, layer0.b, …`).
+    grads: Vec<Matrix>,
+    /// Gradient flowing backwards (`dL/d` current activation output).
+    grad_cur: Matrix,
+    /// Scratch for the layer-below gradient; swapped with `grad_cur`.
+    grad_next: Matrix,
+    /// Whether the last backward pass propagated through to `dL/dx` (the
+    /// training steps stop at the layer-0 parameter gradients, leaving
+    /// `grad_cur` holding the layer-0 pre-activation gradient instead).
+    has_input_grad: bool,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are shaped on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The flat gradient tensors produced by the last backward pass.
+    pub fn gradients(&self) -> &[Matrix] {
+        &self.grads
+    }
+
+    /// The input gradient (`dL/dx`) left by the last backward pass, or
+    /// `None` if that pass skipped it — training steps
+    /// ([`Sequential::train_batch_with`] and friends) stop at the layer-0
+    /// parameter gradients; only [`Sequential::backward_with`] propagates
+    /// through to the input.
+    pub fn input_gradient(&self) -> Option<&Matrix> {
+        self.has_input_grad.then_some(&self.grad_cur)
     }
 }
 
@@ -104,7 +163,10 @@ impl Sequential {
     ///
     /// Panics if `dims.len() < 2`.
     pub fn mlp(dims: &[usize], hidden: Activation, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         let mut activations = Vec::with_capacity(dims.len() - 1);
@@ -115,7 +177,10 @@ impl Sequential {
             activations.push(hidden);
         }
         activations.push(Activation::Identity);
-        Self { layers, activations }
+        Self {
+            layers,
+            activations,
+        }
     }
 
     /// Builds a network from explicit layers and activations.
@@ -134,7 +199,10 @@ impl Sequential {
                 "layer dimensions do not chain"
             );
         }
-        Self { layers, activations }
+        Self {
+            layers,
+            activations,
+        }
     }
 
     /// Input dimensionality.
@@ -160,45 +228,134 @@ impl Sequential {
     /// Forward pass returning only the output.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let mut h = x.clone();
+        let mut scratch = Matrix::zeros(0, 0);
         for (layer, act) in self.layers.iter().zip(&self.activations) {
-            h = act.forward(&layer.forward(&h));
+            layer.forward_into(&h, &mut scratch);
+            act.forward_assign(&mut scratch);
+            std::mem::swap(&mut h, &mut scratch);
         }
         h
     }
 
     /// Forward pass that records everything the backward pass needs.
     pub fn forward_trace(&self, x: &Matrix) -> ForwardTrace {
-        let mut inputs = Vec::with_capacity(self.layers.len() + 1);
-        let mut pre = Vec::with_capacity(self.layers.len());
-        inputs.push(x.clone());
-        for (layer, act) in self.layers.iter().zip(&self.activations) {
-            let z = layer.forward(inputs.last().expect("non-empty"));
-            let h = act.forward(&z);
-            pre.push(z);
-            inputs.push(h);
+        let mut trace = ForwardTrace::new();
+        self.forward_trace_into(x, &mut trace);
+        trace
+    }
+
+    /// Forward pass into a reusable trace (allocation-free once warm).
+    pub fn forward_trace_into(&self, x: &Matrix, trace: &mut ForwardTrace) {
+        let depth = self.layers.len();
+        trace.inputs.resize_with(depth + 1, || Matrix::zeros(0, 0));
+        trace.pre.resize_with(depth, || Matrix::zeros(0, 0));
+        trace.inputs[0].copy_from(x);
+        for (i, (layer, act)) in self.layers.iter().zip(&self.activations).enumerate() {
+            let (head, tail) = trace.inputs.split_at_mut(i + 1);
+            let input = &head[i];
+            let next = &mut tail[0];
+            layer.forward_into(input, &mut trace.pre[i]);
+            next.copy_from(&trace.pre[i]);
+            act.forward_assign(next);
         }
-        ForwardTrace { inputs, pre }
     }
 
     /// Backward pass from `dL/d(output)` through the whole stack.
     pub fn backward(&self, trace: &ForwardTrace, grad_output: &Matrix) -> SequentialGrads {
-        let mut grad = grad_output.clone();
-        let mut layer_grads = vec![(Matrix::zeros(0, 0), Matrix::zeros(0, 0)); self.layers.len()];
-        for i in (0..self.layers.len()).rev() {
-            let grad_pre = self.activations[i].backward(&trace.pre[i], &grad);
-            let g = self.layers[i].backward(&trace.inputs[i], &grad_pre);
-            layer_grads[i] = (g.w, g.b);
-            grad = g.x;
+        let mut ws = Workspace::new();
+        ws.grad_cur.copy_from(grad_output);
+        self.backward_with(trace, &mut ws);
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for pair in ws.grads.chunks_exact(2) {
+            layers.push((pair[0].clone(), pair[1].clone()));
         }
         SequentialGrads {
-            layers: layer_grads,
-            input: grad,
+            layers,
+            input: ws.grad_cur.clone(),
         }
     }
 
+    /// Backward pass through workspace buffers (allocation-free once warm).
+    ///
+    /// On entry `ws.grad_cur` must hold `dL/d(output)` for `trace`; on exit
+    /// `ws.grads` holds the flat parameter gradients and, when
+    /// `need_input_grad` is set, `ws.grad_cur` the input gradient. Training
+    /// steps pass `false`: the layer-0 input gradient multiplies against
+    /// the widest weight matrix in the network and no optimizer reads it —
+    /// only the gradient-based poisoning attacks do. The trace is borrowed
+    /// separately from the workspace so [`Sequential::train_batch_with`]
+    /// can split the borrows.
+    fn backward_buffers(
+        &self,
+        trace: &ForwardTrace,
+        grads: &mut Vec<Matrix>,
+        grad_cur: &mut Matrix,
+        grad_next: &mut Matrix,
+        need_input_grad: bool,
+    ) {
+        let depth = self.layers.len();
+        grads.resize_with(depth * 2, || Matrix::zeros(0, 0));
+        for i in (0..depth).rev() {
+            self.activations[i].backward_assign(&trace.pre[i], grad_cur);
+            let (dw_part, db_part) = grads.split_at_mut(2 * i + 1);
+            if i == 0 && !need_input_grad {
+                self.layers[0].param_grads_into(
+                    &trace.inputs[0],
+                    grad_cur,
+                    &mut dw_part[0],
+                    &mut db_part[0],
+                );
+                break;
+            }
+            self.layers[i].backward_into(
+                &trace.inputs[i],
+                grad_cur,
+                &mut dw_part[2 * i],
+                &mut db_part[0],
+                grad_next,
+            );
+            std::mem::swap(grad_cur, grad_next);
+        }
+    }
+
+    /// Backward pass driven by a [`Workspace`]: on entry `ws.grad_cur`
+    /// must hold `dL/d(output)` for `trace`; on exit `ws.grads` holds the
+    /// flat parameter gradients and `ws.grad_cur` the input gradient.
+    pub fn backward_with(&self, trace: &ForwardTrace, ws: &mut Workspace) {
+        let Workspace {
+            grads,
+            grad_cur,
+            grad_next,
+            ..
+        } = ws;
+        self.backward_buffers(trace, grads, grad_cur, grad_next, true);
+        ws.has_input_grad = true;
+    }
+
     /// Predicted class index per row (argmax over logits).
+    ///
+    /// Large batches are split into row blocks classified in parallel;
+    /// rows are independent, so the result is identical to the serial path
+    /// for any thread count.
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {
-        self.forward(x).argmax_rows()
+        let rows = x.rows();
+        let threads = rayon::current_num_threads();
+        if rows < PARALLEL_PREDICT_MIN_ROWS || threads <= 1 || x.cols() == 0 {
+            return self.forward(x).argmax_rows();
+        }
+        let chunk_rows = rows.div_ceil(threads).max(1);
+        let cols = x.cols();
+        let blocks: Vec<Vec<usize>> = x
+            .as_slice()
+            .par_chunks(chunk_rows * cols)
+            .map(|block| {
+                let block_rows = block.len() / cols;
+                let sub =
+                    Matrix::from_vec(block_rows, cols, block.to_vec()).expect("row-aligned block");
+                self.forward(&sub).argmax_rows()
+            })
+            .collect();
+        blocks.into_iter().flatten().collect()
     }
 
     /// Classification accuracy against `labels`.
@@ -220,23 +377,52 @@ impl Sequential {
     /// the quantity every gradient-based poisoning attack (FGSM/PGD/MIM/CLB)
     /// is built from.
     pub fn input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
-        let trace = self.forward_trace(x);
-        let grad_out = SparseCrossEntropyLoss.grad(trace.output(), labels);
-        self.backward(&trace, &grad_out).input
+        let mut ws = Workspace::new();
+        self.forward_trace_into(x, &mut ws.trace);
+        let Workspace {
+            trace,
+            grads,
+            grad_cur,
+            grad_next,
+            ..
+        } = &mut ws;
+        SparseCrossEntropyLoss.loss_and_grad_into(trace.output(), labels, grad_cur);
+        self.backward_buffers(trace, grads, grad_cur, grad_next, true);
+        ws.grad_cur
     }
 
     /// One optimizer step on a single batch; returns the batch loss.
-    pub fn train_batch(
+    ///
+    /// Allocates a fresh [`Workspace`] per call; loops should hold one and
+    /// use [`Sequential::train_batch_with`].
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize], opt: &mut dyn Optimizer) -> f32 {
+        let mut ws = Workspace::new();
+        self.train_batch_with(x, labels, opt, &mut ws)
+    }
+
+    /// One optimizer step on a single batch through a reusable workspace.
+    ///
+    /// Zero heap allocations once `ws` has seen the batch shape (the
+    /// optimizer's state warms up on its first step the same way).
+    pub fn train_batch_with(
         &mut self,
         x: &Matrix,
         labels: &[usize],
         opt: &mut dyn Optimizer,
+        ws: &mut Workspace,
     ) -> f32 {
-        let trace = self.forward_trace(x);
-        let loss = SparseCrossEntropyLoss.loss(trace.output(), labels);
-        let grad_out = SparseCrossEntropyLoss.grad(trace.output(), labels);
-        let grads = self.backward(&trace, &grad_out).into_flat();
-        opt.step(self.param_tensors_mut(), &grads);
+        let Workspace {
+            trace,
+            grads,
+            grad_cur,
+            grad_next,
+            has_input_grad,
+        } = ws;
+        *has_input_grad = false;
+        self.forward_trace_into(x, trace);
+        let loss = SparseCrossEntropyLoss.loss_and_grad_into(trace.output(), labels, grad_cur);
+        self.backward_buffers(trace, grads, grad_cur, grad_next, false);
+        opt.step_stream(self, grads);
         loss
     }
 
@@ -244,12 +430,31 @@ impl Sequential {
     /// returns the batch loss. Used by the autoencoder-based baselines
     /// (ONLAD's on-device detector, FEDLS's latent-space detector).
     pub fn train_batch_autoencoder(&mut self, x: &Matrix, opt: &mut dyn Optimizer) -> f32 {
-        use crate::loss::MseLoss;
-        let trace = self.forward_trace(x);
+        let mut ws = Workspace::new();
+        self.train_batch_autoencoder_with(x, opt, &mut ws)
+    }
+
+    /// [`Sequential::train_batch_autoencoder`] through a reusable
+    /// workspace (allocation-free once warm).
+    pub fn train_batch_autoencoder_with(
+        &mut self,
+        x: &Matrix,
+        opt: &mut dyn Optimizer,
+        ws: &mut Workspace,
+    ) -> f32 {
+        let Workspace {
+            trace,
+            grads,
+            grad_cur,
+            grad_next,
+            has_input_grad,
+        } = ws;
+        *has_input_grad = false;
+        self.forward_trace_into(x, trace);
         let loss = MseLoss.loss(trace.output(), x);
-        let grad_out = MseLoss.grad(trace.output(), x);
-        let grads = self.backward(&trace, &grad_out).into_flat();
-        opt.step(self.param_tensors_mut(), &grads);
+        MseLoss.grad_into(trace.output(), x, grad_cur);
+        self.backward_buffers(trace, grads, grad_cur, grad_next, false);
+        opt.step_stream(self, grads);
         loss
     }
 
@@ -263,15 +468,21 @@ impl Sequential {
     ) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut history = Vec::with_capacity(cfg.epochs);
+        let mut ws = Workspace::new();
+        let mut bx = Matrix::zeros(0, 0);
         for _ in 0..cfg.epochs {
             let mut total = 0.0;
             let mut batches = 0;
             for batch in shuffled_batches(x.rows(), cfg.batch_size, &mut rng) {
-                let bx = gather_rows(x, &batch);
-                total += self.train_batch_autoencoder(&bx, opt);
+                gather_rows_into(x, &batch, &mut bx);
+                total += self.train_batch_autoencoder_with(&bx, opt, &mut ws);
                 batches += 1;
             }
-            history.push(if batches == 0 { 0.0 } else { total / batches as f32 });
+            history.push(if batches == 0 {
+                0.0
+            } else {
+                total / batches as f32
+            });
         }
         history
     }
@@ -322,16 +533,23 @@ impl Sequential {
         assert_eq!(labels.len(), x.rows(), "one label per row");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut history = Vec::with_capacity(cfg.epochs);
+        let mut ws = Workspace::new();
+        let mut bx = Matrix::zeros(0, 0);
+        let mut by = Vec::new();
         for _ in 0..cfg.epochs {
             let mut total = 0.0;
             let mut batches = 0;
             for batch in shuffled_batches(x.rows(), cfg.batch_size, &mut rng) {
-                let bx = gather_rows(x, &batch);
-                let by = gather_labels(labels, &batch);
-                total += self.train_batch(&bx, &by, opt);
+                gather_rows_into(x, &batch, &mut bx);
+                gather_labels_into(labels, &batch, &mut by);
+                total += self.train_batch_with(&bx, &by, opt, &mut ws);
                 batches += 1;
             }
-            history.push(if batches == 0 { 0.0 } else { total / batches as f32 });
+            history.push(if batches == 0 {
+                0.0
+            } else {
+                total / batches as f32
+            });
         }
         history
     }
@@ -365,12 +583,21 @@ impl HasParams for Sequential {
         }
         out
     }
+
+    fn visit_param_tensors_mut(&mut self, f: &mut dyn FnMut(&mut Matrix)) {
+        for l in &mut self.layers {
+            let (w, b) = l.parts_mut();
+            f(w);
+            f(b);
+        }
+    }
 }
 
 /// Convenience: snapshot/load round-trip helper used by the FL layer.
 pub fn clone_with_params(model: &Sequential, params: &NamedParams) -> Sequential {
     let mut m = model.clone();
-    m.load(params).expect("architecture-compatible by construction");
+    m.load(params)
+        .expect("architecture-compatible by construction");
     m
 }
 

@@ -6,6 +6,7 @@
 //! construction from user data goes through [`Matrix::from_vec`], which
 //! returns a [`ShapeError`].
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -43,6 +44,14 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// The empty `0 x 0` matrix — the canonical "unshaped buffer" the
+    /// workspace APIs start from.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -191,7 +200,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -202,7 +214,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -231,33 +246,63 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Reshapes `self` to `rows x cols`, reusing the backing allocation
+    /// when its capacity suffices. Contents are unspecified afterwards;
+    /// callers overwrite them. This is the primitive the allocation-free
+    /// training workspace is built on: after the first (warmup) pass every
+    /// buffer already has the right capacity and this never allocates.
+    pub fn ensure_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src` into `self`, reshaping as needed (no allocation once
+    /// capacity suffices).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self * rhs`, writing into a caller-owned buffer (reshaped as
+    /// needed; allocation-free once warm). See [`kernels::matmul_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both operands.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.ensure_shape(self.rows, rhs.cols);
+        kernels::matmul_into(
+            &mut out.data,
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
     /// Matrix product `self * rhs^T` without materializing the transpose.
@@ -266,21 +311,32 @@ impl Matrix {
     ///
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transposed_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self * rhs^T`, writing into a caller-owned buffer. See
+    /// [`kernels::matmul_transposed_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_transposed_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let dot: f32 = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
-                out.data[i * rhs.rows + j] = dot;
-            }
-        }
-        out
+        out.ensure_shape(self.rows, rhs.rows);
+        kernels::matmul_transposed_into(
+            &mut out.data,
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+        );
     }
 
     /// Matrix product `self^T * rhs` without materializing the transpose.
@@ -289,26 +345,32 @@ impl Matrix {
     ///
     /// Panics if `self.rows != rhs.rows`.
     pub fn transposed_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.transposed_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self^T * rhs`, writing into a caller-owned buffer. See
+    /// [`kernels::transposed_matmul_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn transposed_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "transposed_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.ensure_shape(self.cols, rhs.cols);
+        kernels::transposed_matmul_into(
+            &mut out.data,
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
     /// Returns the transpose.
@@ -439,16 +501,42 @@ impl Matrix {
         out
     }
 
+    /// Adds a `1 x cols` bias row to every row of `self`, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols`.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(
+            bias.cols, self.cols,
+            "bias length {} does not match {} columns",
+            bias.cols, self.cols
+        );
+        for row in self.data.chunks_exact_mut(self.cols.max(1)) {
+            for (o, b) in row.iter_mut().zip(&bias.data) {
+                *o += b;
+            }
+        }
+    }
+
     /// Sums each column into a `1 x cols` row vector.
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Sums each column into `out` (reshaped to `1 x cols`;
+    /// allocation-free once warm).
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.ensure_shape(1, self.cols);
+        out.fill(0.0);
+        for row in self.data.chunks_exact(self.cols.max(1)) {
             for (o, v) in out.data.iter_mut().zip(row) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Sum of all elements.
@@ -571,7 +659,14 @@ mod tests {
     #[test]
     fn from_vec_rejects_bad_length() {
         let err = Matrix::from_vec(2, 3, vec![1.0; 5]).unwrap_err();
-        assert_eq!(err, ShapeError { rows: 2, cols: 3, len: 5 });
+        assert_eq!(
+            err,
+            ShapeError {
+                rows: 2,
+                cols: 3,
+                len: 5
+            }
+        );
         assert!(err.to_string().contains("2x3"));
     }
 
@@ -587,7 +682,11 @@ mod tests {
     #[test]
     fn matmul_transposed_equals_explicit_transpose() {
         let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0],
+        );
         let fast = a.matmul_transposed(&b);
         let slow = a.matmul(&b.transpose());
         assert_eq!(fast, slow);
@@ -596,7 +695,11 @@ mod tests {
     #[test]
     fn transposed_matmul_equals_explicit_transpose() {
         let a = m(3, 2, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = m(3, 4, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = m(
+            3,
+            4,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0],
+        );
         let fast = a.transposed_matmul(&b);
         let slow = a.transpose().matmul(&b);
         assert_eq!(fast, slow);

@@ -9,6 +9,28 @@ fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
 }
 
+/// Scalar triple-loop oracle the blocked kernels are checked against.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for p in 0..a.cols() {
+            for j in 0..b.cols() {
+                let v = out.get(i, j) + a.get(i, p) * b.get(p, j);
+                out.set(i, j, v);
+            }
+        }
+    }
+    out
+}
+
+fn assert_matrices_close(lhs: &Matrix, rhs: &Matrix, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(lhs.shape(), rhs.shape());
+    for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+        prop_assert!((x - y).abs() <= tol * (1.0 + y.abs()), "{} vs {}", x, y);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -115,6 +137,72 @@ proptest! {
         let mut m2 = Sequential::mlp(&[5, 4, 3], Activation::Relu, seed + 1);
         m2.load(&scaled).unwrap();
         prop_assert_eq!(m2.snapshot(), scaled);
+    }
+
+    /// The blocked `matmul_into` kernel matches the scalar triple-loop
+    /// reference within 1e-5 on randomized shapes, including 0-row, 1×n
+    /// and non-square cases.
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        m in 0usize..7,
+        k in 0usize..40,
+        n in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::from_fn(m, k, |r, c| {
+            (((r * 31 + c * 17) as u64 + seed) % 200) as f32 / 100.0 - 1.0
+        });
+        let b = Matrix::from_fn(k, n, |r, c| {
+            (((r * 13 + c * 41) as u64 + seed * 3) % 200) as f32 / 100.0 - 1.0
+        });
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_matrices_close(&out, &naive_matmul(&a, &b), 1e-5)?;
+    }
+
+    /// `a · bᵀ` and `aᵀ · b` into-kernels agree with explicit-transpose
+    /// naive products within 1e-5, on randomized shapes including 0-row
+    /// and 1×n cases.
+    #[test]
+    fn transposed_kernels_match_naive_reference(
+        m in 0usize..6,
+        k in 1usize..40,
+        r in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::from_fn(m, k, |i, j| {
+            (((i * 7 + j * 11) as u64 + seed) % 200) as f32 / 100.0 - 1.0
+        });
+        let b = Matrix::from_fn(r, k, |i, j| {
+            (((i * 23 + j * 5) as u64 + seed * 7) % 200) as f32 / 100.0 - 1.0
+        });
+        let mut fast = Matrix::zeros(0, 0);
+        a.matmul_transposed_into(&b, &mut fast);
+        assert_matrices_close(&fast, &naive_matmul(&a, &b.transpose()), 1e-5)?;
+
+        // aᵀ · c with c sharing a's row count.
+        let c = Matrix::from_fn(m, r, |i, j| {
+            (((i * 3 + j * 29) as u64 + seed * 11) % 200) as f32 / 100.0 - 1.0
+        });
+        let mut fast_t = Matrix::zeros(0, 0);
+        a.transposed_matmul_into(&c, &mut fast_t);
+        assert_matrices_close(&fast_t, &naive_matmul(&a.transpose(), &c), 1e-5)?;
+    }
+
+    /// Into-kernels reuse dirty buffers safely: results are independent of
+    /// the output buffer's previous shape and contents.
+    #[test]
+    fn into_kernels_ignore_stale_buffer_contents(
+        m in 1usize..5,
+        k in 1usize..20,
+        n in 1usize..20,
+        stale in 0usize..50,
+    ) {
+        let a = Matrix::from_fn(m, k, |r, c| (r + c) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(k, n, |r, c| (r * 2 + c) as f32 * 0.125 - 1.0);
+        let mut dirty = Matrix::filled(stale / 7 + 1, stale % 7 + 1, f32::NAN);
+        a.matmul_into(&b, &mut dirty);
+        prop_assert_eq!(dirty, a.matmul(&b));
     }
 
     #[test]

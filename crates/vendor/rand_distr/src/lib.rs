@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand_distr`: the [`Normal`] distribution over
+//! `f32`/`f64` via Box–Muller, which is all the SAFELOC workspace samples.
+
+use rand::RngCore;
+
+/// A distribution that can be sampled with any RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Normal`] (non-finite or negative std-dev).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Floating-point scalar usable by [`Normal`] (`f32` / `f64`).
+pub trait Float: Copy {
+    /// `true` if neither NaN nor infinite.
+    fn is_finite_val(self) -> bool;
+    /// Comparison against zero.
+    fn is_negative_val(self) -> bool;
+    /// Conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Fused `mean + std * z`.
+    fn mul_add_val(self, std: Self, z: f64) -> Self;
+}
+
+impl Float for f32 {
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+    fn is_negative_val(self) -> bool {
+        self < 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn mul_add_val(self, std: Self, z: f64) -> Self {
+        self + std * (z as f32)
+    }
+}
+
+impl Float for f64 {
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+    fn is_negative_val(self) -> bool {
+        self < 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn mul_add_val(self, std: Self, z: f64) -> Self {
+        self + std * z
+    }
+}
+
+/// Gaussian distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl<T: Float> Normal<T> {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `std_dev` is negative or either parameter
+    /// is non-finite.
+    pub fn new(mean: T, std_dev: T) -> Result<Self, NormalError> {
+        if !mean.is_finite_val() || !std_dev.is_finite_val() || std_dev.is_negative_val() {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> T {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> T {
+        self.std_dev
+    }
+}
+
+impl<T: Float> Distribution<T> for Normal<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        // Box–Muller on two fresh uniforms. The cosine branch alone keeps
+        // the stream length per sample fixed (2 words), which matters for
+        // reproducibility across call sites.
+        let u1 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let r = (-2.0 * (1.0 - u1).max(f64::MIN_POSITIVE).ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean.mul_add_val(self.std_dev, r * theta.cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_close() {
+        let n = Normal::new(2.0f32, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let samples: Vec<f32> = (0..20000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f32>() / samples.len() as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.15, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_is_constant() {
+        let n = Normal::new(5.0f32, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 5.0);
+        }
+    }
+}

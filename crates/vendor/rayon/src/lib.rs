@@ -1,0 +1,562 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small parallel-iterator surface the SAFELOC workspace
+//! uses with `std::thread::scope` fork/join: contiguous chunks of the input
+//! are processed on OS threads and results are reassembled **in input
+//! order**, so `par_iter().map(f).collect()` is always element-for-element
+//! identical to the serial `iter().map(f).collect()` — parallelism never
+//! changes results, only wall-time. There is no work stealing and no
+//! persistent pool; for the coarse-grained tasks here (client-side training
+//! runs, row-block inference, distance-matrix rows) chunk-per-thread is
+//! within noise of a real pool.
+//!
+//! Thread count resolution order: `ThreadPool::install` override →
+//! `RAYON_NUM_THREADS` env var → `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+
+thread_local! {
+    static OVERRIDE_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations will use in this context.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = OVERRIDE_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`] (thread-count control only).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the number of threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Infallible; the `Result` mirrors the real crate's API.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: holds only the configured width, threads are
+/// spawned per operation.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing every parallel
+    /// operation `f` performs on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = OVERRIDE_THREADS.with(|c| c.replace(self.num_threads));
+        let out = f();
+        OVERRIDE_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// The traits and extension methods, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+// ------------------------------------------------------------- execution
+
+/// Splits `len` items into at most `threads` contiguous chunk ranges.
+fn chunk_ranges(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.min(len).max(1);
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let size = base + usize::from(t < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Order-preserving parallel map over index ranges: calls `run(start, end)`
+/// for each chunk on its own thread and concatenates the per-chunk outputs
+/// in chunk order.
+fn run_chunked<U: Send>(len: usize, run: impl Fn(usize, usize) -> Vec<U> + Sync + Send) -> Vec<U> {
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return run(0, len);
+    }
+    let ranges = chunk_ranges(len, threads);
+    let mut pieces: Vec<Vec<U>> = Vec::with_capacity(ranges.len());
+    let run = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(s, e)| scope.spawn(move || run(s, e)))
+            .collect();
+        for h in handles {
+            pieces.push(h.join().expect("rayon stub worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+// -------------------------------------------------------------- by-ref
+
+/// `par_iter()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+
+    /// Parallel iterator over non-overlapping chunks of at most
+    /// `chunk_size` elements, in order.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            items: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel shared-reference iterator (see [`ParallelSlice::par_iter`]).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParIterMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParIterMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParIterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParIterMap<'a, T, F> {
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let items = self.items;
+        let f = &self.f;
+        run_chunked(items.len(), |s, e| items[s..e].iter().map(f).collect()).into()
+    }
+}
+
+/// Parallel chunk iterator (see [`ParallelSlice::par_chunks`]).
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Maps each chunk through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a [T]) -> U + Sync,
+    {
+        ParChunksMap {
+            items: self.items,
+            chunk_size: self.chunk_size,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel chunk iterator.
+pub struct ParChunksMap<'a, T, F> {
+    items: &'a [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a [T]) -> U + Sync> ParChunksMap<'a, T, F> {
+    /// Executes the map and collects per-chunk results in chunk order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let n_chunks = self.items.len().div_ceil(self.chunk_size.max(1));
+        let items = self.items;
+        let size = self.chunk_size;
+        let f = &self.f;
+        run_chunked(n_chunks, |s, e| {
+            (s..e)
+                .map(|c| f(&items[c * size..((c + 1) * size).min(items.len())]))
+                .collect()
+        })
+        .into()
+    }
+}
+
+// -------------------------------------------------------------- by-mut
+
+/// `par_iter_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel exclusive-reference iterator.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParIterMutMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&mut T) -> U + Sync,
+    {
+        ParIterMutMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// Mapped parallel exclusive-reference iterator.
+pub struct ParIterMutMap<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, U: Send, F: Fn(&mut T) -> U + Sync> ParIterMutMap<'a, T, F> {
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let len = self.items.len();
+        let threads = current_num_threads();
+        let f = &self.f;
+        if threads <= 1 || len <= 1 {
+            let out: Vec<U> = self.items.iter_mut().map(f).collect();
+            return out.into();
+        }
+        let ranges = chunk_ranges(len, threads);
+        // Split into disjoint &mut chunks, one per worker.
+        let mut rest = self.items;
+        let mut chunks: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
+        let mut consumed = 0;
+        for &(s, e) in &ranges {
+            debug_assert_eq!(s, consumed);
+            let (head, tail) = rest.split_at_mut(e - s);
+            chunks.push(head);
+            rest = tail;
+            consumed = e;
+        }
+        let mut pieces: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<U>>()))
+                .collect();
+            for h in handles {
+                pieces.push(h.join().expect("rayon stub worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(len);
+        for p in pieces {
+            out.extend(p);
+        }
+        out.into()
+    }
+}
+
+// -------------------------------------------------------------- by-value
+
+/// `into_par_iter()` conversions.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete parallel iterator.
+    type Iter;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParRangeMap<F>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Runs `f` on every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// Mapped parallel range iterator.
+pub struct ParRangeMap<F> {
+    range: std::ops::Range<usize>,
+    f: F,
+}
+
+impl<U: Send, F: Fn(usize) -> U + Sync> ParRangeMap<F> {
+    /// Executes the map and collects results in index order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        run_chunked(len, |s, e| (start + s..start + e).map(f).collect()).into()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Parallel by-value iterator over a `Vec`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParVecMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParVecMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel by-value iterator.
+pub struct ParVecMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParVecMap<T, F> {
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let len = self.items.len();
+        let threads = current_num_threads();
+        let f = &self.f;
+        if threads <= 1 || len <= 1 {
+            let out: Vec<U> = self.items.into_iter().map(f).collect();
+            return out.into();
+        }
+        let ranges = chunk_ranges(len, threads);
+        let mut items = self.items;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+        for &(s, e) in ranges.iter().rev() {
+            chunks.push(items.split_off(s));
+            debug_assert_eq!(items.len(), s);
+            let _ = e;
+        }
+        chunks.reverse();
+        let mut pieces: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for h in handles {
+                pieces.push(h.join().expect("rayon stub worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(len);
+        for p in pieces {
+            out.extend(p);
+        }
+        out.into()
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon stub join worker panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mut_map_sees_every_element_once() {
+        let mut v = vec![0usize; 500];
+        let ids: Vec<usize> = v
+            .par_iter_mut()
+            .map(|slot| {
+                *slot += 1;
+                *slot
+            })
+            .collect();
+        assert!(v.iter().all(|&x| x == 1));
+        assert_eq!(ids, vec![1; 500]);
+    }
+
+    #[test]
+    fn range_map_matches_serial() {
+        let par: Vec<usize> = (3..103).into_par_iter().map(|i| i * i).collect();
+        let ser: Vec<usize> = (3..103).map(|i| i * i).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn chunks_cover_input_in_order() {
+        let v: Vec<usize> = (0..97).collect();
+        let sums: Vec<usize> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        let expect: Vec<usize> = v.chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 1));
+        let pool3 = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool3.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let v: Vec<usize> = (0..256).collect();
+        let run = |threads: usize| -> Vec<usize> {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    v.par_iter()
+                        .map(|&x| x.wrapping_mul(31).rotate_left(7))
+                        .collect()
+                })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(2), run(8));
+    }
+
+    #[test]
+    fn into_par_iter_vec() {
+        let v: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.clone().into_par_iter().map(|s| s.len()).collect();
+        let ser: Vec<usize> = v.iter().map(|s| s.len()).collect();
+        assert_eq!(out, ser);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}

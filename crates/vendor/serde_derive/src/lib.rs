@@ -1,0 +1,476 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the simplified [`Value`]-tree traits in the sibling `serde` stub. The
+//! parser is hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline) and supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (any visibility),
+//! * enums with unit, newtype/tuple and struct variants,
+//! * the `#[serde(default = "path")]` field attribute,
+//! * `Option<T>` fields defaulting to `None` when missing (matching real
+//!   serde's behaviour).
+//!
+//! Generics are intentionally unsupported — none of the workspace's
+//! serialized types are generic — and the macro panics with a clear message
+//! if it meets a shape it cannot handle, which surfaces as a compile error
+//! at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    /// Flattened type tokens, used only to special-case `Option<…>`.
+    ty: String,
+    /// Body of `#[serde(default = "…")]`, if present.
+    default_path: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let src = match &parsed {
+        Input::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let src = match &parsed {
+        Input::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type {name} is not supported");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive stub: expected braced body for {name}, got {other:?}"),
+    };
+
+    match kw.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, String)> {
+    let mut serde_attrs = Vec::new();
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if let Some(kv) = parse_serde_attr(g.stream()) {
+                        serde_attrs.push(kv);
+                    }
+                    *i += 1;
+                } else {
+                    panic!("serde_derive stub: malformed attribute");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in …)`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return serde_attrs,
+        }
+    }
+}
+
+/// Extracts `(key, value)` from `#[serde(key = "value")]`; returns `None`
+/// for non-serde attributes (docs, other derives' helpers).
+fn parse_serde_attr(stream: TokenStream) -> Option<(String, String)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let key = match inner.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    // `default = "path"`
+    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+        (inner.get(1), inner.get(2))
+    {
+        if eq.as_char() == '=' {
+            let raw = lit.to_string();
+            let value = raw.trim_matches('"').to_string();
+            return Some((key, value));
+        }
+    }
+    Some((key, String::new()))
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field {name}, got {other:?}"),
+        }
+        // Consume the type up to a comma at angle-bracket depth 0.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        let default_path = attrs
+            .iter()
+            .find(|(k, _)| k == "default")
+            .map(|(_, v)| v.clone());
+        fields.push(Field {
+            name,
+            ty,
+            default_path,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the next comma at depth 0 (handles discriminants, none
+        // expected) and past it.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => n += 1,
+                _ => {}
+            }
+        }
+    }
+    n
+}
+
+fn is_option(ty: &str) -> bool {
+    let t = ty.trim_start_matches(": :").trim();
+    t.starts_with("Option ")
+        || t.starts_with("Option<")
+        || t.contains("option :: Option <")
+        || t.starts_with("std :: option :: Option")
+        || t.starts_with("core :: option :: Option")
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&format!(
+            "(\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n})),",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_field_extraction(f: &Field, obj: &str, owner: &str) -> String {
+    let missing = if let Some(path) = &f.default_path {
+        format!("{path}()")
+    } else if is_option(&f.ty) {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"missing field `{n}` in {owner}\"))",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match ::serde::field({obj}, \"{n}\") {{\n\
+             ::std::option::Option::Some(v) => ::serde::Deserialize::deserialize_value(v)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }},",
+        n = f.name
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&gen_field_extraction(f, "obj", name));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let obj = v.as_object().ok_or_else(|| ::serde::Error::msg(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::serialize_value(f0))]),"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({bl}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Value::Array(vec![{el}]))]),",
+                    bl = binds.join(","),
+                    el = elems.join(",")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{n}\".to_string(), ::serde::Serialize::serialize_value({n}))",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {bl} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Value::Object(vec![{en}]))]),",
+                    bl = binds.join(","),
+                    en = entries.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(inner)?)),"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::deserialize_value(arr.get({k}).ok_or_else(|| \
+                                 ::serde::Error::msg(\"short tuple for {name}::{vn}\"))?)?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected array for {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn}({el}))\n\
+                     }},",
+                    el = elems.join(",")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| gen_field_extraction(f, "obj", &format!("{name}::{vn}")))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected object for {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                     }},",
+                    inits = inits.join("")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     _ => {{\n\
+                         let obj = v.as_object().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected string or object for {name}\"))?;\n\
+                         let (tag, inner) = obj.first().ok_or_else(|| \
+                             ::serde::Error::msg(\"empty object for {name}\"))?;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

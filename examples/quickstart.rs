@@ -39,7 +39,10 @@ fn main() {
 
     // 3. Server-side pretraining on the survey split (Motorola Z2).
     framework.pretrain(&data.server_train);
-    println!("pretrained; clean RCE baseline = {:.3}", framework.rce_baseline());
+    println!(
+        "pretrained; clean RCE baseline = {:.3}",
+        framework.rce_baseline()
+    );
 
     // 4. Federated rounds with the HTC U11 compromised by a label-flipping
     //    attacker.

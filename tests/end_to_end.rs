@@ -35,8 +35,7 @@ fn safeloc_full_pipeline_under_attack() {
 
     let mut clients = Client::from_dataset(&data, 42);
     let last = clients.len() - 1;
-    clients[last].injector =
-        Some(PoisonInjector::new(Attack::label_flip(1.0), 42).with_boost(3.0));
+    clients[last].injector = Some(PoisonInjector::new(Attack::label_flip(1.0), 42).with_boost(3.0));
     f.run_rounds(&mut clients, 3);
     let attacked = eval(&f, &data);
 

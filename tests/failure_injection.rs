@@ -7,7 +7,7 @@ use safeloc_fl::{
     Aggregator, Client, ClientUpdate, ClusterAggregator, FedAvg, Framework, Krum,
     LatentFilterAggregator, SelectiveAggregator, SequentialFlServer, ServerConfig,
 };
-use safeloc_nn::{HasParams, Matrix, NamedParams};
+use safeloc_nn::{Matrix, NamedParams};
 
 fn dataset() -> BuildingDataset {
     BuildingDataset::generate(Building::tiny(13), &DatasetConfig::tiny(), 13)
@@ -77,7 +77,10 @@ fn rounds_with_a_subset_of_clients_work() {
     let mut nobody: Vec<Client> = Vec::new();
     server.round(&mut nobody);
     let acc = server.accuracy(&data.server_train.x, &data.server_train.labels);
-    assert!(acc > 0.3, "server lost the model after sparse rounds: {acc}");
+    assert!(
+        acc > 0.3,
+        "server lost the model after sparse rounds: {acc}"
+    );
 }
 
 #[test]

@@ -1,0 +1,131 @@
+//! The parallel federated round must be an optimization, not a semantics
+//! change: for a fixed seed, every framework's post-round global model is
+//! bitwise identical regardless of how many threads the fleet trains on.
+//!
+//! This holds by construction — clients draw from per-client seed streams
+//! and the parallel map preserves client order — and this suite pins it.
+
+use rayon::ThreadPoolBuilder;
+use safeloc::{SafeLoc, SafeLocConfig};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+use safeloc_fl::{
+    Aggregator, Client, ClientUpdate, Framework, Krum, SequentialFlServer, ServerConfig,
+};
+use safeloc_nn::{HasParams, NamedParams};
+
+fn dataset() -> BuildingDataset {
+    BuildingDataset::generate(Building::tiny(4), &DatasetConfig::tiny(), 4)
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+#[test]
+fn sequential_server_round_is_bitwise_deterministic_across_thread_counts() {
+    let data = dataset();
+    let run = |threads: usize| -> NamedParams {
+        with_threads(threads, || {
+            let mut s = SequentialFlServer::new(
+                &[data.building.num_aps(), 16, data.building.num_rps()],
+                Box::new(safeloc_fl::FedAvg),
+                ServerConfig::tiny(),
+            );
+            s.pretrain(&data.server_train);
+            let mut clients = Client::from_dataset(&data, 0);
+            s.run_rounds(&mut clients, 2);
+            s.global_model().snapshot()
+        })
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(2), "1 vs 2 threads diverged");
+    assert_eq!(serial, run(5), "1 vs 5 threads diverged");
+}
+
+#[test]
+fn safeloc_round_is_bitwise_deterministic_across_thread_counts() {
+    let data = dataset();
+    let run = |threads: usize| -> NamedParams {
+        with_threads(threads, || {
+            let mut f = SafeLoc::new(
+                data.building.num_aps(),
+                data.building.num_rps(),
+                SafeLocConfig::tiny(),
+            );
+            f.pretrain(&data.server_train);
+            let mut clients = Client::from_dataset(&data, 0);
+            f.round(&mut clients);
+            f.network().snapshot()
+        })
+    };
+    let serial = run(1);
+    assert_eq!(
+        serial,
+        run(3),
+        "SAFELOC round diverged across thread counts"
+    );
+}
+
+#[test]
+fn krum_with_shared_distance_matrix_is_thread_count_invariant() {
+    // Synthetic updates with a known consensus cluster and one outlier.
+    let dims = 40;
+    let gm: NamedParams = NamedParams::new(vec![("w".into(), safeloc_nn::Matrix::zeros(1, dims))]);
+    let updates: Vec<ClientUpdate> = (0..8)
+        .map(|i| {
+            let v: Vec<f32> = (0..dims)
+                .map(|c| {
+                    if i == 7 {
+                        50.0 + c as f32
+                    } else {
+                        1.0 + (i * dims + c) as f32 * 1e-3
+                    }
+                })
+                .collect();
+            ClientUpdate::new(
+                i,
+                NamedParams::new(vec![(
+                    "w".into(),
+                    safeloc_nn::Matrix::from_vec(1, dims, v).unwrap(),
+                )]),
+                5,
+            )
+        })
+        .collect();
+    let run = |threads: usize| -> NamedParams {
+        with_threads(threads, || Krum::new(1).aggregate(&gm, &updates))
+    };
+    let serial = run(1);
+    assert_eq!(
+        serial,
+        run(4),
+        "Krum selection diverged across thread counts"
+    );
+    // And it still rejects the outlier.
+    let w = serial.get("w").unwrap().get(0, 0);
+    assert!(w < 10.0, "Krum picked the outlier: {w}");
+}
+
+#[test]
+fn batch_prediction_is_identical_across_thread_counts() {
+    let data = dataset();
+    let model = safeloc_nn::Sequential::mlp(
+        &[data.building.num_aps(), 24, data.building.num_rps()],
+        safeloc_nn::Activation::Relu,
+        3,
+    );
+    // Enough rows to trigger the parallel row-chunk path.
+    let mut rows = Vec::new();
+    for _ in 0..6 {
+        rows.extend(data.server_train.x.iter_rows().map(|r| r.to_vec()));
+    }
+    let x = safeloc_nn::Matrix::from_rows(&rows);
+    let serial = with_threads(1, || model.predict(&x));
+    let parallel = with_threads(4, || model.predict(&x));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), x.rows());
+}
