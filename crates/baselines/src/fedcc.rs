@@ -2,7 +2,9 @@
 
 use crate::arch::fedcc_dims;
 use safeloc_dataset::FingerprintSet;
-use safeloc_fl::{Client, ClusterAggregator, Framework, SequentialFlServer, ServerConfig};
+use safeloc_fl::{
+    Client, ClusterAggregator, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+};
 use safeloc_nn::Matrix;
 
 /// FEDCC: clusters client updates by gradient similarity and aggregates
@@ -40,8 +42,8 @@ impl Framework for FedCc {
         self.inner.pretrain(train);
     }
 
-    fn round(&mut self, clients: &mut [Client]) {
-        self.inner.round(clients);
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport {
+        self.inner.run_round(clients, plan)
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -50,6 +52,10 @@ impl Framework for FedCc {
 
     fn num_params(&self) -> usize {
         self.inner.num_params()
+    }
+
+    fn global_params(&self) -> safeloc_nn::NamedParams {
+        self.inner.global_params()
     }
 
     fn clone_box(&self) -> Box<dyn Framework> {
@@ -73,7 +79,8 @@ mod tests {
         assert_eq!(f.name(), "FEDCC");
         f.pretrain(&data.server_train);
         let mut clients = Client::from_dataset(&data, 0);
-        f.round(&mut clients);
+        let plan = RoundPlan::full(clients.len());
+        f.run_round(&mut clients, &plan);
         assert!(f.accuracy(&data.server_train.x, &data.server_train.labels) > 0.5);
     }
 }

@@ -3,7 +3,10 @@
 
 use crate::arch::fedhil_dims;
 use safeloc_dataset::FingerprintSet;
-use safeloc_fl::{Client, Framework, SelectiveAggregator, SequentialFlServer, ServerConfig};
+use safeloc_fl::{
+    Client, Framework, RoundPlan, RoundReport, SelectiveAggregator, SequentialFlServer,
+    ServerConfig,
+};
 use safeloc_nn::Matrix;
 
 /// FEDHIL: heterogeneity-resilient FL with selective weight aggregation —
@@ -40,8 +43,8 @@ impl Framework for FedHil {
         self.inner.pretrain(train);
     }
 
-    fn round(&mut self, clients: &mut [Client]) {
-        self.inner.round(clients);
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport {
+        self.inner.run_round(clients, plan)
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -50,6 +53,10 @@ impl Framework for FedHil {
 
     fn num_params(&self) -> usize {
         self.inner.num_params()
+    }
+
+    fn global_params(&self) -> safeloc_nn::NamedParams {
+        self.inner.global_params()
     }
 
     fn clone_box(&self) -> Box<dyn Framework> {
@@ -75,7 +82,8 @@ mod tests {
         let before = f.accuracy(&data.server_train.x, &data.server_train.labels);
         assert!(before > 0.7, "pretrain accuracy {before}");
         let mut clients = Client::from_dataset(&data, 0);
-        f.round(&mut clients);
+        let plan = RoundPlan::full(clients.len());
+        f.run_round(&mut clients, &plan);
         let after = f.accuracy(&data.server_train.x, &data.server_train.labels);
         assert!(after > before - 0.3);
     }

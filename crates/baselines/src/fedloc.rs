@@ -2,7 +2,9 @@
 
 use crate::arch::fedloc_dims;
 use safeloc_dataset::FingerprintSet;
-use safeloc_fl::{Client, FedAvg, Framework, SequentialFlServer, ServerConfig};
+use safeloc_fl::{
+    Client, FedAvg, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+};
 use safeloc_nn::Matrix;
 
 /// FEDLOC: a three-layer DNN aggregated with FedAvg and no defense — the
@@ -35,8 +37,8 @@ impl Framework for FedLoc {
         self.inner.pretrain(train);
     }
 
-    fn round(&mut self, clients: &mut [Client]) {
-        self.inner.round(clients);
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport {
+        self.inner.run_round(clients, plan)
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -45,6 +47,10 @@ impl Framework for FedLoc {
 
     fn num_params(&self) -> usize {
         self.inner.num_params()
+    }
+
+    fn global_params(&self) -> safeloc_nn::NamedParams {
+        self.inner.global_params()
     }
 
     fn clone_box(&self) -> Box<dyn Framework> {
@@ -69,7 +75,8 @@ mod tests {
         f.pretrain(&data.server_train);
         assert!(f.accuracy(&data.server_train.x, &data.server_train.labels) > 0.7);
         let mut clients = Client::from_dataset(&data, 0);
-        f.round(&mut clients);
+        let plan = RoundPlan::full(clients.len());
+        f.run_round(&mut clients, &plan);
     }
 
     #[test]

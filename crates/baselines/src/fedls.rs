@@ -3,7 +3,10 @@
 
 use crate::arch::fedls_dims;
 use safeloc_dataset::FingerprintSet;
-use safeloc_fl::{Client, Framework, LatentFilterAggregator, SequentialFlServer, ServerConfig};
+use safeloc_fl::{
+    Client, Framework, LatentFilterAggregator, RoundPlan, RoundReport, SequentialFlServer,
+    ServerConfig,
+};
 use safeloc_nn::Matrix;
 
 /// FEDLS: every round, the server projects the received update deltas into
@@ -42,8 +45,8 @@ impl Framework for FedLs {
         self.inner.pretrain(train);
     }
 
-    fn round(&mut self, clients: &mut [Client]) {
-        self.inner.round(clients);
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport {
+        self.inner.run_round(clients, plan)
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -52,6 +55,10 @@ impl Framework for FedLs {
 
     fn num_params(&self) -> usize {
         self.inner.num_params()
+    }
+
+    fn global_params(&self) -> safeloc_nn::NamedParams {
+        self.inner.global_params()
     }
 
     fn clone_box(&self) -> Box<dyn Framework> {
@@ -75,7 +82,8 @@ mod tests {
         assert_eq!(f.name(), "FEDLS");
         f.pretrain(&data.server_train);
         let mut clients = Client::from_dataset(&data, 0);
-        f.round(&mut clients);
+        let plan = RoundPlan::full(clients.len());
+        f.run_round(&mut clients, &plan);
         assert!(f.accuracy(&data.server_train.x, &data.server_train.labels) > 0.5);
     }
 

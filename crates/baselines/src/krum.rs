@@ -2,7 +2,9 @@
 
 use crate::arch::krum_dims;
 use safeloc_dataset::FingerprintSet;
-use safeloc_fl::{Client, Framework, Krum, SequentialFlServer, ServerConfig};
+use safeloc_fl::{
+    Client, Framework, Krum, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+};
 use safeloc_nn::Matrix;
 
 /// The KRUM baseline (§II): a simple MLP global model whose next version is
@@ -41,8 +43,8 @@ impl Framework for KrumFramework {
         self.inner.pretrain(train);
     }
 
-    fn round(&mut self, clients: &mut [Client]) {
-        self.inner.round(clients);
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport {
+        self.inner.run_round(clients, plan)
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -51,6 +53,10 @@ impl Framework for KrumFramework {
 
     fn num_params(&self) -> usize {
         self.inner.num_params()
+    }
+
+    fn global_params(&self) -> safeloc_nn::NamedParams {
+        self.inner.global_params()
     }
 
     fn clone_box(&self) -> Box<dyn Framework> {
@@ -74,7 +80,8 @@ mod tests {
         assert_eq!(f.name(), "KRUM");
         f.pretrain(&data.server_train);
         let mut clients = Client::from_dataset(&data, 0);
-        f.round(&mut clients);
+        let plan = RoundPlan::full(clients.len());
+        f.run_round(&mut clients, &plan);
         assert!(f.accuracy(&data.server_train.x, &data.server_train.labels) > 0.4);
     }
 

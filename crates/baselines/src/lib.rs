@@ -21,14 +21,16 @@
 //! ```
 //! use safeloc_baselines::FedLoc;
 //! use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-//! use safeloc_fl::{Client, Framework, ServerConfig};
+//! use safeloc_fl::{Client, Framework, RoundPlan, ServerConfig};
 //!
 //! let data = BuildingDataset::generate(Building::tiny(2), &DatasetConfig::tiny(), 2);
 //! let mut f = FedLoc::new(data.building.num_aps(), data.building.num_rps(), ServerConfig::tiny());
 //! f.pretrain(&data.server_train);
 //! let mut clients = Client::from_dataset(&data, 0);
-//! f.round(&mut clients);
+//! let plan = RoundPlan::full(clients.len());
+//! let report = f.run_round(&mut clients, &plan);
 //! assert_eq!(f.name(), "FEDLOC");
+//! assert_eq!(report.accepted(), clients.len());
 //! ```
 
 pub mod arch;

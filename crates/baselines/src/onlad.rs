@@ -5,8 +5,12 @@ use crate::arch::{onlad_detector_dims, onlad_localizer_dims};
 use rayon::prelude::*;
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::client::train_sequential_lm;
-use safeloc_fl::{Aggregator, Client, ClientUpdate, FedAvg, Framework, ServerConfig};
-use safeloc_nn::{Activation, Adam, HasParams, Matrix, Sequential, TrainConfig};
+use safeloc_fl::report::RoundTimer;
+use safeloc_fl::{
+    active_clients, Aggregator, Client, ClientUpdate, FedAvg, Framework, RoundPlan, RoundReport,
+    ServerConfig,
+};
+use safeloc_nn::{Activation, Adam, HasParams, Matrix, NamedParams, Sequential, TrainConfig};
 
 /// ONLAD: two separate models — an on-device semi-supervised autoencoder
 /// that flags anomalous *samples* before local training, and a conventional
@@ -118,17 +122,19 @@ impl Framework for Onlad {
         self.threshold = rce[idx] * 1.3;
     }
 
-    fn round(&mut self, clients: &mut [Client]) {
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport {
         let n_classes = self.localizer.out_dim();
         let round_salt = (self.rounds_run as u64 + 1) << 16;
         // One snapshot shared across the fleet; clients are independent,
-        // so detection + local retraining runs in parallel.
+        // so detection + local retraining runs in parallel over the
+        // participating cohort.
         let gm_snapshot = self.localizer.snapshot();
         let localizer = &self.localizer;
         let detector = &*self;
         let local = &self.cfg.local;
-        let updates: Vec<ClientUpdate> = clients
-            .par_iter_mut()
+        let timer = RoundTimer::start();
+        let updates: Vec<ClientUpdate> = active_clients(clients, plan)
+            .into_par_iter()
             .map(|c| {
                 // Backdoor attackers perturb the RSS feed first.
                 let base = c.base_labels(localizer, local);
@@ -156,13 +162,23 @@ impl Framework for Onlad {
                 ClientUpdate::new(c.id, params, filtered.len())
             })
             .collect();
-        let next = self
+        let timer = timer.split();
+        let outcome = self
             .aggregator
             .aggregate(&self.localizer.snapshot(), &updates);
         self.localizer
-            .load(&next)
+            .load(&outcome.params)
             .expect("FedAvg preserves architecture");
+        let report = timer.finish(
+            self.rounds_run,
+            self.name(),
+            clients,
+            plan,
+            &updates,
+            &outcome,
+        );
         self.rounds_run += 1;
+        report
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -171,6 +187,12 @@ impl Framework for Onlad {
 
     fn num_params(&self) -> usize {
         self.localizer.num_params() + self.detector.num_params()
+    }
+
+    fn global_params(&self) -> NamedParams {
+        // Only the localizer is federated; the detector is calibrated
+        // server-side and never rewritten by a round.
+        self.localizer.snapshot()
     }
 
     fn clone_box(&self) -> Box<dyn Framework> {
@@ -233,7 +255,10 @@ mod tests {
         let mut clients = Client::from_dataset(&data, 0);
         let last = clients.len() - 1;
         clients[last].injector = Some(PoisonInjector::new(Attack::fgsm(0.6), 7));
-        f.run_rounds(&mut clients, 3);
+        let plan = RoundPlan::full(clients.len());
+        for _ in 0..3 {
+            f.run_round(&mut clients, &plan);
+        }
         let after = f.accuracy(&eval.x, &eval.labels);
         assert!(
             after > before - 0.35,

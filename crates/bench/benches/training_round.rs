@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_baselines::{FedHil, FedLoc, Onlad};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Client, Framework, ServerConfig};
+use safeloc_fl::{Client, Framework, RoundPlan, ServerConfig};
 
 fn bench_round(c: &mut Criterion) {
     let data = BuildingDataset::generate(Building::tiny(1), &DatasetConfig::tiny(), 1);
@@ -30,7 +30,8 @@ fn bench_round(c: &mut Criterion) {
             b.iter(|| {
                 let mut fresh = f.clone_box();
                 let mut clients = Client::from_dataset(&data, 0);
-                fresh.round(&mut clients);
+                let plan = RoundPlan::full(clients.len());
+                fresh.run_round(&mut clients, &plan);
             })
         });
     }

@@ -7,7 +7,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use safeloc_bench::naive;
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Client, FedAvg, Framework, LocalTrainConfig, SequentialFlServer, ServerConfig};
+use safeloc_fl::{
+    Client, FedAvg, Framework, LocalTrainConfig, RoundPlan, SequentialFlServer, ServerConfig,
+};
 use safeloc_nn::{Activation, Adam, Matrix, Sequential, Workspace};
 
 const DIMS: [usize; 5] = [203, 128, 89, 62, 60];
@@ -81,7 +83,8 @@ fn bench_federated_round(c: &mut Criterion) {
             pool.install(|| {
                 let mut s = server.clone();
                 let mut clients = Client::from_dataset(&data, 0);
-                s.round(&mut clients);
+                let plan = RoundPlan::full(clients.len());
+                s.run_round(&mut clients, &plan);
             })
         })
     });
@@ -89,7 +92,8 @@ fn bench_federated_round(c: &mut Criterion) {
         b.iter(|| {
             let mut s = server.clone();
             let mut clients = Client::from_dataset(&data, 0);
-            s.round(&mut clients);
+            let plan = RoundPlan::full(clients.len());
+            s.run_round(&mut clients, &plan);
         })
     });
     group.finish();

@@ -35,6 +35,7 @@ struct Args {
     quick: bool,
     seed: u64,
     out: String,
+    check: bool,
 }
 
 fn parse_args() -> Args {
@@ -42,12 +43,14 @@ fn parse_args() -> Args {
         quick: false,
         seed: 42,
         out: "BENCH_nn.json".to_string(),
+        check: false,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
             "--quick" => args.quick = true,
+            "--check" => args.check = true,
             "--seed" => {
                 i += 1;
                 args.seed = argv
@@ -62,7 +65,9 @@ fn parse_args() -> Args {
                     .cloned()
                     .unwrap_or_else(|| panic!("--out requires a path"));
             }
-            other => panic!("unknown argument {other:?} (expected --quick/--seed N/--out PATH)"),
+            other => {
+                panic!("unknown argument {other:?} (expected --quick/--check/--seed N/--out PATH)")
+            }
         }
         i += 1;
     }
@@ -212,7 +217,8 @@ fn bench_round(quick: bool, seed: u64) -> RoundTiming {
     let run_round = || {
         let mut s = server.clone();
         let mut clients = Client::from_dataset(&data, seed);
-        s.round(&mut clients);
+        let plan = safeloc_fl::RoundPlan::full(clients.len());
+        s.run_round(&mut clients, &plan);
     };
     let serial_ns = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
@@ -306,4 +312,16 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&args.out, json).expect("write BENCH json");
     eprintln!("wrote {}", args.out);
+
+    // CI smoke gate: a zero/NaN/Inf throughput number means the
+    // measurement broke, not that the code got infinitely fast.
+    if args.check {
+        match report.validate() {
+            Ok(()) => eprintln!("perf report check: all throughput numbers finite and positive"),
+            Err(problems) => {
+                eprintln!("perf report check FAILED: {problems}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -5,7 +5,8 @@ use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_baselines::{FedCc, FedHil, FedLoc, FedLs, Onlad};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceProfile};
-use safeloc_fl::{Client, Framework, ServerConfig};
+use safeloc_fl::report::pooled_rate;
+use safeloc_fl::{Client, CohortSampler, FlSession, Framework, RoundReport, ServerConfig};
 use safeloc_metrics::localization_errors;
 
 /// Experiment scale, selected on the command line.
@@ -172,15 +173,37 @@ impl Scenario {
     }
 }
 
-/// Runs `scenario` on a **clone** of the pretrained `template` framework and
-/// returns per-sample localization errors (meters) over the five
-/// non-training devices' held-out test sets.
-pub fn run_scenario(
-    template: &dyn Framework,
-    data: &BuildingDataset,
-    scenario: &Scenario,
-) -> Vec<f32> {
-    let mut framework = template.clone_box();
+/// Errors plus the per-round telemetry a scenario session produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Per-sample localization errors (meters) over the five non-training
+    /// devices' held-out test sets.
+    pub errors: Vec<f32>,
+    /// One report per federated round, in order.
+    pub reports: Vec<RoundReport>,
+}
+
+impl ScenarioOutcome {
+    /// Pooled attacker-rejection rate over the session's rounds, or `None`
+    /// if no malicious client ever delivered an update.
+    pub fn attacker_rejection_rate(&self) -> Option<f32> {
+        pooled_rate(self.reports.iter(), RoundReport::attacker_rejection_rate)
+    }
+
+    /// Pooled honest-rejection rate (collateral damage) over the session.
+    pub fn honest_rejection_rate(&self) -> Option<f32> {
+        pooled_rate(self.reports.iter(), RoundReport::honest_rejection_rate)
+    }
+
+    /// Pooled mean attacker aggregation weight (soft defenses).
+    pub fn mean_attacker_weight(&self) -> Option<f32> {
+        pooled_rate(self.reports.iter(), RoundReport::mean_attacker_weight)
+    }
+}
+
+/// The fleet for a scenario: clients with the scenario's attackers wired
+/// in (model-replacement boost shared across colluders).
+pub fn scenario_fleet(data: &BuildingDataset, scenario: &Scenario) -> Vec<Client> {
     let mut clients = Client::from_dataset(data, scenario.seed);
     // Model-replacement boost: k colluding attackers share the n× factor so
     // their combined mass steers a plain mean exactly once.
@@ -200,8 +223,41 @@ pub fn run_scenario(
             }
         }
     }
-    framework.run_rounds(&mut clients, scenario.rounds);
-    evaluate_errors(framework.as_ref(), data)
+    clients
+}
+
+/// Runs `scenario` on a **clone** of the pretrained `template` framework and
+/// returns per-sample localization errors (meters) over the five
+/// non-training devices' held-out test sets.
+///
+/// Full participation; use [`run_scenario_with_reports`] to subsample
+/// cohorts or read the per-round telemetry.
+pub fn run_scenario(
+    template: &dyn Framework,
+    data: &BuildingDataset,
+    scenario: &Scenario,
+) -> Vec<f32> {
+    run_scenario_with_reports(template, data, scenario, CohortSampler::full()).errors
+}
+
+/// [`run_scenario`] through an [`FlSession`] with an explicit cohort
+/// sampler, returning the round telemetry alongside the errors.
+pub fn run_scenario_with_reports(
+    template: &dyn Framework,
+    data: &BuildingDataset,
+    scenario: &Scenario,
+    sampler: CohortSampler,
+) -> ScenarioOutcome {
+    let mut session = FlSession::builder(template.clone_box())
+        .clients(scenario_fleet(data, scenario))
+        .sampler(sampler)
+        .build();
+    session.run(scenario.rounds);
+    let (framework, _, reports) = session.into_parts();
+    ScenarioOutcome {
+        errors: evaluate_errors(framework.as_ref(), data),
+        reports,
+    }
 }
 
 /// Localization errors of `framework` over the non-training devices' test

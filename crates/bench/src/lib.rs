@@ -11,8 +11,15 @@
 //! | `fig5_heatmap` | Fig. 5 — attack × ε heatmap |
 //! | `fig6_comparison` | Fig. 6 — SAFELOC vs. state-of-the-art |
 //! | `fig7_scalability` | Fig. 7 — client-count scaling |
+//! | `fig8_participation` | (ours) accuracy + attacker-rejection rate vs participation fraction |
 //! | `table1_overhead` | Table I — parameters + inference latency |
 //! | `ablation` | (ours) design-choice attribution |
+//!
+//! Scenario execution runs through [`safeloc_fl::FlSession`]:
+//! [`run_scenario`] drives a full-participation session, and
+//! [`run_scenario_with_reports`] accepts any
+//! [`CohortSampler`](safeloc_fl::CohortSampler) and returns the per-round
+//! [`RoundReport`](safeloc_fl::RoundReport)s next to the errors.
 //!
 //! Every binary accepts `--quick` (smoke-test scale), `--full` (the paper's
 //! 700-epoch configuration) and `--seed N`; the default is a
@@ -24,6 +31,7 @@ pub mod perf;
 
 pub use harness::{
     build_dataset, build_frameworks, default_buildings, evaluate_errors, pretrained_safeloc,
-    run_scenario, HarnessConfig, Scale, Scenario,
+    run_scenario, run_scenario_with_reports, scenario_fleet, HarnessConfig, Scale, Scenario,
+    ScenarioOutcome,
 };
 pub use perf::{time_median_ns, PerfReport};

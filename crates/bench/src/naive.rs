@@ -162,7 +162,8 @@ pub fn seed_round(gm: &mut Sequential, clients: &mut [Client], local: &LocalTrai
         .collect();
     let mut agg = FedAvg;
     let next = agg.aggregate(&gm.snapshot(), &updates);
-    gm.load(&next).expect("FedAvg preserves architecture");
+    gm.load(&next.params)
+        .expect("FedAvg preserves architecture");
 }
 
 /// The seed's Krum: recomputes the full pairwise squared-distance set for
@@ -261,7 +262,7 @@ mod tests {
             })
             .collect();
         let gm = NamedParams::new(vec![("w".into(), Matrix::zeros(1, 8))]);
-        let fast = Krum::new(1).aggregate(&gm, &updates);
+        let fast = Krum::new(1).aggregate(&gm, &updates).params;
         let slow = krum_select(&updates, 1).unwrap();
         assert_eq!(fast, slow);
     }

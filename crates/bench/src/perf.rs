@@ -108,6 +108,61 @@ pub struct PerfReport {
 }
 
 impl PerfReport {
+    /// Sanity-checks every throughput number: all timings and speedups
+    /// must be finite and strictly positive. CI runs `perf_report --quick
+    /// --check` and fails the build when this returns an error — a zero or
+    /// NaN timing means the measurement itself broke (e.g. a kernel
+    /// optimized away or a division by an unmeasured baseline), not that
+    /// the code got infinitely fast.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming every offending metric.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut problems = Vec::new();
+        let mut check = |name: String, value: f64| {
+            if !value.is_finite() || value <= 0.0 {
+                problems.push(format!("{name} = {value}"));
+            }
+        };
+        for k in &self.matmul {
+            check(
+                format!("matmul[{} {}].naive_ns", k.kernel, k.shape),
+                k.naive_ns,
+            );
+            check(
+                format!("matmul[{} {}].blocked_ns", k.kernel, k.shape),
+                k.blocked_ns,
+            );
+            check(
+                format!("matmul[{} {}].speedup", k.kernel, k.shape),
+                k.speedup,
+            );
+        }
+        check("training_step.naive_ns".into(), self.training_step.naive_ns);
+        check(
+            "training_step.workspace_ns".into(),
+            self.training_step.workspace_ns,
+        );
+        check("training_step.speedup".into(), self.training_step.speedup);
+        check("round.seed_ms".into(), self.round.seed_ms);
+        check("round.serial_ms".into(), self.round.serial_ms);
+        check("round.parallel_ms".into(), self.round.parallel_ms);
+        check("round.speedup_vs_seed".into(), self.round.speedup_vs_seed);
+        check("round.thread_speedup".into(), self.round.thread_speedup);
+        for a in &self.aggregation {
+            check(format!("aggregation[{}].micros", a.strategy), a.micros);
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "non-finite or non-positive throughput numbers: {}",
+                problems.join(", ")
+            ))
+        }
+    }
+
     /// Renders the human-readable summary table.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -166,9 +221,8 @@ mod tests {
         assert!(ns > 0.0);
     }
 
-    #[test]
-    fn report_round_trips_through_json() {
-        let report = PerfReport {
+    fn sample_report() -> PerfReport {
+        PerfReport {
             schema: "safeloc-bench/perf-report/v1".into(),
             quick: true,
             threads: 4,
@@ -199,10 +253,42 @@ mod tests {
                 strategy: "Krum".into(),
                 micros: 800.0,
             }],
-        };
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
         assert!(report.summary().contains("training step"));
+    }
+
+    #[test]
+    fn healthy_report_validates() {
+        assert_eq!(sample_report().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_and_non_finite_numbers_fail_validation() {
+        let mut zero = sample_report();
+        zero.training_step.workspace_ns = 0.0;
+        let err = zero.validate().unwrap_err();
+        assert!(err.contains("training_step.workspace_ns"), "{err}");
+
+        let mut nan = sample_report();
+        nan.round.speedup_vs_seed = f64::NAN;
+        let err = nan.validate().unwrap_err();
+        assert!(err.contains("round.speedup_vs_seed"), "{err}");
+
+        let mut inf = sample_report();
+        inf.matmul[0].speedup = f64::INFINITY;
+        let err = inf.validate().unwrap_err();
+        assert!(err.contains("matmul"), "{err}");
+
+        let mut neg = sample_report();
+        neg.aggregation[0].micros = -1.0;
+        assert!(neg.validate().is_err());
     }
 }

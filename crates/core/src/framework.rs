@@ -7,8 +7,11 @@ use crate::fused::{FusedConfig, FusedNetwork};
 use crate::saliency::SaliencyAggregator;
 use rayon::prelude::*;
 use safeloc_dataset::FingerprintSet;
-use safeloc_fl::{Aggregator, Client, ClientUpdate, Framework};
-use safeloc_nn::{Adam, HasParams, Matrix, TrainConfig};
+use safeloc_fl::report::RoundTimer;
+use safeloc_fl::{
+    active_clients, Aggregator, Client, ClientUpdate, Framework, RoundPlan, RoundReport,
+};
+use safeloc_nn::{Adam, HasParams, Matrix, NamedParams, TrainConfig};
 
 /// The SAFELOC framework (paper §IV).
 ///
@@ -16,12 +19,15 @@ use safeloc_nn::{Adam, HasParams, Matrix, TrainConfig};
 ///
 /// 1. [`SafeLoc::pretrain`] — the fused network is trained on the server's
 ///    clean survey split with the joint CE + MSE loss.
-/// 2. [`SafeLoc::round`] — the GM is distributed; each client de-noises its
-///    local data through the autoencoder (RCE > τ ⇒ replaced with its
-///    reconstruction, neutralizing backdoor perturbations), retrains its LM
-///    for 5 epochs at the reduced rate, and uploads it. The server applies
-///    saliency-map aggregation, which suppresses the weight deviations that
-///    label-flipped training produces.
+/// 2. [`Framework::run_round`] — the GM is distributed to the round plan's
+///    cohort; each participating client de-noises its local data through
+///    the autoencoder (RCE > τ ⇒ replaced with its reconstruction,
+///    neutralizing backdoor perturbations), retrains its LM for 5 epochs at
+///    the reduced rate, and uploads it. The server applies saliency-map
+///    aggregation, which suppresses the weight deviations that
+///    label-flipped training produces; the returned
+///    [`RoundReport`] records each update's mean
+///    saliency as its acceptance weight.
 /// 3. [`Framework::predict`] — detection-aware inference: flagged inputs
 ///    are classified from their re-encoded reconstruction.
 #[derive(Clone)]
@@ -104,20 +110,21 @@ impl SafeLoc {
         &self.cfg
     }
 
-    /// Collects one round of client updates (exposed for tests/ablations).
+    /// Collects one round of updates from the plan's participating clients
+    /// (exposed for tests/ablations).
     ///
     /// Clients are independent — each de-noises and retrains its own clone
-    /// of the fused GM — so the fleet runs in parallel. Per-client seed
-    /// streams and order-preserving collection keep the round
-    /// bitwise-identical across thread counts.
-    pub fn collect_updates(&self, clients: &mut [Client]) -> Vec<ClientUpdate> {
+    /// of the fused GM — so the participating cohort runs in parallel.
+    /// Per-client seed streams and order-preserving collection keep the
+    /// round bitwise-identical across thread counts.
+    pub fn collect_updates(&self, clients: &mut [Client], plan: &RoundPlan) -> Vec<ClientUpdate> {
         let n_classes = self.net.n_classes();
         let round_salt = (self.rounds_run as u64 + 1) << 16;
         // One snapshot shared across the fleet (the seed re-snapshotted the
         // full fused model once per client).
         let gm_snapshot = self.net.snapshot();
-        clients
-            .par_iter_mut()
+        active_clients(clients, plan)
+            .into_par_iter()
             .map(|c| {
                 // 1. A backdoor attacker perturbs the RSS feed before the
                 //    pipeline sees it (Fig. 2).
@@ -194,13 +201,24 @@ impl Framework for SafeLoc {
         self.rce_baseline = calibrate_tau(&self.net, &calib_x, self.cfg.rce_mode, 0.95, 1.0);
     }
 
-    fn round(&mut self, clients: &mut [Client]) {
-        let updates = self.collect_updates(clients);
-        let next = self.aggregator.aggregate(&self.net.snapshot(), &updates);
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport {
+        let timer = RoundTimer::start();
+        let updates = self.collect_updates(clients, plan);
+        let timer = timer.split();
+        let outcome = self.aggregator.aggregate(&self.net.snapshot(), &updates);
         self.net
-            .load(&next)
+            .load(&outcome.params)
             .expect("saliency aggregation preserves architecture");
+        let report = timer.finish(
+            self.rounds_run,
+            self.name(),
+            clients,
+            plan,
+            &updates,
+            &outcome,
+        );
         self.rounds_run += 1;
+        report
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -211,6 +229,10 @@ impl Framework for SafeLoc {
 
     fn num_params(&self) -> usize {
         self.net.num_params()
+    }
+
+    fn global_params(&self) -> NamedParams {
+        self.net.snapshot()
     }
 
     fn clone_box(&self) -> Box<dyn Framework> {
@@ -226,6 +248,13 @@ mod tests {
 
     fn dataset() -> BuildingDataset {
         BuildingDataset::generate(Building::tiny(6), &DatasetConfig::tiny(), 6)
+    }
+
+    fn run_full_rounds(f: &mut SafeLoc, clients: &mut [Client], n: usize) {
+        let plan = RoundPlan::full(clients.len());
+        for _ in 0..n {
+            f.run_round(clients, &plan);
+        }
     }
 
     fn pretrained(data: &BuildingDataset) -> SafeLoc {
@@ -254,7 +283,7 @@ mod tests {
         let mut f = pretrained(&data);
         let before = f.accuracy(&data.server_train.x, &data.server_train.labels);
         let mut clients = Client::from_dataset(&data, 0);
-        f.run_rounds(&mut clients, 3);
+        run_full_rounds(&mut f, &mut clients, 3);
         let after = f.accuracy(&data.server_train.x, &data.server_train.labels);
         assert!(
             after > before - 0.25,
@@ -271,7 +300,7 @@ mod tests {
         let mut clients = Client::from_dataset(&data, 0);
         let last = clients.len() - 1;
         clients[last].injector = Some(PoisonInjector::new(Attack::label_flip(1.0), 5));
-        f.run_rounds(&mut clients, 4);
+        run_full_rounds(&mut f, &mut clients, 4);
         let after = f.accuracy(&eval.x, &eval.labels);
         assert!(
             after > before - 0.3,
@@ -288,7 +317,7 @@ mod tests {
         let mut clients = Client::from_dataset(&data, 0);
         let last = clients.len() - 1;
         clients[last].injector = Some(PoisonInjector::new(Attack::fgsm(0.5), 5));
-        f.run_rounds(&mut clients, 4);
+        run_full_rounds(&mut f, &mut clients, 4);
         let after = f.accuracy(&eval.x, &eval.labels);
         assert!(
             after > before - 0.3,
@@ -302,7 +331,7 @@ mod tests {
         let run = || {
             let mut f = pretrained(&data);
             let mut clients = Client::from_dataset(&data, 0);
-            f.round(&mut clients);
+            run_full_rounds(&mut f, &mut clients, 1);
             f.network().snapshot()
         };
         assert_eq!(run(), run());

@@ -25,8 +25,8 @@ use rand::{Rng, SeedableRng};
 use safeloc_attacks::GradientSource;
 use safeloc_fl::client::PredictLabels;
 use safeloc_nn::{
-    gather_labels, gather_rows, shuffled_batches, Activation, Dense, HasParams, Init, Matrix,
-    MseLoss, Optimizer, SparseCrossEntropyLoss, TrainConfig,
+    gather_labels_into, gather_rows, gather_rows_into, shuffled_batches, Activation, Dense,
+    HasParams, Init, Matrix, MseLoss, Optimizer, SparseCrossEntropyLoss, TrainConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -68,7 +68,11 @@ pub struct FusedNetwork {
 }
 
 /// Cached forward state for one batch.
-#[derive(Debug, Clone)]
+///
+/// Reusable: [`FusedNetwork::forward_trace_into`] reshapes the cached
+/// matrices in place, so a trace that has seen a batch shape once never
+/// allocates for it again.
+#[derive(Debug, Clone, Default)]
 pub struct FusedTrace {
     enc_in: Vec<Matrix>,
     enc_pre: Vec<Matrix>,
@@ -80,6 +84,49 @@ pub struct FusedTrace {
     pub recon: Matrix,
     /// Classification logits.
     pub logits: Matrix,
+}
+
+/// Reusable scratch buffers for one fused-network training stream — the
+/// `Workspace` pattern of `safeloc-nn`, extended to the two-headed model:
+/// the forward trace, the flat gradient list, the two loss-head gradients
+/// and the ping-pong matrices the joint backward pass streams through.
+/// After one warmup step on a batch shape, a full
+/// [`FusedNetwork::train_batch_weighted_with`] step performs **zero heap
+/// allocations** — pinned by `crates/core/tests/alloc_free.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct FusedWorkspace {
+    trace: FusedTrace,
+    /// Flat gradients in [`HasParams`] order (`enc0.w, enc0.b, …, dec…,
+    /// cls.w, cls.b`).
+    grads: Vec<Matrix>,
+    /// `dL/d logits`.
+    d_logits: Matrix,
+    /// `recon_weight · dL/d recon`.
+    d_recon: Matrix,
+    /// Gradient flowing backwards through the current stack.
+    grad_cur: Matrix,
+    /// Scratch for the layer-below gradient; swapped with `grad_cur`.
+    grad_next: Matrix,
+    /// The classifier head's bottleneck gradient, merged with the
+    /// decoder's at the bottleneck.
+    dz_cls: Matrix,
+}
+
+impl FusedWorkspace {
+    /// An empty workspace; buffers are shaped on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The forward trace of the last step.
+    pub fn trace(&self) -> &FusedTrace {
+        &self.trace
+    }
+
+    /// The flat gradient tensors produced by the last backward pass.
+    pub fn gradients(&self) -> &[Matrix] {
+        &self.grads
+    }
 }
 
 /// Gradients for every tensor plus the input.
@@ -229,41 +276,42 @@ impl FusedNetwork {
 
     /// Full forward pass with cached intermediates.
     pub fn forward_trace(&self, x: &Matrix) -> FusedTrace {
-        let mut enc_in = Vec::with_capacity(self.enc.len());
-        let mut enc_pre = Vec::with_capacity(self.enc.len());
-        let mut h = x.clone();
-        for layer in &self.enc {
-            enc_in.push(h.clone());
-            let pre = layer.forward(&h);
-            h = Activation::Relu.forward(&pre);
-            enc_pre.push(pre);
-        }
-        let z = h;
-        let mut dec_in = Vec::with_capacity(self.dec.len());
-        let mut dec_pre = Vec::with_capacity(self.dec.len());
-        let mut d = z.clone();
-        let last = self.dec.len() - 1;
-        for (i, layer) in self.dec.iter().enumerate() {
-            dec_in.push(d.clone());
-            let pre = layer.forward(&d);
-            d = if i == last {
-                pre.clone()
+        let mut trace = FusedTrace::default();
+        self.forward_trace_into(x, &mut trace);
+        trace
+    }
+
+    /// Forward pass into a reusable trace (allocation-free once warm).
+    pub fn forward_trace_into(&self, x: &Matrix, trace: &mut FusedTrace) {
+        let ne = self.enc.len();
+        let nd = self.dec.len();
+        trace.enc_in.resize_with(ne, || Matrix::zeros(0, 0));
+        trace.enc_pre.resize_with(ne, || Matrix::zeros(0, 0));
+        trace.dec_in.resize_with(nd, || Matrix::zeros(0, 0));
+        trace.dec_pre.resize_with(nd, || Matrix::zeros(0, 0));
+        trace.enc_in[0].copy_from(x);
+        for i in 0..ne {
+            self.enc[i].forward_into(&trace.enc_in[i], &mut trace.enc_pre[i]);
+            let post = if i + 1 < ne {
+                &mut trace.enc_in[i + 1]
             } else {
-                Activation::Relu.forward(&pre)
+                &mut trace.z
             };
-            dec_pre.push(pre);
+            post.copy_from(&trace.enc_pre[i]);
+            Activation::Relu.forward_assign(post);
         }
-        let recon = d;
-        let logits = self.cls.forward(&z);
-        FusedTrace {
-            enc_in,
-            enc_pre,
-            z,
-            dec_in,
-            dec_pre,
-            recon,
-            logits,
+        trace.dec_in[0].copy_from(&trace.z);
+        for i in 0..nd {
+            self.dec[i].forward_into(&trace.dec_in[i], &mut trace.dec_pre[i]);
+            if i + 1 < nd {
+                trace.dec_in[i + 1].copy_from(&trace.dec_pre[i]);
+                Activation::Relu.forward_assign(&mut trace.dec_in[i + 1]);
+            } else {
+                // Identity output activation on the reconstruction head.
+                trace.recon.copy_from(&trace.dec_pre[i]);
+            }
         }
+        self.cls.forward_into(&trace.z, &mut trace.logits);
     }
 
     /// Plain classification (no detection): encode → classify → argmax.
@@ -437,6 +485,9 @@ impl FusedNetwork {
 
     /// [`FusedNetwork::train_batch`] with an explicit reconstruction-loss
     /// weight.
+    ///
+    /// Allocates a fresh [`FusedWorkspace`] per call; loops should hold one
+    /// and use [`FusedNetwork::train_batch_weighted_with`].
     pub fn train_batch_weighted(
         &mut self,
         x: &Matrix,
@@ -445,16 +496,129 @@ impl FusedNetwork {
         detach_decoder: bool,
         recon_weight: f32,
     ) -> (f32, f32) {
-        let trace = self.forward_trace(x);
-        let ce = SparseCrossEntropyLoss.loss(&trace.logits, labels);
-        let mse = MseLoss.loss(&trace.recon, x);
-        let d_logits = SparseCrossEntropyLoss.grad(&trace.logits, labels);
-        let d_recon = MseLoss.grad(&trace.recon, x).scale(recon_weight);
-        let grads = self
-            .backward(&trace, Some(&d_logits), Some(&d_recon), detach_decoder)
-            .into_flat();
-        opt.step(self.param_tensors_mut(), &grads);
+        let mut ws = FusedWorkspace::new();
+        self.train_batch_weighted_with(x, labels, opt, detach_decoder, recon_weight, &mut ws)
+    }
+
+    /// One optimizer step on a batch with the joint loss through a reusable
+    /// workspace; returns `(ce, mse)`.
+    ///
+    /// Zero heap allocations once `ws` has seen the batch shape (the
+    /// optimizer's state warms up on its first step the same way) —
+    /// verified by `crates/core/tests/alloc_free.rs`.
+    pub fn train_batch_weighted_with(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        opt: &mut dyn Optimizer,
+        detach_decoder: bool,
+        recon_weight: f32,
+        ws: &mut FusedWorkspace,
+    ) -> (f32, f32) {
+        self.forward_trace_into(x, &mut ws.trace);
+        let ce =
+            SparseCrossEntropyLoss.loss_and_grad_into(&ws.trace.logits, labels, &mut ws.d_logits);
+        let mse = MseLoss.loss(&ws.trace.recon, x);
+        MseLoss.grad_into(&ws.trace.recon, x, &mut ws.d_recon);
+        ws.d_recon.scale_assign(recon_weight);
+        self.backward_joint_with(ws, detach_decoder);
+        opt.step_stream(self, &ws.grads);
         (ce, mse)
+    }
+
+    /// The joint backward pass through workspace buffers: on entry
+    /// `ws.d_logits` / `ws.d_recon` hold the two head gradients for
+    /// `ws.trace`; on exit `ws.grads` holds the flat parameter gradients in
+    /// [`HasParams`] order. Training never needs `dL/dx`, so the encoder's
+    /// layer-0 input gradient is skipped (the gradient-based attacks go
+    /// through [`FusedNetwork::backward`], which still computes it).
+    fn backward_joint_with(&self, ws: &mut FusedWorkspace, detach_decoder: bool) {
+        let ne = self.enc.len();
+        let nd = self.dec.len();
+        let FusedWorkspace {
+            trace,
+            grads,
+            d_logits,
+            d_recon,
+            grad_cur,
+            grad_next,
+            dz_cls,
+        } = ws;
+        grads.resize_with((ne + nd + 1) * 2, || Matrix::zeros(0, 0));
+
+        // Classifier head: parameter gradients plus its bottleneck
+        // gradient.
+        {
+            let (dw_part, db_part) = grads.split_at_mut(2 * (ne + nd) + 1);
+            self.cls.backward_into(
+                &trace.z,
+                d_logits,
+                &mut dw_part[2 * (ne + nd)],
+                &mut db_part[0],
+                dz_cls,
+            );
+        }
+
+        // Decoder stack, from the reconstruction head down to the
+        // bottleneck.
+        grad_cur.copy_from(d_recon);
+        let last = nd - 1;
+        for i in (0..nd).rev() {
+            if i != last {
+                Activation::Relu.backward_assign(&trace.dec_pre[i], grad_cur);
+            }
+            let (dw_part, db_part) = grads.split_at_mut(2 * (ne + i) + 1);
+            if i == 0 && detach_decoder {
+                // The decoder's bottleneck gradient is about to be
+                // discarded — skip the widest backward matmul.
+                self.dec[0].param_grads_into(
+                    &trace.dec_in[0],
+                    grad_cur,
+                    &mut dw_part[2 * ne],
+                    &mut db_part[0],
+                );
+            } else {
+                self.dec[i].backward_into(
+                    &trace.dec_in[i],
+                    grad_cur,
+                    &mut dw_part[2 * (ne + i)],
+                    &mut db_part[0],
+                    grad_next,
+                );
+                std::mem::swap(grad_cur, grad_next);
+            }
+        }
+
+        // Combine the two bottleneck gradients ("freeze the gradients from
+        // the encoder": detached mode drops the decoder's).
+        if detach_decoder {
+            grad_cur.copy_from(dz_cls);
+        } else {
+            grad_cur.add_assign(dz_cls);
+        }
+
+        // Encoder stack; layer 0 stops at its parameter gradients.
+        for i in (0..ne).rev() {
+            Activation::Relu.backward_assign(&trace.enc_pre[i], grad_cur);
+            let (dw_part, db_part) = grads.split_at_mut(2 * i + 1);
+            if i == 0 {
+                self.enc[0].param_grads_into(
+                    &trace.enc_in[0],
+                    grad_cur,
+                    &mut dw_part[0],
+                    &mut db_part[0],
+                );
+            } else {
+                self.enc[i].backward_into(
+                    &trace.enc_in[i],
+                    grad_cur,
+                    &mut dw_part[2 * i],
+                    &mut db_part[0],
+                    grad_next,
+                );
+                std::mem::swap(grad_cur, grad_next);
+            }
+        }
     }
 
     /// Joint training loop; returns `(mean_ce, mean_mse)` per epoch.
@@ -517,20 +681,29 @@ impl FusedNetwork {
         assert_eq!(labels.len(), x.rows(), "one label per row");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut history = Vec::with_capacity(cfg.epochs);
+        let mut ws = FusedWorkspace::new();
+        let mut bx = Matrix::zeros(0, 0);
+        let mut by = Vec::new();
         for _ in 0..cfg.epochs {
             let mut ce_sum = 0.0;
             let mut mse_sum = 0.0;
             let mut batches = 0;
             for batch in shuffled_batches(x.rows(), cfg.batch_size, &mut rng) {
-                let mut bx = gather_rows(x, &batch);
-                let by = gather_labels(labels, &batch);
+                gather_rows_into(x, &batch, &mut bx);
+                gather_labels_into(labels, &batch, &mut by);
                 if let Some(a) = augment {
                     if rng.gen_bool(0.7) {
                         bx = a.apply(&bx, &mut rng);
                     }
                 }
-                let (ce, mse) =
-                    self.train_batch_weighted(&bx, &by, opt, detach_decoder, recon_weight);
+                let (ce, mse) = self.train_batch_weighted_with(
+                    &bx,
+                    &by,
+                    opt,
+                    detach_decoder,
+                    recon_weight,
+                    &mut ws,
+                );
                 ce_sum += ce;
                 mse_sum += mse;
                 batches += 1;
@@ -623,6 +796,22 @@ impl HasParams for FusedNetwork {
         out.push(w);
         out.push(b);
         out
+    }
+
+    fn visit_param_tensors_mut(&mut self, f: &mut dyn FnMut(&mut Matrix)) {
+        for l in &mut self.enc {
+            let (w, b) = l.parts_mut();
+            f(w);
+            f(b);
+        }
+        for l in &mut self.dec {
+            let (w, b) = l.parts_mut();
+            f(w);
+            f(b);
+        }
+        let (w, b) = self.cls.parts_mut();
+        f(w);
+        f(b);
     }
 }
 

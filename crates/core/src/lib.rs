@@ -28,7 +28,7 @@
 //! ```
 //! use safeloc::{SafeLoc, SafeLocConfig};
 //! use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-//! use safeloc_fl::{Client, Framework};
+//! use safeloc_fl::{Client, Framework, RoundPlan};
 //!
 //! let data = BuildingDataset::generate(Building::tiny(1), &DatasetConfig::tiny(), 1);
 //! let mut framework = SafeLoc::new(
@@ -38,7 +38,9 @@
 //! );
 //! framework.pretrain(&data.server_train);
 //! let mut clients = Client::from_dataset(&data, 1);
-//! framework.round(&mut clients);
+//! let plan = RoundPlan::full(clients.len());
+//! let report = framework.run_round(&mut clients, &plan);
+//! assert_eq!(report.accepted(), report.clients.len());
 //! let test = &data.client_test[0];
 //! assert!(framework.accuracy(&test.x, &test.labels) > 0.2);
 //! ```
@@ -52,5 +54,5 @@ pub mod saliency;
 pub use config::{RceMode, SafeLocConfig};
 pub use detector::{calibrate_tau, DetectionReport};
 pub use framework::SafeLoc;
-pub use fused::{DaeAugment, FusedConfig, FusedNetwork};
+pub use fused::{DaeAugment, FusedConfig, FusedNetwork, FusedTrace, FusedWorkspace};
 pub use saliency::{saliency_matrix, AggregationMode, SaliencyAggregator};

@@ -20,7 +20,7 @@
 //!   `W'_GM = (W_GM + mean_i(S_i ∘ W_LM,i)) / 2`.
 
 use rayon::prelude::*;
-use safeloc_fl::{Aggregator, ClientUpdate};
+use safeloc_fl::{AggregationOutcome, Aggregator, ClientUpdate, UpdateDecision};
 use safeloc_nn::{Matrix, NamedParams};
 use serde::{Deserialize, Serialize};
 
@@ -82,32 +82,34 @@ impl Default for SaliencyAggregator {
 }
 
 impl Aggregator for SaliencyAggregator {
-    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
-        let updates: Vec<&ClientUpdate> = updates
-            .iter()
-            .filter(|u| !u.params.has_non_finite())
-            .collect();
-        if updates.is_empty() {
-            return global.clone();
-        }
+    fn aggregate_filtered(
+        &mut self,
+        global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> AggregationOutcome {
         let n = updates.len() as f32;
         // Tensors are independent, so the per-tensor saliency-gate-and-
         // average work fans out across threads; names() fixes the order so
-        // results are identical for any thread count.
+        // results are identical for any thread count. Each tensor's pass
+        // also sums the saliency it just computed per update, so the
+        // decision weights below reuse the aggregation work instead of a
+        // second full pass over the parameters.
         let names: Vec<&str> = global.names();
         let mode = self.mode;
         let sharpness = self.sharpness;
-        let next_tensors: Vec<Matrix> = names
+        let per_tensor: Vec<(Matrix, Vec<f64>)> = names
             .par_iter()
             .map(|name| {
                 let gm = global.get(name).expect("same arch");
-                match mode {
+                let mut saliency_sums = vec![0.0f64; updates.len()];
+                let next = match mode {
                     AggregationMode::Normalized => {
                         // W' = W_GM + mean_i( S_i ∘ (W_LM,i − W_GM) )
                         let mut acc = gm.scale(0.0);
-                        for u in &updates {
+                        for (u, sum) in updates.iter().zip(&mut saliency_sums) {
                             let lm = u.params.get(name).expect("same arch");
                             let s = saliency_matrix(lm, gm, sharpness);
+                            *sum += s.as_slice().iter().map(|&v| v as f64).sum::<f64>();
                             let gated = s.hadamard(&lm.sub(gm));
                             acc.axpy(1.0 / n, &gated);
                         }
@@ -117,23 +119,44 @@ impl Aggregator for SaliencyAggregator {
                     AggregationMode::Literal => {
                         // W' = ( W_GM + mean_i( S_i ∘ W_LM,i ) ) / 2
                         let mut acc = gm.scale(0.0);
-                        for u in &updates {
+                        for (u, sum) in updates.iter().zip(&mut saliency_sums) {
                             let lm = u.params.get(name).expect("same arch");
                             let s = saliency_matrix(lm, gm, sharpness);
+                            *sum += s.as_slice().iter().map(|&v| v as f64).sum::<f64>();
                             acc.axpy(1.0 / n, &s.hadamard(lm));
                         }
                         let mut next = gm.add(&acc);
                         next.scale_assign(0.5);
                         next
                     }
-                }
+                };
+                (next, saliency_sums)
             })
             .collect();
-        names
+        let mut totals = vec![0.0f64; updates.len()];
+        for (_, sums) in &per_tensor {
+            for (t, s) in totals.iter_mut().zip(sums) {
+                *t += s;
+            }
+        }
+        let params: NamedParams = names
             .into_iter()
             .map(str::to_string)
-            .zip(next_tensors)
-            .collect()
+            .zip(per_tensor.into_iter().map(|(t, _)| t))
+            .collect();
+        // Saliency is a *soft* defense: no update is ever rejected
+        // outright. The decision trail records each update's mean
+        // elementwise saliency as its acceptance weight — honest updates
+        // sit near 1, heavily deviating (poisoned) updates near 0 — which
+        // is what reports use to show suppression.
+        let num_params = global.num_params().max(1) as f64;
+        let decisions: Vec<UpdateDecision> = totals
+            .into_iter()
+            .map(|sum| UpdateDecision::Accepted {
+                weight: (sum / num_params) as f32,
+            })
+            .collect();
+        AggregationOutcome { params, decisions }
     }
 
     fn name(&self) -> &'static str {
@@ -200,7 +223,7 @@ mod tests {
             ClientUpdate::new(1, g.clone(), 1),
         ];
         let out = SaliencyAggregator::default().aggregate(&g, &u);
-        assert_eq!(out, g);
+        assert_eq!(out.params, g);
     }
 
     #[test]
@@ -210,7 +233,7 @@ mod tests {
         // mean = 1, W' = (1 + 1)/2 = 1. Fixed point holds.
         let u = vec![ClientUpdate::new(0, g.clone(), 1)];
         let out = SaliencyAggregator::new(AggregationMode::Literal).aggregate(&g, &u);
-        let w = out.get("w").unwrap().get(0, 0);
+        let w = out.params.get("w").unwrap().get(0, 0);
         assert!((w - 1.0).abs() < 1e-6, "literal fixed point broken: {w}");
     }
 
@@ -219,7 +242,7 @@ mod tests {
         let g = params(&[0.0]);
         let u = vec![update(0, &[0.1])];
         let out = SaliencyAggregator::default().aggregate(&g, &u);
-        let w = out.get("w").unwrap().get(0, 0);
+        let w = out.params.get("w").unwrap().get(0, 0);
         // S = 1/(1 + 10·0.1) = 0.5; step = 0.05 = 50% of the honest delta.
         assert!(
             (w - 0.05).abs() < 1e-3,
@@ -232,7 +255,7 @@ mod tests {
         let g = params(&[0.0]);
         let u = vec![update(0, &[1000.0])];
         let out = SaliencyAggregator::default().aggregate(&g, &u);
-        let w = out.get("w").unwrap().get(0, 0);
+        let w = out.params.get("w").unwrap().get(0, 0);
         // Elementwise influence bound: |Δ|/(1+k|Δ|) < 1/k.
         assert!(w < 0.1, "poisoned step not bounded: {w}");
         assert!(w > 0.099, "bound should be tight for huge deltas: {w}");
@@ -249,7 +272,7 @@ mod tests {
             .collect();
         updates.push(update(9, &[50.0])); // attacker
         let out = SaliencyAggregator::default().aggregate(&g, &updates);
-        let w = out.get("w").unwrap().get(0, 0);
+        let w = out.params.get("w").unwrap().get(0, 0);
         // FedAvg would land at (0.52/6 of sum…) ≈ 8.42; saliency keeps the
         // step near the honest consensus plus a bounded attacker residue.
         let fedavg = (honest.iter().sum::<f32>() + 50.0) / 6.0;
@@ -263,9 +286,11 @@ mod tests {
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[3.0]);
-        assert_eq!(SaliencyAggregator::default().aggregate(&g, &[]), g);
+        assert_eq!(SaliencyAggregator::default().aggregate(&g, &[]).params, g);
         assert_eq!(
-            SaliencyAggregator::new(AggregationMode::Literal).aggregate(&g, &[]),
+            SaliencyAggregator::new(AggregationMode::Literal)
+                .aggregate(&g, &[])
+                .params,
             g
         );
     }
@@ -275,7 +300,23 @@ mod tests {
         let g = params(&[0.0]);
         let u = vec![update(0, &[0.2]), update(1, &[f32::NAN])];
         let out = SaliencyAggregator::default().aggregate(&g, &u);
-        assert!(!out.has_non_finite());
+        assert!(!out.params.has_non_finite());
+        assert_eq!(out.rejected(), 1);
+    }
+
+    #[test]
+    fn decision_weights_expose_attacker_suppression() {
+        let g = params(&[0.0, 0.0]);
+        let u = vec![update(0, &[0.05, 0.05]), update(1, &[40.0, -40.0])];
+        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        let weight = |d: &UpdateDecision| match d {
+            UpdateDecision::Accepted { weight } => *weight,
+            other => panic!("saliency never rejects, got {other:?}"),
+        };
+        let honest = weight(&out.decisions[0]);
+        let attacker = weight(&out.decisions[1]);
+        assert!(honest > 0.6, "honest saliency weight {honest}");
+        assert!(attacker < 0.01, "attacker saliency weight {attacker}");
     }
 
     #[test]

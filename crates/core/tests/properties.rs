@@ -68,7 +68,7 @@ proptest! {
         )]);
         let mut agg = SaliencyAggregator::new(AggregationMode::Normalized);
         let out = agg.aggregate(&gm, &[ClientUpdate::new(0, lm, 1)]);
-        let step = out.get("w").unwrap().sub(gm.get("w").unwrap());
+        let step = out.params.get("w").unwrap().sub(gm.get("w").unwrap());
         let bound = 1.0 / agg.sharpness;
         prop_assert!(
             step.as_slice().iter().all(|v| v.abs() < bound + 1e-5),
@@ -101,7 +101,7 @@ proptest! {
             .collect();
         let mode = if literal { AggregationMode::Literal } else { AggregationMode::Normalized };
         let out = SaliencyAggregator::new(mode).aggregate(&gm, &updates);
-        prop_assert!(!out.has_non_finite());
+        prop_assert!(!out.params.has_non_finite());
     }
 
     /// The detection pipeline never panics and always returns one label and

@@ -1,7 +1,8 @@
 //! FEDCC-style clustering aggregation: group updates by similarity, keep
 //! the majority cluster.
 
-use super::{finite_updates, Aggregator, DistanceMatrix};
+use super::{Aggregator, DistanceMatrix};
+use crate::report::{AggregationOutcome, UpdateDecision};
 use crate::update::ClientUpdate;
 use rayon::prelude::*;
 use safeloc_nn::{Matrix, NamedParams};
@@ -13,6 +14,8 @@ use safeloc_nn::{Matrix, NamedParams};
 /// The update deltas (LM − GM) are flattened and split by 2-means with
 /// cosine distance; the larger cluster is federated-averaged. When the two
 /// clusters are nearly indistinguishable (no attack), everything is kept.
+/// Minority-cluster members show up in the decision trail as rejected by
+/// `"cluster"` with their cosine distance to the kept centroid as score.
 ///
 /// The known failure mode — reproduced in Fig. 6 — is that under strong
 /// *backdoor* perturbations honest heterogeneous clients scatter enough
@@ -56,15 +59,15 @@ fn cos_dist(a: &Matrix, b: &Matrix) -> f32 {
 }
 
 impl Aggregator for ClusterAggregator {
-    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
-        let updates = finite_updates(updates);
-        if updates.is_empty() {
-            return global.clone();
-        }
+    fn aggregate_filtered(
+        &mut self,
+        global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> AggregationOutcome {
         if updates.len() <= 2 {
             // Too few to cluster meaningfully; plain average.
             let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
-            return NamedParams::mean(&snaps);
+            return AggregationOutcome::all_accepted(NamedParams::mean(&snaps), updates.len());
         }
 
         let deltas: Vec<Matrix> = updates
@@ -82,7 +85,7 @@ impl Aggregator for ClusterAggregator {
         if best < self.separation_threshold {
             // No meaningful split — aggregate everyone.
             let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
-            return NamedParams::mean(&snaps);
+            return AggregationOutcome::all_accepted(NamedParams::mean(&snaps), n);
         }
 
         let mut centroid_a = deltas[ca].clone();
@@ -129,16 +132,36 @@ impl Aggregator for ClusterAggregator {
 
         let count_a = assignment.iter().filter(|&&a| a == 0).count();
         let majority: u8 = if count_a * 2 >= n { 0 } else { 1 };
+        let kept_centroid = if majority == 0 {
+            &centroid_a
+        } else {
+            &centroid_b
+        };
         let kept: Vec<NamedParams> = updates
             .iter()
             .zip(&assignment)
             .filter(|(_, &a)| a == majority)
             .map(|(u, _)| u.params.clone())
             .collect();
-        if kept.is_empty() {
-            return global.clone();
+        let weight = 1.0 / kept.len().max(1) as f32;
+        let decisions = deltas
+            .iter()
+            .zip(&assignment)
+            .map(|(d, &a)| {
+                if a == majority {
+                    UpdateDecision::Accepted { weight }
+                } else {
+                    UpdateDecision::Rejected {
+                        rule: "cluster".to_string(),
+                        score: cos_dist(d, kept_centroid),
+                    }
+                }
+            })
+            .collect();
+        AggregationOutcome {
+            params: NamedParams::mean(&kept),
+            decisions,
         }
-        NamedParams::mean(&kept)
     }
 
     fn name(&self) -> &'static str {
@@ -168,8 +191,20 @@ mod tests {
             update(5, &[-5.2, 5.1], &[0.0]),
         ];
         let out = ClusterAggregator::default().aggregate(&g, &u);
-        let w0 = out.get("layer0.w").unwrap().get(0, 0);
+        let w0 = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((0.8..=1.2).contains(&w0), "poisoned cluster won: {w0}");
+        // The two poisoned updates are the rejected minority, scored far
+        // from the kept centroid.
+        assert_eq!(out.accepted(), 4);
+        for d in &out.decisions[4..] {
+            match d {
+                UpdateDecision::Rejected { rule, score } => {
+                    assert_eq!(rule, "cluster");
+                    assert!(*score > 0.5, "minority score too close: {score}");
+                }
+                other => panic!("poisoned update accepted: {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -181,8 +216,9 @@ mod tests {
             update(2, &[0.99], &[0.0]),
         ];
         let out = ClusterAggregator::default().aggregate(&g, &u);
-        let w = out.get("layer0.w").unwrap().get(0, 0);
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((w - 1.0).abs() < 0.05);
+        assert_eq!(out.accepted(), 3);
     }
 
     #[test]
@@ -190,13 +226,13 @@ mod tests {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[2.0], &[0.0]), update(1, &[4.0], &[0.0])];
         let out = ClusterAggregator::default().aggregate(&g, &u);
-        assert!((out.get("layer0.w").unwrap().get(0, 0) - 3.0).abs() < 1e-5);
+        assert!((out.params.get("layer0.w").unwrap().get(0, 0) - 3.0).abs() < 1e-5);
     }
 
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[5.0], &[5.0]);
-        assert_eq!(ClusterAggregator::default().aggregate(&g, &[]), g);
+        assert_eq!(ClusterAggregator::default().aggregate(&g, &[]).params, g);
     }
 
     #[test]
@@ -210,6 +246,7 @@ mod tests {
             update(3, &[-1.0], &[0.0]),
         ];
         let out = ClusterAggregator::default().aggregate(&g, &u);
-        assert!(!out.has_non_finite());
+        assert!(!out.params.has_non_finite());
+        assert_eq!(out.accepted() + out.rejected(), 4);
     }
 }

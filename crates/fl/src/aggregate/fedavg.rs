@@ -1,28 +1,35 @@
 //! Federated averaging (McMahan et al.) — FEDLOC's aggregation rule.
 
-use super::{finite_updates, Aggregator};
+use super::Aggregator;
+use crate::report::{AggregationOutcome, UpdateDecision};
 use crate::update::ClientUpdate;
 use safeloc_nn::NamedParams;
 
 /// Sample-weighted federated averaging: the next GM is the weighted mean of
 /// the client LMs. No defense whatsoever — this is why FEDLOC collapses
-/// under poisoning in Figs. 1 and 6.
+/// under poisoning in Figs. 1 and 6. Every update is accepted; its decision
+/// records the sample-count share it contributed with.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FedAvg;
 
 impl Aggregator for FedAvg {
-    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
-        let updates = finite_updates(updates);
-        if updates.is_empty() {
-            return global.clone();
-        }
+    fn aggregate_filtered(
+        &mut self,
+        global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> AggregationOutcome {
         let total: f32 = updates.iter().map(|u| u.num_samples.max(1) as f32).sum();
         let mut acc = global.scale(0.0);
-        for u in &updates {
+        let mut decisions = Vec::with_capacity(updates.len());
+        for u in updates {
             let w = u.num_samples.max(1) as f32 / total;
             acc.axpy(w, &u.params);
+            decisions.push(UpdateDecision::Accepted { weight: w });
         }
-        acc
+        AggregationOutcome {
+            params: acc,
+            decisions,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -47,25 +54,33 @@ mod tests {
             update(1, &[0.0, 4.0], &[3.0]),
         ];
         let out = FedAvg.aggregate(&g, &u);
-        assert_eq!(out.get("layer0.w").unwrap().as_slice(), &[1.0, 2.0]);
-        assert_eq!(out.get("layer0.b").unwrap().as_slice(), &[2.0]);
+        assert_eq!(out.params.get("layer0.w").unwrap().as_slice(), &[1.0, 2.0]);
+        assert_eq!(out.params.get("layer0.b").unwrap().as_slice(), &[2.0]);
+        assert_eq!(out.accepted(), 2);
     }
 
     #[test]
-    fn sample_counts_weight_the_mean() {
+    fn sample_counts_weight_the_mean_and_the_decisions() {
         let g = params(&[0.0], &[0.0]);
         let mut a = update(0, &[0.0], &[0.0]);
         let mut b = update(1, &[4.0], &[4.0]);
         a.num_samples = 30;
         b.num_samples = 10;
         let out = FedAvg.aggregate(&g, &[a, b]);
-        assert!((out.get("layer0.w").unwrap().get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((out.params.get("layer0.w").unwrap().get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(
+            out.decisions[0],
+            UpdateDecision::Accepted { weight: 0.75 },
+            "decision must record the sample share"
+        );
     }
 
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[1.0, 2.0], &[3.0]);
-        assert_eq!(FedAvg.aggregate(&g, &[]), g);
+        let out = FedAvg.aggregate(&g, &[]);
+        assert_eq!(out.params, g);
+        assert!(out.decisions.is_empty());
     }
 
     #[test]
@@ -74,8 +89,9 @@ mod tests {
         let good = update(0, &[2.0], &[2.0]);
         let bad = update(1, &[f32::NAN], &[0.0]);
         let out = FedAvg.aggregate(&g, &[good, bad]);
-        assert_eq!(out.get("layer0.w").unwrap().as_slice(), &[2.0]);
-        assert!(!out.has_non_finite());
+        assert_eq!(out.params.get("layer0.w").unwrap().as_slice(), &[2.0]);
+        assert!(!out.params.has_non_finite());
+        assert_eq!(out.rejected(), 1);
     }
 
     #[test]
@@ -85,6 +101,6 @@ mod tests {
             ClientUpdate::new(0, g.clone(), 5),
             ClientUpdate::new(1, g.clone(), 5),
         ];
-        assert_eq!(FedAvg.aggregate(&g, &u), g);
+        assert_eq!(FedAvg.aggregate(&g, &u).params, g);
     }
 }

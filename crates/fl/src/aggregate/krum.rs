@@ -2,7 +2,8 @@
 //! closest to its peers — the earliest FL indoor-localization defense the
 //! paper cites as [22].
 
-use super::{finite_updates, Aggregator, DistanceMatrix};
+use super::{Aggregator, DistanceMatrix};
+use crate::report::{AggregationOutcome, UpdateDecision};
 use crate::update::ClientUpdate;
 use safeloc_nn::NamedParams;
 
@@ -13,7 +14,8 @@ use safeloc_nn::NamedParams;
 /// Robust to a minority of arbitrary updates, but discards the
 /// collaborative signal of every non-selected client — the paper's §II
 /// criticism ("fails to incorporate collaborative learning from all
-/// clients").
+/// clients"). The decision trail makes that visible: one update is
+/// accepted with weight 1, every other is rejected with its Krum score.
 #[derive(Debug, Clone, Copy)]
 pub struct Krum {
     /// Assumed number of malicious clients.
@@ -36,13 +38,13 @@ impl Default for Krum {
 }
 
 impl Aggregator for Krum {
-    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
-        let updates = finite_updates(updates);
-        if updates.is_empty() {
-            return global.clone();
-        }
+    fn aggregate_filtered(
+        &mut self,
+        _global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> AggregationOutcome {
         if updates.len() == 1 {
-            return updates[0].params.clone();
+            return AggregationOutcome::all_accepted(updates[0].params.clone(), 1);
         }
         let n = updates.len();
         // Number of closest neighbours to score against.
@@ -51,18 +53,37 @@ impl Aggregator for Krum {
         // recomputed all O(n²) distances per candidate — O(n³·d) total and
         // each (i, j) pair evaluated twice; this is O(n²·d/2) once, with
         // the pair set computed in parallel.
-        let distances = DistanceMatrix::squared_l2(&updates);
+        let distances = DistanceMatrix::squared_l2(updates);
+        let mut scores = Vec::with_capacity(n);
         let mut best = (f32::INFINITY, 0usize);
         let mut dists = Vec::with_capacity(n.saturating_sub(1));
         for i in 0..n {
             distances.distances_from(i, &mut dists);
             dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let score: f32 = dists.iter().take(k).sum();
+            scores.push(score);
             if score < best.0 {
                 best = (score, i);
             }
         }
-        updates[best.1].params.clone()
+        let decisions = scores
+            .into_iter()
+            .enumerate()
+            .map(|(i, score)| {
+                if i == best.1 {
+                    UpdateDecision::Accepted { weight: 1.0 }
+                } else {
+                    UpdateDecision::Rejected {
+                        rule: "krum".to_string(),
+                        score,
+                    }
+                }
+            })
+            .collect();
+        AggregationOutcome {
+            params: updates[best.1].params.clone(),
+            decisions,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -90,8 +111,20 @@ mod tests {
             update(3, &[50.0], &[-50.0]),
         ];
         let out = Krum::new(1).aggregate(&g, &u);
-        let w = out.get("layer0.w").unwrap().get(0, 0);
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((0.8..=1.2).contains(&w), "picked the outlier: {w}");
+        // Exactly one accepted; the outlier's rejection score dwarfs the
+        // honest ones'.
+        assert_eq!(out.accepted(), 1);
+        assert_eq!(out.rejected(), 3);
+        let outlier_score = match &out.decisions[3] {
+            UpdateDecision::Rejected { rule, score } => {
+                assert_eq!(rule, "krum");
+                *score
+            }
+            other => panic!("outlier accepted: {other:?}"),
+        };
+        assert!(outlier_score > 100.0, "outlier score {outlier_score}");
     }
 
     #[test]
@@ -99,13 +132,14 @@ mod tests {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[3.0], &[4.0])];
         let out = Krum::default().aggregate(&g, &u);
-        assert_eq!(out, u[0].params);
+        assert_eq!(out.params, u[0].params);
+        assert_eq!(out.accepted(), 1);
     }
 
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[7.0], &[8.0]);
-        assert_eq!(Krum::default().aggregate(&g, &[]), g);
+        assert_eq!(Krum::default().aggregate(&g, &[]).params, g);
     }
 
     #[test]
@@ -117,7 +151,8 @@ mod tests {
             update(2, &[1.05], &[1.0]),
         ];
         let out = Krum::new(1).aggregate(&g, &u);
-        assert!(!out.has_non_finite());
+        assert!(!out.params.has_non_finite());
+        assert!(!out.decisions[1].is_accepted());
     }
 
     #[test]
@@ -130,7 +165,7 @@ mod tests {
         u.push(update(5, &[10.0], &[0.0]));
         u.push(update(6, &[10.0], &[0.0]));
         let out = Krum::new(2).aggregate(&g, &u);
-        let w = out.get("layer0.w").unwrap().get(0, 0);
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!(w < 2.0, "collusion won: {w}");
     }
 
@@ -147,7 +182,7 @@ mod tests {
             update(4, &[10.0], &[0.0]),
         ];
         let out = Krum::new(2).aggregate(&g, &u);
-        let w = out.get("layer0.w").unwrap().get(0, 0);
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!(w > 2.0, "expected the documented failure mode, got {w}");
     }
 }

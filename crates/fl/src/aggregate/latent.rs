@@ -1,6 +1,7 @@
 //! FEDLS-style latent-space anomaly filtering.
 
-use super::{finite_updates, Aggregator};
+use super::Aggregator;
+use crate::report::{AggregationOutcome, UpdateDecision};
 use crate::update::ClientUpdate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,14 +72,14 @@ impl LatentFilterAggregator {
 }
 
 impl Aggregator for LatentFilterAggregator {
-    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
-        let updates = finite_updates(updates);
-        if updates.is_empty() {
-            return global.clone();
-        }
+    fn aggregate_filtered(
+        &mut self,
+        global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> AggregationOutcome {
         if updates.len() < 3 {
             let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
-            return NamedParams::mean(&snaps);
+            return AggregationOutcome::all_accepted(NamedParams::mean(&snaps), updates.len());
         }
 
         // Feature matrix: one row per update, scaled by the round's median
@@ -156,8 +157,11 @@ impl Aggregator for LatentFilterAggregator {
         let threshold = mean + self.z_threshold * std.max(1e-12);
 
         let mut kept: Vec<NamedParams> = Vec::new();
+        let mut kept_slots: Vec<bool> = Vec::with_capacity(updates.len());
         for ((u, row), &score) in updates.iter().zip(&rows).zip(&scores) {
-            if score <= threshold {
+            let keep = score <= threshold;
+            kept_slots.push(keep);
+            if keep {
                 kept.push(u.params.clone());
                 self.history.push(row.clone());
             }
@@ -167,10 +171,27 @@ impl Aggregator for LatentFilterAggregator {
             let excess = self.history.len() - 60;
             self.history.drain(..excess);
         }
-        if kept.is_empty() {
-            return global.clone();
-        }
-        NamedParams::mean(&kept)
+        let weight = 1.0 / kept.len().max(1) as f32;
+        let decisions = kept_slots
+            .into_iter()
+            .zip(&scores)
+            .map(|(keep, &score)| {
+                if keep {
+                    UpdateDecision::Accepted { weight }
+                } else {
+                    UpdateDecision::Rejected {
+                        rule: "latent".to_string(),
+                        score,
+                    }
+                }
+            })
+            .collect();
+        let params = if kept.is_empty() {
+            global.clone()
+        } else {
+            NamedParams::mean(&kept)
+        };
+        AggregationOutcome { params, decisions }
     }
 
     fn name(&self) -> &'static str {
@@ -190,7 +211,7 @@ mod tests {
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[1.0], &[1.0]);
-        assert_eq!(LatentFilterAggregator::new(0).aggregate(&g, &[]), g);
+        assert_eq!(LatentFilterAggregator::new(0).aggregate(&g, &[]).params, g);
     }
 
     #[test]
@@ -198,11 +219,12 @@ mod tests {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[2.0], &[0.0]), update(1, &[4.0], &[0.0])];
         let out = LatentFilterAggregator::new(0).aggregate(&g, &u);
-        assert!((out.get("layer0.w").unwrap().get(0, 0) - 3.0).abs() < 1e-5);
+        assert!((out.params.get("layer0.w").unwrap().get(0, 0) - 3.0).abs() < 1e-5);
+        assert_eq!(out.accepted(), 2);
     }
 
     #[test]
-    fn gross_outlier_is_filtered() {
+    fn gross_outlier_is_filtered_and_scored() {
         let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
         let mut u = vec![
             update(0, &[1.0, 1.0, 1.0, 1.0], &[0.1]),
@@ -212,8 +234,15 @@ mod tests {
         ];
         u.push(update(4, &[-80.0, 90.0, -70.0, 60.0], &[5.0]));
         let out = LatentFilterAggregator::new(1).aggregate(&g, &u);
-        let w = out.get("layer0.w").unwrap().get(0, 0);
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!(w.abs() < 5.0, "outlier leaked: {w}");
+        match &out.decisions[4] {
+            UpdateDecision::Rejected { rule, score } => {
+                assert_eq!(rule, "latent");
+                assert!(score.is_finite());
+            }
+            other => panic!("outlier accepted: {other:?}"),
+        }
     }
 
     #[test]
@@ -223,7 +252,7 @@ mod tests {
             .map(|i| update(i, &[1.0 + i as f32 * 0.01, 1.0], &[0.2]))
             .collect();
         let out = LatentFilterAggregator::new(2).aggregate(&g, &u);
-        let w = out.get("layer0.w").unwrap().get(0, 0);
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((0.9..=1.1).contains(&w), "homogeneous mean off: {w}");
     }
 

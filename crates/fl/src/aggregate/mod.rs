@@ -1,9 +1,18 @@
 //! Server-side aggregation strategies.
 //!
 //! Each strategy turns the current global model plus a set of client
-//! updates into the next global model. The five rules here cover the
-//! baselines the paper compares against; SAFELOC's saliency-map rule lives
-//! in the `safeloc` crate.
+//! updates into an [`AggregationOutcome`]: the next global model *and* a
+//! per-update decision trail (accepted with what weight / rejected by which
+//! rule with what score) that [`RoundReport`](crate::RoundReport)s are
+//! built from. The five rules here cover the baselines the paper compares
+//! against; SAFELOC's saliency-map rule lives in the `safeloc` crate.
+//!
+//! Strategies implement [`Aggregator::aggregate_filtered`], which is only
+//! ever called with a non-empty, all-finite update set. The two invariants
+//! every rule used to duplicate — "an empty round must not corrupt the GM"
+//! and "NaN/Inf updates are dropped before the rule sees them" — live once,
+//! in [`aggregate_or_clone`], behind the provided
+//! [`Aggregator::aggregate`] entry point.
 
 mod cluster;
 mod distance;
@@ -19,17 +28,28 @@ pub use krum::Krum;
 pub use latent::LatentFilterAggregator;
 pub use selective::SelectiveAggregator;
 
+use crate::report::{AggregationOutcome, UpdateDecision};
 use crate::update::ClientUpdate;
 use safeloc_nn::NamedParams;
 
+/// Rule name recorded on updates the shared guard drops for NaN/Inf
+/// weights.
+pub const NON_FINITE_RULE: &str = "non-finite";
+
 /// A server-side aggregation rule.
 pub trait Aggregator: Send {
-    /// Produces the next global model from the current one and this round's
-    /// client updates.
+    /// The core rule: produces the next global model and one
+    /// [`UpdateDecision`] per update.
     ///
-    /// Implementations must return `global.clone()` when `updates` is empty
-    /// (a round where every client dropped out must not corrupt the GM).
-    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams;
+    /// Called only through [`Aggregator::aggregate`], which guarantees
+    /// `updates` is non-empty and free of non-finite weights — rules do not
+    /// re-implement those guards. The returned `decisions` must parallel
+    /// `updates`.
+    fn aggregate_filtered(
+        &mut self,
+        global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> AggregationOutcome;
 
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
@@ -37,6 +57,14 @@ pub trait Aggregator: Send {
     /// Boxed clone, so servers holding `Box<dyn Aggregator>` are clonable
     /// (the bench harness clones pretrained frameworks across scenarios).
     fn clone_box(&self) -> Box<dyn Aggregator>;
+
+    /// The guarded entry point every round goes through: filters
+    /// non-finite updates, returns the global model unchanged when nothing
+    /// usable remains, and delegates to
+    /// [`Aggregator::aggregate_filtered`] otherwise. Do not override.
+    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> AggregationOutcome {
+        aggregate_or_clone(self, global, updates)
+    }
 }
 
 impl Clone for Box<dyn Aggregator> {
@@ -45,14 +73,59 @@ impl Clone for Box<dyn Aggregator> {
     }
 }
 
-/// Filters out updates containing NaN/Inf — shared guard used by every
-/// aggregator so one crashed client cannot poison the GM with non-finite
-/// weights.
-pub(crate) fn finite_updates(updates: &[ClientUpdate]) -> Vec<&ClientUpdate> {
-    updates
-        .iter()
-        .filter(|u| !u.params.has_non_finite())
-        .collect()
+/// The shared empty-round / non-finite guard (usable on `dyn Aggregator`,
+/// where the provided [`Aggregator::aggregate`] is not):
+///
+/// 1. updates with NaN/Inf weights are rejected up front (one crashed or
+///    actively hostile client cannot poison the GM with non-finite
+///    arithmetic),
+/// 2. if no update survives — every client dropped out, or every update
+///    was non-finite — the next GM is `global.clone()`, bit for bit,
+/// 3. otherwise the rule runs on the survivors and its decisions are
+///    scattered back to input positions.
+pub fn aggregate_or_clone<A: Aggregator + ?Sized>(
+    rule: &mut A,
+    global: &NamedParams,
+    updates: &[ClientUpdate],
+) -> AggregationOutcome {
+    let mut finite: Vec<&ClientUpdate> = Vec::with_capacity(updates.len());
+    let mut finite_slots: Vec<usize> = Vec::with_capacity(updates.len());
+    let mut decisions: Vec<UpdateDecision> = Vec::with_capacity(updates.len());
+    for (slot, u) in updates.iter().enumerate() {
+        if u.params.has_non_finite() {
+            decisions.push(UpdateDecision::Rejected {
+                rule: NON_FINITE_RULE.to_string(),
+                score: 1.0,
+            });
+        } else {
+            // Placeholder, overwritten by the rule's decision below.
+            decisions.push(UpdateDecision::Accepted { weight: 0.0 });
+            finite_slots.push(slot);
+            finite.push(u);
+        }
+    }
+    if finite.is_empty() {
+        return AggregationOutcome {
+            params: global.clone(),
+            decisions,
+        };
+    }
+    let inner = rule.aggregate_filtered(global, &finite);
+    assert_eq!(
+        inner.decisions.len(),
+        finite.len(),
+        "{} returned {} decisions for {} updates",
+        rule.name(),
+        inner.decisions.len(),
+        finite.len()
+    );
+    for (slot, decision) in finite_slots.into_iter().zip(inner.decisions) {
+        decisions[slot] = decision;
+    }
+    AggregationOutcome {
+        params: inner.params,
+        decisions,
+    }
 }
 
 #[cfg(test)]
@@ -76,5 +149,41 @@ pub(crate) mod test_support {
 
     pub fn update(id: usize, w: &[f32], b: &[f32]) -> ClientUpdate {
         ClientUpdate::new(id, params(w, b), 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{params, update};
+    use super::*;
+
+    #[test]
+    fn guard_scatters_decisions_back_to_input_positions() {
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![
+            update(0, &[f32::NAN], &[0.0]),
+            update(1, &[2.0], &[2.0]),
+            update(2, &[f32::INFINITY], &[0.0]),
+            update(3, &[4.0], &[4.0]),
+        ];
+        let out = FedAvg.aggregate(&g, &u);
+        assert_eq!(out.decisions.len(), 4);
+        assert!(matches!(
+            &out.decisions[0],
+            UpdateDecision::Rejected { rule, .. } if rule == NON_FINITE_RULE
+        ));
+        assert!(out.decisions[1].is_accepted());
+        assert!(!out.decisions[2].is_accepted());
+        assert!(out.decisions[3].is_accepted());
+        assert_eq!(out.params.get("layer0.w").unwrap().get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn guard_clones_global_when_nothing_survives() {
+        let g = params(&[7.0], &[8.0]);
+        let u = vec![update(0, &[f32::NAN], &[0.0])];
+        let out = FedAvg.aggregate(&g, &u);
+        assert_eq!(out.params, g);
+        assert_eq!(out.accepted(), 0);
     }
 }

@@ -1,6 +1,7 @@
 //! FEDHIL-style selective weight aggregation.
 
-use super::{finite_updates, Aggregator};
+use super::Aggregator;
+use crate::report::AggregationOutcome;
 use crate::update::ClientUpdate;
 use safeloc_nn::NamedParams;
 
@@ -19,6 +20,8 @@ use safeloc_nn::NamedParams;
 /// lives in the aggregated classifier tensors and passes through (3.9× mean
 /// error growth — *worse* than FEDLOC's 3.5×), while backdoor poison that
 /// corrupts feature layers is partially blocked (3.25× vs. FEDLOC's 6.5×).
+/// The defense is tensor-level, never update-level, so every update is
+/// accepted in the decision trail.
 #[derive(Debug, Clone, Copy)]
 pub struct SelectiveAggregator {
     /// Fraction of tensor positions (from the output side) that are
@@ -41,11 +44,11 @@ impl Default for SelectiveAggregator {
 }
 
 impl Aggregator for SelectiveAggregator {
-    fn aggregate(&mut self, global: &NamedParams, updates: &[ClientUpdate]) -> NamedParams {
-        let updates = finite_updates(updates);
-        if updates.is_empty() {
-            return global.clone();
-        }
+    fn aggregate_filtered(
+        &mut self,
+        global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> AggregationOutcome {
         let n_tensors = global.len();
         let k = ((self.aggregate_fraction.clamp(0.0, 1.0)) * n_tensors as f32).ceil() as usize;
         let first_aggregated = n_tensors - k.min(n_tensors);
@@ -57,12 +60,12 @@ impl Aggregator for SelectiveAggregator {
                 continue; // feature-side tensor: keep the GM values
             }
             let mut acc = tensor.scale(0.0);
-            for u in &updates {
+            for u in updates {
                 acc.axpy(scale, u.params.get(name).expect("architectures match"));
             }
             *tensor = acc;
         }
-        out
+        AggregationOutcome::all_accepted(out, updates.len())
     }
 
     fn name(&self) -> &'static str {
@@ -87,15 +90,16 @@ mod tests {
         let u = vec![update(0, &[5.0], &[3.0]), update(1, &[9.0], &[5.0])];
         let out = SelectiveAggregator::new(0.5).aggregate(&g, &u);
         assert_eq!(
-            out.get("layer0.w").unwrap().get(0, 0),
+            out.params.get("layer0.w").unwrap().get(0, 0),
             1.0,
             "feature tensor changed"
         );
         assert_eq!(
-            out.get("layer0.b").unwrap().get(0, 0),
+            out.params.get("layer0.b").unwrap().get(0, 0),
             4.0,
             "classifier tensor not averaged"
         );
+        assert_eq!(out.accepted(), 2, "selective never rejects whole updates");
     }
 
     #[test]
@@ -103,8 +107,8 @@ mod tests {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[2.0], &[2.0]), update(1, &[4.0], &[4.0])];
         let out = SelectiveAggregator::new(1.0).aggregate(&g, &u);
-        assert_eq!(out.get("layer0.w").unwrap().get(0, 0), 3.0);
-        assert_eq!(out.get("layer0.b").unwrap().get(0, 0), 3.0);
+        assert_eq!(out.params.get("layer0.w").unwrap().get(0, 0), 3.0);
+        assert_eq!(out.params.get("layer0.b").unwrap().get(0, 0), 3.0);
     }
 
     #[test]
@@ -112,7 +116,7 @@ mod tests {
         let g = params(&[1.0], &[2.0]);
         let u = vec![update(0, &[9.0], &[9.0])];
         let out = SelectiveAggregator::new(0.0).aggregate(&g, &u);
-        assert_eq!(out, g);
+        assert_eq!(out.params, g);
     }
 
     #[test]
@@ -123,13 +127,13 @@ mod tests {
             ClientUpdate::new(1, g.clone(), 1),
         ];
         let out = SelectiveAggregator::default().aggregate(&g, &u);
-        assert_eq!(out, g);
+        assert_eq!(out.params, g);
     }
 
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[1.0], &[1.0]);
-        assert_eq!(SelectiveAggregator::default().aggregate(&g, &[]), g);
+        assert_eq!(SelectiveAggregator::default().aggregate(&g, &[]).params, g);
     }
 
     #[test]
@@ -142,12 +146,12 @@ mod tests {
         ];
         let out = SelectiveAggregator::new(0.5).aggregate(&g, &u);
         assert_eq!(
-            out.get("layer0.w").unwrap().get(0, 0),
+            out.params.get("layer0.w").unwrap().get(0, 0),
             0.0,
             "feature poison leaked"
         );
         assert_eq!(
-            out.get("layer0.b").unwrap().get(0, 0),
+            out.params.get("layer0.b").unwrap().get(0, 0),
             15.0,
             "classifier poison blocked"
         );
@@ -158,8 +162,9 @@ mod tests {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[1.0], &[1.0]), update(1, &[f32::NAN], &[1.0])];
         let out = SelectiveAggregator::new(1.0).aggregate(&g, &u);
-        assert!(!out.has_non_finite());
-        assert_eq!(out.get("layer0.w").unwrap().get(0, 0), 1.0);
+        assert!(!out.params.has_non_finite());
+        assert_eq!(out.params.get("layer0.w").unwrap().get(0, 0), 1.0);
+        assert_eq!(out.rejected(), 1);
     }
 
     use crate::update::ClientUpdate;

@@ -1,8 +1,10 @@
 //! The uniform interface the benchmark harness drives.
 
 use crate::client::Client;
+use crate::report::RoundReport;
+use crate::round::RoundPlan;
 use safeloc_dataset::FingerprintSet;
-use safeloc_nn::Matrix;
+use safeloc_nn::{Matrix, NamedParams};
 
 /// A complete FL indoor-localization framework: one global model plus one
 /// aggregation rule plus the client-side protocol.
@@ -10,7 +12,10 @@ use safeloc_nn::Matrix;
 /// Implemented by [`SequentialFlServer`](crate::SequentialFlServer) (and the
 /// named baselines wrapping it in `safeloc-baselines`) and by the `safeloc`
 /// crate's `SafeLoc` framework. The benchmark harness treats every framework
-/// identically: `pretrain` → repeated `round` → `predict`.
+/// identically: `pretrain` → repeated [`Framework::run_round`] → `predict`.
+/// Most callers should not drive `run_round` by hand: an
+/// [`FlSession`](crate::FlSession) owns the framework, the fleet and the
+/// plan stream, and yields one [`RoundReport`] per round.
 pub trait Framework {
     /// Framework name as printed in the paper's figures.
     fn name(&self) -> &'static str;
@@ -18,15 +23,25 @@ pub trait Framework {
     /// Server-side pretraining of the global model on the survey split.
     fn pretrain(&mut self, train: &FingerprintSet);
 
-    /// One federated round: distribute the GM, let every client train (and
-    /// possibly poison), aggregate.
-    fn round(&mut self, clients: &mut [Client]);
+    /// One federated round under `plan`: distribute the GM to the plan's
+    /// participating cohort, let each train (and possibly poison),
+    /// aggregate, and report per-client outcomes and timings.
+    ///
+    /// A [`RoundPlan::full`] plan must reproduce the seed engine's round
+    /// bit for bit (pinned by `tests/round_lifecycle.rs`).
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport;
 
     /// Predicted RP labels for a batch of fingerprints.
     fn predict(&self, x: &Matrix) -> Vec<usize>;
 
     /// Total deployed parameter count (Table I).
     fn num_params(&self) -> usize;
+
+    /// Snapshot of the *aggregated* global model — the weights a federated
+    /// round rewrites. Frameworks with server-side side models (e.g.
+    /// ONLAD's calibrated detector) exclude them: they are not part of the
+    /// round trajectory.
+    fn global_params(&self) -> NamedParams;
 
     /// Boxed clone — lets the bench harness pretrain a framework once and
     /// fork it across attack scenarios.
@@ -41,10 +56,24 @@ pub trait Framework {
         pred.iter().zip(labels).filter(|(p, y)| p == y).count() as f32 / labels.len() as f32
     }
 
-    /// Runs `n` federated rounds.
+    /// One full-participation federated round, discarding the report.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run_round` with a `RoundPlan` (or drive an `FlSession`); \
+                this shim runs a full-participation round and drops the report"
+    )]
+    fn round(&mut self, clients: &mut [Client]) {
+        let _ = self.run_round(clients, &RoundPlan::full(clients.len()));
+    }
+
+    /// Runs `n` full-participation federated rounds, discarding reports.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use an `FlSession` (which yields `RoundReport`s) or loop over `run_round`"
+    )]
     fn run_rounds(&mut self, clients: &mut [Client], n: usize) {
         for _ in 0..n {
-            self.round(clients);
+            let _ = self.run_round(clients, &RoundPlan::full(clients.len()));
         }
     }
 }

@@ -11,28 +11,40 @@
 //!   with the client-side training protocol in [`LocalTrainConfig`].
 //! * [`ClientUpdate`] — an LM come back to the server as
 //!   [`NamedParams`](safeloc_nn::NamedParams).
-//! * [`Aggregator`] — the server-side combination rule, with the five
-//!   baseline strategies implemented: [`FedAvg`], [`Krum`],
+//! * [`Aggregator`] — the server-side combination rule, returning an
+//!   [`AggregationOutcome`] (next GM + per-update accept/reject decisions).
+//!   Five baseline strategies are implemented: [`FedAvg`], [`Krum`],
 //!   [`SelectiveAggregator`] (FEDHIL), [`ClusterAggregator`] (FEDCC) and
 //!   [`LatentFilterAggregator`] (FEDLS). SAFELOC's saliency-map aggregation
 //!   lives in the `safeloc` crate — it is the paper's contribution.
 //!   Pairwise-distance rules share one [`aggregate::DistanceMatrix`] per
-//!   round, computed in parallel.
-//!
-//! Clients within a round train in parallel (they are independent by
-//! construction); results are collected in client order and every client
-//! draws from its own seed stream, so rounds are bitwise-identical for any
-//! thread count.
+//!   round, computed in parallel, and every rule inherits the shared
+//!   empty-round/non-finite guard ([`aggregate::aggregate_or_clone`]) from
+//!   the trait's provided entry point.
+//! * **Round lifecycle** — a seeded [`CohortSampler`] draws one
+//!   [`RoundPlan`] per round (full, uniform-k or weighted cohorts; per-
+//!   client dropouts and stragglers); [`Framework::run_round`] executes a
+//!   plan and returns a [`RoundReport`] recording what happened to every
+//!   cohort member — trained (with aggregation weight), dropped out,
+//!   straggled, or rejected by a named defense rule with its score.
+//! * [`FlSession`] — framework + fleet + plan stream in one value; the
+//!   harness and examples drive rounds through it.
 //! * [`SequentialFlServer`] — a complete FL server around a
 //!   [`Sequential`](safeloc_nn::Sequential) DNN global model; every baseline
 //!   framework is this server with a different architecture + aggregator.
 //! * [`Framework`] — the uniform interface the benchmark harness drives:
 //!   pretrain → federated rounds → predict.
 //!
+//! Clients within a round train in parallel (they are independent by
+//! construction); results are collected in client order and every client
+//! draws from its own seed stream, so rounds are bitwise-identical for any
+//! thread count and cohort membership never perturbs another client's
+//! stream.
+//!
 //! # Example
 //!
 //! ```
-//! use safeloc_fl::{Client, FedAvg, Framework, SequentialFlServer, ServerConfig};
+//! use safeloc_fl::{Client, FedAvg, FlSession, Framework, SequentialFlServer, ServerConfig};
 //! use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 //!
 //! let data = BuildingDataset::generate(Building::tiny(3), &DatasetConfig::tiny(), 3);
@@ -42,16 +54,24 @@
 //!     ServerConfig::tiny(),
 //! );
 //! server.pretrain(&data.server_train);
-//! let mut clients = Client::from_dataset(&data, 1);
-//! server.round(&mut clients);
-//! let acc = server.accuracy(&data.client_test[0].x, &data.client_test[0].labels);
+//! let mut session = FlSession::builder(Box::new(server))
+//!     .clients(Client::from_dataset(&data, 1))
+//!     .build();
+//! let report = session.next_round();
+//! assert_eq!(report.accepted(), session.clients().len());
+//! let acc = session
+//!     .framework()
+//!     .accuracy(&data.client_test[0].x, &data.client_test[0].labels);
 //! assert!(acc > 0.2, "accuracy {acc}");
 //! ```
 
 pub mod aggregate;
 pub mod client;
 pub mod framework;
+pub mod report;
+pub mod round;
 pub mod server;
+pub mod session;
 pub mod update;
 
 pub use aggregate::{
@@ -59,5 +79,8 @@ pub use aggregate::{
 };
 pub use client::{Client, LabelingMode, LocalTrainConfig};
 pub use framework::Framework;
-pub use server::{SequentialFlServer, ServerConfig};
+pub use report::{AggregationOutcome, ClientOutcome, ClientReport, RoundReport, UpdateDecision};
+pub use round::{Availability, CohortSampler, CohortStrategy, RoundPlan};
+pub use server::{active_clients, SequentialFlServer, ServerConfig};
+pub use session::{FlSession, FlSessionBuilder};
 pub use update::ClientUpdate;

@@ -7,10 +7,30 @@
 use crate::aggregate::Aggregator;
 use crate::client::{train_sequential_lm, Client, LocalTrainConfig};
 use crate::framework::Framework;
+use crate::report::{RoundReport, RoundTimer};
+use crate::round::RoundPlan;
 use crate::update::ClientUpdate;
 use rayon::prelude::*;
 use safeloc_dataset::FingerprintSet;
-use safeloc_nn::{Activation, Adam, HasParams, Matrix, Sequential, TrainConfig};
+use safeloc_nn::{Activation, Adam, HasParams, Matrix, NamedParams, Sequential, TrainConfig};
+
+/// Gathers mutable references to the plan's participating clients, in
+/// fleet order — the shape the parallel trainers fan out over. Shared by
+/// every engine (`SequentialFlServer`, ONLAD, SAFELOC).
+pub fn active_clients<'a>(clients: &'a mut [Client], plan: &RoundPlan) -> Vec<&'a mut Client> {
+    let mut mask = vec![false; clients.len()];
+    for i in plan.active_indices() {
+        if i < clients.len() {
+            mask[i] = true;
+        }
+    }
+    clients
+        .iter_mut()
+        .zip(mask)
+        .filter(|(_, active)| *active)
+        .map(|(c, _)| c)
+        .collect()
+}
 
 /// Server-side configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,14 +160,17 @@ impl SequentialFlServer {
         self.aggregator.name()
     }
 
-    /// Collects this round's client updates (shared with tests).
+    /// Collects updates from the plan's participating clients (shared with
+    /// tests).
     ///
     /// Clients are independent by construction — each trains its own clone
-    /// of the distributed GM on its own local data — so the fleet trains in
-    /// parallel. Results come back in client order and every client draws
-    /// from its own seed stream, so the round is bitwise-identical for any
-    /// thread count (asserted by `tests/parallel_determinism.rs`).
-    fn collect_updates(&mut self, clients: &mut [Client]) -> Vec<ClientUpdate> {
+    /// of the distributed GM on its own local data — so the participating
+    /// cohort trains in parallel. Results come back in fleet order and
+    /// every client draws from its own seed stream, so the round is
+    /// bitwise-identical for any thread count (asserted by
+    /// `tests/parallel_determinism.rs`), and cohort membership never
+    /// perturbs another client's training stream.
+    fn collect_updates(&mut self, clients: &mut [Client], plan: &RoundPlan) -> Vec<ClientUpdate> {
         let n_classes = self.gm.out_dim();
         let round_salt = (self.rounds_run as u64 + 1) << 16;
         let gm = &self.gm;
@@ -155,8 +178,8 @@ impl SequentialFlServer {
         // One snapshot shared across the fleet (the seed re-snapshotted the
         // full GM once per client).
         let gm_snapshot = gm.snapshot();
-        clients
-            .par_iter_mut()
+        active_clients(clients, plan)
+            .into_par_iter()
             .map(|c| {
                 let set = c.prepare_round_data(gm, n_classes, local);
                 let params = train_sequential_lm(gm, &set, local, c.seed ^ round_salt);
@@ -182,13 +205,24 @@ impl Framework for SequentialFlServer {
         );
     }
 
-    fn round(&mut self, clients: &mut [Client]) {
-        let updates = self.collect_updates(clients);
-        let next = self.aggregator.aggregate(&self.gm.snapshot(), &updates);
+    fn run_round(&mut self, clients: &mut [Client], plan: &RoundPlan) -> RoundReport {
+        let timer = RoundTimer::start();
+        let updates = self.collect_updates(clients, plan);
+        let timer = timer.split();
+        let outcome = self.aggregator.aggregate(&self.gm.snapshot(), &updates);
         self.gm
-            .load(&next)
+            .load(&outcome.params)
             .expect("aggregator preserves architecture");
+        let report = timer.finish(
+            self.rounds_run,
+            self.name,
+            clients,
+            plan,
+            &updates,
+            &outcome,
+        );
         self.rounds_run += 1;
+        report
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
@@ -197,6 +231,10 @@ impl Framework for SequentialFlServer {
 
     fn num_params(&self) -> usize {
         self.gm.num_params()
+    }
+
+    fn global_params(&self) -> NamedParams {
+        self.gm.snapshot()
     }
 
     fn clone_box(&self) -> Box<dyn Framework> {
@@ -208,8 +246,16 @@ impl Framework for SequentialFlServer {
 mod tests {
     use super::*;
     use crate::aggregate::{FedAvg, Krum};
+    use crate::report::ClientOutcome;
+    use crate::round::Availability;
     use safeloc_attacks::{Attack, PoisonInjector};
     use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+
+    fn run_full_rounds(s: &mut SequentialFlServer, clients: &mut [Client], n: usize) {
+        for _ in 0..n {
+            s.run_round(clients, &RoundPlan::full(clients.len()));
+        }
+    }
 
     fn dataset() -> BuildingDataset {
         BuildingDataset::generate(Building::tiny(4), &DatasetConfig::tiny(), 4)
@@ -239,7 +285,7 @@ mod tests {
         s.pretrain(&data.server_train);
         let before = s.accuracy(&data.server_train.x, &data.server_train.labels);
         let mut clients = Client::from_dataset(&data, 0);
-        s.run_rounds(&mut clients, 3);
+        run_full_rounds(&mut s, &mut clients, 3);
         let after = s.accuracy(&data.server_train.x, &data.server_train.labels);
         assert_eq!(s.rounds_run(), 3);
         assert!(
@@ -261,7 +307,7 @@ mod tests {
             // Make the last client malicious with full label flipping.
             let last = clients.len() - 1;
             clients[last].injector = Some(PoisonInjector::new(Attack::label_flip(1.0), 99));
-            s.run_rounds(&mut clients, 4);
+            run_full_rounds(&mut s, &mut clients, 4);
             s.accuracy(&eval.x, &eval.labels)
         };
 
@@ -283,7 +329,8 @@ mod tests {
             let mut s = server(&data, Box::new(FedAvg));
             s.pretrain(&data.server_train);
             let mut clients = Client::from_dataset(&data, 0);
-            s.round(&mut clients);
+            let plan = RoundPlan::full(clients.len());
+            s.run_round(&mut clients, &plan);
             s.global_model().snapshot()
         };
         assert_eq!(run(), run());
@@ -295,5 +342,80 @@ mod tests {
         let s = server(&data, Box::new(FedAvg));
         let dbg = format!("{s:?}");
         assert!(dbg.contains("FedAvg"));
+    }
+
+    #[test]
+    fn full_round_reports_every_client_trained() {
+        let data = dataset();
+        let mut s = server(&data, Box::new(FedAvg));
+        s.pretrain(&data.server_train);
+        let mut clients = Client::from_dataset(&data, 0);
+        let plan = RoundPlan::full(clients.len());
+        let report = s.run_round(&mut clients, &plan);
+        assert_eq!(report.round, 0);
+        assert_eq!(report.clients.len(), clients.len());
+        assert_eq!(report.accepted(), clients.len());
+        assert_eq!(report.rejected() + report.dropped() + report.straggled(), 0);
+        assert!(report.train_ms >= 0.0 && report.aggregate_ms >= 0.0);
+        assert!(report
+            .clients
+            .iter()
+            .all(|c| matches!(c.outcome, ClientOutcome::Trained { .. }) && c.samples > 0));
+    }
+
+    #[test]
+    fn partial_plan_trains_only_the_participants() {
+        let data = dataset();
+        let mut s = server(&data, Box::new(FedAvg));
+        s.pretrain(&data.server_train);
+        let mut clients = Client::from_dataset(&data, 0);
+        let plan = RoundPlan::new(vec![
+            (0, Availability::Participates),
+            (1, Availability::DropsOut),
+            (2, Availability::Straggles),
+        ]);
+        let report = s.run_round(&mut clients, &plan);
+        assert_eq!(report.clients.len(), 3);
+        assert_eq!(report.accepted(), 1);
+        assert_eq!(report.dropped(), 1);
+        assert_eq!(report.straggled(), 1);
+        assert_eq!(report.clients[1].outcome, ClientOutcome::DroppedOut);
+        assert_eq!(report.clients[1].samples, 0);
+        assert_eq!(s.rounds_run(), 1);
+    }
+
+    #[test]
+    fn all_dropout_round_keeps_the_global_model() {
+        let data = dataset();
+        let mut s = server(&data, Box::new(FedAvg));
+        s.pretrain(&data.server_train);
+        let before = s.global_model().snapshot();
+        let mut clients = Client::from_dataset(&data, 0);
+        let plan = RoundPlan::new(
+            (0..clients.len())
+                .map(|i| (i, Availability::DropsOut))
+                .collect(),
+        );
+        let report = s.run_round(&mut clients, &plan);
+        assert_eq!(report.participants(), 0);
+        assert_eq!(s.global_model().snapshot(), before);
+    }
+
+    #[test]
+    fn deprecated_round_shim_matches_run_round() {
+        let data = dataset();
+        let run = |use_shim: bool| {
+            let mut s = server(&data, Box::new(FedAvg));
+            s.pretrain(&data.server_train);
+            let mut clients = Client::from_dataset(&data, 0);
+            if use_shim {
+                #[allow(deprecated)]
+                s.run_rounds(&mut clients, 2);
+            } else {
+                run_full_rounds(&mut s, &mut clients, 2);
+            }
+            s.global_model().snapshot()
+        };
+        assert_eq!(run(true), run(false), "shim diverged from run_round");
     }
 }

@@ -1,0 +1,273 @@
+//! Composable FL sessions: framework + fleet + plan stream in one value.
+//!
+//! An [`FlSession`] owns everything a federated deployment needs — the
+//! [`Framework`], the client fleet, and a seeded [`CohortSampler`]
+//! producing one [`RoundPlan`](crate::RoundPlan) per round — and yields a [`RoundReport`]
+//! per executed round. The benchmark harness, the paper-figure binaries
+//! and the examples all drive rounds through a session; calling
+//! [`Framework::run_round`] by hand is for engines and tests.
+//!
+//! ```
+//! use safeloc_fl::{
+//!     Client, CohortSampler, FedAvg, FlSession, Framework, SequentialFlServer, ServerConfig,
+//! };
+//! use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+//!
+//! let data = BuildingDataset::generate(Building::tiny(3), &DatasetConfig::tiny(), 3);
+//! let mut server = SequentialFlServer::new(
+//!     &[data.building.num_aps(), 32, data.building.num_rps()],
+//!     Box::new(FedAvg),
+//!     ServerConfig::tiny(),
+//! );
+//! server.pretrain(&data.server_train);
+//! let mut session = FlSession::builder(Box::new(server))
+//!     .clients(Client::from_dataset(&data, 1))
+//!     .sampler(CohortSampler::uniform(2, 7).with_dropout(0.1))
+//!     .build();
+//! for report in session.run(3) {
+//!     assert!(report.clients.len() <= 2);
+//! }
+//! assert_eq!(session.rounds_run(), 3);
+//! ```
+
+use crate::client::Client;
+use crate::framework::Framework;
+use crate::report::{pooled_rate, RoundReport};
+use crate::round::CohortSampler;
+
+/// Builder for [`FlSession`] — see the module docs for a full example.
+pub struct FlSessionBuilder {
+    framework: Box<dyn Framework>,
+    clients: Vec<Client>,
+    sampler: CohortSampler,
+}
+
+impl FlSessionBuilder {
+    /// Sets the client fleet.
+    pub fn clients(mut self, clients: Vec<Client>) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Sets the cohort sampler (default: full participation, no churn —
+    /// the paper's round shape).
+    pub fn sampler(mut self, sampler: CohortSampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Finalizes the session.
+    pub fn build(self) -> FlSession {
+        FlSession {
+            framework: self.framework,
+            clients: self.clients,
+            sampler: self.sampler,
+            history: Vec::new(),
+        }
+    }
+}
+
+/// A running federated deployment: framework + fleet + plan stream.
+///
+/// The session numbers rounds from the count it has run itself; a
+/// framework that already ran rounds before being handed over keeps its
+/// own (higher) internal counter for [`RoundReport::round`].
+pub struct FlSession {
+    framework: Box<dyn Framework>,
+    clients: Vec<Client>,
+    sampler: CohortSampler,
+    history: Vec<RoundReport>,
+}
+
+impl FlSession {
+    /// Starts building a session around a (typically pretrained)
+    /// framework.
+    pub fn builder(framework: Box<dyn Framework>) -> FlSessionBuilder {
+        FlSessionBuilder {
+            framework,
+            clients: Vec::new(),
+            sampler: CohortSampler::full(),
+        }
+    }
+
+    /// Executes the next round: draws the plan, runs it, records and
+    /// returns the report.
+    pub fn next_round(&mut self) -> &RoundReport {
+        let plan = self.sampler.plan(self.history.len(), self.clients.len());
+        let report = self.framework.run_round(&mut self.clients, &plan);
+        self.history.push(report);
+        self.history.last().expect("just pushed")
+    }
+
+    /// Runs `n` more rounds and returns their reports.
+    pub fn run(&mut self, n: usize) -> &[RoundReport] {
+        let start = self.history.len();
+        for _ in 0..n {
+            self.next_round();
+        }
+        &self.history[start..]
+    }
+
+    /// Rounds executed by this session.
+    pub fn rounds_run(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Every report so far, in round order.
+    pub fn reports(&self) -> &[RoundReport] {
+        &self.history
+    }
+
+    /// The framework under the session.
+    pub fn framework(&self) -> &dyn Framework {
+        self.framework.as_ref()
+    }
+
+    /// Mutable framework access (e.g. for τ sweeps between rounds).
+    pub fn framework_mut(&mut self) -> &mut dyn Framework {
+        self.framework.as_mut()
+    }
+
+    /// The client fleet.
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Mutable fleet access (e.g. to compromise a client mid-session).
+    pub fn clients_mut(&mut self) -> &mut [Client] {
+        &mut self.clients
+    }
+
+    /// Pooled attacker-rejection rate over every round run so far, or
+    /// `None` if no malicious client ever delivered an update.
+    pub fn attacker_rejection_rate(&self) -> Option<f32> {
+        pooled_rate(self.history.iter(), RoundReport::attacker_rejection_rate)
+    }
+
+    /// Pooled honest-rejection rate over every round run so far.
+    pub fn honest_rejection_rate(&self) -> Option<f32> {
+        pooled_rate(self.history.iter(), RoundReport::honest_rejection_rate)
+    }
+
+    /// Dismantles the session into framework, fleet and report history.
+    pub fn into_parts(self) -> (Box<dyn Framework>, Vec<Client>, Vec<RoundReport>) {
+        (self.framework, self.clients, self.history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{FedAvg, Krum};
+    use crate::round::RoundPlan;
+    use crate::server::{SequentialFlServer, ServerConfig};
+    use safeloc_attacks::{Attack, PoisonInjector};
+    use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+    use safeloc_nn::HasParams;
+
+    fn dataset() -> BuildingDataset {
+        BuildingDataset::generate(Building::tiny(4), &DatasetConfig::tiny(), 4)
+    }
+
+    fn pretrained(data: &BuildingDataset, agg: Box<dyn crate::Aggregator>) -> SequentialFlServer {
+        let mut s = SequentialFlServer::new(
+            &[data.building.num_aps(), 24, data.building.num_rps()],
+            agg,
+            ServerConfig::tiny(),
+        );
+        s.pretrain(&data.server_train);
+        s
+    }
+
+    #[test]
+    fn full_session_matches_manual_run_round_bitwise() {
+        let data = dataset();
+        let server = pretrained(&data, Box::new(FedAvg));
+
+        let mut manual = server.clone();
+        let mut clients = Client::from_dataset(&data, 0);
+        let plan = RoundPlan::full(clients.len());
+        for _ in 0..3 {
+            manual.run_round(&mut clients, &plan);
+        }
+
+        let mut session = FlSession::builder(Box::new(server))
+            .clients(Client::from_dataset(&data, 0))
+            .build();
+        session.run(3);
+
+        assert_eq!(
+            session.framework().global_params(),
+            manual.global_model().snapshot(),
+            "session with the default sampler diverged from manual full rounds"
+        );
+        assert_eq!(session.rounds_run(), 3);
+        assert!(session
+            .reports()
+            .iter()
+            .all(|r| r.accepted() == session.clients().len()));
+    }
+
+    #[test]
+    fn partial_sessions_report_smaller_cohorts() {
+        let data = dataset();
+        let server = pretrained(&data, Box::new(FedAvg));
+        let mut session = FlSession::builder(Box::new(server))
+            .clients(Client::from_dataset(&data, 0))
+            .sampler(CohortSampler::uniform(2, 5))
+            .build();
+        session.run(4);
+        assert!(session.reports().iter().all(|r| r.clients.len() == 2));
+    }
+
+    #[test]
+    fn krum_session_surfaces_attacker_rejections() {
+        let data = dataset();
+        let server = pretrained(&data, Box::new(Krum::new(1)));
+        let mut clients = Client::from_dataset(&data, 0);
+        let last = clients.len() - 1;
+        clients[last].injector =
+            Some(PoisonInjector::new(Attack::label_flip(1.0), 3).with_boost(6.0));
+        let mut session = FlSession::builder(Box::new(server))
+            .clients(clients)
+            .build();
+        session.run(3);
+        let rate = session
+            .attacker_rejection_rate()
+            .expect("attacker participated");
+        assert!(
+            rate > 0.5,
+            "Krum should reject the boosted label-flipper most rounds: {rate}"
+        );
+        let honest = session
+            .honest_rejection_rate()
+            .expect("honest participated");
+        assert!(honest < 1.0, "Krum rejected every honest update: {honest}");
+    }
+
+    #[test]
+    fn session_is_deterministic_given_seeds() {
+        let data = dataset();
+        let run = || {
+            let server = pretrained(&data, Box::new(FedAvg));
+            let mut session = FlSession::builder(Box::new(server))
+                .clients(Client::from_dataset(&data, 0))
+                .sampler(
+                    CohortSampler::uniform(3, 9)
+                        .with_dropout(0.2)
+                        .with_straggle(0.2),
+                )
+                .build();
+            session.run(4);
+            let (framework, _, reports) = session.into_parts();
+            (
+                framework.global_params(),
+                reports.into_iter().map(|r| r.clients).collect::<Vec<_>>(),
+            )
+        };
+        let (gm_a, outcomes_a) = run();
+        let (gm_b, outcomes_b) = run();
+        assert_eq!(gm_a, gm_b);
+        assert_eq!(outcomes_a, outcomes_b);
+    }
+}

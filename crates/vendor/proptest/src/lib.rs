@@ -172,7 +172,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// See [`vec`].
+        /// See [`vec`](fn@vec).
         pub struct VecStrategy<S> {
             element: S,
             size: usize,

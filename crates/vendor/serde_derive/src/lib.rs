@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
-//! the simplified [`Value`]-tree traits in the sibling `serde` stub. The
+//! the simplified `Value`-tree traits in the sibling `serde` stub. The
 //! parser is hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`
 //! available offline) and supports exactly the shapes this workspace uses:
 //!

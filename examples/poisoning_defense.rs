@@ -9,19 +9,26 @@ use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_baselines::FedLoc;
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceProfile};
-use safeloc_fl::{Client, Framework, ServerConfig};
+use safeloc_fl::{Client, FlSession, Framework, ServerConfig};
 use safeloc_metrics::{localization_errors, ErrorStats};
 
-fn attacked_mean(framework: &mut dyn Framework, data: &BuildingDataset, rounds: usize) -> f32 {
+fn attacked_mean(mut framework: Box<dyn Framework>, data: &BuildingDataset, rounds: usize) -> f32 {
     framework.pretrain(&data.server_train);
     let mut clients = Client::from_dataset(data, 11);
     let attacker = DeviceProfile::ATTACKER_DEVICE;
     clients[attacker].injector =
         Some(PoisonInjector::new(Attack::label_flip(0.8), 11).with_boost(6.0));
-    framework.run_rounds(&mut clients, rounds);
+    let mut session = FlSession::builder(framework).clients(clients).build();
+    session.run(rounds);
+    if let Some(rate) = session.attacker_rejection_rate() {
+        println!(
+            "  (attacker updates rejected in {:.0}% of rounds)",
+            rate * 100.0
+        );
+    }
     let mut errors = Vec::new();
     for (_, set) in data.eval_sets() {
-        let pred = framework.predict(&set.x);
+        let pred = session.framework().predict(&set.x);
         errors.extend(localization_errors(&data.building, &pred, &set.labels));
     }
     ErrorStats::from_errors(&errors).mean
@@ -34,20 +41,20 @@ fn main() {
         "label-flipping attacker (HTC U11, flip fraction 0.8, boosted) over {rounds} rounds\n"
     );
 
-    let mut fedloc = FedLoc::new(
+    let fedloc = FedLoc::new(
         data.building.num_aps(),
         data.building.num_rps(),
         ServerConfig::default_scale(11),
     );
-    let fedloc_mean = attacked_mean(&mut fedloc, &data, rounds);
+    let fedloc_mean = attacked_mean(Box::new(fedloc), &data, rounds);
     println!("FEDLOC  (FedAvg, no defense): mean error {fedloc_mean:.2} m");
 
-    let mut safeloc = SafeLoc::new(
+    let safeloc = SafeLoc::new(
         data.building.num_aps(),
         data.building.num_rps(),
         SafeLocConfig::default_scale(11),
     );
-    let safeloc_mean = attacked_mean(&mut safeloc, &data, rounds);
+    let safeloc_mean = attacked_mean(Box::new(safeloc), &data, rounds);
     println!("SAFELOC (saliency + de-noise): mean error {safeloc_mean:.2} m");
 
     println!(

@@ -1,5 +1,6 @@
-//! Quickstart: train SAFELOC on a small synthetic building, run federated
-//! rounds with one malicious client, and localize.
+//! Quickstart: train SAFELOC on a small synthetic building, run a
+//! federated session with one malicious client and partial participation,
+//! and read the round-by-round defense telemetry.
 //!
 //! ```text
 //! cargo run -p safeloc-bench --release --example quickstart
@@ -8,7 +9,7 @@
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Client, Framework};
+use safeloc_fl::{Client, ClientOutcome, CohortSampler, FlSession, Framework};
 use safeloc_metrics::{localization_errors, ErrorStats};
 
 fn main() {
@@ -44,16 +45,60 @@ fn main() {
         framework.rce_baseline()
     );
 
-    // 4. Federated rounds with the HTC U11 compromised by a label-flipping
-    //    attacker.
+    // 4. A federated session with the HTC U11 compromised by a
+    //    label-flipping attacker. Unlike the paper's everyone-every-round
+    //    protocol, this session samples a 5-of-6 cohort per round and lets
+    //    clients drop out 10% of the time — the production regime.
     let mut clients = Client::from_dataset(&data, 7);
     clients[5].injector = Some(PoisonInjector::new(Attack::label_flip(0.8), 7).with_boost(6.0));
-    framework.run_rounds(&mut clients, 4);
+    let mut session = FlSession::builder(Box::new(framework))
+        .clients(clients)
+        .sampler(CohortSampler::uniform(5, 7).with_dropout(0.1))
+        .build();
 
-    // 5. Evaluate localization error on the five non-training phones.
+    // 5. Every round yields a RoundReport: who was sampled, who dropped
+    //    out, and what the defense decided about each delivered update.
+    //    Saliency aggregation never rejects outright — it *weights* — so
+    //    the attacker shows up with a collapsed acceptance weight.
+    println!("\nround-by-round telemetry:");
+    for _ in 0..4 {
+        let report = session.next_round();
+        println!("  {report}");
+        for c in &report.clients {
+            let tag = if c.malicious { " <- attacker" } else { "" };
+            match &c.outcome {
+                ClientOutcome::Trained { weight } => {
+                    println!(
+                        "      client {}: accepted, weight {weight:.3}{tag}",
+                        c.client_id
+                    )
+                }
+                ClientOutcome::Rejected { rule, score } => println!(
+                    "      client {}: rejected by {rule} (score {score:.3}){tag}",
+                    c.client_id
+                ),
+                ClientOutcome::DroppedOut => {
+                    println!("      client {}: dropped out{tag}", c.client_id)
+                }
+                ClientOutcome::Straggled => {
+                    println!("      client {}: straggled past deadline{tag}", c.client_id)
+                }
+            }
+        }
+    }
+    if let Some(w) = session
+        .reports()
+        .iter()
+        .filter_map(|r| r.mean_attacker_weight())
+        .next_back()
+    {
+        println!("\nattacker mean saliency weight (last round it appeared): {w:.3}");
+    }
+
+    // 6. Evaluate localization error on the five non-training phones.
     let mut errors = Vec::new();
     for (device, set) in data.eval_sets() {
-        let pred = framework.predict(&set.x);
+        let pred = session.framework().predict(&set.x);
         let device_errors = localization_errors(&data.building, &pred, &set.labels);
         let stats = ErrorStats::from_errors(&device_errors);
         println!("  {} — {}", data.devices[device].name, stats);

@@ -8,7 +8,7 @@
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Client, Framework};
+use safeloc_fl::{Client, FlSession, Framework};
 use safeloc_metrics::{localization_errors, ErrorStats};
 
 fn main() {
@@ -38,11 +38,14 @@ fn main() {
             compromised += 1;
         }
 
-        framework.run_rounds(&mut clients, 3);
+        let mut session = FlSession::builder(Box::new(framework))
+            .clients(clients)
+            .build();
+        session.run(3);
 
         let mut errors = Vec::new();
         for (_, set) in data.eval_sets() {
-            let pred = framework.predict(&set.x);
+            let pred = session.framework().predict(&set.x);
             errors.extend(localization_errors(&data.building, &pred, &set.labels));
         }
         println!(

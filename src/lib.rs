@@ -10,11 +10,11 @@
 //! | [`nn`] | dense NN substrate (blocked matmul kernels, layers, losses, optimizers) |
 //! | [`dataset`] | synthetic multi-building, multi-device RSS fingerprints |
 //! | [`attacks`] | the five poisoning attacks of §III.A |
-//! | [`fl`] | federated engine: clients, servers, aggregation rules |
+//! | [`fl`] | federated engine: clients, servers, aggregation rules, sessions + round plans/reports |
 //! | [`core`] | SAFELOC itself: fused network + saliency aggregation |
 //! | [`baselines`] | FEDLOC / FEDHIL / KRUM / FEDCC / FEDLS / ONLAD |
 //! | [`metrics`] | localization-error statistics and report rendering |
-//! | [`bench`] | paper-figure harness and performance reporting |
+//! | [`bench`](mod@bench) | paper-figure harness and performance reporting |
 
 pub use safeloc as core;
 pub use safeloc_attacks as attacks;

@@ -4,7 +4,7 @@
 use safeloc::{SafeLoc, SafeLocConfig, SaliencyAggregator};
 use safeloc_attacks::{Attack, PoisonInjector, ALL_ATTACK_KINDS};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Aggregator, Client, ClientUpdate, FedAvg, Framework};
+use safeloc_fl::{Aggregator, Client, ClientUpdate, FedAvg, Framework, RoundPlan};
 use safeloc_metrics::{localization_errors, ErrorStats};
 use safeloc_nn::{Matrix, NamedParams};
 
@@ -23,7 +23,10 @@ fn attacked_mean(attack: Attack, boost: f32) -> f32 {
     let mut clients = Client::from_dataset(&data, 21);
     let last = clients.len() - 1;
     clients[last].injector = Some(PoisonInjector::new(attack, 21).with_boost(boost));
-    f.run_rounds(&mut clients, 3);
+    let plan = RoundPlan::full(clients.len());
+    for _ in 0..3 {
+        f.run_round(&mut clients, &plan);
+    }
     let mut errors = Vec::new();
     for (_, set) in data.eval_sets() {
         let pred = f.predict(&set.x);
@@ -72,8 +75,8 @@ fn saliency_suppresses_boosted_outliers_more_than_fedavg() {
 
     let fedavg = FedAvg.aggregate(&gm, &updates);
     let saliency = SaliencyAggregator::default().aggregate(&gm, &updates);
-    let fa = fedavg.get("w").unwrap().get(0, 0);
-    let sa = saliency.get("w").unwrap().get(0, 0);
+    let fa = fedavg.params.get("w").unwrap().get(0, 0);
+    let sa = saliency.params.get("w").unwrap().get(0, 0);
     assert!(
         sa < fa / 3.0,
         "saliency ({sa}) barely better than FedAvg ({fa})"

@@ -4,7 +4,7 @@
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Client, FedAvg, Framework, SequentialFlServer, ServerConfig};
+use safeloc_fl::{Client, FedAvg, Framework, RoundPlan, SequentialFlServer, ServerConfig};
 use safeloc_nn::HasParams;
 
 fn run_safeloc(seed: u64) -> Vec<usize> {
@@ -20,7 +20,10 @@ fn run_safeloc(seed: u64) -> Vec<usize> {
     f.pretrain(&data.server_train);
     let mut clients = Client::from_dataset(&data, seed);
     clients[0].injector = Some(PoisonInjector::new(Attack::mim(0.2), seed));
-    f.run_rounds(&mut clients, 2);
+    let plan = RoundPlan::full(clients.len());
+    for _ in 0..2 {
+        f.run_round(&mut clients, &plan);
+    }
     f.predict(&data.client_test[1].x)
 }
 
@@ -46,7 +49,10 @@ fn sequential_server_rounds_reproduce() {
         s.pretrain(&data.server_train);
         let mut clients = Client::from_dataset(&data, 5);
         clients[1].injector = Some(PoisonInjector::new(Attack::label_flip(0.5), 5));
-        s.run_rounds(&mut clients, 2);
+        let plan = RoundPlan::full(clients.len());
+        for _ in 0..2 {
+            s.run_round(&mut clients, &plan);
+        }
         s.global_model().snapshot()
     };
     assert_eq!(run(), run());

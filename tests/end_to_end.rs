@@ -6,11 +6,18 @@ use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_baselines::{FedCc, FedHil, FedLoc, FedLs, KrumFramework, Onlad};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Client, Framework, ServerConfig};
+use safeloc_fl::{Client, Framework, RoundPlan, ServerConfig};
 use safeloc_metrics::{localization_errors, ErrorStats};
 
 fn dataset() -> BuildingDataset {
     BuildingDataset::generate(Building::tiny(42), &DatasetConfig::tiny(), 42)
+}
+
+fn run_full_rounds(f: &mut dyn Framework, clients: &mut [Client], n: usize) {
+    let plan = RoundPlan::full(clients.len());
+    for _ in 0..n {
+        f.run_round(clients, &plan);
+    }
 }
 
 fn eval(framework: &dyn Framework, data: &BuildingDataset) -> ErrorStats {
@@ -36,7 +43,7 @@ fn safeloc_full_pipeline_under_attack() {
     let mut clients = Client::from_dataset(&data, 42);
     let last = clients.len() - 1;
     clients[last].injector = Some(PoisonInjector::new(Attack::label_flip(1.0), 42).with_boost(3.0));
-    f.run_rounds(&mut clients, 3);
+    run_full_rounds(&mut f, &mut clients, 3);
     let attacked = eval(&f, &data);
 
     // The tiny floor is ~10 m across; random guessing gives ~2.5 m mean.
@@ -66,7 +73,7 @@ fn every_baseline_completes_rounds() {
         f.pretrain(&data.server_train);
         let mut clients = Client::from_dataset(&data, 1);
         clients[0].injector = Some(PoisonInjector::new(Attack::fgsm(0.3), 1));
-        f.run_rounds(&mut clients, 2);
+        run_full_rounds(f.as_mut(), &mut clients, 2);
         let stats = eval(f.as_ref(), &data);
         assert!(
             stats.mean.is_finite() && stats.n > 0,
@@ -86,7 +93,7 @@ fn safeloc_beats_fedloc_under_boosted_label_flip() {
         let last = clients.len() - 1;
         clients[last].injector =
             Some(PoisonInjector::new(Attack::label_flip(1.0), 3).with_boost(3.0));
-        f.run_rounds(&mut clients, rounds);
+        run_full_rounds(f.as_mut(), &mut clients, rounds);
         eval(f.as_ref(), &data).mean
     };
     let safeloc = run(Box::new(SafeLoc::new(
@@ -119,7 +126,7 @@ fn cloned_framework_is_independent() {
 
     let mut fork = template.clone_box();
     let mut clients = Client::from_dataset(&data, 0);
-    fork.run_rounds(&mut clients, 2);
+    run_full_rounds(fork.as_mut(), &mut clients, 2);
 
     // The template must be untouched by the fork's rounds.
     let after = eval(template.as_ref(), &data);

@@ -4,8 +4,9 @@
 use safeloc::{SafeLoc, SafeLocConfig, SaliencyAggregator};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, FingerprintSet};
 use safeloc_fl::{
-    Aggregator, Client, ClientUpdate, ClusterAggregator, FedAvg, Framework, Krum,
-    LatentFilterAggregator, SelectiveAggregator, SequentialFlServer, ServerConfig,
+    Aggregator, Availability, Client, ClientUpdate, ClusterAggregator, FedAvg, Framework, Krum,
+    LatentFilterAggregator, RoundPlan, SelectiveAggregator, SequentialFlServer, ServerConfig,
+    UpdateDecision,
 };
 use safeloc_nn::{Matrix, NamedParams};
 
@@ -32,7 +33,13 @@ fn every_aggregator_survives_an_empty_round() {
     )]);
     for mut agg in all_aggregators() {
         let out = agg.aggregate(&gm, &[]);
-        assert_eq!(out, gm, "{} corrupted the GM on an empty round", agg.name());
+        assert_eq!(
+            out.params,
+            gm,
+            "{} corrupted the GM on an empty round",
+            agg.name()
+        );
+        assert!(out.decisions.is_empty());
     }
 }
 
@@ -53,10 +60,24 @@ fn every_aggregator_rejects_all_nan_updates() {
     for mut agg in all_aggregators() {
         let out = agg.aggregate(&gm, std::slice::from_ref(&nan_update));
         assert!(
-            !out.has_non_finite(),
+            !out.params.has_non_finite(),
             "{} let NaN weights into the GM",
             agg.name()
         );
+        // The shared guard owns this rule: the GM is untouched and the
+        // decision trail names the rejection, for every aggregator alike.
+        assert_eq!(
+            out.params,
+            gm,
+            "{} rewrote the GM from a fully non-finite round",
+            agg.name()
+        );
+        match &out.decisions[0] {
+            UpdateDecision::Rejected { rule, .. } => {
+                assert_eq!(rule, safeloc_fl::aggregate::NON_FINITE_RULE)
+            }
+            other => panic!("{} accepted a NaN update: {other:?}", agg.name()),
+        }
     }
 }
 
@@ -72,10 +93,12 @@ fn rounds_with_a_subset_of_clients_work() {
     let mut clients = Client::from_dataset(&data, 13);
     // Only one client shows up this round.
     let mut solo = clients.split_off(clients.len() - 1);
-    server.round(&mut solo);
+    let report = server.run_round(&mut solo, &RoundPlan::full(1));
+    assert_eq!(report.accepted(), 1);
     // Nobody shows up the next round.
     let mut nobody: Vec<Client> = Vec::new();
-    server.round(&mut nobody);
+    let report = server.run_round(&mut nobody, &RoundPlan::full(0));
+    assert_eq!(report.participants(), 0);
     let acc = server.accuracy(&data.server_train.x, &data.server_train.labels);
     assert!(
         acc > 0.3,
@@ -96,7 +119,8 @@ fn safeloc_handles_single_sample_clients() {
     for c in &mut clients {
         c.local = c.local.subset(&[0]); // one fingerprint each
     }
-    f.round(&mut clients);
+    let plan = RoundPlan::full(clients.len());
+    f.run_round(&mut clients, &plan);
     let test = &data.client_test[0];
     assert!(f.accuracy(&test.x, &test.labels) > 0.2);
 }
@@ -126,4 +150,26 @@ fn empty_fingerprint_sets_are_harmless() {
     assert_eq!(set.len(), 0);
     let sub = set.subset(&[]);
     assert!(sub.is_empty());
+}
+
+#[test]
+fn stale_plans_referencing_departed_clients_are_harmless() {
+    // A plan can outlive fleet churn: cohort entries beyond the current
+    // fleet are skipped by training and by the report alike.
+    let data = dataset();
+    let mut server = SequentialFlServer::new(
+        &[data.building.num_aps(), 12, data.building.num_rps()],
+        Box::new(FedAvg),
+        ServerConfig::tiny(),
+    );
+    server.pretrain(&data.server_train);
+    let mut clients = Client::from_dataset(&data, 13);
+    let plan = RoundPlan::new(vec![
+        (0, Availability::Participates),
+        (clients.len() + 5, Availability::Participates),
+        (clients.len() + 9, Availability::DropsOut),
+    ]);
+    let report = server.run_round(&mut clients, &plan);
+    assert_eq!(report.clients.len(), 1, "ghost clients reported");
+    assert_eq!(report.accepted(), 1);
 }

@@ -1,15 +1,20 @@
 //! The parallel federated round must be an optimization, not a semantics
 //! change: for a fixed seed, every framework's post-round global model is
-//! bitwise identical regardless of how many threads the fleet trains on.
+//! bitwise identical regardless of how many threads the fleet trains on —
+//! and the same holds for the round-lifecycle layer: a seeded
+//! `CohortSampler` draws identical cohorts and an `FlSession` produces
+//! identical reports and GMs for any thread count.
 //!
-//! This holds by construction — clients draw from per-client seed streams
-//! and the parallel map preserves client order — and this suite pins it.
+//! This holds by construction — clients draw from per-client seed streams,
+//! the parallel map preserves client order, and plans are drawn from a
+//! dedicated `(seed, round)` RNG stream — and this suite pins it.
 
 use rayon::ThreadPoolBuilder;
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 use safeloc_fl::{
-    Aggregator, Client, ClientUpdate, Framework, Krum, SequentialFlServer, ServerConfig,
+    Aggregator, Client, ClientUpdate, CohortSampler, FlSession, Framework, Krum, RoundPlan,
+    RoundReport, SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::{HasParams, NamedParams};
 
@@ -37,7 +42,10 @@ fn sequential_server_round_is_bitwise_deterministic_across_thread_counts() {
             );
             s.pretrain(&data.server_train);
             let mut clients = Client::from_dataset(&data, 0);
-            s.run_rounds(&mut clients, 2);
+            let plan = RoundPlan::full(clients.len());
+            for _ in 0..2 {
+                s.run_round(&mut clients, &plan);
+            }
             s.global_model().snapshot()
         })
     };
@@ -58,7 +66,8 @@ fn safeloc_round_is_bitwise_deterministic_across_thread_counts() {
             );
             f.pretrain(&data.server_train);
             let mut clients = Client::from_dataset(&data, 0);
-            f.round(&mut clients);
+            let plan = RoundPlan::full(clients.len());
+            f.run_round(&mut clients, &plan);
             f.network().snapshot()
         })
     };
@@ -97,7 +106,7 @@ fn krum_with_shared_distance_matrix_is_thread_count_invariant() {
         })
         .collect();
     let run = |threads: usize| -> NamedParams {
-        with_threads(threads, || Krum::new(1).aggregate(&gm, &updates))
+        with_threads(threads, || Krum::new(1).aggregate(&gm, &updates).params)
     };
     let serial = run(1);
     assert_eq!(
@@ -128,4 +137,62 @@ fn batch_prediction_is_identical_across_thread_counts() {
     let parallel = with_threads(4, || model.predict(&x));
     assert_eq!(serial, parallel);
     assert_eq!(serial.len(), x.rows());
+}
+
+#[test]
+fn cohort_sampling_is_seed_deterministic_across_thread_counts() {
+    let sampler = CohortSampler::uniform(3, 21)
+        .with_dropout(0.2)
+        .with_straggle(0.2);
+    let draw = |threads: usize| -> Vec<RoundPlan> {
+        with_threads(threads, || (0..10).map(|r| sampler.plan(r, 8)).collect())
+    };
+    let serial = draw(1);
+    assert_eq!(serial, draw(4), "plan stream diverged across thread counts");
+    // The same seed re-queried out of order still reproduces.
+    assert_eq!(serial[7], sampler.plan(7, 8));
+}
+
+#[test]
+fn subsampled_session_is_bitwise_deterministic_across_thread_counts() {
+    // A churny session — uniform-3 cohorts with dropouts and stragglers —
+    // must produce identical cohorts, identical per-client outcomes and a
+    // bitwise-identical GM on any thread count.
+    let data = dataset();
+    let run = |threads: usize| -> (NamedParams, Vec<RoundReport>) {
+        with_threads(threads, || {
+            let mut s = SequentialFlServer::new(
+                &[data.building.num_aps(), 16, data.building.num_rps()],
+                Box::new(safeloc_fl::FedAvg),
+                ServerConfig::tiny(),
+            );
+            s.pretrain(&data.server_train);
+            let mut session = FlSession::builder(Box::new(s))
+                .clients(Client::from_dataset(&data, 0))
+                .sampler(
+                    CohortSampler::uniform(3, 13)
+                        .with_dropout(0.25)
+                        .with_straggle(0.25),
+                )
+                .build();
+            session.run(3);
+            let (framework, _, reports) = session.into_parts();
+            (framework.global_params(), reports)
+        })
+    };
+    let (gm_serial, reports_serial) = run(1);
+    let (gm_parallel, reports_parallel) = run(4);
+    assert_eq!(gm_serial, gm_parallel, "subsampled session GM diverged");
+    // Timings differ run to run; the client outcome trail must not.
+    let outcomes = |reports: &[RoundReport]| -> Vec<_> {
+        reports
+            .iter()
+            .map(|r| r.clients.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        outcomes(&reports_serial),
+        outcomes(&reports_parallel),
+        "per-client outcomes diverged across thread counts"
+    );
 }

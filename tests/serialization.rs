@@ -86,3 +86,45 @@ fn full_dataset_round_trips() {
     assert_eq!(data.server_train, back.server_train);
     assert_eq!(data.building, back.building);
 }
+
+#[test]
+fn round_lifecycle_types_round_trip() {
+    use safeloc_fl::{Availability, CohortSampler, RoundPlan};
+
+    // A deployment persists its sampler configuration and audit-logs its
+    // plans and reports; all three must survive serde.
+    let sampler = CohortSampler::weighted(3, vec![1.0, 2.0, 0.5, 4.0], 17)
+        .with_dropout(0.1)
+        .with_straggle(0.05);
+    let back: CohortSampler =
+        serde_json::from_str(&serde_json::to_string(&sampler).unwrap()).unwrap();
+    assert_eq!(sampler, back);
+
+    let plan = RoundPlan::new(vec![
+        (0, Availability::Participates),
+        (2, Availability::Straggles),
+        (3, Availability::DropsOut),
+    ]);
+    let back: RoundPlan = serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
+    assert_eq!(plan, back);
+}
+
+#[test]
+fn round_reports_round_trip() {
+    use safeloc_fl::{
+        Client, FedAvg, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+    };
+
+    let data = BuildingDataset::generate(Building::tiny(2), &DatasetConfig::tiny(), 2);
+    let mut s = SequentialFlServer::new(
+        &[data.building.num_aps(), 8, data.building.num_rps()],
+        Box::new(FedAvg),
+        ServerConfig::tiny(),
+    );
+    s.pretrain(&data.server_train);
+    let mut clients = Client::from_dataset(&data, 2);
+    let plan = RoundPlan::full(clients.len());
+    let report = s.run_round(&mut clients, &plan);
+    let back: RoundReport = serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    assert_eq!(report, back);
+}
