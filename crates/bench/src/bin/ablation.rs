@@ -1,7 +1,7 @@
 //! Ablation — attribution of SAFELOC's robustness to its parts (ours, not a
 //! paper figure; DESIGN.md §3 calls out the design choices under test).
 //!
-//! Variants:
+//! Variants (the suite engine's `SafelocVariant` axis):
 //! * **full** — detection + de-noising + saliency (Normalized Eq. 9)
 //! * **no-denoise** — τ = ∞ disables the client-side detector
 //! * **no-saliency** — saliency sharpness 0 (S ≡ 1 ⇒ plain delta averaging)
@@ -16,83 +16,57 @@
 //! cargo run -p safeloc-bench --release --bin ablation [--quick|--full] [--seed N]
 //! ```
 
-use safeloc::{AggregationMode, SafeLoc, SafeLocConfig};
 use safeloc_attacks::Attack;
-use safeloc_bench::{build_dataset, run_scenario, HarnessConfig, Scenario};
-use safeloc_dataset::Building;
-use safeloc_fl::Framework;
+use safeloc_bench::{
+    AttackSpec, FrameworkSpec, HarnessConfig, SafelocVariant, ScenarioSpec, SuiteRunner,
+};
 use safeloc_metrics::{markdown_table, ErrorStats};
-
-fn variant(name: &str, base: &SafeLocConfig) -> SafeLocConfig {
-    let mut cfg = base.clone();
-    match name {
-        "full" => {}
-        "no-denoise" => cfg.tau = f32::INFINITY,
-        "no-saliency" => { /* handled below via sharpness */ }
-        "literal-eq9" => cfg.aggregation = AggregationMode::Literal,
-        "with-augment" => cfg.augment = Some(safeloc::DaeAugment::paper()),
-        "joint-decoder" => cfg.detach_decoder = false,
-        _ => unreachable!("unknown variant"),
-    }
-    cfg
-}
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let rounds = cfg.rounds();
-    let data = build_dataset(Building::paper(5), cfg.seed);
-    let scenarios: Vec<(&str, Option<Attack>)> = vec![
-        ("clean", None),
-        ("label flip 0.6", Some(Attack::label_flip(0.6))),
-        ("FGSM 0.4", Some(Attack::fgsm(0.4))),
-        ("MIM 0.3", Some(Attack::mim(0.3))),
-    ];
-    let variants = [
-        "full",
-        "no-denoise",
-        "no-saliency",
-        "literal-eq9",
-        "with-augment",
-        "joint-decoder",
-    ];
+    let mut spec = ScenarioSpec::new(
+        "ablation",
+        SafelocVariant::ALL
+            .iter()
+            .map(|&variant| FrameworkSpec::SafelocVariant { variant })
+            .collect(),
+        vec![
+            AttackSpec::clean(),
+            AttackSpec::named("label flip 0.6", Attack::label_flip(0.6)),
+            AttackSpec::named("FGSM 0.4", Attack::fgsm(0.4)),
+            AttackSpec::named("MIM 0.3", Attack::mim(0.3)),
+        ],
+    );
+    spec.description = "design-choice attribution for SAFELOC".into();
+    spec.buildings = vec![5];
 
+    let mut runner = SuiteRunner::new(cfg, spec.clone());
     println!("# Ablation — SAFELOC variants (building 5)\n");
     println!(
-        "scale: {:?}, seed: {}, rounds: {rounds}\n",
-        cfg.scale, cfg.seed
+        "scale: {:?}, seed: {}, rounds: {}\n",
+        cfg.scale,
+        cfg.seed,
+        runner.rounds()
     );
 
-    let base = cfg.safeloc_config();
+    let run = runner.run();
     let mut rows = Vec::new();
-    for vname in variants {
-        let vcfg = variant(vname, &base);
-        let mut f = SafeLoc::new(data.building.num_aps(), data.building.num_rps(), vcfg);
-        if vname == "no-saliency" {
-            // Sharpness 0 makes S ≡ 1: plain (unweighted) delta averaging.
-            f = {
-                let mut cfg2 = base.clone();
-                cfg2.seed = base.seed;
-                let mut g = SafeLoc::new(data.building.num_aps(), data.building.num_rps(), cfg2);
-                g.set_saliency_sharpness(0.0);
-                g
-            };
-        }
-        f.pretrain(&data.server_train);
-        let mut row = vec![vname.to_string()];
-        for (k, (_, attack)) in scenarios.iter().enumerate() {
-            let scenario = Scenario::paper(attack.clone(), rounds, cfg.seed ^ (k as u64 + 1));
-            let errors = run_scenario(&f, &data, &scenario);
+    for (vi, variant) in SafelocVariant::ALL.iter().enumerate() {
+        let mut row = vec![variant.label().to_string()];
+        for (ai, _) in spec.attacks.iter().enumerate() {
+            let errors =
+                run.pooled_errors(|c| c.cell.index.framework == vi && c.cell.index.attack == ai);
             row.push(format!("{:.2}", ErrorStats::from_errors(&errors).mean));
         }
-        eprintln!("  {vname} done");
         rows.push(row);
     }
 
-    let mut header = vec!["variant"];
-    for (name, _) in &scenarios {
-        header.push(name);
+    let mut header = vec!["variant".to_string()];
+    for attack in &spec.attacks {
+        header.push(attack.label());
     }
-    println!("{}", markdown_table(&header, &rows));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    println!("{}", markdown_table(&header_refs, &rows));
     println!("\nexpected: full lowest under attack; no-denoise leaks backdoors; no-saliency leaks label flips;");
     println!("with-augment (extension) cuts clean error but masks the detector's contribution");
 }

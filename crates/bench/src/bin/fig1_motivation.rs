@@ -10,57 +10,43 @@
 //! ```
 
 use safeloc_attacks::Attack;
-use safeloc_baselines::{FedHil, FedLoc};
-use safeloc_bench::{build_dataset, run_scenario, HarnessConfig, Scenario};
-use safeloc_fl::Framework;
+use safeloc_bench::{AttackSpec, FrameworkSpec, HarnessConfig, ScenarioSpec, SuiteRunner};
 use safeloc_metrics::{markdown_table, ErrorStats};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let rounds = cfg.rounds();
+    let mut spec = ScenarioSpec::new(
+        "fig1_motivation",
+        vec![FrameworkSpec::FedLoc, FrameworkSpec::FedHil],
+        vec![
+            AttackSpec::clean(),
+            AttackSpec::named("Label Flip", Attack::label_flip(0.8)),
+            AttackSpec::named("Backdoor (FGSM)", Attack::fgsm(0.5)),
+        ],
+    );
+    spec.description = "FEDLOC/FEDHIL degradation under poisoning".into();
+
+    let mut runner = SuiteRunner::new(cfg, spec.clone());
     println!("# Fig. 1 — FEDLOC / FEDHIL degradation under poisoning\n");
     println!(
-        "scale: {:?}, seed: {}, rounds/scenario: {rounds}\n",
-        cfg.scale, cfg.seed
+        "scale: {:?}, seed: {}, rounds/scenario: {}\n",
+        cfg.scale,
+        cfg.seed,
+        runner.rounds()
     );
 
-    let attacks: [(&str, Option<Attack>); 3] = [
-        ("Clean", None),
-        ("Label Flip", Some(Attack::label_flip(0.8))),
-        ("Backdoor (FGSM)", Some(Attack::fgsm(0.5))),
-    ];
-
+    // Errors pool over the scale's buildings per (framework, attack) cell.
+    let run = runner.run();
     let mut rows = Vec::new();
-    for which in ["FEDLOC", "FEDHIL"] {
-        // Pool errors over buildings per scenario.
-        let mut per_attack: Vec<Vec<f32>> = vec![Vec::new(); attacks.len()];
-        for building in cfg.buildings() {
-            let data = build_dataset(building, cfg.seed);
-            let template: Box<dyn Framework> = {
-                let mut f: Box<dyn Framework> = match which {
-                    "FEDLOC" => Box::new(FedLoc::new(
-                        data.building.num_aps(),
-                        data.building.num_rps(),
-                        cfg.server_config(),
-                    )),
-                    _ => Box::new(FedHil::new(
-                        data.building.num_aps(),
-                        data.building.num_rps(),
-                        cfg.server_config(),
-                    )),
-                };
-                f.pretrain(&data.server_train);
-                f
-            };
-            for (slot, (_, attack)) in attacks.iter().enumerate() {
-                let scenario = Scenario::paper(attack.clone(), rounds, cfg.seed);
-                per_attack[slot].extend(run_scenario(template.as_ref(), &data, &scenario));
-            }
-            eprintln!("  [{which}] building {} done", data.building.id);
-        }
-        let clean_mean = ErrorStats::from_errors(&per_attack[0]).mean;
-        for (slot, (label, _)) in attacks.iter().enumerate() {
-            let s = ErrorStats::from_errors(&per_attack[slot]);
+    for (fi, framework) in spec.frameworks.iter().enumerate() {
+        let clean_mean = ErrorStats::from_errors(
+            &run.pooled_errors(|c| c.cell.index.framework == fi && c.cell.index.attack == 0),
+        )
+        .mean;
+        for (ai, attack) in spec.attacks.iter().enumerate() {
+            let errors =
+                run.pooled_errors(|c| c.cell.index.framework == fi && c.cell.index.attack == ai);
+            let s = ErrorStats::from_errors(&errors);
             // Our synthetic clean errors can be ~0 m (the paper's are ~1 m);
             // a ratio against ~0 is meaningless, so fall back to "—".
             let ratio = if clean_mean >= 0.05 {
@@ -69,8 +55,8 @@ fn main() {
                 "—".to_string()
             };
             rows.push(vec![
-                which.to_string(),
-                label.to_string(),
+                framework.label(),
+                attack.label(),
                 format!("{:.2}", s.best),
                 format!("{:.2}", s.mean),
                 format!("{:.2}", s.worst),

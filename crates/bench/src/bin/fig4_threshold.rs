@@ -10,61 +10,54 @@
 //! ```
 
 use safeloc_attacks::Attack;
-use safeloc_bench::{
-    build_dataset, pretrained_safeloc, run_scenario, HarnessConfig, Scale, Scenario,
-};
+use safeloc_bench::{AttackSpec, FrameworkSpec, HarnessConfig, Scale, ScenarioSpec, SuiteRunner};
 use safeloc_metrics::{markdown_table, ErrorStats};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let rounds = (cfg.rounds() / 2).max(2);
     let taus: Vec<f32> = match cfg.scale {
         Scale::Quick => vec![0.05, 0.1, 0.25, 0.5],
         _ => vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5],
     };
     // The HTC U11 introduces a mix of backdoor and label-flip poison, as in
-    // the paper's τ study.
-    let attacks = [Attack::fgsm(0.3), Attack::mim(0.2), Attack::label_flip(0.5)];
+    // the paper's τ study; errors pool over the three attacks per τ cell.
+    // All τ points share one pretrained SAFELOC template per building.
+    let mut spec = ScenarioSpec::new(
+        "fig4_threshold",
+        taus.iter()
+            .map(|&tau| FrameworkSpec::SafelocTau { tau })
+            .collect(),
+        vec![
+            AttackSpec::of(Attack::fgsm(0.3)),
+            AttackSpec::of(Attack::mim(0.2)),
+            AttackSpec::of(Attack::label_flip(0.5)),
+        ],
+    );
+    spec.description = "mean localization error vs reconstruction threshold".into();
+    spec.rounds = (cfg.rounds() / 2).max(2);
 
+    let mut runner = SuiteRunner::new(cfg, spec);
+    let buildings = runner.buildings();
     println!("# Fig. 4 — mean localization error vs. reconstruction threshold τ\n");
     println!(
-        "scale: {:?}, seed: {}, rounds/scenario: {rounds}\n",
-        cfg.scale, cfg.seed
+        "scale: {:?}, seed: {}, rounds/scenario: {}\n",
+        cfg.scale,
+        cfg.seed,
+        runner.rounds()
     );
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let buildings = cfg.buildings();
-    let mut per_building_series: Vec<(usize, Vec<(f32, f32)>)> = Vec::new();
-
-    for building in buildings {
-        let id = building.id;
-        let data = build_dataset(building, cfg.seed);
-        let template = pretrained_safeloc(&data, &cfg);
-        let mut series = Vec::new();
-        for &tau in &taus {
-            let mut variant = template.clone();
-            variant.set_tau(tau);
-            let mut errors = Vec::new();
-            for (k, attack) in attacks.iter().enumerate() {
-                let scenario =
-                    Scenario::paper(Some(attack.clone()), rounds, cfg.seed ^ (k as u64 + 1));
-                errors.extend(run_scenario(&variant, &data, &scenario));
-            }
-            let stats = ErrorStats::from_errors(&errors);
-            series.push((tau, stats.mean));
-        }
-        eprintln!("  building {id} done");
-        per_building_series.push((id, series));
-    }
-
+    let run = runner.run();
     let mut header: Vec<String> = vec!["tau".into()];
-    for (id, _) in &per_building_series {
+    for id in &buildings {
         header.push(format!("B{id} mean (m)"));
     }
-    for (i, &tau) in taus.iter().enumerate() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (ti, tau) in taus.iter().enumerate() {
         let mut row = vec![format!("{tau:.2}")];
-        for (_, series) in &per_building_series {
-            row.push(format!("{:.2}", series[i].1));
+        for (bi, _) in buildings.iter().enumerate() {
+            let errors =
+                run.pooled_errors(|c| c.cell.index.framework == ti && c.cell.index.building == bi);
+            row.push(format!("{:.2}", ErrorStats::from_errors(&errors).mean));
         }
         rows.push(row);
     }

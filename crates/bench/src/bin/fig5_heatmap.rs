@@ -10,68 +10,61 @@
 //! ```
 
 use safeloc_attacks::{Attack, AttackKind, ALL_ATTACK_KINDS};
-use safeloc_bench::{
-    build_dataset, pretrained_safeloc, run_scenario, HarnessConfig, Scale, Scenario,
-};
-use safeloc_dataset::Building;
+use safeloc_bench::{AttackSpec, FrameworkSpec, HarnessConfig, Scale, ScenarioSpec, SuiteRunner};
 use safeloc_metrics::{heatmap, ErrorStats};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let rounds = (cfg.rounds() / 2).max(2);
     let epsilons: Vec<f32> = match cfg.scale {
         Scale::Quick => vec![0.05, 0.1, 0.3, 0.6, 1.0],
         _ => vec![0.01, 0.03, 0.05, 0.08, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
     };
-    let buildings = match cfg.scale {
-        Scale::Quick => vec![Building::paper(5)],
-        // The paper pools all buildings; the largest and smallest span the
-        // range at tractable cost.
-        _ => vec![Building::paper(1), Building::paper(5)],
-    };
-
-    println!("# Fig. 5 — SAFELOC mean error (m) per attack × ε\n");
-    println!(
-        "scale: {:?}, seed: {}, rounds/scenario: {rounds}, buildings: {:?}\n",
-        cfg.scale,
-        cfg.seed,
-        buildings.iter().map(|b| b.id).collect::<Vec<_>>()
-    );
-
-    // cells[attack][eps] pools errors over buildings.
-    let mut cells: Vec<Vec<Vec<f32>>> =
-        vec![vec![Vec::new(); epsilons.len()]; ALL_ATTACK_KINDS.len()];
-
-    for building in buildings {
-        let data = build_dataset(building, cfg.seed);
-        let template = pretrained_safeloc(&data, &cfg);
-        for (a, kind) in ALL_ATTACK_KINDS.iter().enumerate() {
-            for (e, &eps) in epsilons.iter().enumerate() {
-                let scenario = Scenario::paper(
-                    Some(Attack::of_kind(*kind, eps)),
-                    rounds,
-                    cfg.seed ^ ((a as u64) << 8 | e as u64),
-                );
-                cells[a][e].extend(run_scenario(&template, &data, &scenario));
-            }
-            eprintln!("  building {} {} done", data.building.id, kind.label());
+    // The attack axis is the flattened (kind, ε) grid, kind-major.
+    let mut attacks = Vec::new();
+    for kind in ALL_ATTACK_KINDS {
+        for &eps in &epsilons {
+            attacks.push(AttackSpec::of(Attack::of_kind(kind, eps)));
         }
     }
+    let mut spec = ScenarioSpec::new("fig5_heatmap", vec![FrameworkSpec::Safeloc], attacks);
+    spec.description = "SAFELOC mean error per attack × epsilon".into();
+    spec.rounds = (cfg.rounds() / 2).max(2);
+    spec.buildings = match cfg.scale {
+        Scale::Quick => vec![5],
+        // The paper pools all buildings; the largest and smallest span the
+        // range at tractable cost.
+        _ => vec![1, 5],
+    };
+
+    let mut runner = SuiteRunner::new(cfg, spec);
+    println!("# Fig. 5 — SAFELOC mean error (m) per attack × ε\n");
+    println!(
+        "scale: {:?}, seed: {}, rounds/scenario: {}, buildings: {:?}\n",
+        cfg.scale,
+        cfg.seed,
+        runner.rounds(),
+        runner.buildings()
+    );
+
+    // values[kind][eps] pools errors over buildings.
+    let run = runner.run();
+    let values: Vec<Vec<f32>> = (0..ALL_ATTACK_KINDS.len())
+        .map(|a| {
+            (0..epsilons.len())
+                .map(|e| {
+                    let ai = a * epsilons.len() + e;
+                    let errors = run.pooled_errors(|c| c.cell.index.attack == ai);
+                    ErrorStats::from_errors(&errors).mean
+                })
+                .collect()
+        })
+        .collect();
 
     let col_labels: Vec<String> = epsilons.iter().map(|e| format!("{e:.2}")).collect();
     let row_labels: Vec<String> = ALL_ATTACK_KINDS
         .iter()
         .map(|k| k.label().to_string())
         .collect();
-    let values: Vec<Vec<f32>> = cells
-        .iter()
-        .map(|row| {
-            row.iter()
-                .map(|errors| ErrorStats::from_errors(errors).mean)
-                .collect()
-        })
-        .collect();
-
     println!(
         "{}",
         heatmap("attack \\ eps", &col_labels, &row_labels, &values)

@@ -9,66 +9,65 @@
 //! ```
 
 use safeloc_attacks::{Attack, AttackKind, ALL_ATTACK_KINDS};
-use safeloc_bench::{build_dataset, build_frameworks, run_scenario, HarnessConfig, Scenario};
+use safeloc_bench::{AttackSpec, FrameworkSpec, HarnessConfig, ScenarioSpec, SuiteRunner};
 use safeloc_metrics::{markdown_table, ErrorStats};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let rounds = cfg.rounds();
     // Mid-range intensities for the comparison (the paper does not state
     // Fig. 6's ε; Fig. 5's stable region ends around 0.2 for flips).
     let eps_backdoor = 0.4;
     let eps_flip = 0.6;
 
+    let mut attacks = vec![AttackSpec::clean()];
+    for kind in ALL_ATTACK_KINDS {
+        let eps = if kind == AttackKind::LabelFlip {
+            eps_flip
+        } else {
+            eps_backdoor
+        };
+        attacks.push(AttackSpec::named(kind.label(), Attack::of_kind(kind, eps)));
+    }
+    let mut spec = ScenarioSpec::new(
+        "fig6_comparison",
+        vec![
+            FrameworkSpec::Safeloc,
+            FrameworkSpec::Onlad,
+            FrameworkSpec::FedLs,
+            FrameworkSpec::FedCc,
+            FrameworkSpec::FedHil,
+            FrameworkSpec::FedLoc,
+        ],
+        attacks,
+    );
+    spec.description = "SAFELOC vs the state of the art under every attack".into();
+
+    let mut runner = SuiteRunner::new(cfg, spec.clone());
     println!("# Fig. 6 — comparison with the state of the art\n");
     println!(
-        "scale: {:?}, seed: {}, rounds: {rounds}, eps: backdoor {eps_backdoor}, flip {eps_flip}\n",
-        cfg.scale, cfg.seed
+        "scale: {:?}, seed: {}, rounds: {}, eps: backdoor {eps_backdoor}, flip {eps_flip}\n",
+        cfg.scale,
+        cfg.seed,
+        runner.rounds()
     );
 
-    // errors[framework][scenario] pooled over buildings.
-    let framework_names = ["SAFELOC", "ONLAD", "FEDLS", "FEDCC", "FEDHIL", "FEDLOC"];
-    let scenario_names: Vec<String> = std::iter::once("Clean".to_string())
-        .chain(ALL_ATTACK_KINDS.iter().map(|k| k.label().to_string()))
-        .collect();
-    let mut errors: Vec<Vec<Vec<f32>>> =
-        vec![vec![Vec::new(); scenario_names.len()]; framework_names.len()];
-
-    for building in cfg.buildings() {
-        let data = build_dataset(building, cfg.seed);
-        let mut frameworks =
-            build_frameworks(data.building.num_aps(), data.building.num_rps(), &cfg);
-        for (fi, f) in frameworks.iter_mut().enumerate() {
-            f.pretrain(&data.server_train);
-            // Clean scenario first.
-            let clean = Scenario::paper(None, rounds, cfg.seed);
-            errors[fi][0].extend(run_scenario(f.as_ref(), &data, &clean));
-            for (ai, kind) in ALL_ATTACK_KINDS.iter().enumerate() {
-                let eps = if *kind == AttackKind::LabelFlip {
-                    eps_flip
-                } else {
-                    eps_backdoor
-                };
-                let scenario = Scenario::paper(
-                    Some(Attack::of_kind(*kind, eps)),
-                    rounds,
-                    cfg.seed ^ (ai as u64 + 1),
-                );
-                errors[fi][ai + 1].extend(run_scenario(f.as_ref(), &data, &scenario));
-            }
-            eprintln!("  building {} {} done", data.building.id, f.name());
-        }
-    }
-
-    // One block per scenario: best / mean / worst per framework.
-    for (si, sname) in scenario_names.iter().enumerate() {
-        println!("## {sname}\n");
+    // One block per scenario: best / mean / worst per framework, errors
+    // pooled over the scale's buildings.
+    let run = runner.run();
+    for (ai, attack) in spec.attacks.iter().enumerate() {
+        println!("## {}\n", attack.label());
+        let safeloc_mean = ErrorStats::from_errors(
+            &run.pooled_errors(|c| c.cell.index.framework == 0 && c.cell.index.attack == ai),
+        )
+        .mean
+        .max(1e-6);
         let mut rows = Vec::new();
-        let safeloc_mean = ErrorStats::from_errors(&errors[0][si]).mean.max(1e-6);
-        for (fi, fname) in framework_names.iter().enumerate() {
-            let s = ErrorStats::from_errors(&errors[fi][si]);
+        for (fi, framework) in spec.frameworks.iter().enumerate() {
+            let errors =
+                run.pooled_errors(|c| c.cell.index.framework == fi && c.cell.index.attack == ai);
+            let s = ErrorStats::from_errors(&errors);
             rows.push(vec![
-                fname.to_string(),
+                framework.label(),
                 format!("{:.2}", s.best),
                 format!("{:.2}", s.mean),
                 format!("{:.2}", s.worst),

@@ -8,17 +8,14 @@
 //! cargo run -p safeloc-bench --release --bin fig7_scalability [--quick|--full] [--seed N]
 //! ```
 
-use safeloc::SafeLoc;
 use safeloc_attacks::Attack;
-use safeloc_baselines::{FedHil, Onlad};
-use safeloc_bench::{run_scenario, HarnessConfig, Scale, Scenario};
-use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::Framework;
+use safeloc_bench::{
+    AttackSpec, FleetSpec, FrameworkSpec, HarnessConfig, Scale, ScenarioSpec, SuiteRunner,
+};
 use safeloc_metrics::{markdown_table, ErrorStats};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let rounds = (cfg.rounds() / 2).max(2);
     let grid: Vec<(usize, usize)> = match cfg.scale {
         Scale::Quick => vec![(6, 1), (12, 4), (24, 12)],
         _ => vec![
@@ -31,66 +28,48 @@ fn main() {
             (24, 12),
         ],
     };
-    let building_id = 5; // smallest building keeps the 24-client runs tractable
+    // Half the attackers flip labels, half run FGSM backdoors; errors pool
+    // over the two attacks per (fleet, framework) cell. Colluders share one
+    // poison stream so their updates push coherently.
+    let mut spec = ScenarioSpec::new(
+        "fig7_scalability",
+        vec![
+            FrameworkSpec::Safeloc,
+            FrameworkSpec::Onlad,
+            FrameworkSpec::FedHil,
+        ],
+        vec![
+            AttackSpec::of(Attack::label_flip(0.6)),
+            AttackSpec::of(Attack::fgsm(0.4)),
+        ],
+    );
+    spec.description = "mean error vs (total, poisoned) clients".into();
+    spec.buildings = vec![5]; // smallest building keeps the 24-client runs tractable
+    spec.fleets = grid
+        .iter()
+        .map(|&(total, poisoned)| FleetSpec::grown(total, poisoned))
+        .collect();
+    spec.rounds = (cfg.rounds() / 2).max(2);
+    spec.coherent = true;
+
+    let mut runner = SuiteRunner::new(cfg, spec.clone());
     println!("# Fig. 7 — mean error vs. (total, poisoned) clients\n");
     println!(
-        "scale: {:?}, seed: {}, rounds: {rounds}, building: {building_id}\n",
-        cfg.scale, cfg.seed
+        "scale: {:?}, seed: {}, rounds: {}, building: 5\n",
+        cfg.scale,
+        cfg.seed,
+        runner.rounds()
     );
 
+    let run = runner.run();
     let mut rows = Vec::new();
-    for &(total, poisoned) in &grid {
-        let dataset_cfg = DatasetConfig::paper().with_fleet(total, cfg.seed);
-        let data = BuildingDataset::generate(Building::paper(building_id), &dataset_cfg, cfg.seed);
-        // Poisoned clients: the HTC U11 plus the last synthetic phones.
-        let mut attacker_ids = vec![safeloc_dataset::DeviceProfile::ATTACKER_DEVICE];
-        let mut next = total - 1;
-        while attacker_ids.len() < poisoned {
-            if !attacker_ids.contains(&next) && next != data.train_device {
-                attacker_ids.push(next);
-            }
-            next -= 1;
-        }
-
-        let mut row = vec![format!("({total}, {poisoned})")];
-        for which in ["SAFELOC", "ONLAD", "FEDHIL"] {
-            let mut f: Box<dyn Framework> = match which {
-                "SAFELOC" => Box::new(SafeLoc::new(
-                    data.building.num_aps(),
-                    data.building.num_rps(),
-                    cfg.safeloc_config(),
-                )),
-                "ONLAD" => Box::new(Onlad::new(
-                    data.building.num_aps(),
-                    data.building.num_rps(),
-                    cfg.server_config(),
-                )),
-                _ => Box::new(FedHil::new(
-                    data.building.num_aps(),
-                    data.building.num_rps(),
-                    cfg.server_config(),
-                )),
-            };
-            f.pretrain(&data.server_train);
-            // Half the attackers flip labels, half run FGSM backdoors.
-            let mut errors = Vec::new();
-            for (k, attack) in [Attack::label_flip(0.6), Attack::fgsm(0.4)]
-                .into_iter()
-                .enumerate()
-            {
-                let scenario = Scenario {
-                    attack: Some(attack),
-                    attacker_ids: attacker_ids.clone(),
-                    rounds,
-                    seed: cfg.seed ^ (k as u64 + 1),
-                    boost: None,
-                    coherent: true,
-                };
-                errors.extend(run_scenario(f.as_ref(), &data, &scenario));
-            }
+    for (gi, fleet) in spec.fleets.iter().enumerate() {
+        let mut row = vec![fleet.label()];
+        for (fi, _) in spec.frameworks.iter().enumerate() {
+            let errors =
+                run.pooled_errors(|c| c.cell.index.fleet == gi && c.cell.index.framework == fi);
             row.push(format!("{:.2}", ErrorStats::from_errors(&errors).mean));
         }
-        eprintln!("  fleet ({total}, {poisoned}) done");
         rows.push(row);
     }
 

@@ -13,17 +13,19 @@
 //! rate (from the per-round `RoundReport`s; for SAFELOC's soft saliency
 //! defense, the attacker's mean acceptance weight).
 //!
+//! This sweep found the FEDLS small-cohort bypass (a boosted attacker in a
+//! cohort below the latent filter's 3-update guard was accepted
+//! wholesale); the fix screens small rounds against the accumulated benign
+//! history (`safeloc-fl/src/aggregate/latent.rs`).
+//!
 //! ```text
 //! cargo run -p safeloc-bench --release --bin fig8_participation [--quick|--full] [--seed N]
 //! ```
 
 use safeloc_attacks::Attack;
-use safeloc_baselines::{FedCc, FedLs, KrumFramework};
 use safeloc_bench::{
-    build_dataset, pretrained_safeloc, run_scenario_with_reports, HarnessConfig, Scenario,
+    AttackSpec, FrameworkSpec, HarnessConfig, ParticipationSpec, ScenarioSpec, SuiteRunner,
 };
-use safeloc_dataset::Building;
-use safeloc_fl::{CohortSampler, Framework};
 use safeloc_metrics::markdown_table;
 
 const FRACTIONS: [f32; 4] = [1.0, 0.75, 0.5, 0.25];
@@ -37,69 +39,51 @@ fn fmt_rate(rate: Option<f32>) -> String {
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let rounds = cfg.rounds();
-    let data = build_dataset(Building::paper(5), cfg.seed);
-    let (aps, rps) = (data.building.num_aps(), data.building.num_rps());
-    let n_clients = data.num_clients();
+    let mut spec = ScenarioSpec::new(
+        "fig8_participation",
+        vec![
+            FrameworkSpec::Safeloc,
+            FrameworkSpec::Krum,
+            FrameworkSpec::FedCc,
+            FrameworkSpec::FedLs,
+        ],
+        vec![AttackSpec::of(Attack::label_flip(0.8))],
+    );
+    spec.description = "accuracy + attacker-rejection rate vs participation fraction".into();
+    spec.buildings = vec![5];
+    spec.participation = FRACTIONS
+        .iter()
+        .map(|&f| ParticipationSpec::fraction(f))
+        .collect();
 
+    let mut runner = SuiteRunner::new(cfg, spec);
+    let rounds = runner.rounds();
     println!("# Fig. 8 — participation-fraction sweep (building 5)\n");
     println!(
-        "scale: {:?}, seed: {}, rounds: {rounds}, fleet: {n_clients} clients, \
+        "scale: {:?}, seed: {}, rounds: {rounds}, \
          attack: label flip 0.8 on the HTC U11 (boosted)\n",
         cfg.scale, cfg.seed
     );
 
-    let frameworks: Vec<Box<dyn Framework>> = {
-        let server = cfg.server_config();
-        let mut list: Vec<Box<dyn Framework>> = vec![
-            Box::new(pretrained_safeloc(&data, &cfg)),
-            Box::new(KrumFramework::new(aps, rps, server)),
-            Box::new(FedCc::new(aps, rps, server)),
-            Box::new(FedLs::new(aps, rps, server)),
-        ];
-        for f in list.iter_mut().skip(1) {
-            f.pretrain(&data.server_train);
-            eprintln!("  pretrained {}", f.name());
-        }
-        list
-    };
-
-    let scenario = Scenario::paper(Some(Attack::label_flip(0.8)), rounds, cfg.seed);
-    let mut rows = Vec::new();
-    for template in &frameworks {
-        for fraction in FRACTIONS {
-            let k = ((fraction * n_clients as f32).round() as usize).clamp(1, n_clients);
-            let sampler = if k == n_clients {
-                CohortSampler::full()
-            } else {
-                CohortSampler::uniform(k, cfg.seed ^ 0xC0_4082)
-            };
-            let outcome = run_scenario_with_reports(template.as_ref(), &data, &scenario, sampler);
-            // Pooled accuracy over the non-training devices' test sets:
-            // errors are per-sample distances; exact hits are 0 m.
-            let accuracy = if outcome.errors.is_empty() {
-                0.0
-            } else {
-                outcome.errors.iter().filter(|e| **e < 1e-6).count() as f32
-                    / outcome.errors.len() as f32
-            };
-            let mean_error =
-                outcome.errors.iter().sum::<f32>() / outcome.errors.len().max(1) as f32;
-            rows.push(vec![
-                template.name().to_string(),
-                format!("{fraction:.2} ({k}/{n_clients})"),
-                format!("{:.1}%", accuracy * 100.0),
-                format!("{mean_error:.2}"),
-                fmt_rate(outcome.attacker_rejection_rate()),
-                fmt_rate(outcome.honest_rejection_rate()),
-                outcome
-                    .mean_attacker_weight()
+    let run = runner.run();
+    let rows: Vec<Vec<String>> = run
+        .cells
+        .iter()
+        .map(|c| {
+            let stats = c.stats();
+            vec![
+                c.cell.framework.label(),
+                c.cell.participation.label(c.fleet_size),
+                format!("{:.1}%", c.accuracy() * 100.0),
+                format!("{:.2}", stats.mean),
+                fmt_rate(c.attacker_rejection_rate()),
+                fmt_rate(c.honest_rejection_rate()),
+                c.mean_attacker_weight()
                     .map(|w| format!("{w:.3}"))
                     .unwrap_or_else(|| "—".to_string()),
-            ]);
-            eprintln!("  [{}] fraction {fraction} done", template.name());
-        }
-    }
+            ]
+        })
+        .collect();
 
     println!(
         "{}",

@@ -18,7 +18,8 @@
 use safeloc::SaliencyAggregator;
 use safeloc_bench::naive;
 use safeloc_bench::perf::{
-    time_median_ns, AggregationTiming, KernelTiming, PerfReport, RoundTiming, StepTiming,
+    time_median_ns, AggregationTiming, KernelTiming, PerfReport, RoundTiming, SessionTiming,
+    StepTiming,
 };
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 use safeloc_fl::{
@@ -183,7 +184,7 @@ fn bench_training_step(samples: usize, seed: u64) -> StepTiming {
     }
 }
 
-fn bench_round(quick: bool, seed: u64) -> RoundTiming {
+fn bench_round(quick: bool, seed: u64) -> (RoundTiming, Vec<SessionTiming>) {
     // Six-phone fleet on paper Building 1 with the full paper-sized global
     // model (203→128→89→62→60); `--quick` only reduces sample counts so
     // round timings stay representative.
@@ -228,7 +229,7 @@ fn bench_round(quick: bool, seed: u64) -> RoundTiming {
     let threads = rayon::current_num_threads();
     let parallel_ns = time_median_ns(samples, run_round);
 
-    RoundTiming {
+    let round = RoundTiming {
         clients: data.num_clients(),
         seed_ms: seed_ns / 1e6,
         serial_ms: serial_ns / 1e6,
@@ -236,7 +237,30 @@ fn bench_round(quick: bool, seed: u64) -> RoundTiming {
         threads,
         speedup_vs_seed: seed_ns / parallel_ns.max(1.0),
         thread_speedup: serial_ns / parallel_ns.max(1.0),
-    }
+    };
+
+    // Session-level trajectory entry: the train/aggregate wall-time split
+    // every `RoundReport` records, pooled over a short session on the same
+    // pretrained server — this is the telemetry any deployment gets for
+    // free, folded into BENCH_nn.json so both phases are tracked.
+    let rounds = if quick { 2 } else { 4 };
+    let mut session = safeloc_fl::FlSession::builder(Box::new(server.clone()))
+        .clients(Client::from_dataset(&data, seed))
+        .build();
+    session.run(rounds);
+    let reports = session.reports();
+    let mean = |f: fn(&safeloc_fl::RoundReport) -> f64| {
+        reports.iter().map(f).sum::<f64>() / reports.len().max(1) as f64
+    };
+    let session_timings = vec![SessionTiming {
+        framework: "SequentialFL(FedAvg)".to_string(),
+        rounds,
+        clients: data.num_clients(),
+        mean_train_ms: mean(|r| r.train_ms),
+        mean_aggregate_ms: mean(|r| r.aggregate_ms),
+    }];
+
+    (round, session_timings)
 }
 
 fn paper_sized_updates(
@@ -294,18 +318,19 @@ fn main() {
     eprintln!("measuring training step...");
     let training_step = bench_training_step(if args.quick { 5 } else { 11 }, args.seed);
     eprintln!("measuring federated round...");
-    let round = bench_round(args.quick, args.seed);
+    let (round, session) = bench_round(args.quick, args.seed);
     eprintln!("measuring aggregation strategies...");
     let aggregation = bench_aggregation(if args.quick { 3 } else { 7 }, args.seed);
 
     let report = PerfReport {
-        schema: "safeloc-bench/perf-report/v1".to_string(),
+        schema: "safeloc-bench/perf-report/v2".to_string(),
         quick: args.quick,
         threads: rayon::current_num_threads(),
         matmul,
         training_step,
         round,
         aggregation,
+        session,
     };
 
     println!("{}", report.summary());

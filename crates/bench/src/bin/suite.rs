@@ -1,0 +1,103 @@
+//! Runs a named scenario-suite spec file end to end: expand the grid,
+//! execute every cell through seeded `FlSession`s, print the markdown
+//! summary and write the machine-readable `SuiteReport` JSON.
+//!
+//! Spec files live in `scenarios/` at the repo root (see the
+//! `safeloc_bench::suite` module docs for the format). CI runs the
+//! checked-in spec with `--quick` and uploads the report next to
+//! `BENCH_ci.json`.
+//!
+//! ```text
+//! cargo run -p safeloc-bench --release --bin suite -- \
+//!     --spec scenarios/small_cohort.json [--quick|--full] [--seed N] [--out PATH]
+//! ```
+
+use safeloc_bench::{HarnessConfig, Scale, ScenarioSpec, SuiteRunner};
+
+struct Args {
+    spec: String,
+    out: Option<String>,
+    cfg: HarnessConfig,
+}
+
+fn parse_args() -> Args {
+    let mut spec = None;
+    let mut out = None;
+    let mut cfg = HarnessConfig {
+        scale: Scale::Default,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => cfg.scale = Scale::Quick,
+            "--full" => cfg.scale = Scale::Full,
+            "--seed" => {
+                i += 1;
+                cfg.seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed requires an integer"));
+            }
+            "--spec" => {
+                i += 1;
+                spec = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| panic!("--spec requires a path"))
+                        .clone(),
+                );
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| panic!("--out requires a path"))
+                        .clone(),
+                );
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --spec PATH/--quick/--full/--seed N/--out PATH)"
+            ),
+        }
+        i += 1;
+    }
+    Args {
+        spec: spec.unwrap_or_else(|| panic!("--spec PATH is required")),
+        out,
+        cfg,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let json = std::fs::read_to_string(&args.spec)
+        .unwrap_or_else(|e| panic!("cannot read spec {}: {e}", args.spec));
+    let spec: ScenarioSpec = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("cannot parse spec {}: {e:?}", args.spec));
+
+    let mut runner = SuiteRunner::new(args.cfg, spec);
+    println!("# Suite — {}\n", runner.spec().name);
+    if !runner.spec().description.is_empty() {
+        println!("{}\n", runner.spec().description);
+    }
+    println!(
+        "scale: {:?}, seed: {}, rounds/cell: {}, cells: {}\n",
+        args.cfg.scale,
+        args.cfg.seed,
+        runner.rounds(),
+        runner.cells().len()
+    );
+
+    let run = runner.run();
+    println!("{}", run.markdown());
+
+    let report = run.report();
+    let out_path = args
+        .out
+        .unwrap_or_else(|| format!("SUITE_{}.json", report.name));
+    let serialized = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, serialized)
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} cells)", report.cells.len());
+}

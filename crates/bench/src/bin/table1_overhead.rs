@@ -6,12 +6,14 @@
 //! (see `DESIGN.md` §5). A Criterion version lives in
 //! `benches/inference_latency.rs`.
 //!
+//! The framework axis comes from the scenario-suite engine (one cell per
+//! framework); the latency measurement is this binary's formatter.
+//!
 //! ```text
 //! cargo run -p safeloc-bench --release --bin table1_overhead [--seed N]
 //! ```
 
-use safeloc_bench::{build_dataset, build_frameworks, HarnessConfig};
-use safeloc_dataset::Building;
+use safeloc_bench::{AttackSpec, FrameworkSpec, HarnessConfig, ScenarioSpec, SuiteRunner};
 use safeloc_metrics::markdown_table;
 use safeloc_nn::Matrix;
 use std::time::Instant;
@@ -19,24 +21,48 @@ use std::time::Instant;
 fn main() {
     let cfg = HarnessConfig::from_args();
     // Building 1: the paper's largest input (203 APs, 60 RPs).
-    let data = build_dataset(Building::paper(1), cfg.seed);
-    let mut frameworks = build_frameworks(data.building.num_aps(), data.building.num_rps(), &cfg);
+    let mut spec = ScenarioSpec::new(
+        "table1_overhead",
+        vec![
+            FrameworkSpec::Safeloc,
+            FrameworkSpec::Onlad,
+            FrameworkSpec::FedLs,
+            FrameworkSpec::FedCc,
+            FrameworkSpec::FedHil,
+            FrameworkSpec::FedLoc,
+        ],
+        vec![AttackSpec::clean()],
+    );
+    spec.description = "model parameters and inference latency".into();
+    spec.buildings = vec![1];
+
+    let mut runner = SuiteRunner::new(cfg, spec);
+    let cells = runner.cells();
 
     println!("# Table I — model inference latency and parameters\n");
 
     // Short pretraining so the models are in a realistic weight regime
-    // (latency is architecture-bound, not value-bound, but keep it honest).
-    for f in &mut frameworks {
-        let mut quick = data.server_train.clone();
-        let keep: Vec<usize> = (0..quick.len()).step_by(5).collect();
-        quick = quick.subset(&keep);
-        f.pretrain(&quick);
-    }
+    // (latency is architecture-bound, not value-bound, but keep it honest):
+    // the engine builds each framework, this bin pretrains on a 1-in-5
+    // subset of the survey split.
+    // Everything the loop needs is small — extract it in one scoped borrow
+    // instead of cloning the paper's largest dataset.
+    let (quick, sample, aps, rps) = {
+        let data = runner.dataset(&cells[0]);
+        let keep: Vec<usize> = (0..data.server_train.len()).step_by(5).collect();
+        (
+            data.server_train.subset(&keep),
+            Matrix::from_rows(&[data.client_test[0].x.row(0).to_vec()]),
+            data.building.num_aps(),
+            data.building.num_rps(),
+        )
+    };
 
-    let sample = Matrix::from_rows(&[data.client_test[0].x.row(0).to_vec()]);
-    let mut rows = Vec::new();
     let mut measured: Vec<(String, f64, usize)> = Vec::new();
-    for f in &frameworks {
+    for cell in &cells {
+        let mut template = cell.framework.build(aps, rps, runner.cfg());
+        template.pretrain(&quick);
+        let f = template.instantiate(&cell.framework);
         // Warm up, then time single-fingerprint inference.
         for _ in 0..50 {
             let _ = f.predict(&sample);
@@ -49,17 +75,21 @@ fn main() {
         }
         let micros = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
         std::hint::black_box(sink);
-        measured.push((f.name().to_string(), micros, f.num_params()));
+        measured.push((cell.framework.label(), micros, f.num_params()));
     }
+
     let safeloc_latency = measured[0].1;
-    for (name, micros, params) in &measured {
-        rows.push(vec![
-            name.clone(),
-            format!("{micros:.1} µs"),
-            format!("{params}"),
-            format!("{:.2}x", micros / safeloc_latency),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|(name, micros, params)| {
+            vec![
+                name.clone(),
+                format!("{micros:.1} µs"),
+                format!("{params}"),
+                format!("{:.2}x", micros / safeloc_latency),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         markdown_table(

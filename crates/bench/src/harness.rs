@@ -248,11 +248,31 @@ pub fn run_scenario_with_reports(
     scenario: &Scenario,
     sampler: CohortSampler,
 ) -> ScenarioOutcome {
-    let mut session = FlSession::builder(template.clone_box())
-        .clients(scenario_fleet(data, scenario))
+    run_fleet_with_reports(
+        template.clone_box(),
+        data,
+        scenario_fleet(data, scenario),
+        scenario.rounds,
+        sampler,
+    )
+}
+
+/// The innermost scenario step: drives `rounds` session rounds of
+/// `framework` over an explicit, prebuilt fleet — the shape the
+/// scenario-suite engine needs when the sampler itself is derived from the
+/// fleet (e.g. [`CohortSampler::weighted_by_data_volume`]).
+pub fn run_fleet_with_reports(
+    framework: Box<dyn Framework>,
+    data: &BuildingDataset,
+    clients: Vec<Client>,
+    rounds: usize,
+    sampler: CohortSampler,
+) -> ScenarioOutcome {
+    let mut session = FlSession::builder(framework)
+        .clients(clients)
         .sampler(sampler)
         .build();
-    session.run(scenario.rounds);
+    session.run(rounds);
     let (framework, _, reports) = session.into_parts();
     ScenarioOutcome {
         errors: evaluate_errors(framework.as_ref(), data),

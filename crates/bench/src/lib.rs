@@ -28,10 +28,16 @@
 pub mod harness;
 pub mod naive;
 pub mod perf;
+pub mod suite;
 
 pub use harness::{
     build_dataset, build_frameworks, default_buildings, evaluate_errors, pretrained_safeloc,
-    run_scenario, run_scenario_with_reports, scenario_fleet, HarnessConfig, Scale, Scenario,
-    ScenarioOutcome,
+    run_fleet_with_reports, run_scenario, run_scenario_with_reports, scenario_fleet, HarnessConfig,
+    Scale, Scenario, ScenarioOutcome,
 };
 pub use perf::{time_median_ns, PerfReport};
+pub use suite::{
+    AttackSpec, CellRun, FleetSpec, FrameworkSpec, ParticipationMode, ParticipationSpec,
+    SafelocVariant, ScenarioCell, ScenarioSpec, SuiteCellReport, SuiteReport, SuiteRun,
+    SuiteRunner,
+};

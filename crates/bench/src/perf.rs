@@ -88,6 +88,25 @@ pub struct AggregationTiming {
     pub micros: f64,
 }
 
+/// Session-level round timings, folded in from the
+/// [`RoundReport`](safeloc_fl::RoundReport) wall clocks an `FlSession`
+/// records per round — the train/aggregate split the engine measures for
+/// free on every deployment, tracked here so the trajectory catches
+/// regressions in either phase independently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTiming {
+    /// Framework name.
+    pub framework: String,
+    /// Rounds measured.
+    pub rounds: usize,
+    /// Fleet size.
+    pub clients: usize,
+    /// Mean client-training wall time per round, ms.
+    pub mean_train_ms: f64,
+    /// Mean server-side aggregation wall time per round, ms.
+    pub mean_aggregate_ms: f64,
+}
+
 /// The full report serialized to `BENCH_nn.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -105,6 +124,9 @@ pub struct PerfReport {
     pub round: RoundTiming,
     /// Per-strategy aggregation cost, including the preserved seed Krum.
     pub aggregation: Vec<AggregationTiming>,
+    /// Per-round train/aggregate wall times from `FlSession` round
+    /// reports.
+    pub session: Vec<SessionTiming>,
 }
 
 impl PerfReport {
@@ -153,6 +175,16 @@ impl PerfReport {
         for a in &self.aggregation {
             check(format!("aggregation[{}].micros", a.strategy), a.micros);
         }
+        for s in &self.session {
+            check(
+                format!("session[{}].mean_train_ms", s.framework),
+                s.mean_train_ms,
+            );
+            check(
+                format!("session[{}].mean_aggregate_ms", s.framework),
+                s.mean_aggregate_ms,
+            );
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -200,6 +232,15 @@ impl PerfReport {
         out.push_str("\naggregation (µs/round):\n");
         for a in &self.aggregation {
             out.push_str(&format!("  {:<24} {:>12.1}\n", a.strategy, a.micros));
+        }
+        if !self.session.is_empty() {
+            out.push_str("\nsession rounds (RoundReport wall clocks, ms/round):\n");
+            for s in &self.session {
+                out.push_str(&format!(
+                    "  {:<16} {} clients x {} rounds: train {:>8.1}, aggregate {:>6.2}\n",
+                    s.framework, s.clients, s.rounds, s.mean_train_ms, s.mean_aggregate_ms
+                ));
+            }
         }
         out
     }
@@ -253,6 +294,13 @@ mod tests {
                 strategy: "Krum".into(),
                 micros: 800.0,
             }],
+            session: vec![SessionTiming {
+                framework: "SequentialFL".into(),
+                rounds: 3,
+                clients: 6,
+                mean_train_ms: 90.0,
+                mean_aggregate_ms: 1.5,
+            }],
         }
     }
 
@@ -290,5 +338,13 @@ mod tests {
         let mut neg = sample_report();
         neg.aggregation[0].micros = -1.0;
         assert!(neg.validate().is_err());
+
+        let mut session = sample_report();
+        session.session[0].mean_aggregate_ms = f64::NAN;
+        let err = session.validate().unwrap_err();
+        assert!(
+            err.contains("session[SequentialFL].mean_aggregate_ms"),
+            "{err}"
+        );
     }
 }

@@ -1,0 +1,147 @@
+//! Integration tests for the scenario-suite engine: end-to-end cell
+//! execution on tiny datasets, thread-count invariance of a suite cell,
+//! report assembly, and the checked-in `scenarios/` spec files.
+
+use rayon::ThreadPoolBuilder;
+use safeloc_attacks::Attack;
+use safeloc_bench::{
+    AttackSpec, FrameworkSpec, HarnessConfig, ParticipationMode, ParticipationSpec, Scale,
+    ScenarioSpec, SuiteReport, SuiteRunner,
+};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+
+/// A runner over tiny synthetic buildings so tests stay fast; the builder
+/// keys datasets off the requested building id.
+fn tiny_runner(spec: ScenarioSpec) -> SuiteRunner {
+    let cfg = HarnessConfig {
+        scale: Scale::Quick,
+        seed: 11,
+    };
+    SuiteRunner::new(cfg, spec).with_dataset_builder(|building, _fleet, seed| {
+        BuildingDataset::generate(
+            Building::tiny(building as u64),
+            &DatasetConfig::tiny(),
+            seed,
+        )
+    })
+}
+
+fn tiny_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "suite_integration",
+        vec![FrameworkSpec::FedLoc, FrameworkSpec::Krum],
+        vec![AttackSpec::clean(), AttackSpec::of(Attack::label_flip(1.0))],
+    );
+    spec.buildings = vec![4];
+    spec.rounds = 2;
+    // Attack the last tiny-fleet client (the tiny dataset has 3 devices and
+    // the paper's HTC U11 index does not exist there).
+    spec.participation = vec![
+        ParticipationSpec::full(),
+        ParticipationSpec {
+            mode: ParticipationMode::UniformK { k: 2 },
+            dropout: 0.2,
+            straggle: 0.0,
+        },
+    ];
+    spec
+}
+
+#[test]
+#[allow(clippy::identity_op)] // the full six-axis product documents the grid
+fn suite_runs_every_cell_and_reports_metrics() {
+    let mut runner = tiny_runner(tiny_spec());
+    let expected = runner.cells().len();
+    assert_eq!(expected, 2 * 1 * 1 * 2 * 2 * 1);
+    let run = runner.run();
+    assert_eq!(run.cells.len(), expected);
+    for cell in &run.cells {
+        assert_eq!(cell.reports.len(), 2, "two rounds per cell");
+        assert!(!cell.errors.is_empty(), "errors evaluated per cell");
+        assert!(cell.stats().mean.is_finite());
+        assert!((0.0..=1.0).contains(&cell.accuracy()));
+        assert!(cell.mean_train_ms() >= 0.0);
+        assert!(cell.mean_aggregate_ms() >= 0.0);
+    }
+    // The clean cells have no attacker statistics; the report serializes.
+    let report = run.report();
+    assert_eq!(report.cells.len(), expected);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SuiteReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+    // Markdown renders one row per cell.
+    let md = run.markdown();
+    assert_eq!(md.lines().count(), expected + 2);
+}
+
+#[test]
+fn krum_cells_expose_per_rule_rejections() {
+    let mut spec = tiny_spec();
+    spec.frameworks = vec![FrameworkSpec::Krum];
+    spec.participation = vec![ParticipationSpec::full()];
+    spec.boost = Some(4.0);
+    let mut runner = tiny_runner(spec);
+    let run = runner.run();
+    // The attacked cell (attack index 1) must surface Krum rejections.
+    let attacked = run
+        .cells
+        .iter()
+        .find(|c| c.cell.index.attack == 1)
+        .expect("attacked cell present");
+    let rules = attacked.rule_stats();
+    assert!(
+        rules.iter().any(|r| r.rule == "krum"),
+        "no krum rule stats: {rules:?}"
+    );
+    for rule in &rules {
+        let rejections = rule.attacker_rejections + rule.honest_rejections;
+        assert!(rejections > 0, "rule entry without rejections");
+        if let Some(rate) = rule.false_positive_rate {
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+}
+
+#[test]
+fn suite_cells_are_bitwise_deterministic_across_thread_counts() {
+    let run_with = |threads: usize| {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool")
+            .install(|| {
+                let mut runner = tiny_runner(tiny_spec());
+                let run = runner.run();
+                run.cells
+                    .into_iter()
+                    .map(|c| (c.errors, c.reports.into_iter().map(|r| r.clients).collect()))
+                    .collect::<Vec<(Vec<f32>, Vec<_>)>>()
+            })
+    };
+    let serial = run_with(1);
+    let parallel = run_with(4);
+    assert_eq!(
+        serial, parallel,
+        "suite cell outcomes diverged across thread counts"
+    );
+}
+
+#[test]
+#[allow(clippy::identity_op)] // the full six-axis product documents the grid
+fn checked_in_small_cohort_spec_parses_and_expands() {
+    let json = include_str!("../../../scenarios/small_cohort.json");
+    let spec: ScenarioSpec =
+        serde_json::from_str(json).expect("scenarios/small_cohort.json parses");
+    assert_eq!(spec.name, "small_cohort");
+    assert_eq!(spec.frameworks.len(), 3);
+    assert_eq!(spec.participation.len(), 4);
+    let runner = SuiteRunner::new(
+        HarnessConfig {
+            scale: Scale::Quick,
+            seed: 42,
+        },
+        spec,
+    );
+    // frameworks × buildings × fleets × attacks × participation × seeds
+    assert_eq!(runner.cells().len(), 3 * 1 * 1 * 1 * 4 * 1);
+}

@@ -22,6 +22,14 @@ use safeloc_nn::{
 ///
 /// This is the "resource-intensive" baseline of Table I: it runs a second,
 /// large model server-side every round.
+///
+/// Rounds smaller than the 3-update guard cannot fit a filter of their own;
+/// they are screened against the accumulated benign history instead
+/// (median-norm rescale + z-test against the history rows' distance
+/// distribution), so a boosted attacker in a cohort of two no longer
+/// bypasses the defense under partial participation. With no history yet —
+/// e.g. the very first round is already small — the round averages exactly
+/// as before.
 #[derive(Debug, Clone)]
 pub struct LatentFilterAggregator {
     /// Random-projection feature dimension.
@@ -37,6 +45,11 @@ pub struct LatentFilterAggregator {
     /// this benign history, not on the round under test — otherwise a small
     /// round lets the AE memorize the outlier it is supposed to flag.
     history: Vec<Vec<f32>>,
+    /// Raw (pre-normalization) feature norms of the accepted history rows,
+    /// aligned with `history`. Small cohorts have no trustworthy in-round
+    /// scale — the median norm of a two-update round is dominated by the
+    /// attacker — so they are rescaled against this benign record instead.
+    history_norms: Vec<f32>,
 }
 
 impl LatentFilterAggregator {
@@ -50,8 +63,32 @@ impl LatentFilterAggregator {
             seed,
             projection: None,
             history: Vec::new(),
+            history_norms: Vec::new(),
         }
     }
+
+    /// Minimum cohort size the round-local filter (AE or in-round median
+    /// distance) can be fit on.
+    const MIN_ROUND: usize = 3;
+
+    /// Minimum accepted-history rows before the small-cohort fallback has
+    /// something to screen against. Two rows is enough: the threshold is
+    /// floored at half the benign center magnitude, so even a thin history
+    /// separates a boosted attacker (whole multiples of the benign norm
+    /// away) from ordinary drift — and waiting longer leaves more
+    /// unscreened rounds for a model-replacement attacker to land in.
+    const MIN_FALLBACK_HISTORY: usize = 2;
+
+    /// Number of accepted feature rows retained as benign history.
+    const HISTORY_CAP: usize = 60;
+
+    /// Norm ratio past which an unscreened bootstrap row is kept *out* of
+    /// the benign record: a model-replacement attacker boosts its delta by
+    /// `n_clients / n_attackers` (≥ 3 for any minority attacker in the
+    /// paper's fleets), so a row dwarfing its own round's smallest update —
+    /// or the record so far — by that much must not seed the history the
+    /// small-cohort screen trusts.
+    const BOOTSTRAP_NORM_RATIO: f32 = 3.0;
 
     /// Builds (or rebuilds on dimension change) the random projection and
     /// returns it, so callers can project many updates in parallel against
@@ -69,6 +106,143 @@ impl LatentFilterAggregator {
         }
         self.projection.as_ref().expect("just built")
     }
+
+    /// Feature rows of `updates`: delta from the global model, flattened and
+    /// random-projected (in parallel against the shared projection).
+    fn project_updates(
+        &mut self,
+        global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> Vec<Vec<f32>> {
+        let projection = self.projection_for(global.num_params());
+        updates
+            .par_iter()
+            .map(|u| {
+                let flat = u.params.delta(global).flatten();
+                flat.matmul(projection).into_vec()
+            })
+            .collect()
+    }
+
+    /// Appends an accepted feature row (and its raw norm) to the benign
+    /// history, keeping both buffers bounded and aligned.
+    fn remember(&mut self, row: Vec<f32>, raw_norm: f32) {
+        self.history.push(row);
+        self.history_norms.push(raw_norm);
+        if self.history.len() > Self::HISTORY_CAP {
+            let excess = self.history.len() - Self::HISTORY_CAP;
+            self.history.drain(..excess);
+            self.history_norms.drain(..excess);
+        }
+    }
+
+    /// Small-cohort path: the round cannot fit its own filter (an AE — or
+    /// even a within-round median — is meaningless on one or two updates),
+    /// which is exactly the regime where a boosted attacker used to pass
+    /// unchecked (the fig8 participation sweep's collapse). Instead, each
+    /// update is z-tested against the accumulated *benign* history: rows are
+    /// rescaled by the history's median raw norm (the in-round median norm
+    /// is attacker-dominated in a cohort of two) and scored by distance to
+    /// the history's coordinate-wise median; anything beyond
+    /// `mean + z_threshold·spread` of the history's own distance
+    /// distribution is rejected.
+    fn screen_small_round(
+        &mut self,
+        global: &NamedParams,
+        updates: &[&ClientUpdate],
+    ) -> AggregationOutcome {
+        let raw_rows = self.project_updates(global, updates);
+        let raw_norms: Vec<f32> = raw_rows.iter().map(|r| row_norm(r)).collect();
+        let benign_scale = median_lower(&self.history_norms).max(1e-9);
+        let rows: Vec<Vec<f32>> = raw_rows
+            .iter()
+            .map(|r| r.iter().map(|v| v / benign_scale).collect())
+            .collect();
+
+        let center = column_median(&self.history);
+        let hist_dists: Vec<f32> = self.history.iter().map(|r| distance(r, &center)).collect();
+        let mean_h = hist_dists.iter().sum::<f32>() / hist_dists.len() as f32;
+        let var_h = hist_dists
+            .iter()
+            .map(|d| (d - mean_h) * (d - mean_h))
+            .sum::<f32>()
+            / hist_dists.len() as f32;
+        // Floor the threshold at half the benign center magnitude: a
+        // near-degenerate history (all rows alike) must not reject honest
+        // updates over ordinary round-to-round drift, while a boosted
+        // attacker sits whole multiples of the benign norm away.
+        let spread = var_h.sqrt().max(1e-6);
+        let threshold = (mean_h + self.z_threshold * spread).max(0.5 * row_norm(&center));
+
+        let scores: Vec<f32> = rows.iter().map(|r| distance(r, &center)).collect();
+        let mut kept: Vec<NamedParams> = Vec::new();
+        let mut decisions: Vec<UpdateDecision> = Vec::with_capacity(updates.len());
+        for ((u, row), (&score, &raw_norm)) in
+            updates.iter().zip(&rows).zip(scores.iter().zip(&raw_norms))
+        {
+            if score <= threshold {
+                kept.push(u.params.clone());
+                self.remember(row.clone(), raw_norm);
+                decisions.push(UpdateDecision::Accepted { weight: 0.0 });
+            } else {
+                decisions.push(UpdateDecision::Rejected {
+                    rule: "latent".to_string(),
+                    score,
+                });
+            }
+        }
+        let weight = 1.0 / kept.len().max(1) as f32;
+        for d in &mut decisions {
+            if let UpdateDecision::Accepted { weight: w } = d {
+                *w = weight;
+            }
+        }
+        let params = if kept.is_empty() {
+            global.clone()
+        } else {
+            NamedParams::mean(&kept)
+        };
+        AggregationOutcome { params, decisions }
+    }
+}
+
+/// L2 norm of a feature row.
+fn row_norm(r: &[f32]) -> f32 {
+    r.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Euclidean distance between two feature rows.
+fn distance(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Median of a non-empty slice (upper median, matching the in-round path).
+fn median(values: &[f32]) -> f32 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted[sorted.len() / 2]
+}
+
+/// Lower median of a non-empty slice. Boost attacks only ever *inflate*
+/// norms, so when a contaminated record has an even split the smaller
+/// middle value is the benign one — the screen's scale reference uses this
+/// variant.
+fn median_lower(values: &[f32]) -> f32 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Coordinate-wise median of a non-empty set of equal-length rows.
+fn column_median(rows: &[Vec<f32>]) -> Vec<f32> {
+    let cols = rows[0].len();
+    (0..cols)
+        .map(|c| median(&rows.iter().map(|r| r[c]).collect::<Vec<f32>>()))
+        .collect()
 }
 
 impl Aggregator for LatentFilterAggregator {
@@ -77,9 +251,44 @@ impl Aggregator for LatentFilterAggregator {
         global: &NamedParams,
         updates: &[&ClientUpdate],
     ) -> AggregationOutcome {
-        if updates.len() < 3 {
-            let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
-            return AggregationOutcome::all_accepted(NamedParams::mean(&snaps), updates.len());
+        if updates.len() < Self::MIN_ROUND {
+            // The round is too small to fit the AE (or any within-round
+            // statistic). With accumulated benign history the updates are
+            // screened against it — a single boosted attacker in a cohort
+            // of two used to sail through here (the fig8 collapse). With
+            // no usable history yet there is genuinely nothing to test
+            // against: the round averages exactly as the seed did, but its
+            // rows are *recorded*, so a session running nothing but small
+            // cohorts still bootstraps a history and starts screening
+            // within a couple of rounds.
+            if self.history.len() < Self::MIN_FALLBACK_HISTORY {
+                let raw_rows = self.project_updates(global, updates);
+                let norms: Vec<f32> = raw_rows.iter().map(|r| row_norm(r)).collect();
+                let round_min = norms
+                    .iter()
+                    .copied()
+                    .fold(f32::INFINITY, f32::min)
+                    .max(1e-9);
+                let record_scale = if self.history_norms.is_empty() {
+                    round_min
+                } else {
+                    // Lower median: robust to a boosted row already recorded.
+                    median_lower(&self.history_norms).min(round_min).max(1e-9)
+                };
+                for (row, &norm) in raw_rows.iter().zip(&norms) {
+                    // A row dwarfing the smallest benign-looking magnitude
+                    // in sight is a boost suspect: still accepted (nothing
+                    // to screen against yet), but never recorded as benign.
+                    if norm / record_scale > Self::BOOTSTRAP_NORM_RATIO {
+                        continue;
+                    }
+                    let scale = norm.max(1e-9);
+                    self.remember(row.iter().map(|v| v / scale).collect(), norm);
+                }
+                let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
+                return AggregationOutcome::all_accepted(NamedParams::mean(&snaps), updates.len());
+            }
+            return self.screen_small_round(global, updates);
         }
 
         // Feature matrix: one row per update, scaled by the round's median
@@ -87,20 +296,9 @@ impl Aggregator for LatentFilterAggregator {
         // preserving outlier magnitude *within* the round. Each update's
         // delta-flatten-project chain is independent, so the fleet is
         // projected in parallel against the shared projection matrix.
-        let projection = self.projection_for(global.num_params());
-        let raw_rows: Vec<Vec<f32>> = updates
-            .par_iter()
-            .map(|u| {
-                let flat = u.params.delta(global).flatten();
-                flat.matmul(projection).into_vec()
-            })
-            .collect();
-        let mut norms: Vec<f32> = raw_rows
-            .iter()
-            .map(|r| r.iter().map(|v| v * v).sum::<f32>().sqrt())
-            .collect();
-        norms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let median_norm = norms[norms.len() / 2].max(1e-9);
+        let raw_rows = self.project_updates(global, updates);
+        let raw_norms: Vec<f32> = raw_rows.iter().map(|r| row_norm(r)).collect();
+        let median_norm = median(&raw_norms).max(1e-9);
         let rows: Vec<Vec<f32>> = raw_rows
             .iter()
             .map(|r| r.iter().map(|v| v / median_norm).collect())
@@ -158,18 +356,15 @@ impl Aggregator for LatentFilterAggregator {
 
         let mut kept: Vec<NamedParams> = Vec::new();
         let mut kept_slots: Vec<bool> = Vec::with_capacity(updates.len());
-        for ((u, row), &score) in updates.iter().zip(&rows).zip(&scores) {
+        for ((u, row), (&score, &raw_norm)) in
+            updates.iter().zip(&rows).zip(scores.iter().zip(&raw_norms))
+        {
             let keep = score <= threshold;
             kept_slots.push(keep);
             if keep {
                 kept.push(u.params.clone());
-                self.history.push(row.clone());
+                self.remember(row.clone(), raw_norm);
             }
-        }
-        // Bound the benign history.
-        if self.history.len() > 60 {
-            let excess = self.history.len() - 60;
-            self.history.drain(..excess);
         }
         let weight = 1.0 / kept.len().max(1) as f32;
         let decisions = kept_slots
@@ -254,6 +449,121 @@ mod tests {
         let out = LatentFilterAggregator::new(2).aggregate(&g, &u);
         let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((0.9..=1.1).contains(&w), "homogeneous mean off: {w}");
+    }
+
+    /// One benign round of `n` lightly jittered updates around `[1,1,1,1]`.
+    fn benign_round(n: usize, salt: f32) -> Vec<ClientUpdate> {
+        (0..n)
+            .map(|i| {
+                let j = (i as f32 - n as f32 / 2.0) * 0.01 + salt;
+                update(i, &[1.0 + j, 1.0 - j, 1.0 + 0.5 * j, 1.0 - 0.5 * j], &[0.1])
+            })
+            .collect()
+    }
+
+    /// Regression for the fig8 participation-sweep collapse: under partial
+    /// participation a cohort of two (one honest client, one boosted
+    /// attacker) used to fall below the 3-update guard and be accepted
+    /// wholesale — a single attacker bypassed FEDLS entirely. With benign
+    /// history accumulated from earlier full rounds, the small round is now
+    /// screened against it and the attacker is rejected.
+    #[test]
+    fn small_cohort_attacker_is_rejected_against_history() {
+        let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
+        let mut agg = LatentFilterAggregator::new(1);
+        for r in 0..2 {
+            let out = agg.aggregate(&g, &benign_round(5, r as f32 * 0.005));
+            assert!(out.accepted() >= 4, "benign round mostly accepted");
+        }
+        // The collapse shape: cohort of 2, one model-replacement attacker.
+        let small = vec![
+            update(0, &[1.01, 0.99, 1.0, 1.0], &[0.1]),
+            update(5, &[-70.0, 80.0, -65.0, 72.0], &[5.0]),
+        ];
+        let out = agg.aggregate(&g, &small);
+        assert!(
+            out.decisions[0].is_accepted(),
+            "honest small-cohort update rejected: {:?}",
+            out.decisions[0]
+        );
+        match &out.decisions[1] {
+            UpdateDecision::Rejected { rule, score } => {
+                assert_eq!(rule, "latent");
+                assert!(score.is_finite());
+            }
+            other => panic!("small-cohort attacker accepted: {other:?}"),
+        }
+        // The next GM is the honest update alone, not dragged by the boost.
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
+        assert!((w - 1.01).abs() < 1e-5, "GM dragged by the attacker: {w}");
+    }
+
+    /// Honest small cohorts must keep flowing once history exists — the
+    /// fallback screens, it does not blanket-reject.
+    #[test]
+    fn small_cohort_honest_updates_survive_the_history_screen() {
+        let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
+        let mut agg = LatentFilterAggregator::new(4);
+        for r in 0..3 {
+            agg.aggregate(&g, &benign_round(4, r as f32 * 0.004));
+        }
+        let small = vec![
+            update(0, &[1.02, 0.98, 1.01, 0.99], &[0.1]),
+            update(1, &[0.97, 1.03, 1.0, 1.0], &[0.1]),
+        ];
+        let out = agg.aggregate(&g, &small);
+        assert_eq!(
+            out.accepted(),
+            2,
+            "benign small cohort rejected: {:?}",
+            out.decisions
+        );
+    }
+
+    /// An attacker landing in the very first (bootstrap) small rounds must
+    /// not poison the benign record: its boosted row is accepted (nothing
+    /// to screen against yet) but *not* recorded, so the screen that
+    /// activates two rounds later still rejects it — instead of trusting a
+    /// history the attacker seeded.
+    #[test]
+    fn bootstrap_rounds_do_not_record_the_boosted_attacker_as_benign() {
+        let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
+        let mut agg = LatentFilterAggregator::new(9);
+        let attacker = || update(5, &[-60.0, 70.0, -55.0, 65.0], &[5.0]);
+        // Round 1 is already the collapse shape: cohort of 2, no history.
+        let out1 = agg.aggregate(&g, &[update(0, &[1.0, 1.0, 1.0, 1.0], &[0.1]), attacker()]);
+        assert_eq!(out1.accepted(), 2, "nothing to screen against yet");
+        // Round 2: one honest client fills the record to the screening gate.
+        agg.aggregate(&g, &[update(1, &[0.98, 1.02, 1.0, 1.0], &[0.1])]);
+        // Round 3: the attacker returns — the record it never entered
+        // rejects it, and the honest cohort member still trains.
+        let out3 = agg.aggregate(
+            &g,
+            &[update(2, &[1.01, 0.99, 1.0, 1.0], &[0.1]), attacker()],
+        );
+        assert!(
+            out3.decisions[0].is_accepted(),
+            "honest update rejected after attacker-touched bootstrap: {:?}",
+            out3.decisions[0]
+        );
+        assert!(
+            !out3.decisions[1].is_accepted(),
+            "bootstrap-seeded attacker still accepted: {:?}",
+            out3.decisions[1]
+        );
+    }
+
+    /// Without any accumulated history there is nothing to screen against:
+    /// the small round averages exactly as before (the seed behavior the
+    /// ≥ 3-update path also keeps).
+    #[test]
+    fn small_round_with_no_history_still_averages_bitwise() {
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![update(0, &[2.0], &[4.0]), update(1, &[4.0], &[8.0])];
+        let out = LatentFilterAggregator::new(0).aggregate(&g, &u);
+        let expected = NamedParams::mean(&[u[0].params.clone(), u[1].params.clone()]);
+        assert_eq!(out.params, expected);
+        assert_eq!(out.accepted(), 2);
     }
 
     #[test]

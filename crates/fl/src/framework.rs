@@ -55,25 +55,4 @@ pub trait Framework {
         let pred = self.predict(x);
         pred.iter().zip(labels).filter(|(p, y)| p == y).count() as f32 / labels.len() as f32
     }
-
-    /// One full-participation federated round, discarding the report.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_round` with a `RoundPlan` (or drive an `FlSession`); \
-                this shim runs a full-participation round and drops the report"
-    )]
-    fn round(&mut self, clients: &mut [Client]) {
-        let _ = self.run_round(clients, &RoundPlan::full(clients.len()));
-    }
-
-    /// Runs `n` full-participation federated rounds, discarding reports.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use an `FlSession` (which yields `RoundReport`s) or loop over `run_round`"
-    )]
-    fn run_rounds(&mut self, clients: &mut [Client], n: usize) {
-        for _ in 0..n {
-            let _ = self.run_round(clients, &RoundPlan::full(clients.len()));
-        }
-    }
 }

@@ -22,11 +22,13 @@
 //!   empty-round/non-finite guard ([`aggregate::aggregate_or_clone`]) from
 //!   the trait's provided entry point.
 //! * **Round lifecycle** — a seeded [`CohortSampler`] draws one
-//!   [`RoundPlan`] per round (full, uniform-k or weighted cohorts; per-
-//!   client dropouts and stragglers); [`Framework::run_round`] executes a
-//!   plan and returns a [`RoundReport`] recording what happened to every
-//!   cohort member — trained (with aggregation weight), dropped out,
-//!   straggled, or rejected by a named defense rule with its score.
+//!   [`RoundPlan`] per round (full, uniform-k or weighted cohorts —
+//!   including [`CohortSampler::weighted_by_data_volume`], which derives
+//!   weights from per-client sample counts; per-client dropouts and
+//!   stragglers); [`Framework::run_round`] executes a plan and returns a
+//!   [`RoundReport`] recording what happened to every cohort member —
+//!   trained (with aggregation weight), dropped out, straggled, or
+//!   rejected by a named defense rule with its score.
 //! * [`FlSession`] — framework + fleet + plan stream in one value; the
 //!   harness and examples drive rounds through it.
 //! * [`SequentialFlServer`] — a complete FL server around a
@@ -79,7 +81,9 @@ pub use aggregate::{
 };
 pub use client::{Client, LabelingMode, LocalTrainConfig};
 pub use framework::Framework;
-pub use report::{AggregationOutcome, ClientOutcome, ClientReport, RoundReport, UpdateDecision};
+pub use report::{
+    pooled_rate, AggregationOutcome, ClientOutcome, ClientReport, RoundReport, UpdateDecision,
+};
 pub use round::{Availability, CohortSampler, CohortStrategy, RoundPlan};
 pub use server::{active_clients, SequentialFlServer, ServerConfig};
 pub use session::{FlSession, FlSessionBuilder};

@@ -11,6 +11,7 @@
 //! subsampling, weighted selection, dropouts, stragglers — is reproducible
 //! bit for bit.
 
+use crate::client::Client;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -104,8 +105,11 @@ pub enum CohortStrategy {
     Weighted {
         /// Cohort size.
         k: usize,
-        /// One non-negative weight per client; shorter lists treat missing
-        /// entries as weight zero.
+        /// One non-negative weight per client. The vector must be exactly
+        /// fleet-sized: a shorter list would silently make the tail of the
+        /// fleet unsampleable (missing entries read as weight zero), so
+        /// [`FlSession`](crate::FlSession) rejects any length mismatch at
+        /// build time (see [`CohortSampler::validate_for_fleet`]).
         weights: Vec<f32>,
     },
 }
@@ -160,6 +164,16 @@ impl CohortSampler {
         }
     }
 
+    /// Weight-proportional sampling with one weight per client, derived
+    /// from its local data volume (sample count) — production FL's usual
+    /// heuristic: clients with more data contribute richer updates. The
+    /// weight vector is exactly fleet-sized by construction, so it always
+    /// passes [`FlSession`](crate::FlSession)'s length validation.
+    pub fn weighted_by_data_volume(k: usize, clients: &[Client], seed: u64) -> Self {
+        let weights = clients.iter().map(|c| c.local.len() as f32).collect();
+        Self::weighted(k, weights, seed)
+    }
+
     /// Sets the per-round dropout probability.
     ///
     /// # Panics
@@ -180,6 +194,27 @@ impl CohortSampler {
         assert!((0.0..=1.0).contains(&rate), "straggle rate {rate}");
         self.straggle_rate = rate;
         self
+    }
+
+    /// Checks the sampler is usable over a fleet of `n_clients`: a
+    /// [`CohortStrategy::Weighted`] weight vector must be exactly
+    /// fleet-sized, since missing entries read as weight zero and silently
+    /// make the tail of the fleet unsampleable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the mismatch.
+    pub fn validate_for_fleet(&self, n_clients: usize) -> Result<(), String> {
+        if let CohortStrategy::Weighted { weights, .. } = &self.strategy {
+            if weights.len() != n_clients {
+                return Err(format!(
+                    "weighted cohort sampling needs one weight per client: \
+                     got {} weights for a fleet of {n_clients}",
+                    weights.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Draws the plan for `round` over a fleet of `n_clients`.
@@ -361,6 +396,41 @@ mod tests {
     fn uniform_k_larger_than_fleet_clamps() {
         let p = CohortSampler::uniform(10, 5).plan(0, 3);
         assert_eq!(p.cohort_size(), 3);
+    }
+
+    #[test]
+    fn k_zero_draws_an_empty_cohort() {
+        let p = CohortSampler::uniform(0, 5).plan(0, 4);
+        assert_eq!(p.cohort_size(), 0);
+        assert!(p.active_indices().is_empty());
+        let pw = CohortSampler::weighted(0, vec![1.0; 4], 5).plan(0, 4);
+        assert_eq!(pw.cohort_size(), 0);
+    }
+
+    #[test]
+    fn weighted_k_larger_than_fleet_clamps_to_positive_weights() {
+        let p = CohortSampler::weighted(9, vec![1.0, 0.0, 2.0], 5).plan(0, 3);
+        assert_eq!(p.cohort_size(), 2, "only positive-weight clients sampled");
+        assert!(p.cohort().iter().all(|(i, _)| *i == 0 || *i == 2));
+    }
+
+    #[test]
+    fn all_zero_weights_draw_an_empty_cohort() {
+        let s = CohortSampler::weighted(3, vec![0.0; 5], 7);
+        for round in 0..5 {
+            assert_eq!(s.plan(round, 5).cohort_size(), 0);
+        }
+    }
+
+    #[test]
+    fn fleet_validation_flags_short_and_long_weight_vectors() {
+        let short = CohortSampler::weighted(2, vec![1.0, 1.0], 3);
+        assert!(short.validate_for_fleet(4).is_err());
+        assert!(short.validate_for_fleet(2).is_ok());
+        let long = CohortSampler::weighted(2, vec![1.0; 6], 3);
+        assert!(long.validate_for_fleet(4).is_err());
+        assert!(CohortSampler::uniform(2, 3).validate_for_fleet(99).is_ok());
+        assert!(CohortSampler::full().validate_for_fleet(0).is_ok());
     }
 
     #[test]

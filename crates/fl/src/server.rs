@@ -400,22 +400,4 @@ mod tests {
         assert_eq!(report.participants(), 0);
         assert_eq!(s.global_model().snapshot(), before);
     }
-
-    #[test]
-    fn deprecated_round_shim_matches_run_round() {
-        let data = dataset();
-        let run = |use_shim: bool| {
-            let mut s = server(&data, Box::new(FedAvg));
-            s.pretrain(&data.server_train);
-            let mut clients = Client::from_dataset(&data, 0);
-            if use_shim {
-                #[allow(deprecated)]
-                s.run_rounds(&mut clients, 2);
-            } else {
-                run_full_rounds(&mut s, &mut clients, 2);
-            }
-            s.global_model().snapshot()
-        };
-        assert_eq!(run(true), run(false), "shim diverged from run_round");
-    }
 }

@@ -57,7 +57,17 @@ impl FlSessionBuilder {
     }
 
     /// Finalizes the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler is not usable over the configured fleet —
+    /// e.g. a [`CohortStrategy::Weighted`](crate::CohortStrategy::Weighted)
+    /// weight vector whose length differs from the fleet size, which would
+    /// silently make the tail of the fleet unsampleable.
     pub fn build(self) -> FlSession {
+        if let Err(problem) = self.sampler.validate_for_fleet(self.clients.len()) {
+            panic!("FlSession: {problem}");
+        }
         FlSession {
             framework: self.framework,
             clients: self.clients,
@@ -243,6 +253,54 @@ mod tests {
             .honest_rejection_rate()
             .expect("honest participated");
         assert!(honest < 1.0, "Krum rejected every honest update: {honest}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per client")]
+    fn weighted_sampler_with_wrong_length_is_rejected_at_build() {
+        let data = dataset();
+        let server = pretrained(&data, Box::new(FedAvg));
+        let clients = Client::from_dataset(&data, 0);
+        // One weight short: the last client would silently never be drawn.
+        let weights = vec![1.0; clients.len() - 1];
+        let _ = FlSession::builder(Box::new(server))
+            .clients(clients)
+            .sampler(CohortSampler::weighted(2, weights, 5))
+            .build();
+    }
+
+    #[test]
+    fn data_volume_weighted_sampler_builds_and_runs() {
+        let data = dataset();
+        let server = pretrained(&data, Box::new(FedAvg));
+        let clients = Client::from_dataset(&data, 0);
+        let sampler = CohortSampler::weighted_by_data_volume(2, &clients, 9);
+        let mut session = FlSession::builder(Box::new(server))
+            .clients(clients)
+            .sampler(sampler)
+            .build();
+        session.run(3);
+        assert!(session.reports().iter().all(|r| r.clients.len() == 2));
+    }
+
+    #[test]
+    fn all_zero_weights_yield_empty_rounds_and_keep_the_gm() {
+        let data = dataset();
+        let server = pretrained(&data, Box::new(FedAvg));
+        let clients = Client::from_dataset(&data, 0);
+        let before = server.global_model().snapshot();
+        let n = clients.len();
+        let mut session = FlSession::builder(Box::new(server))
+            .clients(clients)
+            .sampler(CohortSampler::weighted(3, vec![0.0; n], 5))
+            .build();
+        session.run(2);
+        assert!(session.reports().iter().all(|r| r.clients.is_empty()));
+        assert_eq!(
+            session.framework().global_params(),
+            before,
+            "empty cohorts must not move the GM"
+        );
     }
 
     #[test]

@@ -2,17 +2,18 @@
 //! engine. For every one of the seven frameworks (SAFELOC + six
 //! baselines):
 //!
-//! * a full-participation `FlSession` reproduces the deprecated
-//!   `run_rounds` trajectory **bitwise**,
+//! * a full-participation `FlSession` reproduces the seed trajectory of
+//!   manually driven full-participation `run_round` calls **bitwise**,
 //! * reports carry a complete, consistent per-client outcome trail,
 //! * partial participation trains exactly the sampled cohort.
 
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_baselines::{FedCc, FedHil, FedLoc, FedLs, KrumFramework, Onlad};
-use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceProfile};
 use safeloc_fl::{
-    Client, ClientOutcome, CohortSampler, FlSession, Framework, RoundPlan, ServerConfig,
+    Availability, Client, ClientOutcome, CohortSampler, FlSession, Framework, RoundPlan,
+    ServerConfig,
 };
 
 fn dataset() -> BuildingDataset {
@@ -46,16 +47,18 @@ fn attacked_fleet(data: &BuildingDataset) -> Vec<Client> {
 }
 
 #[test]
-fn full_participation_session_reproduces_run_rounds_bitwise_for_all_seven() {
+fn full_participation_session_reproduces_manual_rounds_bitwise_for_all_seven() {
     let data = dataset();
     let rounds = 2;
     for template in all_seven(&data) {
-        // Seed path: the deprecated shim, exactly as pre-session code
-        // called it.
+        // Seed path: full-participation `run_round`s driven by hand,
+        // exactly the shape pre-session code ran.
         let mut legacy = template.clone_box();
         let mut clients = attacked_fleet(&data);
-        #[allow(deprecated)]
-        legacy.run_rounds(&mut clients, rounds);
+        let plan = RoundPlan::full(clients.len());
+        for _ in 0..rounds {
+            legacy.run_round(&mut clients, &plan);
+        }
 
         // New path: a session with the default (full) sampler.
         let mut session = FlSession::builder(template.clone_box())
@@ -66,7 +69,7 @@ fn full_participation_session_reproduces_run_rounds_bitwise_for_all_seven() {
         assert_eq!(
             session.framework().global_params(),
             legacy.global_params(),
-            "{}: full-participation session diverged from the seed run_rounds trajectory",
+            "{}: full-participation session diverged from manual full rounds",
             template.name()
         );
         // Full participation: every client appears in every report and
@@ -158,6 +161,67 @@ fn partial_participation_trains_exactly_the_sampled_cohort() {
             assert_eq!(report.accepted() + report.rejected(), 2);
         }
     }
+}
+
+/// Regression for the fig8 participation-sweep collapse: FEDLS's latent
+/// filter used to return `all_accepted` for any round smaller than its
+/// 3-update guard, so a single boosted attacker sampled into a cohort of
+/// two bypassed the defense entirely. With benign history accumulated from
+/// earlier full rounds, the small round is now screened against it: the
+/// attacker is rejected and the honest cohort member still trains.
+#[test]
+fn fedls_small_cohort_rejects_the_boosted_attacker() {
+    // The paper's six-phone fleet at tiny sample counts: full rounds need
+    // enough honest updates for the round-local filter to keep the benign
+    // history clean.
+    let cfg = DatasetConfig {
+        devices: DeviceProfile::paper_fleet(),
+        ..DatasetConfig::tiny()
+    };
+    let data = BuildingDataset::generate(Building::tiny(8), &cfg, 8);
+    let mut f = FedLs::new(
+        data.building.num_aps(),
+        data.building.num_rps(),
+        ServerConfig::tiny(),
+    );
+    f.pretrain(&data.server_train);
+    let mut clients = Client::from_dataset(&data, 8);
+    let attacker = DeviceProfile::ATTACKER_DEVICE;
+    clients[attacker].injector =
+        Some(PoisonInjector::new(Attack::label_flip(1.0), 8).with_boost(6.0));
+
+    let full = RoundPlan::full(clients.len());
+    for _ in 0..3 {
+        f.run_round(&mut clients, &full);
+    }
+
+    // The collapse shape: a cohort of two — one honest client, the attacker.
+    let plan = RoundPlan::new(vec![
+        (0, Availability::Participates),
+        (attacker, Availability::Participates),
+    ]);
+    let report = f.run_round(&mut clients, &plan);
+    assert_eq!(report.participants(), 2);
+    let attacker_report = report
+        .clients
+        .iter()
+        .find(|c| c.malicious)
+        .expect("attacker in cohort");
+    assert!(
+        matches!(attacker_report.outcome, ClientOutcome::Rejected { .. }),
+        "small-cohort attacker passed FEDLS: {:?}",
+        attacker_report.outcome
+    );
+    let honest = report
+        .clients
+        .iter()
+        .find(|c| !c.malicious)
+        .expect("honest client in cohort");
+    assert!(
+        matches!(honest.outcome, ClientOutcome::Trained { .. }),
+        "honest small-cohort update rejected: {:?}",
+        honest.outcome
+    );
 }
 
 #[test]
