@@ -322,8 +322,17 @@ fn main() {
     eprintln!("measuring aggregation strategies...");
     let aggregation = bench_aggregation(if args.quick { 3 } else { 7 }, args.seed);
 
+    // The serving section is owned by `serve_bench`; preserve whatever an
+    // earlier run wrote into the out file so regenerating the training-side
+    // numbers does not silently drop the serving trajectory.
+    let serving = std::fs::read_to_string(&args.out)
+        .ok()
+        .and_then(|json| serde_json::from_str::<PerfReport>(&json).ok())
+        .map(|old| old.serving)
+        .unwrap_or_default();
+
     let report = PerfReport {
-        schema: "safeloc-bench/perf-report/v2".to_string(),
+        schema: "safeloc-bench/perf-report/v3".to_string(),
         quick: args.quick,
         threads: rayon::current_num_threads(),
         matmul,
@@ -331,6 +340,7 @@ fn main() {
         round,
         aggregation,
         session,
+        serving,
     };
 
     println!("{}", report.summary());

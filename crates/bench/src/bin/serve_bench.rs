@@ -1,0 +1,334 @@
+//! Closed-loop load harness for the online serving subsystem.
+//!
+//! Drives a synthetic client population against a live `safeloc-serve`
+//! service in two phases:
+//!
+//! 1. **Steady state** — the registry holds a pretrained global model per
+//!    building plus per-device HetNN variants (each fine-tuned briefly on
+//!    that device's local split); a closed-loop population hammers the
+//!    micro-batch scheduler and throughput + p50/p95/p99 latency are
+//!    recorded.
+//! 2. **Hot swap** — an `FlSession` runs concurrently on a background
+//!    thread with a `RegistryPublisher` hook, hot-swapping the default
+//!    model every round while the same population keeps querying; the
+//!    spread of model versions observed across responses demonstrates the
+//!    mid-traffic swap.
+//!
+//! Results are written to a standalone `SERVE_*.json` report and, when a
+//! `BENCH_nn.json`-style perf report exists, merged into its `serving`
+//! section (validated with the same rules as `perf_report --check`).
+//!
+//! Usage: `serve_bench [--quick|--full] [--seed N] [--out PATH]
+//! [--bench PATH]`.
+
+use safeloc_bench::perf::{PerfReport, ServingTiming};
+use safeloc_bench::{HarnessConfig, Scale};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceCatalog};
+use safeloc_fl::{Client, FedAvg, FlSession, Framework, SequentialFlServer, ServerConfig};
+use safeloc_nn::{Adam, TrainConfig};
+use safeloc_serve::{
+    request_pool, run_load, LoadPlan, ModelKey, ModelRegistry, RegistryPublisher, ServeConfig,
+    Service, ServingStats,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    cfg: HarnessConfig,
+    out: String,
+    bench: String,
+    bench_explicit: bool,
+}
+
+fn parse_args() -> Args {
+    let mut cfg = HarnessConfig {
+        scale: Scale::Default,
+        seed: 42,
+    };
+    let mut out = "SERVE_nn.json".to_string();
+    let mut bench = "BENCH_nn.json".to_string();
+    let mut bench_explicit = false;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => cfg.scale = Scale::Quick,
+            "--full" => cfg.scale = Scale::Full,
+            "--seed" => {
+                i += 1;
+                cfg.seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed requires an integer"));
+            }
+            "--out" => {
+                i += 1;
+                out = argv
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("--out requires a path"));
+            }
+            "--bench" => {
+                i += 1;
+                bench = argv
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("--bench requires a path"));
+                bench_explicit = true;
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --quick/--full/--seed N/--out PATH/--bench PATH)"
+            ),
+        }
+        i += 1;
+    }
+    Args {
+        cfg,
+        out,
+        bench,
+        bench_explicit,
+    }
+}
+
+/// The standalone serving report (`SERVE_nn.json` / `SERVE_ci.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ServingReport {
+    schema: String,
+    quick: bool,
+    seed: u64,
+    scenarios: Vec<ServingTiming>,
+}
+
+fn timing(scenario: &str, stats: &ServingStats) -> ServingTiming {
+    ServingTiming {
+        scenario: scenario.to_string(),
+        population: stats.population,
+        requests: stats.requests,
+        failures: stats.failures,
+        throughput_rps: stats.throughput_rps,
+        p50_ms: stats.p50_ms,
+        p95_ms: stats.p95_ms,
+        p99_ms: stats.p99_ms,
+        min_version: stats.min_version,
+        max_version: stats.max_version,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let quick = args.cfg.scale == Scale::Quick;
+    // Building 5 is the smallest paper building (90 RPs, 78 APs): load
+    // numbers stay representative while pretraining stays cheap.
+    let (population, requests_per_client, fl_rounds) = match args.cfg.scale {
+        Scale::Quick => (4, 30, 3),
+        Scale::Default => (8, 100, 4),
+        Scale::Full => (16, 200, 6),
+    };
+
+    eprintln!("generating dataset (building 5, paper fleet)...");
+    let data =
+        BuildingDataset::generate(Building::paper(5), &DatasetConfig::paper(), args.cfg.seed);
+
+    eprintln!("pretraining the global model...");
+    let server_cfg = ServerConfig {
+        local: safeloc_fl::LocalTrainConfig::paper(),
+        ..args.cfg.server_config()
+    };
+    let mut server = SequentialFlServer::new(
+        &[
+            data.building.num_aps(),
+            128,
+            89,
+            62,
+            data.building.num_rps(),
+        ],
+        Box::new(FedAvg),
+        server_cfg,
+    );
+    server.pretrain(&data.server_train);
+
+    // Registry: building default + one HetNN variant per paper device,
+    // each fine-tuned briefly on that device's local split.
+    let registry = Arc::new(ModelRegistry::new());
+    let default_key = ModelKey::default_for(data.building.id);
+    registry.publish(
+        default_key.clone(),
+        server.global_model().clone(),
+        Some(data.building.clone()),
+    );
+    eprintln!("fine-tuning {} device variants...", data.devices.len());
+    for (device, local) in data.devices.iter().zip(&data.client_local) {
+        let mut variant = server.global_model().clone();
+        let mut opt = Adam::new(1e-4);
+        variant.fit_classifier(
+            &local.x,
+            &local.labels,
+            &mut opt,
+            &TrainConfig::new(1, 16, args.cfg.seed),
+        );
+        registry.publish(
+            ModelKey::new(data.building.id, &device.name),
+            variant,
+            Some(data.building.clone()),
+        );
+    }
+
+    let serve_cfg = ServeConfig {
+        max_batch: 32,
+        batch_deadline: Duration::from_millis(1),
+        workers: 2,
+    };
+    let service = Service::start(
+        Arc::clone(&registry),
+        DeviceCatalog::new(data.devices.clone()),
+        serve_cfg,
+    );
+    let mut pool = request_pool(&data);
+    // A quarter of the arrival mix comes from phones the catalog has never
+    // seen: they route to the building-default model — the entry the FL
+    // session hot-swaps — so phase 2's traffic demonstrably rides through
+    // the swaps (known devices keep their pinned v1 variants).
+    let unknown: Vec<_> = pool
+        .iter()
+        .step_by(3)
+        .map(|r| {
+            let mut r = r.clone();
+            r.device = "Unregistered Phone".to_string();
+            r
+        })
+        .collect();
+    pool.extend(unknown);
+    eprintln!(
+        "request pool: {} fingerprints across {} devices (+ unregistered-device traffic)",
+        pool.len(),
+        data.devices.len()
+    );
+
+    // Phase 1: steady state.
+    eprintln!("phase 1: steady-state load (population {population})...");
+    let steady = run_load(
+        &service,
+        &pool,
+        &LoadPlan::new(population, requests_per_client, args.cfg.seed),
+    )
+    .stats();
+    eprintln!(
+        "  {:.0} req/s, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        steady.throughput_rps, steady.p50_ms, steady.p95_ms, steady.p99_ms
+    );
+
+    // Phase 2: the same load while an FL session hot-swaps the default
+    // model every round through the publisher hook. The load loops until
+    // the session has published its last round, so the traffic always
+    // rides through every swap regardless of relative speeds.
+    eprintln!("phase 2: load under mid-traffic hot swaps ({fl_rounds} FL rounds)...");
+    let publisher = RegistryPublisher::new(Arc::clone(&registry), default_key.clone());
+    let mut session = FlSession::builder(Box::new(server))
+        .clients(Client::from_dataset(&data, args.cfg.seed))
+        .publisher(Box::new(publisher))
+        .build();
+    let training_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let swap = std::thread::scope(|scope| {
+        let done = Arc::clone(&training_done);
+        let trainer = scope.spawn(move || {
+            session.run(fl_rounds);
+            done.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        let started = std::time::Instant::now();
+        let mut outcomes = Vec::new();
+        let mut wave = 0u64;
+        loop {
+            let finishing = training_done.load(std::sync::atomic::Ordering::Relaxed);
+            outcomes.push(run_load(
+                &service,
+                &pool,
+                &LoadPlan::new(
+                    population,
+                    requests_per_client,
+                    args.cfg.seed ^ 0x5E ^ (wave << 8),
+                ),
+            ));
+            wave += 1;
+            if finishing {
+                break; // one full wave ran after the last publish
+            }
+        }
+        trainer.join().expect("FL session thread panicked");
+        // Pool the waves into one outcome over the phase's wall clock.
+        let mut combined = outcomes.remove(0);
+        combined.wall_ns = started.elapsed().as_nanos() as u64;
+        for outcome in outcomes {
+            combined.latencies_ns.extend(outcome.latencies_ns);
+            combined.responses.extend(outcome.responses);
+            combined.failures += outcome.failures;
+        }
+        combined.stats()
+    });
+    let final_version = registry
+        .get(&default_key)
+        .expect("default model published")
+        .version;
+    eprintln!(
+        "  {:.0} req/s, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms; default-model versions \
+         observed {}..{} (registry now at v{final_version})",
+        swap.throughput_rps,
+        swap.p50_ms,
+        swap.p95_ms,
+        swap.p99_ms,
+        swap.min_version,
+        swap.max_version
+    );
+    service.shutdown();
+
+    let label = |phase: &str| format!("{phase} p={population} b={}", serve_cfg.max_batch);
+    let scenarios = vec![
+        timing(&label("steady"), &steady),
+        timing(&label("hot-swap"), &swap),
+    ];
+
+    let report = ServingReport {
+        schema: "safeloc-bench/serving-report/v1".to_string(),
+        quick,
+        seed: args.cfg.seed,
+        scenarios: scenarios.clone(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+
+    // Gate the numbers on the same validation `perf_report --check`
+    // applies, then fold them into the perf trajectory. Quick smoke runs
+    // only validate: they must not overwrite the checked-in default-scale
+    // serving trajectory unless `--bench` was passed explicitly.
+    let bench_json = match std::fs::read_to_string(&args.bench) {
+        Ok(json) => json,
+        Err(_) => {
+            eprintln!(
+                "no {} to merge into (run perf_report first to track serving in the \
+                 perf trajectory)",
+                args.bench
+            );
+            return;
+        }
+    };
+    let mut merge_target: PerfReport = serde_json::from_str(&bench_json)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e:?}", args.bench));
+    merge_target.serving = scenarios;
+    if let Err(problems) = merge_target.validate() {
+        eprintln!("serving section FAILED validation: {problems}");
+        std::process::exit(1);
+    }
+    if quick && !args.bench_explicit {
+        eprintln!(
+            "quick run: serving numbers validated but not merged into {} \
+             (pass --bench to force)",
+            args.bench
+        );
+        return;
+    }
+    let merged = serde_json::to_string_pretty(&merge_target).expect("report serializes");
+    std::fs::write(&args.bench, merged)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.bench));
+    eprintln!("merged serving section into {}", args.bench);
+}

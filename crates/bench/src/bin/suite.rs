@@ -100,4 +100,23 @@ fn main() {
     std::fs::write(&out_path, serialized)
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("\nwrote {out_path} ({} cells)", report.cells.len());
+
+    // A report with embedded cell errors must fail the run (CI gates on
+    // the exit code, not on grep-ing the uploaded artifact).
+    let failures: Vec<&safeloc_bench::SuiteCellReport> =
+        report.cells.iter().filter(|c| c.error.is_some()).collect();
+    if !failures.is_empty() {
+        eprintln!("\n{} cell(s) FAILED:", failures.len());
+        for cell in failures {
+            eprintln!(
+                "  {} B{} {} {}: {}",
+                cell.framework,
+                cell.building,
+                cell.fleet,
+                cell.attack,
+                cell.error.as_deref().unwrap_or("unknown error")
+            );
+        }
+        std::process::exit(1);
+    }
 }

@@ -14,6 +14,7 @@
 //! | `fig8_participation` | (ours) accuracy + attacker-rejection rate vs participation fraction |
 //! | `table1_overhead` | Table I — parameters + inference latency |
 //! | `ablation` | (ours) design-choice attribution |
+//! | `serve_bench` | (ours) closed-loop serving load + mid-traffic hot swap → `SERVE_*.json` + the `serving` section of `BENCH_nn.json` |
 //!
 //! Scenario execution runs through [`safeloc_fl::FlSession`]:
 //! [`run_scenario`] drives a full-participation session, and

@@ -11,6 +11,10 @@
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+fn usize_zero() -> usize {
+    0
+}
+
 /// Times `f` as the median of `samples` runs, in nanoseconds per run.
 ///
 /// Each sample executes `f` once; the first (cold) run is excluded via a
@@ -107,6 +111,38 @@ pub struct SessionTiming {
     pub mean_aggregate_ms: f64,
 }
 
+/// Online-serving measurement from the closed-loop load harness (the
+/// `serve_bench` binary): throughput and tail latency of the micro-batched
+/// inference service under a synthetic client population — the numbers the
+/// ROADMAP's "serve heavy traffic" north star is tracked by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingTiming {
+    /// Scenario label (population / batching shape).
+    pub scenario: String,
+    /// Closed-loop clients driving the service.
+    pub population: usize,
+    /// Requests completed.
+    pub requests: usize,
+    /// Requests rejected at admission or by shutdown — nonzero fails
+    /// validation: latency/throughput over a surviving subset would
+    /// silently mask a misconfigured registry.
+    #[serde(default = "usize_zero")]
+    pub failures: usize,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Median response latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile response latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile response latency, milliseconds.
+    pub p99_ms: f64,
+    /// Lowest model version observed across responses.
+    pub min_version: u64,
+    /// Highest model version observed (`>` min means the run rode through
+    /// at least one mid-traffic hot swap).
+    pub max_version: u64,
+}
+
 /// The full report serialized to `BENCH_nn.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -127,6 +163,11 @@ pub struct PerfReport {
     /// Per-round train/aggregate wall times from `FlSession` round
     /// reports.
     pub session: Vec<SessionTiming>,
+    /// Online-serving numbers, written by `serve_bench` (empty until it
+    /// runs; `perf_report` preserves an existing section when it rewrites
+    /// the file).
+    #[serde(default = "Vec::new")]
+    pub serving: Vec<ServingTiming>,
 }
 
 impl PerfReport {
@@ -142,6 +183,9 @@ impl PerfReport {
     /// Returns a message naming every offending metric.
     pub fn validate(&self) -> Result<(), String> {
         let mut problems = Vec::new();
+        // Collected separately: `check` holds the borrow on `problems`
+        // until its last call.
+        let mut failure_problems = Vec::new();
         let mut check = |name: String, value: f64| {
             if !value.is_finite() || value <= 0.0 {
                 problems.push(format!("{name} = {value}"));
@@ -185,6 +229,27 @@ impl PerfReport {
                 s.mean_aggregate_ms,
             );
         }
+        for s in &self.serving {
+            check(
+                format!("serving[{}].throughput_rps", s.scenario),
+                s.throughput_rps,
+            );
+            check(format!("serving[{}].p50_ms", s.scenario), s.p50_ms);
+            check(format!("serving[{}].p95_ms", s.scenario), s.p95_ms);
+            check(format!("serving[{}].p99_ms", s.scenario), s.p99_ms);
+            // Zero completed requests is a broken measurement too.
+            check(
+                format!("serving[{}].requests", s.scenario),
+                s.requests as f64,
+            );
+            if s.failures > 0 {
+                failure_problems.push(format!(
+                    "serving[{}].failures = {} (requests rejected at admission)",
+                    s.scenario, s.failures
+                ));
+            }
+        }
+        problems.extend(failure_problems);
         if problems.is_empty() {
             Ok(())
         } else {
@@ -239,6 +304,22 @@ impl PerfReport {
                 out.push_str(&format!(
                     "  {:<16} {} clients x {} rounds: train {:>8.1}, aggregate {:>6.2}\n",
                     s.framework, s.clients, s.rounds, s.mean_train_ms, s.mean_aggregate_ms
+                ));
+            }
+        }
+        if !self.serving.is_empty() {
+            out.push_str("\nserving (closed-loop load, serve_bench):\n");
+            for s in &self.serving {
+                out.push_str(&format!(
+                    "  {:<28} {:>8.0} req/s  p50 {:>6.2} ms  p95 {:>6.2} ms  p99 {:>6.2} ms  \
+                     versions {}..{}\n",
+                    s.scenario,
+                    s.throughput_rps,
+                    s.p50_ms,
+                    s.p95_ms,
+                    s.p99_ms,
+                    s.min_version,
+                    s.max_version
                 ));
             }
         }
@@ -301,6 +382,18 @@ mod tests {
                 mean_train_ms: 90.0,
                 mean_aggregate_ms: 1.5,
             }],
+            serving: vec![ServingTiming {
+                scenario: "population=8".into(),
+                population: 8,
+                requests: 800,
+                failures: 0,
+                throughput_rps: 4000.0,
+                p50_ms: 1.8,
+                p95_ms: 2.4,
+                p99_ms: 3.1,
+                min_version: 1,
+                max_version: 3,
+            }],
         }
     }
 
@@ -346,5 +439,33 @@ mod tests {
             err.contains("session[SequentialFL].mean_aggregate_ms"),
             "{err}"
         );
+
+        let mut serving = sample_report();
+        serving.serving[0].p99_ms = 0.0;
+        let err = serving.validate().unwrap_err();
+        assert!(err.contains("serving[population=8].p99_ms"), "{err}");
+        let mut empty = sample_report();
+        empty.serving[0].requests = 0;
+        let err = empty.validate().unwrap_err();
+        assert!(err.contains("serving[population=8].requests"), "{err}");
+
+        let mut failing = sample_report();
+        failing.serving[0].failures = 3;
+        let err = failing.validate().unwrap_err();
+        assert!(err.contains("serving[population=8].failures = 3"), "{err}");
+    }
+
+    #[test]
+    fn reports_without_a_serving_section_still_parse() {
+        // Pre-v3 files have no `serving` key; the field defaults empty so
+        // the perf trajectory stays readable across schema bumps.
+        let mut report = sample_report();
+        report.serving.clear();
+        let json = serde_json::to_string(&report).unwrap();
+        let stripped = json.replace(",\"serving\":[]", "");
+        assert_ne!(json, stripped, "serving key present before stripping");
+        let back: PerfReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, report);
+        assert!(back.validate().is_ok(), "empty serving section validates");
     }
 }

@@ -25,6 +25,7 @@
 use crate::harness::{
     default_buildings, run_fleet_with_reports, scenario_fleet, HarnessConfig, Scenario,
 };
+use rayon::prelude::*;
 use safeloc::{AggregationMode, DaeAugment, SafeLoc};
 use safeloc_attacks::Attack;
 use safeloc_baselines::{FedCc, FedHil, FedLoc, FedLs, KrumFramework, Onlad};
@@ -34,6 +35,8 @@ use safeloc_fl::{Client, ClientOutcome, CohortSampler, Framework, RoundReport};
 use safeloc_metrics::{markdown_table, ErrorStats};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 // ------------------------------------------------------------- spec axes
 
@@ -781,44 +784,53 @@ impl SuiteRunner {
     /// spec, and error evaluation over the held-out devices.
     pub fn run_cell(&mut self, cell: &ScenarioCell) -> CellRun {
         let framework = self.framework(cell);
-        let data = self
-            .datasets
-            .get(&(cell.building, cell.fleet.total))
-            .expect("framework() ensured the dataset");
-        let scenario = Scenario {
-            attack: cell.attack.attack.clone(),
-            attacker_ids: if cell.attack.attack.is_some() {
-                cell.fleet.attacker_ids(data)
-            } else {
-                Vec::new()
-            },
-            rounds: cell.rounds,
-            seed: cell.scenario_seed(self.cfg.seed),
-            boost: cell.boost,
-            coherent: cell.coherent,
-        };
-        let clients = scenario_fleet(data, &scenario);
-        let sampler = cell
-            .participation
-            .sampler(&clients, cell.sampler_seed(self.cfg.seed));
-        let outcome = run_fleet_with_reports(framework, data, clients, cell.rounds, sampler);
-        CellRun {
-            cell: cell.clone(),
-            fleet_size: data.num_clients(),
-            errors: outcome.errors,
-            reports: outcome.reports,
-        }
+        run_prepared_cell(&self.datasets, self.cfg.seed, cell.clone(), framework)
     }
 
     /// Runs the whole grid and collects the suite outcome.
+    ///
+    /// Preparation (dataset generation + template pretraining) runs
+    /// serially so every cell sharing a template pretrains exactly once;
+    /// the independent per-cell sessions then fan out over a rayon-style
+    /// thread pool. Each cell derives its streams from its own decorated
+    /// seed, so the parallel path is bitwise identical to the serial one
+    /// for any thread count (`crates/bench/tests/suite.rs` pins this). A
+    /// cell that panics is recorded as a failed [`CellRun`] (see
+    /// [`CellRun::error`]) instead of taking the suite down.
     pub fn run(&mut self) -> SuiteRun {
         let cells = self.cells();
         let total = cells.len();
-        let mut runs = Vec::with_capacity(total);
-        for (i, cell) in cells.iter().enumerate() {
-            let run = self.run_cell(cell);
-            eprintln!("  [{}/{total}] {} done", i + 1, cell.label());
-            runs.push(run);
+        let seed = self.cfg.seed;
+        let progress = AtomicUsize::new(0);
+        // Cells are prepared (dataset/template caches filled, one cloned
+        // framework each) and executed in waves of a few per thread, so
+        // peak memory holds O(threads) pretrained-model clones instead of
+        // one per grid cell — a τ-sweep × attack × repetition grid can
+        // easily reach hundreds of cells.
+        let wave_len = (rayon::current_num_threads() * 2).max(1);
+        let mut runs: Vec<CellRun> = Vec::with_capacity(total);
+        for wave in cells.chunks(wave_len) {
+            let prepared: Vec<(ScenarioCell, Box<dyn Framework>)> = wave
+                .iter()
+                .map(|cell| (cell.clone(), self.framework(cell)))
+                .collect();
+            // Parallel execute: cells only read the shared dataset cache.
+            let datasets = &self.datasets;
+            let executed: Vec<CellRun> = prepared
+                .into_par_iter()
+                .map(|(cell, framework)| {
+                    let run = run_prepared_cell(datasets, seed, cell, framework);
+                    let done = progress.fetch_add(1, Ordering::Relaxed) + 1;
+                    match &run.error {
+                        None => eprintln!("  [{done}/{total}] {} done", run.cell.label()),
+                        Some(err) => {
+                            eprintln!("  [{done}/{total}] {} FAILED: {err}", run.cell.label())
+                        }
+                    }
+                    run
+                })
+                .collect();
+            runs.extend(executed);
         }
         SuiteRun {
             name: self.spec.name.clone(),
@@ -827,6 +839,65 @@ impl SuiteRunner {
             seed: self.cfg.seed,
             cells: runs,
         }
+    }
+}
+
+/// Executes one cell against the prepared dataset cache, converting a
+/// panicking cell into a [`CellRun`] with [`CellRun::error`] set.
+fn run_prepared_cell(
+    datasets: &HashMap<(usize, usize), BuildingDataset>,
+    base_seed: u64,
+    cell: ScenarioCell,
+    framework: Box<dyn Framework>,
+) -> CellRun {
+    let data = datasets
+        .get(&(cell.building, cell.fleet.total))
+        .expect("prepare ensured the dataset");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let scenario = Scenario {
+            attack: cell.attack.attack.clone(),
+            attacker_ids: if cell.attack.attack.is_some() {
+                cell.fleet.attacker_ids(data)
+            } else {
+                Vec::new()
+            },
+            rounds: cell.rounds,
+            seed: cell.scenario_seed(base_seed),
+            boost: cell.boost,
+            coherent: cell.coherent,
+        };
+        let clients = scenario_fleet(data, &scenario);
+        let sampler = cell
+            .participation
+            .sampler(&clients, cell.sampler_seed(base_seed));
+        run_fleet_with_reports(framework, data, clients, cell.rounds, sampler)
+    }));
+    match outcome {
+        Ok(outcome) => CellRun {
+            cell,
+            fleet_size: data.num_clients(),
+            errors: outcome.errors,
+            reports: outcome.reports,
+            error: None,
+        },
+        Err(payload) => CellRun {
+            cell,
+            fleet_size: data.num_clients(),
+            errors: Vec::new(),
+            reports: Vec::new(),
+            error: Some(panic_message(payload.as_ref())),
+        },
+    }
+}
+
+/// Best-effort human-readable form of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked with a non-string payload".to_string()
     }
 }
 
@@ -844,6 +915,9 @@ pub struct CellRun {
     pub errors: Vec<f32>,
     /// One report per federated round.
     pub reports: Vec<RoundReport>,
+    /// The cell's panic message, if it failed to execute (errors and
+    /// reports are empty in that case).
+    pub error: Option<String>,
 }
 
 impl CellRun {
@@ -955,6 +1029,7 @@ impl CellRun {
             rules: self.rule_stats(),
             mean_train_ms: self.mean_train_ms(),
             mean_aggregate_ms: self.mean_aggregate_ms(),
+            error: self.error.clone(),
             cell: self.cell.clone(),
         }
     }
@@ -1127,6 +1202,10 @@ pub struct SuiteCellReport {
     pub mean_train_ms: f64,
     /// Mean aggregation wall time per round, ms.
     pub mean_aggregate_ms: f64,
+    /// Panic message of a failed cell (`None` for healthy cells). The
+    /// `suite` binary exits nonzero when any cell carries one, so CI fails
+    /// on embedded errors instead of silently uploading them.
+    pub error: Option<String>,
     /// The fully resolved cell, for exact reproduction.
     pub cell: ScenarioCell,
 }

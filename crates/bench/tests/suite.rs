@@ -8,7 +8,8 @@ use safeloc_bench::{
     AttackSpec, FrameworkSpec, HarnessConfig, ParticipationMode, ParticipationSpec, Scale,
     ScenarioSpec, SuiteReport, SuiteRunner,
 };
-use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, FingerprintSet};
+use safeloc_nn::Matrix;
 
 /// A runner over tiny synthetic buildings so tests stay fast; the builder
 /// keys datasets off the requested building id.
@@ -104,6 +105,8 @@ fn krum_cells_expose_per_rule_rejections() {
 
 #[test]
 fn suite_cells_are_bitwise_deterministic_across_thread_counts() {
+    // `run()` fans cells out over the thread pool; the grid must be
+    // bitwise identical no matter how many workers execute it.
     let run_with = |threads: usize| {
         ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -119,11 +122,85 @@ fn suite_cells_are_bitwise_deterministic_across_thread_counts() {
             })
     };
     let serial = run_with(1);
-    let parallel = run_with(4);
-    assert_eq!(
-        serial, parallel,
-        "suite cell outcomes diverged across thread counts"
-    );
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            run_with(threads),
+            "suite cell outcomes diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_run_matches_serial_run_cell_bitwise() {
+    // The parallel fan-out is an execution-order change only: every cell
+    // must reproduce what a serial `run_cell` loop computes, bit for bit.
+    let mut serial_runner = tiny_runner(tiny_spec());
+    let cells = serial_runner.cells();
+    let serial: Vec<_> = cells
+        .iter()
+        .map(|cell| serial_runner.run_cell(cell))
+        .collect();
+
+    let mut parallel_runner = tiny_runner(tiny_spec());
+    let parallel = parallel_runner.run();
+
+    assert_eq!(serial.len(), parallel.cells.len());
+    for (s, p) in serial.iter().zip(&parallel.cells) {
+        assert_eq!(s.cell, p.cell);
+        assert_eq!(s.errors, p.errors, "{}", s.cell.label());
+        assert_eq!(
+            s.reports.iter().map(|r| &r.clients).collect::<Vec<_>>(),
+            p.reports.iter().map(|r| &r.clients).collect::<Vec<_>>(),
+            "{}",
+            s.cell.label()
+        );
+        assert!(s.error.is_none() && p.error.is_none());
+    }
+}
+
+#[test]
+fn failing_cells_are_embedded_as_errors_not_fatal() {
+    // Building 7's clients carry fingerprints of the wrong width, so its
+    // cells panic mid-session; the suite must finish, embed the panic per
+    // cell and keep the healthy building's results intact.
+    let mut spec = tiny_spec();
+    spec.buildings = vec![4, 7];
+    spec.participation = vec![ParticipationSpec::full()];
+    let cfg = HarnessConfig {
+        scale: Scale::Quick,
+        seed: 11,
+    };
+    let mut runner = SuiteRunner::new(cfg, spec).with_dataset_builder(|building, _fleet, seed| {
+        let mut data = BuildingDataset::generate(
+            Building::tiny(building as u64),
+            &DatasetConfig::tiny(),
+            seed,
+        );
+        if building == 7 {
+            for set in &mut data.client_local {
+                *set = FingerprintSet::new(Matrix::zeros(4, 3), vec![0; 4]);
+            }
+        }
+        data
+    });
+    let run = runner.run();
+    let (healthy, failed): (Vec<_>, Vec<_>) = run.cells.iter().partition(|c| c.cell.building == 4);
+    assert!(!healthy.is_empty() && !failed.is_empty());
+    for cell in healthy {
+        assert!(cell.error.is_none(), "{}", cell.cell.label());
+        assert!(!cell.errors.is_empty());
+    }
+    for cell in failed {
+        assert!(cell.error.is_some(), "{}", cell.cell.label());
+        assert!(cell.errors.is_empty() && cell.reports.is_empty());
+    }
+    // Failed cells survive report serialization with their message.
+    let report = run.report();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SuiteReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+    assert!(back.cells.iter().any(|c| c.error.is_some()));
 }
 
 #[test]

@@ -189,6 +189,56 @@ impl DeviceProfile {
     }
 }
 
+/// A lookup table from reported device-model names to their
+/// [`DeviceProfile`]s — the serving front's HetNN mapping.
+///
+/// Phones report a free-form model string; the catalog resolves it to a
+/// known device class (case-insensitively) so the server can route the
+/// request to that class's model variant. Unknown devices resolve to
+/// `None`, and the caller falls back to the building's default model —
+/// serving must degrade gracefully for phones the survey never saw.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCatalog {
+    profiles: Vec<DeviceProfile>,
+}
+
+impl DeviceCatalog {
+    /// A catalog over an explicit fleet.
+    pub fn new(profiles: Vec<DeviceProfile>) -> Self {
+        Self { profiles }
+    }
+
+    /// The catalog of the paper's six phones.
+    pub fn paper() -> Self {
+        Self::new(DeviceProfile::paper_fleet())
+    }
+
+    /// The known device classes, in fleet order.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// Resolves a reported model name to its class index
+    /// (case-insensitive, surrounding whitespace ignored).
+    pub fn class_of(&self, name: &str) -> Option<usize> {
+        let wanted = name.trim();
+        self.profiles
+            .iter()
+            .position(|p| p.name.eq_ignore_ascii_case(wanted))
+    }
+
+    /// Resolves a reported model name to its profile.
+    pub fn resolve(&self, name: &str) -> Option<&DeviceProfile> {
+        self.class_of(name).map(|i| &self.profiles[i])
+    }
+
+    /// The canonical class name for a reported model name (the catalog's
+    /// spelling, not the phone's), or `None` for unknown devices.
+    pub fn canonical_name(&self, name: &str) -> Option<&str> {
+        self.resolve(name).map(|p| p.name.as_str())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +305,17 @@ mod tests {
         let c = DeviceProfile::synthetic(8, 42);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn catalog_resolves_names_case_insensitively() {
+        let catalog = DeviceCatalog::paper();
+        assert_eq!(catalog.class_of("Motorola Z2"), Some(2));
+        assert_eq!(catalog.class_of("  htc u11 "), Some(5));
+        assert_eq!(catalog.canonical_name("HTC U11"), Some("HTC U11"));
+        assert_eq!(catalog.class_of("Pixel 9"), None);
+        assert!(catalog.resolve("Pixel 9").is_none());
+        assert_eq!(catalog.profiles().len(), 6);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod normalize;
 pub mod propagation;
 
 pub use building::{AccessPoint, Building, ReferencePoint};
-pub use device::DeviceProfile;
+pub use device::{DeviceCatalog, DeviceProfile};
 pub use fingerprint::FingerprintSet;
 pub use generator::{BuildingDataset, DatasetConfig};
 pub use normalize::{dbm_to_unit, unit_to_dbm, RSS_FLOOR_DBM};

@@ -16,7 +16,12 @@ use safeloc_nn::{Matrix, NamedParams};
 /// Most callers should not drive `run_round` by hand: an
 /// [`FlSession`](crate::FlSession) owns the framework, the fleet and the
 /// plan stream, and yields one [`RoundReport`] per round.
-pub trait Framework {
+///
+/// `Send` is a supertrait so boxed frameworks (and the sessions that own
+/// them) can move across threads: the scenario-suite engine fans cells out
+/// over a thread pool, and the serving harness runs an `FlSession` on a
+/// background thread while inference traffic is served concurrently.
+pub trait Framework: Send {
     /// Framework name as printed in the paper's figures.
     fn name(&self) -> &'static str;
 

@@ -86,5 +86,5 @@ pub use report::{
 };
 pub use round::{Availability, CohortSampler, CohortStrategy, RoundPlan};
 pub use server::{active_clients, SequentialFlServer, ServerConfig};
-pub use session::{FlSession, FlSessionBuilder};
+pub use session::{FlSession, FlSessionBuilder, ModelPublisher};
 pub use update::ClientUpdate;

@@ -34,12 +34,30 @@ use crate::client::Client;
 use crate::framework::Framework;
 use crate::report::{pooled_rate, RoundReport};
 use crate::round::CohortSampler;
+use safeloc_nn::NamedParams;
+
+/// A hook observing every aggregated global model a session produces —
+/// the bridge from training to serving.
+///
+/// Attached via [`FlSessionBuilder::publisher`], the hook runs after each
+/// executed round with that round's [`RoundReport`] and the
+/// post-aggregation global parameters. The serving layer implements this
+/// to push hardened models into its hot-swappable registry while traffic
+/// is being served; tests implement it to record trajectories.
+///
+/// `Send` because sessions (and their publishers) run on background
+/// threads next to live inference traffic.
+pub trait ModelPublisher: Send {
+    /// Called once per executed round, after aggregation.
+    fn publish_round(&mut self, report: &RoundReport, global: &NamedParams);
+}
 
 /// Builder for [`FlSession`] — see the module docs for a full example.
 pub struct FlSessionBuilder {
     framework: Box<dyn Framework>,
     clients: Vec<Client>,
     sampler: CohortSampler,
+    publisher: Option<Box<dyn ModelPublisher>>,
 }
 
 impl FlSessionBuilder {
@@ -53,6 +71,13 @@ impl FlSessionBuilder {
     /// the paper's round shape).
     pub fn sampler(mut self, sampler: CohortSampler) -> Self {
         self.sampler = sampler;
+        self
+    }
+
+    /// Attaches a [`ModelPublisher`] observing every round's aggregated
+    /// global model (default: none).
+    pub fn publisher(mut self, publisher: Box<dyn ModelPublisher>) -> Self {
+        self.publisher = Some(publisher);
         self
     }
 
@@ -72,6 +97,7 @@ impl FlSessionBuilder {
             framework: self.framework,
             clients: self.clients,
             sampler: self.sampler,
+            publisher: self.publisher,
             history: Vec::new(),
         }
     }
@@ -86,6 +112,7 @@ pub struct FlSession {
     framework: Box<dyn Framework>,
     clients: Vec<Client>,
     sampler: CohortSampler,
+    publisher: Option<Box<dyn ModelPublisher>>,
     history: Vec<RoundReport>,
 }
 
@@ -97,14 +124,18 @@ impl FlSession {
             framework,
             clients: Vec::new(),
             sampler: CohortSampler::full(),
+            publisher: None,
         }
     }
 
-    /// Executes the next round: draws the plan, runs it, records and
-    /// returns the report.
+    /// Executes the next round: draws the plan, runs it, records the
+    /// report, notifies the publisher (if any) and returns the report.
     pub fn next_round(&mut self) -> &RoundReport {
         let plan = self.sampler.plan(self.history.len(), self.clients.len());
         let report = self.framework.run_round(&mut self.clients, &plan);
+        if let Some(publisher) = &mut self.publisher {
+            publisher.publish_round(&report, &self.framework.global_params());
+        }
         self.history.push(report);
         self.history.last().expect("just pushed")
     }
@@ -301,6 +332,45 @@ mod tests {
             before,
             "empty cohorts must not move the GM"
         );
+    }
+
+    #[test]
+    fn publisher_sees_every_round_gm_in_order() {
+        use std::sync::{Arc, Mutex};
+
+        struct Recorder {
+            log: Arc<Mutex<Vec<(usize, crate::report::RoundReport, safeloc_nn::NamedParams)>>>,
+        }
+        impl ModelPublisher for Recorder {
+            fn publish_round(
+                &mut self,
+                report: &crate::report::RoundReport,
+                global: &safeloc_nn::NamedParams,
+            ) {
+                let mut log = self.log.lock().unwrap();
+                let n = log.len();
+                log.push((n, report.clone(), global.clone()));
+            }
+        }
+
+        let data = dataset();
+        let server = pretrained(&data, Box::new(FedAvg));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut session = FlSession::builder(Box::new(server))
+            .clients(Client::from_dataset(&data, 0))
+            .publisher(Box::new(Recorder { log: log.clone() }))
+            .build();
+        session.run(3);
+
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 3, "one publish per executed round");
+        // The publisher saw the same reports the session recorded, and the
+        // final published GM is the session's final GM, bitwise.
+        for (i, (seq, report, _)) in log.iter().enumerate() {
+            assert_eq!(*seq, i);
+            assert_eq!(report.round, session.reports()[i].round);
+        }
+        assert_eq!(log.last().unwrap().2, session.framework().global_params());
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! The micro-batch scheduler: channel-fed worker threads that coalesce
+//! pending requests into batches and run them through the rayon-parallel
+//! batch-inference hot path.
+//!
+//! # Batching semantics
+//!
+//! A worker that picks up a request keeps draining the queue until it
+//! holds [`ServeConfig::max_batch`] requests **or**
+//! [`ServeConfig::batch_deadline`] has elapsed since it picked up the
+//! first one, whichever comes first — so a lone request never waits
+//! longer than one deadline, and a burst rides the blocked-kernel
+//! throughput of batch-32 inference. Batches may mix buildings, device
+//! classes and model versions: the worker groups the drained requests by
+//! pinned snapshot and runs one forward pass per group.
+//!
+//! # Why served results are bitwise offline results
+//!
+//! Rows of a forward pass are independent — the blocked kernels
+//! accumulate each output row over `k` in a fixed order regardless of
+//! which other rows share the batch, and `Sequential::predict` is
+//! thread-count invariant by the same argument (pinned by
+//! `tests/parallel_determinism.rs`). So *any* batching schedule — batch
+//! sizes, deadlines, request interleaving, worker count — produces
+//! bitwise the predictions of one offline `predict` over the same rows on
+//! the same snapshot. `tests/service.rs` pins this end to end.
+//!
+//! # Hot swaps
+//!
+//! Requests pin their model snapshot at submission
+//! ([`RequestFront::admit`]): a publish that lands after a request was
+//! admitted does not retarget it. In-flight requests therefore complete
+//! on the version they were admitted under, and every request submitted
+//! after the publish observes the new version — the clean hand-off the
+//! hot-swap test pins.
+
+use crate::front::{AdmittedRequest, LocalizeRequest, LocalizeResponse, RequestFront, ServeError};
+use crate::registry::ModelRegistry;
+use safeloc_dataset::DeviceCatalog;
+use safeloc_nn::Matrix;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest micro-batch a worker assembles (paper-bench batch size).
+    pub max_batch: usize,
+    /// Longest a picked-up request waits for co-riders.
+    pub batch_deadline: Duration,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            batch_deadline: Duration::from_millis(2),
+            workers: 2,
+        }
+    }
+}
+
+/// One enqueued request: the admitted form plus its reply channel.
+struct Job {
+    admitted: AdmittedRequest,
+    reply: Sender<LocalizeResponse>,
+}
+
+/// A pending response: blocks on [`Ticket::wait`] until the batch holding
+/// the request has executed.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<LocalizeResponse>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] if the service stopped before the
+    /// request executed.
+    pub fn wait(self) -> Result<LocalizeResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+}
+
+/// The running service: admission front + queue + worker pool.
+///
+/// Shareable across client threads behind an `Arc` (or plain references);
+/// [`Service::shutdown`] (or drop) drains and joins the workers.
+pub struct Service {
+    front: RequestFront,
+    queue: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: ServeConfig,
+}
+
+impl Service {
+    /// Starts a service over `registry` with the given device catalog and
+    /// scheduler configuration.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        catalog: DeviceCatalog,
+        config: ServeConfig,
+    ) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let shared_rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&shared_rx);
+                std::thread::spawn(move || worker_loop(&rx, config))
+            })
+            .collect();
+        Self {
+            front: RequestFront::new(registry, catalog),
+            queue: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            config,
+        }
+    }
+
+    /// The scheduler configuration the service runs under.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// The registry requests are routed through.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        self.front.registry()
+    }
+
+    /// Submits a request; returns a [`Ticket`] for the response.
+    ///
+    /// Admission (device-class routing, snapshot pinning, normalization,
+    /// dimension checks) happens synchronously here; only the forward
+    /// pass is deferred to the batch workers.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RequestFront::admit`] error, or
+    /// [`ServeError::ShuttingDown`] after [`Service::shutdown`].
+    pub fn submit(&self, request: &LocalizeRequest) -> Result<Ticket, ServeError> {
+        let admitted = self.front.admit(request)?;
+        let (reply, rx) = channel();
+        let queue = self.queue.lock().expect("service queue lock poisoned");
+        let tx = queue.as_ref().ok_or(ServeError::ShuttingDown)?;
+        tx.send(Job { admitted, reply })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a request and blocks for the response — the closed-loop
+    /// client shape.
+    ///
+    /// # Errors
+    ///
+    /// See [`Service::submit`] and [`Ticket::wait`].
+    pub fn localize(&self, request: &LocalizeRequest) -> Result<LocalizeResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Stops accepting requests, drains the queue and joins the workers.
+    /// Already-submitted requests still complete.
+    pub fn shutdown(&self) {
+        // Dropping the sender disconnects the queue; workers drain what is
+        // left and exit.
+        self.queue
+            .lock()
+            .expect("service queue lock poisoned")
+            .take();
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("service worker lock poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            // A worker that panicked already failed its in-flight tickets
+            // (their reply senders dropped); don't panic again here —
+            // shutdown() also runs from Drop, possibly mid-unwind, where a
+            // second panic would abort the process.
+            if handle.join().is_err() {
+                eprintln!("serve worker panicked; its pending requests were dropped");
+            }
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Worker: take one request, coalesce co-riders until batch-full or
+/// deadline, execute grouped by pinned snapshot, reply, repeat.
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, config: ServeConfig) {
+    let max_batch = config.max_batch.max(1);
+    loop {
+        let mut batch = {
+            // Hold the receiver while assembling one batch: coalescing is
+            // the point, and the next worker takes over as soon as this
+            // one moves on to the forward pass.
+            let queue = rx.lock().expect("serve queue lock poisoned");
+            let first = match queue.recv() {
+                Ok(job) => job,
+                Err(_) => return, // disconnected and drained: shut down
+            };
+            let mut batch = vec![first];
+            let deadline = Instant::now() + config.batch_deadline;
+            while batch.len() < max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match queue.recv_timeout(deadline - now) {
+                    Ok(job) => batch.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            batch
+        };
+        execute_batch(&mut batch);
+    }
+}
+
+/// Runs one assembled micro-batch: group by pinned snapshot, one forward
+/// pass per group, reply per request.
+fn execute_batch(batch: &mut Vec<Job>) {
+    while !batch.is_empty() {
+        // Peel off the largest group sharing the first job's snapshot.
+        // Arc pointer identity is exact: every publish makes a fresh Arc.
+        let model = Arc::clone(&batch[0].admitted.model);
+        let mut group = Vec::with_capacity(batch.len());
+        let mut rest = Vec::new();
+        for job in batch.drain(..) {
+            if Arc::ptr_eq(&job.admitted.model, &model) {
+                group.push(job);
+            } else {
+                rest.push(job);
+            }
+        }
+        *batch = rest;
+
+        let cols = model.network.in_dim();
+        let mut rows = Vec::with_capacity(group.len() * cols);
+        for job in &group {
+            rows.extend_from_slice(&job.admitted.features);
+        }
+        let x = Matrix::from_vec(group.len(), cols, rows)
+            .expect("admission fixed every row to the model width");
+        let labels = model.predict(&x);
+        for (job, label) in group.into_iter().zip(labels) {
+            // A dropped ticket (client gave up) is not an error.
+            let _ = job.reply.send(LocalizeResponse {
+                label,
+                position: model.position_of(label),
+                device_class: job.admitted.device_class,
+                model_version: model.version,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelKey, DEFAULT_CLASS};
+    use safeloc_nn::{Activation, Sequential};
+
+    fn service(max_batch: usize, deadline_ms: u64, workers: usize) -> Service {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(
+            ModelKey::default_for(1),
+            Sequential::mlp(&[4, 8, 3], Activation::Relu, 7),
+            None,
+        );
+        Service::start(
+            registry,
+            DeviceCatalog::paper(),
+            ServeConfig {
+                max_batch,
+                batch_deadline: Duration::from_millis(deadline_ms),
+                workers,
+            },
+        )
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let service = service(32, 1, 2);
+        let resp = service
+            .localize(&LocalizeRequest::new(1, "HTC U11", vec![-50.0; 4]))
+            .unwrap();
+        assert!(resp.label < 3);
+        assert_eq!(resp.model_version, 1);
+        assert_eq!(resp.device_class, DEFAULT_CLASS, "no per-device variant");
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected_and_inflight_completes() {
+        let service = service(4, 1, 1);
+        let ticket = service
+            .submit(&LocalizeRequest::new(1, "x", vec![-40.0; 4]))
+            .unwrap();
+        service.shutdown();
+        // The already-submitted request still completed.
+        assert!(ticket.wait().is_ok());
+        assert_eq!(
+            service
+                .submit(&LocalizeRequest::new(1, "x", vec![-40.0; 4]))
+                .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn admission_errors_surface_at_submit_time() {
+        let service = service(32, 1, 1);
+        assert_eq!(
+            service
+                .submit(&LocalizeRequest::new(2, "x", vec![-40.0; 4]))
+                .unwrap_err(),
+            ServeError::UnknownBuilding(2)
+        );
+        assert_eq!(
+            service
+                .submit(&LocalizeRequest::new(1, "x", vec![-40.0; 9]))
+                .unwrap_err(),
+            ServeError::WrongDimension {
+                expected: 4,
+                found: 9
+            }
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Registry concurrency hammer: concurrent readers during rapid
+//! publishes must observe monotonically nondecreasing versions, never a
+//! torn snapshot, and served predictions that agree bitwise with offline
+//! `predict` on the same snapshot.
+
+use safeloc_nn::{Activation, HasParams, Matrix, Sequential};
+use safeloc_serve::{ModelKey, ModelRegistry, ServedModel};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [6, 8, 4];
+
+/// A network whose every weight is exactly `value` — any mix of two such
+/// networks is detectable as a torn snapshot.
+fn constant_net(value: f32) -> Sequential {
+    let mut net = Sequential::mlp(&DIMS, Activation::Relu, 0);
+    net.visit_param_tensors_mut(&mut |t: &mut Matrix| {
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                t.set(r, c, value);
+            }
+        }
+    });
+    net
+}
+
+fn assert_untorn(model: &ServedModel) {
+    let expected = model.version as f32;
+    for (name, tensor) in model.network.snapshot().iter() {
+        for &w in tensor.as_slice() {
+            assert_eq!(
+                w, expected,
+                "torn read: tensor {name} of version {} holds weight {w}",
+                model.version
+            );
+        }
+    }
+}
+
+#[test]
+fn readers_never_observe_torn_or_regressing_snapshots() {
+    let registry = Arc::new(ModelRegistry::new());
+    let key = ModelKey::default_for(1);
+    registry.publish(key.clone(), constant_net(1.0), None);
+
+    const PUBLISHES: u64 = 300;
+    let done = Arc::new(AtomicBool::new(false));
+    let total_reads = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let readers = 4;
+
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let registry = Arc::clone(&registry);
+            let key = key.clone();
+            let done = Arc::clone(&done);
+            let total_reads = Arc::clone(&total_reads);
+            scope.spawn(move || {
+                let mut last_version = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let model = registry.get(&key).expect("always published");
+                    assert!(
+                        model.version >= last_version,
+                        "version regressed: {} after {last_version}",
+                        model.version
+                    );
+                    last_version = model.version;
+                    assert_untorn(&model);
+                    total_reads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Publisher: rapid versioned swaps. Weights == version, so every
+        // reader can verify internal consistency of what it resolved.
+        // Yield between publishes so readers interleave even on one core.
+        for v in 2..=PUBLISHES {
+            let version = registry.publish(key.clone(), constant_net(v as f32), None);
+            assert_eq!(version, v, "publisher saw a non-monotone version");
+            std::thread::yield_now();
+        }
+        // Keep the final snapshot live until the readers demonstrably ran
+        // concurrently with the publish storm (or clearly had the chance).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while total_reads.load(Ordering::Relaxed) < 64 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Relaxed);
+        assert!(
+            total_reads.load(Ordering::Relaxed) > 0,
+            "no reader ever observed a snapshot"
+        );
+    });
+
+    let final_model = registry.get(&key).expect("published");
+    assert_eq!(final_model.version, PUBLISHES);
+    assert_untorn(&final_model);
+}
+
+#[test]
+fn resolved_snapshots_predict_bitwise_offline_while_publishes_race() {
+    let registry = Arc::new(ModelRegistry::new());
+    let key = ModelKey::default_for(2);
+    registry.publish(
+        key.clone(),
+        Sequential::mlp(&DIMS, Activation::Relu, 0),
+        None,
+    );
+
+    let x = Matrix::from_fn(16, DIMS[0], |r, c| ((r * 31 + c * 7) % 100) as f32 / 100.0);
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let registry = Arc::clone(&registry);
+            let key = key.clone();
+            let done = Arc::clone(&done);
+            let x = &x;
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    // Whatever snapshot a reader resolves, serving through
+                    // it must equal offline predict on that same network —
+                    // the snapshot cannot change under the reader's feet.
+                    let model = registry.get(&key).expect("published");
+                    let served = model.predict(x);
+                    let offline = model.network.predict(x);
+                    assert_eq!(served, offline, "version {}", model.version);
+                }
+            });
+        }
+        for seed in 1..=120u64 {
+            registry.publish(
+                key.clone(),
+                Sequential::mlp(&DIMS, Activation::Relu, seed),
+                None,
+            );
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+}

@@ -1,0 +1,227 @@
+//! End-to-end service tests pinning the ISSUE's acceptance criteria:
+//! served predictions are bitwise identical to offline `predict` on the
+//! same snapshot under any batching/deadline schedule and thread count,
+//! and a mid-traffic hot swap completes in-flight requests on the old
+//! version while subsequent requests observe the new one.
+
+use rayon::ThreadPoolBuilder;
+use safeloc_dataset::{
+    dbm_to_unit, unit_to_dbm, Building, BuildingDataset, DatasetConfig, DeviceCatalog,
+};
+use safeloc_nn::{Activation, Matrix, Sequential};
+use safeloc_serve::{
+    request_pool, LocalizeRequest, ModelKey, ModelRegistry, ServeConfig, Service, DEFAULT_CLASS,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_data(seed: u64) -> BuildingDataset {
+    BuildingDataset::generate(Building::tiny(seed), &DatasetConfig::tiny(), seed)
+}
+
+/// The offline reference: the exact features the front computes, run
+/// through the model's own batch-predict path in one shot.
+fn offline_predict(model: &Sequential, requests: &[LocalizeRequest]) -> Vec<usize> {
+    let cols = model.in_dim();
+    let mut rows = Vec::with_capacity(requests.len() * cols);
+    for r in requests {
+        rows.extend(r.rss_dbm.iter().map(|&dbm| dbm_to_unit(dbm)));
+    }
+    model.predict(&Matrix::from_vec(requests.len(), cols, rows).expect("aligned rows"))
+}
+
+#[test]
+fn served_predictions_are_bitwise_offline_predictions_under_any_schedule() {
+    let data = tiny_data(11);
+    let network = Sequential::mlp(
+        &[data.building.num_aps(), 24, data.building.num_rps()],
+        Activation::Relu,
+        5,
+    );
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(
+        ModelKey::default_for(data.building.id),
+        network.clone(),
+        Some(data.building.clone()),
+    );
+    let requests = request_pool(&data);
+    assert!(requests.len() > 10, "pool too small to exercise batching");
+
+    // Offline reference, additionally pinned across thread counts: the
+    // batch-predict hot path must not depend on parallelism.
+    let offline = offline_predict(&network, &requests);
+    for threads in [1, 2, 8] {
+        let pinned = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool")
+            .install(|| offline_predict(&network, &requests));
+        assert_eq!(
+            pinned, offline,
+            "offline predict varies at {threads} threads"
+        );
+    }
+
+    // Every batching/deadline/worker schedule must reproduce it bitwise.
+    let schedules = [
+        (1, Duration::ZERO, 1),                    // no coalescing at all
+        (32, Duration::from_millis(5), 1),         // full batches, one worker
+        (7, Duration::from_micros(300), 3),        // ragged batches, racing workers
+        (usize::MAX, Duration::from_millis(2), 2), // deadline-bounded only
+    ];
+    for (max_batch, batch_deadline, workers) in schedules {
+        let service = Service::start(
+            Arc::clone(&registry),
+            DeviceCatalog::new(data.devices.clone()),
+            ServeConfig {
+                max_batch,
+                batch_deadline,
+                workers,
+            },
+        );
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| service.submit(r).expect("admitted"))
+            .collect();
+        let served: Vec<usize> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("served").label)
+            .collect();
+        assert_eq!(
+            served, offline,
+            "served != offline for schedule (batch={max_batch}, \
+             deadline={batch_deadline:?}, workers={workers})"
+        );
+        service.shutdown();
+    }
+}
+
+#[test]
+fn mixed_device_traffic_routes_each_request_to_its_variant() {
+    let data = tiny_data(21);
+    let registry = Arc::new(ModelRegistry::new());
+    let default_net = Sequential::mlp(
+        &[data.building.num_aps(), 16, data.building.num_rps()],
+        Activation::Relu,
+        1,
+    );
+    let variant_net = Sequential::mlp(
+        &[data.building.num_aps(), 16, data.building.num_rps()],
+        Activation::Relu,
+        2,
+    );
+    let variant_device = data.devices[1].name.clone();
+    registry.publish(
+        ModelKey::default_for(data.building.id),
+        default_net.clone(),
+        None,
+    );
+    registry.publish(
+        ModelKey::new(data.building.id, &variant_device),
+        variant_net.clone(),
+        None,
+    );
+
+    let service = Service::start(
+        Arc::clone(&registry),
+        DeviceCatalog::new(data.devices.clone()),
+        ServeConfig {
+            max_batch: 16,
+            batch_deadline: Duration::from_millis(2),
+            workers: 2,
+        },
+    );
+
+    // Interleave variant-device and other-device requests so single
+    // micro-batches mix both models.
+    let requests: Vec<LocalizeRequest> = data.client_test[0]
+        .x
+        .iter_rows()
+        .enumerate()
+        .map(|(i, row)| {
+            let device = if i % 2 == 0 {
+                variant_device.clone()
+            } else {
+                data.devices[0].name.clone()
+            };
+            LocalizeRequest::new(
+                data.building.id,
+                &device,
+                row.iter().map(|&u| unit_to_dbm(u)).collect(),
+            )
+        })
+        .collect();
+
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|r| service.submit(r).expect("admitted"))
+        .collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("served"))
+        .collect();
+
+    for (i, (request, response)) in requests.iter().zip(&responses).enumerate() {
+        let (expected_model, expected_class) = if i % 2 == 0 {
+            (&variant_net, variant_device.as_str())
+        } else {
+            (&default_net, DEFAULT_CLASS)
+        };
+        assert_eq!(response.device_class, expected_class, "request {i}");
+        let offline = offline_predict(expected_model, std::slice::from_ref(request));
+        assert_eq!(response.label, offline[0], "request {i} label");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn mid_traffic_hot_swap_is_clean() {
+    let data = tiny_data(31);
+    let dims = [data.building.num_aps(), 16, data.building.num_rps()];
+    let v1 = Sequential::mlp(&dims, Activation::Relu, 100);
+    let v2 = Sequential::mlp(&dims, Activation::Relu, 200);
+    let registry = Arc::new(ModelRegistry::new());
+    let key = ModelKey::default_for(data.building.id);
+    registry.publish(key.clone(), v1.clone(), None);
+
+    // One worker with a generous deadline: the pre-swap submissions are
+    // still in flight (queued or coalescing) when the publish lands.
+    let service = Service::start(
+        Arc::clone(&registry),
+        DeviceCatalog::new(data.devices.clone()),
+        ServeConfig {
+            max_batch: 8,
+            batch_deadline: Duration::from_millis(20),
+            workers: 1,
+        },
+    );
+    let pool = request_pool(&data);
+
+    let before: Vec<_> = pool[..12]
+        .iter()
+        .map(|r| service.submit(r).expect("admitted"))
+        .collect();
+    let new_version = registry.publish(key.clone(), v2.clone(), None);
+    assert_eq!(new_version, 2);
+    let after: Vec<_> = pool[12..24]
+        .iter()
+        .map(|r| service.submit(r).expect("admitted"))
+        .collect();
+
+    // In-flight requests complete on the version they were admitted
+    // under, bitwise against that snapshot...
+    let offline_v1 = offline_predict(&v1, &pool[..12]);
+    for (i, ticket) in before.into_iter().enumerate() {
+        let response = ticket.wait().expect("served");
+        assert_eq!(response.model_version, 1, "pre-swap request {i}");
+        assert_eq!(response.label, offline_v1[i], "pre-swap request {i}");
+    }
+    // ...and every subsequent request observes the new version.
+    let offline_v2 = offline_predict(&v2, &pool[12..24]);
+    for (i, ticket) in after.into_iter().enumerate() {
+        let response = ticket.wait().expect("served");
+        assert_eq!(response.model_version, 2, "post-swap request {i}");
+        assert_eq!(response.label, offline_v2[i], "post-swap request {i}");
+    }
+    service.shutdown();
+}

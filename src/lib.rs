@@ -14,6 +14,7 @@
 //! | [`core`] | SAFELOC itself: fused network + saliency aggregation |
 //! | [`baselines`] | FEDLOC / FEDHIL / KRUM / FEDCC / FEDLS / ONLAD |
 //! | [`metrics`] | localization-error statistics and report rendering |
+//! | [`serve`] | online serving: model registry, micro-batched inference, load harness |
 //! | [`bench`](mod@bench) | paper-figure harness and performance reporting |
 
 pub use safeloc as core;
@@ -24,3 +25,4 @@ pub use safeloc_dataset as dataset;
 pub use safeloc_fl as fl;
 pub use safeloc_metrics as metrics;
 pub use safeloc_nn as nn;
+pub use safeloc_serve as serve;
