@@ -281,20 +281,41 @@ fn flip_label(y: usize, n_classes: usize, rng: &mut impl Rng) -> usize {
 
 /// Keeps the `fraction` largest-|v| entries per row, mapped to ±1; zeroes the
 /// rest. This is the CLB mask δ.
+///
+/// Selection is a per-row `select_nth_unstable_by` partition over one
+/// scratch buffer reused across rows — the poisoning hot path runs this
+/// for every client batch every round, and the seed's full `O(cols log
+/// cols)` sort plus a fresh index `Vec` per row dominated CLB generation.
+/// Ties at the k-boundary break by column index (ascending), which is
+/// exactly the set the seed's stable descending-|v| sort kept, so the
+/// produced mask is bit-identical.
 fn top_k_sign_mask(grad: &Matrix, fraction: f32) -> Matrix {
     let cols = grad.cols();
     let k = ((fraction.clamp(0.0, 1.0)) * cols as f32).ceil() as usize;
     let mut out = Matrix::zeros(grad.rows(), cols);
+    if k == 0 || cols == 0 {
+        return out;
+    }
+    let mut scratch: Vec<usize> = (0..cols).collect();
     for r in 0..grad.rows() {
         let row = grad.row(r);
-        let mut order: Vec<usize> = (0..cols).collect();
-        order.sort_by(|&a, &b| {
-            row[b]
-                .abs()
-                .partial_cmp(&row[a].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        for &c in order.iter().take(k) {
+        for (slot, c) in scratch.iter_mut().enumerate() {
+            *c = slot;
+        }
+        if k < cols {
+            // Total order: |v| descending, then column ascending — a
+            // deterministic tie-break makes the top-k *set* unique, so an
+            // unstable partition selects the same columns the stable sort
+            // did.
+            scratch.select_nth_unstable_by(k - 1, |&a, &b| {
+                row[b]
+                    .abs()
+                    .partial_cmp(&row[a].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        }
+        for &c in scratch.iter().take(k) {
             let s = if row[c] > 0.0 {
                 1.0
             } else if row[c] < 0.0 {
@@ -500,6 +521,61 @@ mod tests {
         let (px, py) = Attack::label_flip(0.0).poison(&x, &y, &model_for(2), 3, &mut rng);
         assert_eq!(px, x);
         assert_eq!(py, y);
+    }
+
+    /// Reference mask: the seed's implementation — full stable sort by
+    /// |v| descending, fresh index Vec per row.
+    fn reference_mask(grad: &Matrix, fraction: f32) -> Matrix {
+        let cols = grad.cols();
+        let k = ((fraction.clamp(0.0, 1.0)) * cols as f32).ceil() as usize;
+        let mut out = Matrix::zeros(grad.rows(), cols);
+        for r in 0..grad.rows() {
+            let row = grad.row(r);
+            let mut order: Vec<usize> = (0..cols).collect();
+            order.sort_by(|&a, &b| {
+                row[b]
+                    .abs()
+                    .partial_cmp(&row[a].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &c in order.iter().take(k) {
+                let s = if row[c] > 0.0 {
+                    1.0
+                } else if row[c] < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
+                out.set(r, c, s);
+            }
+        }
+        out
+    }
+
+    /// The select-based mask must reproduce the seed's sort-based mask
+    /// bit for bit — including tied |v| at the k-boundary, where the
+    /// stable sort kept the lowest column indices.
+    #[test]
+    fn top_k_sign_mask_matches_the_seed_sort_exactly() {
+        let tied = Matrix::from_rows(&[
+            // Ties straddling the boundary: |0.5| appears three times.
+            vec![0.5, -0.5, 0.1, 0.5, -0.9, 0.0],
+            // All equal magnitudes.
+            vec![-0.3, 0.3, -0.3, 0.3, -0.3, 0.3],
+            // Zeros and a lone spike.
+            vec![0.0, 0.0, 7.0, 0.0, 0.0, 0.0],
+            // Pseudo-random mix.
+            vec![0.12, -0.7, 0.12, 0.44, -0.44, 0.01],
+        ]);
+        for fraction in [0.0, 0.17, 0.25, 0.5, 0.9, 1.0] {
+            let fast = top_k_sign_mask(&tied, fraction);
+            let slow = reference_mask(&tied, fraction);
+            assert_eq!(
+                fast.as_slice(),
+                slow.as_slice(),
+                "mask diverged at fraction {fraction}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use crate::arch::fedcc_dims;
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::{
-    Client, ClusterAggregator, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+    Client, ClusterAggregator, DefensePipeline, Framework, RoundPlan, RoundReport,
+    SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::Matrix;
 
@@ -26,7 +27,9 @@ impl FedCc {
             inner: SequentialFlServer::named(
                 "FEDCC",
                 &fedcc_dims(input_dim, n_classes),
-                Box::new(ClusterAggregator::default()),
+                Box::new(DefensePipeline::cluster(
+                    ClusterAggregator::default().separation_threshold,
+                )),
                 cfg,
             ),
         }
@@ -60,6 +63,14 @@ impl Framework for FedCc {
 
     fn clone_box(&self) -> Box<dyn Framework> {
         Box::new(self.clone())
+    }
+
+    fn set_aggregator(
+        &mut self,
+        aggregator: Box<dyn safeloc_fl::Aggregator>,
+    ) -> Result<(), String> {
+        self.inner.set_aggregator(aggregator);
+        Ok(())
     }
 }
 

@@ -4,8 +4,8 @@
 use crate::arch::fedhil_dims;
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::{
-    Client, Framework, RoundPlan, RoundReport, SelectiveAggregator, SequentialFlServer,
-    ServerConfig,
+    Client, DefensePipeline, Framework, RoundPlan, RoundReport, SelectiveAggregator,
+    SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::Matrix;
 
@@ -27,7 +27,9 @@ impl FedHil {
             inner: SequentialFlServer::named(
                 "FEDHIL",
                 &fedhil_dims(input_dim, n_classes),
-                Box::new(SelectiveAggregator::default()),
+                Box::new(DefensePipeline::selective(
+                    SelectiveAggregator::default().aggregate_fraction,
+                )),
                 cfg,
             ),
         }
@@ -61,6 +63,14 @@ impl Framework for FedHil {
 
     fn clone_box(&self) -> Box<dyn Framework> {
         Box::new(self.clone())
+    }
+
+    fn set_aggregator(
+        &mut self,
+        aggregator: Box<dyn safeloc_fl::Aggregator>,
+    ) -> Result<(), String> {
+        self.inner.set_aggregator(aggregator);
+        Ok(())
     }
 }
 

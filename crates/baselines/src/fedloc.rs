@@ -3,7 +3,7 @@
 use crate::arch::fedloc_dims;
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::{
-    Client, FedAvg, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+    Client, DefensePipeline, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::Matrix;
 
@@ -21,7 +21,7 @@ impl FedLoc {
             inner: SequentialFlServer::named(
                 "FEDLOC",
                 &fedloc_dims(input_dim, n_classes),
-                Box::new(FedAvg),
+                Box::new(DefensePipeline::fedavg()),
                 cfg,
             ),
         }
@@ -55,6 +55,14 @@ impl Framework for FedLoc {
 
     fn clone_box(&self) -> Box<dyn Framework> {
         Box::new(self.clone())
+    }
+
+    fn set_aggregator(
+        &mut self,
+        aggregator: Box<dyn safeloc_fl::Aggregator>,
+    ) -> Result<(), String> {
+        self.inner.set_aggregator(aggregator);
+        Ok(())
     }
 }
 

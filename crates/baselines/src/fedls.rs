@@ -4,8 +4,7 @@
 use crate::arch::fedls_dims;
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::{
-    Client, Framework, LatentFilterAggregator, RoundPlan, RoundReport, SequentialFlServer,
-    ServerConfig,
+    Client, DefensePipeline, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::Matrix;
 
@@ -29,7 +28,7 @@ impl FedLs {
             inner: SequentialFlServer::named(
                 "FEDLS",
                 &fedls_dims(input_dim, n_classes),
-                Box::new(LatentFilterAggregator::new(cfg.seed)),
+                Box::new(DefensePipeline::latent(cfg.seed)),
                 cfg,
             ),
         }
@@ -63,6 +62,14 @@ impl Framework for FedLs {
 
     fn clone_box(&self) -> Box<dyn Framework> {
         Box::new(self.clone())
+    }
+
+    fn set_aggregator(
+        &mut self,
+        aggregator: Box<dyn safeloc_fl::Aggregator>,
+    ) -> Result<(), String> {
+        self.inner.set_aggregator(aggregator);
+        Ok(())
     }
 }
 

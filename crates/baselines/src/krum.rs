@@ -3,7 +3,7 @@
 use crate::arch::krum_dims;
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::{
-    Client, Framework, Krum, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+    Client, DefensePipeline, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::Matrix;
 
@@ -27,7 +27,7 @@ impl KrumFramework {
             inner: SequentialFlServer::named(
                 "KRUM",
                 &krum_dims(input_dim, n_classes),
-                Box::new(Krum::new(f)),
+                Box::new(DefensePipeline::krum(f)),
                 cfg,
             ),
         }
@@ -61,6 +61,14 @@ impl Framework for KrumFramework {
 
     fn clone_box(&self) -> Box<dyn Framework> {
         Box::new(self.clone())
+    }
+
+    fn set_aggregator(
+        &mut self,
+        aggregator: Box<dyn safeloc_fl::Aggregator>,
+    ) -> Result<(), String> {
+        self.inner.set_aggregator(aggregator);
+        Ok(())
     }
 }
 

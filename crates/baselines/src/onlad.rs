@@ -7,8 +7,8 @@ use safeloc_dataset::FingerprintSet;
 use safeloc_fl::client::train_sequential_lm;
 use safeloc_fl::report::RoundTimer;
 use safeloc_fl::{
-    active_clients, Aggregator, Client, ClientUpdate, FedAvg, Framework, RoundPlan, RoundReport,
-    ServerConfig,
+    active_clients, Aggregator, Client, ClientUpdate, DefensePipeline, Framework, RoundPlan,
+    RoundReport, ServerConfig,
 };
 use safeloc_nn::{Activation, Adam, HasParams, Matrix, NamedParams, Sequential, TrainConfig};
 
@@ -27,7 +27,7 @@ pub struct Onlad {
     localizer: Sequential,
     detector: Sequential,
     threshold: f32,
-    aggregator: FedAvg,
+    aggregator: Box<dyn Aggregator>,
     cfg: ServerConfig,
     rounds_run: usize,
 }
@@ -57,7 +57,7 @@ impl Onlad {
                 cfg.seed ^ 0xDE7EC7,
             ),
             threshold: f32::INFINITY, // calibrated during pretrain
-            aggregator: FedAvg,
+            aggregator: Box::new(DefensePipeline::fedavg()),
             cfg,
             rounds_run: 0,
         }
@@ -78,16 +78,24 @@ impl Onlad {
         &self.localizer
     }
 
-    /// Drops rows flagged by the detector; returns indices kept.
-    fn keep_indices(&self, x: &Matrix) -> Vec<usize> {
-        self.detector
-            .relative_reconstruction_error(x)
-            .iter()
-            .enumerate()
-            .filter(|(_, &r)| r <= self.threshold)
-            .map(|(i, _)| i)
-            .collect()
+    /// Indices of the rows the on-device detector keeps (used by tests to
+    /// probe detection quality directly).
+    pub fn keep_indices(&self, x: &Matrix) -> Vec<usize> {
+        keep_indices(&self.detector, self.threshold, x)
     }
+}
+
+/// Indices of the rows the on-device detector keeps (RCE within the
+/// calibrated threshold) — free-standing so the parallel client loop can
+/// borrow just the detector model, not the whole (non-`Sync`) framework.
+fn keep_indices(detector: &Sequential, threshold: f32, x: &Matrix) -> Vec<usize> {
+    detector
+        .relative_reconstruction_error(x)
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r <= threshold)
+        .map(|(i, _)| i)
+        .collect()
 }
 
 impl Framework for Onlad {
@@ -130,7 +138,8 @@ impl Framework for Onlad {
         // participating cohort.
         let gm_snapshot = self.localizer.snapshot();
         let localizer = &self.localizer;
-        let detector = &*self;
+        let detector = &self.detector;
+        let threshold = self.threshold;
         let local = &self.cfg.local;
         let timer = RoundTimer::start();
         let updates: Vec<ClientUpdate> = active_clients(clients, plan)
@@ -140,7 +149,7 @@ impl Framework for Onlad {
                 let base = c.base_labels(localizer, local);
                 let x = c.round_rss(localizer, &base, n_classes);
                 // On-device detection: drop anomalous samples.
-                let keep = detector.keep_indices(&x);
+                let keep = keep_indices(detector, threshold, &x);
                 if keep.is_empty() {
                     // Everything flagged: the client sits this round out by
                     // returning the GM unchanged.
@@ -166,9 +175,10 @@ impl Framework for Onlad {
         let outcome = self
             .aggregator
             .aggregate(&self.localizer.snapshot(), &updates);
+        let stages = self.aggregator.take_stage_telemetry();
         self.localizer
             .load(&outcome.params)
-            .expect("FedAvg preserves architecture");
+            .expect("aggregation preserves architecture");
         let report = timer.finish(
             self.rounds_run,
             self.name(),
@@ -176,6 +186,7 @@ impl Framework for Onlad {
             plan,
             &updates,
             &outcome,
+            stages,
         );
         self.rounds_run += 1;
         report
@@ -197,6 +208,13 @@ impl Framework for Onlad {
 
     fn clone_box(&self) -> Box<dyn Framework> {
         Box::new(self.clone())
+    }
+
+    fn set_aggregator(&mut self, aggregator: Box<dyn Aggregator>) -> Result<(), String> {
+        // Only the server-side combination rule is swapped; the on-device
+        // detector keeps screening samples in front of whatever runs here.
+        self.aggregator = aggregator;
+        Ok(())
     }
 }
 

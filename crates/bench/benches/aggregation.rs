@@ -5,10 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use safeloc::SaliencyAggregator;
-use safeloc_fl::{
-    Aggregator, ClientUpdate, ClusterAggregator, FedAvg, Krum, LatentFilterAggregator,
-    SelectiveAggregator,
-};
+use safeloc_fl::{Aggregator, ClientUpdate, DefensePipeline};
 use safeloc_nn::{Activation, HasParams, NamedParams, Sequential};
 
 fn updates(n_clients: usize) -> (NamedParams, Vec<ClientUpdate>) {
@@ -28,12 +25,12 @@ fn bench_aggregation(c: &mut Criterion) {
     let (global, ups) = updates(6);
     let mut group = c.benchmark_group("aggregation_strategies");
     let mut strategies: Vec<Box<dyn Aggregator>> = vec![
-        Box::new(FedAvg),
-        Box::new(Krum::new(1)),
-        Box::new(SelectiveAggregator::default()),
-        Box::new(ClusterAggregator::default()),
-        Box::new(LatentFilterAggregator::new(0)),
-        Box::new(SaliencyAggregator::default()),
+        Box::new(DefensePipeline::fedavg()),
+        Box::new(DefensePipeline::krum(1)),
+        Box::new(DefensePipeline::selective(0.5)),
+        Box::new(DefensePipeline::cluster(0.15)),
+        Box::new(DefensePipeline::latent(0)),
+        Box::new(SaliencyAggregator::default().into_pipeline()),
     ];
     for strategy in &mut strategies {
         group.bench_with_input(

@@ -8,7 +8,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use safeloc_bench::naive;
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 use safeloc_fl::{
-    Client, FedAvg, Framework, LocalTrainConfig, RoundPlan, SequentialFlServer, ServerConfig,
+    Client, DefensePipeline, Framework, LocalTrainConfig, RoundPlan, SequentialFlServer,
+    ServerConfig,
 };
 use safeloc_nn::{Activation, Adam, Matrix, Sequential, Workspace};
 
@@ -59,7 +60,7 @@ fn bench_federated_round(c: &mut Criterion) {
             62,
             data.building.num_rps(),
         ],
-        Box::new(FedAvg),
+        Box::new(DefensePipeline::fedavg()),
         cfg,
     );
     server.pretrain(&data.server_train);

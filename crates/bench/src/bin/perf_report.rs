@@ -23,8 +23,7 @@ use safeloc_bench::perf::{
 };
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 use safeloc_fl::{
-    Aggregator, Client, ClientUpdate, ClusterAggregator, FedAvg, Framework, Krum,
-    LatentFilterAggregator, SequentialFlServer, ServerConfig,
+    Aggregator, Client, ClientUpdate, DefensePipeline, Framework, SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::{Activation, Adam, HasParams, Matrix, Sequential, Workspace};
 
@@ -203,7 +202,7 @@ fn bench_round(quick: bool, seed: u64) -> (RoundTiming, Vec<SessionTiming>) {
             62,
             data.building.num_rps(),
         ],
-        Box::new(FedAvg),
+        Box::new(DefensePipeline::fedavg()),
         cfg,
     );
     server.pretrain(&data.server_train);
@@ -244,21 +243,36 @@ fn bench_round(quick: bool, seed: u64) -> (RoundTiming, Vec<SessionTiming>) {
     // pretrained server — this is the telemetry any deployment gets for
     // free, folded into BENCH_nn.json so both phases are tracked.
     let rounds = if quick { 2 } else { 4 };
-    let mut session = safeloc_fl::FlSession::builder(Box::new(server.clone()))
-        .clients(Client::from_dataset(&data, seed))
-        .build();
-    session.run(rounds);
-    let reports = session.reports();
-    let mean = |f: fn(&safeloc_fl::RoundReport) -> f64| {
-        reports.iter().map(f).sum::<f64>() / reports.len().max(1) as f64
+    let run_session = |framework: Box<dyn Framework>, label: &str| {
+        let mut session = safeloc_fl::FlSession::builder(framework)
+            .clients(Client::from_dataset(&data, seed))
+            .build();
+        session.run(rounds);
+        let reports = session.reports();
+        let mean = |f: fn(&safeloc_fl::RoundReport) -> f64| {
+            reports.iter().map(f).sum::<f64>() / reports.len().max(1) as f64
+        };
+        SessionTiming {
+            framework: label.to_string(),
+            rounds,
+            clients: data.num_clients(),
+            mean_train_ms: mean(|r| r.train_ms),
+            mean_aggregate_ms: mean(|r| r.aggregate_ms),
+            stage_ms: safeloc_bench::pool_stage_means(reports),
+        }
     };
-    let session_timings = vec![SessionTiming {
-        framework: "SequentialFL(FedAvg)".to_string(),
-        rounds,
-        clients: data.num_clients(),
-        mean_train_ms: mean(|r| r.train_ms),
-        mean_aggregate_ms: mean(|r| r.aggregate_ms),
-    }];
+    let fedavg_session = run_session(Box::new(server.clone()), "SequentialFL(FedAvg)");
+    // A composed pipeline on the same pretrained server: the per-stage
+    // split (norm-clip screen vs Krum selection) lands in BENCH_nn.json so
+    // layered-defense overhead is tracked alongside the plain rule.
+    let mut composed_server = server.clone();
+    composed_server.set_aggregator(Box::new(safeloc_fl::DefensePipeline::new(
+        "norm-clip+krum",
+        vec![Box::new(safeloc_fl::defense::NormClip::new(3.0))],
+        Box::new(safeloc_fl::Krum::new(1)),
+    )));
+    let composed_session = run_session(Box::new(composed_server), "SequentialFL(norm-clip+krum)");
+    let session_timings = vec![fedavg_session, composed_session];
 
     (round, session_timings)
 }
@@ -293,11 +307,14 @@ fn bench_aggregation(samples: usize, seed: u64) -> Vec<AggregationTiming> {
             micros: ns / 1e3,
         });
     };
-    timed("FedAvg", Box::new(FedAvg));
-    timed("Krum(shared-matrix)", Box::new(Krum::new(1)));
-    timed("Cluster", Box::<ClusterAggregator>::default());
-    timed("LatentFilter", Box::new(LatentFilterAggregator::new(seed)));
-    timed("Saliency", Box::<SaliencyAggregator>::default());
+    timed("FedAvg", Box::new(DefensePipeline::fedavg()));
+    timed("Krum(shared-matrix)", Box::new(DefensePipeline::krum(1)));
+    timed("Cluster", Box::new(DefensePipeline::cluster(0.15)));
+    timed("LatentFilter", Box::new(DefensePipeline::latent(seed)));
+    timed(
+        "Saliency",
+        Box::new(SaliencyAggregator::default().into_pipeline()),
+    );
     // Seed Krum baseline: per-candidate distance recomputation.
     let ns = time_median_ns(samples, || {
         std::hint::black_box(naive::krum_select(&updates, 1));

@@ -24,7 +24,7 @@
 use safeloc_bench::perf::{PerfReport, ServingTiming};
 use safeloc_bench::{HarnessConfig, Scale};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceCatalog};
-use safeloc_fl::{Client, FedAvg, FlSession, Framework, SequentialFlServer, ServerConfig};
+use safeloc_fl::{Client, DefensePipeline, FlSession, Framework, SequentialFlServer, ServerConfig};
 use safeloc_nn::{Adam, TrainConfig};
 use safeloc_serve::{
     request_pool, run_load, LoadPlan, ModelKey, ModelRegistry, RegistryPublisher, ServeConfig,
@@ -143,7 +143,7 @@ fn main() {
             62,
             data.building.num_rps(),
         ],
-        Box::new(FedAvg),
+        Box::new(DefensePipeline::fedavg()),
         server_cfg,
     );
     server.pretrain(&data.server_train);

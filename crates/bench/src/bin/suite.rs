@@ -4,24 +4,29 @@
 //!
 //! Spec files live in `scenarios/` at the repo root (see the
 //! `safeloc_bench::suite` module docs for the format). CI runs the
-//! checked-in spec with `--quick` and uploads the report next to
-//! `BENCH_ci.json`.
+//! checked-in specs with `--quick` and uploads the reports next to
+//! `BENCH_ci.json`, and gates on `--check-specs` so a malformed spec
+//! fails fast without running anything.
 //!
 //! ```text
 //! cargo run -p safeloc-bench --release --bin suite -- \
 //!     --spec scenarios/small_cohort.json [--quick|--full] [--seed N] [--out PATH]
+//! cargo run -p safeloc-bench --release --bin suite -- --check-specs scenarios
 //! ```
 
-use safeloc_bench::{HarnessConfig, Scale, ScenarioSpec, SuiteRunner};
+use safeloc_bench::{DefenseSpec, HarnessConfig, Scale, ScenarioSpec, SuiteRunner};
+use std::path::{Path, PathBuf};
 
 struct Args {
-    spec: String,
+    spec: Option<String>,
+    check_specs: Option<String>,
     out: Option<String>,
     cfg: HarnessConfig,
 }
 
 fn parse_args() -> Args {
     let mut spec = None;
+    let mut check_specs = None;
     let mut out = None;
     let mut cfg = HarnessConfig {
         scale: Scale::Default,
@@ -48,6 +53,14 @@ fn parse_args() -> Args {
                         .clone(),
                 );
             }
+            "--check-specs" => {
+                i += 1;
+                check_specs = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| panic!("--check-specs requires a path"))
+                        .clone(),
+                );
+            }
             "--out" => {
                 i += 1;
                 out = Some(
@@ -57,24 +70,98 @@ fn parse_args() -> Args {
                 );
             }
             other => panic!(
-                "unknown argument {other:?} (expected --spec PATH/--quick/--full/--seed N/--out PATH)"
+                "unknown argument {other:?} (expected --spec PATH/--check-specs PATH/--quick/\
+                 --full/--seed N/--out PATH)"
             ),
         }
         i += 1;
     }
     Args {
-        spec: spec.unwrap_or_else(|| panic!("--spec PATH is required")),
+        spec,
+        check_specs,
         out,
         cfg,
     }
 }
 
+/// Validates one spec file without running any cell: parse, expand the
+/// grid, and build every spec-defined defense pipeline. Returns the cell
+/// count or a readable error.
+fn check_spec(path: &Path, cfg: HarnessConfig) -> Result<usize, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let spec: ScenarioSpec =
+        serde_json::from_str(&json).map_err(|e| format!("cannot parse: {e:?}"))?;
+    let runner = SuiteRunner::new(cfg, spec);
+    let cells = runner.cells();
+    if cells.is_empty() {
+        return Err(
+            "spec expands to zero cells (an axis list is empty) — nothing would run".to_string(),
+        );
+    }
+    for cell in &cells {
+        // Defense pipelines are built exactly as a run would build them,
+        // so a spec naming an unbuildable composition fails here.
+        if let DefenseSpec::Pipeline(p) = &cell.defense {
+            let pipeline = p.build(cell.defense_seed(cfg.seed));
+            let _ = pipeline.label();
+        }
+    }
+    Ok(cells.len())
+}
+
+/// The `--check-specs` mode: parse and expand every checked-in spec (a
+/// single file, or every `*.json` in a directory) without running cells.
+/// Exits nonzero on the first-listed failures — the fast CI gate in front
+/// of the suite-smoke run.
+fn run_check_specs(path: &str, cfg: HarnessConfig) -> ! {
+    let root = PathBuf::from(path);
+    let mut files: Vec<PathBuf> = if root.is_dir() {
+        std::fs::read_dir(&root)
+            .unwrap_or_else(|e| panic!("cannot read directory {path}: {e}"))
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|e| e == "json").unwrap_or(false))
+            .collect()
+    } else {
+        vec![root]
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no spec files under {path}");
+        std::process::exit(1);
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        match check_spec(file, cfg) {
+            Ok(cells) => println!("ok   {} ({cells} cells)", file.display()),
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL {}: {e}", file.display());
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "\n{failures} of {} spec file(s) failed validation",
+            files.len()
+        );
+        std::process::exit(1);
+    }
+    println!("\nall {} spec file(s) parse and expand", files.len());
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
-    let json = std::fs::read_to_string(&args.spec)
-        .unwrap_or_else(|e| panic!("cannot read spec {}: {e}", args.spec));
+    if let Some(path) = &args.check_specs {
+        run_check_specs(path, args.cfg);
+    }
+    let spec_path = args
+        .spec
+        .unwrap_or_else(|| panic!("--spec PATH (or --check-specs PATH) is required"));
+    let json = std::fs::read_to_string(&spec_path)
+        .unwrap_or_else(|e| panic!("cannot read spec {spec_path}: {e}"));
     let spec: ScenarioSpec = serde_json::from_str(&json)
-        .unwrap_or_else(|e| panic!("cannot parse spec {}: {e:?}", args.spec));
+        .unwrap_or_else(|e| panic!("cannot parse spec {spec_path}: {e:?}"));
 
     let mut runner = SuiteRunner::new(args.cfg, spec);
     println!("# Suite — {}\n", runner.spec().name);
@@ -109,8 +196,9 @@ fn main() {
         eprintln!("\n{} cell(s) FAILED:", failures.len());
         for cell in failures {
             eprintln!(
-                "  {} B{} {} {}: {}",
+                "  {} [{}] B{} {} {}: {}",
                 cell.framework,
+                cell.defense,
                 cell.building,
                 cell.fleet,
                 cell.attack,

@@ -36,9 +36,9 @@ pub use harness::{
     run_fleet_with_reports, run_scenario, run_scenario_with_reports, scenario_fleet, HarnessConfig,
     Scale, Scenario, ScenarioOutcome,
 };
-pub use perf::{time_median_ns, PerfReport};
+pub use perf::{pool_stage_means, time_median_ns, PerfReport, StageMean};
 pub use suite::{
-    AttackSpec, CellRun, FleetSpec, FrameworkSpec, ParticipationMode, ParticipationSpec,
-    SafelocVariant, ScenarioCell, ScenarioSpec, SuiteCellReport, SuiteReport, SuiteRun,
-    SuiteRunner,
+    AttackSpec, CellRun, CombinerSpec, DefenseSpec, FleetSpec, FrameworkSpec, ParticipationMode,
+    ParticipationSpec, PipelineSpec, SafelocVariant, ScenarioCell, ScenarioSpec, StageSpec,
+    StageSuiteStats, SuiteCellReport, SuiteReport, SuiteRun, SuiteRunner,
 };

@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use safeloc_fl::{Aggregator, Client, ClientUpdate, FedAvg, LocalTrainConfig};
+use safeloc_fl::{Aggregator, Client, ClientUpdate, DefensePipeline, LocalTrainConfig};
 use safeloc_nn::{
     gather_labels, gather_rows, shuffled_batches, Activation, Adam, HasParams, Matrix, NamedParams,
     Optimizer, Sequential, SparseCrossEntropyLoss,
@@ -160,7 +160,7 @@ pub fn seed_round(gm: &mut Sequential, clients: &mut [Client], local: &LocalTrai
             ClientUpdate::new(c.id, params, set.len())
         })
         .collect();
-    let mut agg = FedAvg;
+    let mut agg = DefensePipeline::fedavg();
     let next = agg.aggregate(&gm.snapshot(), &updates);
     gm.load(&next.params)
         .expect("FedAvg preserves architecture");
@@ -198,7 +198,7 @@ pub fn krum_select(updates: &[ClientUpdate], assumed_byzantine: usize) -> Option
 #[cfg(test)]
 mod tests {
     use super::*;
-    use safeloc_fl::{Aggregator, Krum};
+    use safeloc_fl::DefensePipeline;
     use safeloc_nn::Adam;
 
     fn mat(rows: usize, cols: usize, salt: u64) -> Matrix {
@@ -262,7 +262,7 @@ mod tests {
             })
             .collect();
         let gm = NamedParams::new(vec![("w".into(), Matrix::zeros(1, 8))]);
-        let fast = Krum::new(1).aggregate(&gm, &updates).params;
+        let fast = DefensePipeline::krum(1).aggregate(&gm, &updates).params;
         let slow = krum_select(&updates, 1).unwrap();
         assert_eq!(fast, slow);
     }

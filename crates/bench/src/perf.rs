@@ -109,6 +109,38 @@ pub struct SessionTiming {
     pub mean_train_ms: f64,
     /// Mean server-side aggregation wall time per round, ms.
     pub mean_aggregate_ms: f64,
+    /// Mean wall time and total rejections per defense stage, in pipeline
+    /// order (combiner last) — how the aggregation budget splits across a
+    /// composed defense. Empty in reports written before the pipeline
+    /// redesign.
+    #[serde(default = "Vec::new")]
+    pub stage_ms: Vec<StageMean>,
+}
+
+/// One defense stage's pooled session cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMean {
+    /// Stage (or combiner) name.
+    pub stage: String,
+    /// Mean wall time per round, ms.
+    pub mean_ms: f64,
+    /// Total updates rejected by this stage over the session.
+    pub rejections: usize,
+}
+
+/// Pools [`RoundReport`](safeloc_fl::RoundReport) stage telemetry into
+/// per-stage session means (stage order = first appearance, i.e. pipeline
+/// order) — the shared [`safeloc_fl::pooled_stage_telemetry`] fold in the
+/// `BENCH_nn.json` schema's shape.
+pub fn pool_stage_means(reports: &[safeloc_fl::RoundReport]) -> Vec<StageMean> {
+    safeloc_fl::pooled_stage_telemetry(reports.iter())
+        .into_iter()
+        .map(|s| StageMean {
+            stage: s.stage,
+            mean_ms: s.wall_ms,
+            rejections: s.rejections,
+        })
+        .collect()
 }
 
 /// Online-serving measurement from the closed-loop load harness (the
@@ -305,6 +337,12 @@ impl PerfReport {
                     "  {:<16} {} clients x {} rounds: train {:>8.1}, aggregate {:>6.2}\n",
                     s.framework, s.clients, s.rounds, s.mean_train_ms, s.mean_aggregate_ms
                 ));
+                for stage in &s.stage_ms {
+                    out.push_str(&format!(
+                        "    stage {:<16} {:>8.3} ms/round, {} rejections\n",
+                        stage.stage, stage.mean_ms, stage.rejections
+                    ));
+                }
             }
         }
         if !self.serving.is_empty() {
@@ -381,6 +419,11 @@ mod tests {
                 clients: 6,
                 mean_train_ms: 90.0,
                 mean_aggregate_ms: 1.5,
+                stage_ms: vec![StageMean {
+                    stage: "sample-mean".into(),
+                    mean_ms: 1.4,
+                    rejections: 0,
+                }],
             }],
             serving: vec![ServingTiming {
                 scenario: "population=8".into(),

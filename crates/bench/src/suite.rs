@@ -2,7 +2,7 @@
 //! [`FlSession`](safeloc_fl::FlSession) runs → one machine-readable report
 //! per cell.
 //!
-//! Every paper figure is a sweep over the same six axes — framework,
+//! Every paper figure is a sweep over the same axes — framework, defense,
 //! building, fleet shape, attack, participation and seed — and each
 //! `fig*`/`table*` binary used to hand-roll its own nested loops over them.
 //! A [`ScenarioSpec`] names the axes declaratively; a [`SuiteRunner`]
@@ -26,12 +26,19 @@ use crate::harness::{
     default_buildings, run_fleet_with_reports, scenario_fleet, HarnessConfig, Scenario,
 };
 use rayon::prelude::*;
-use safeloc::{AggregationMode, DaeAugment, SafeLoc};
+use safeloc::{AggregationMode, DaeAugment, SafeLoc, SaliencyAggregator};
 use safeloc_attacks::Attack;
 use safeloc_baselines::{FedCc, FedHil, FedLoc, FedLs, KrumFramework, Onlad};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceProfile, FingerprintSet};
+use safeloc_fl::defense::{
+    Combiner, CoordinateMedian, DefensePipeline, DefenseStage, NonFiniteGuard, NormClip,
+    TrimmedMean, UniformMean,
+};
 use safeloc_fl::report::pooled_rate;
-use safeloc_fl::{Client, ClientOutcome, CohortSampler, Framework, RoundReport};
+use safeloc_fl::{
+    Client, ClientOutcome, ClusterAggregator, CohortSampler, FedAvg, Framework, HistoryScreen,
+    Krum, LatentFilterAggregator, RoundReport, SelectiveAggregator,
+};
 use safeloc_metrics::{markdown_table, ErrorStats};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -464,9 +471,214 @@ impl ParticipationSpec {
     }
 }
 
+// -------------------------------------------------------- the defense axis
+
+/// The defense axis of a suite cell: the framework's own rule, or a
+/// composed stage/combiner pipeline swapped in after pretraining (the
+/// global model and client-side protocol are untouched, so every defense
+/// variant shares one pretrained template).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DefenseSpec {
+    /// The framework's built-in rule (the paper's configuration).
+    Builtin,
+    /// A composed defense pipeline replacing the built-in rule via
+    /// [`Framework::set_aggregator`].
+    Pipeline(PipelineSpec),
+}
+
+impl DefenseSpec {
+    /// Display label; `"builtin"` for the framework's own rule.
+    pub fn label(&self) -> String {
+        match self {
+            DefenseSpec::Builtin => "builtin".to_string(),
+            DefenseSpec::Pipeline(p) => p.label(),
+        }
+    }
+}
+
+/// A serde-buildable [`DefensePipeline`]: named stages in order plus one
+/// terminal combiner. This is the spec surface that turns robust-
+/// aggregation compositions ("norm-clip then Krum", "latent screen then
+/// history screen then mean") into `scenarios/*.json` cells instead of
+/// new Rust types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Optional display-name override for tables.
+    #[serde(default = "Option::default")]
+    pub name: Option<String>,
+    /// Screening stages, in execution order.
+    #[serde(default = "Vec::new")]
+    pub stages: Vec<StageSpec>,
+    /// Terminal combiner.
+    pub combiner: CombinerSpec,
+}
+
+impl PipelineSpec {
+    /// Display label: the override, or `stage→stage→combiner`.
+    pub fn label(&self) -> String {
+        if let Some(name) = &self.name {
+            return name.clone();
+        }
+        let mut parts: Vec<String> = self.stages.iter().map(StageSpec::label).collect();
+        parts.push(self.combiner.label());
+        parts.join("→")
+    }
+
+    /// Builds the runnable pipeline; `seed` feeds the stateful stages'
+    /// projections so distinct cells draw independent streams.
+    pub fn build(&self, seed: u64) -> DefensePipeline {
+        let stages: Vec<Box<dyn DefenseStage>> =
+            self.stages.iter().map(|s| s.build(seed)).collect();
+        DefensePipeline::new(self.label(), stages, self.combiner.build())
+    }
+}
+
+/// One screening stage of a [`PipelineSpec`]. Unknown stage names fail
+/// spec parsing with serde's unknown-variant error (naming the offender
+/// and the valid set) instead of silently running without the stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageSpec {
+    /// Reject NaN/Inf updates (redundant inside frameworks — the shared
+    /// guard already runs — but keeps spec-built pipelines self-contained).
+    NonFinite,
+    /// Cap update delta norms at `multiple ×` the round's lower-median
+    /// norm ([`NormClip`]).
+    NormClip {
+        /// Cap as a multiple of the round's lower-median delta norm.
+        multiple: f32,
+    },
+    /// FEDCC's majority-cluster screen ([`ClusterAggregator`]).
+    ClusterSplit {
+        /// Minimum centroid cosine separation for the split to count.
+        separation_threshold: f32,
+    },
+    /// FEDLS's latent-space anomaly screen ([`LatentFilterAggregator`]).
+    LatentScreen {
+        /// Rejection threshold in σ above the mean reconstruction error.
+        z_threshold: f32,
+    },
+    /// The benign-history screen ([`HistoryScreen`]) — the opt-in stage
+    /// closing FEDLS's small-but-≥3-round gap.
+    HistoryScreen {
+        /// Rejection threshold in σ above the history's mean distance.
+        z_threshold: f32,
+        /// Accepted rows required before screening activates.
+        min_history: usize,
+    },
+}
+
+impl StageSpec {
+    /// Short label for derived pipeline names.
+    pub fn label(&self) -> String {
+        match self {
+            StageSpec::NonFinite => "non-finite".to_string(),
+            StageSpec::NormClip { multiple } => format!("norm-clip({multiple})"),
+            StageSpec::ClusterSplit { .. } => "cluster".to_string(),
+            StageSpec::LatentScreen { .. } => "latent".to_string(),
+            StageSpec::HistoryScreen { .. } => "history-screen".to_string(),
+        }
+    }
+
+    /// Builds the stage, seeding its internal streams from `seed`.
+    pub fn build(&self, seed: u64) -> Box<dyn DefenseStage> {
+        match *self {
+            StageSpec::NonFinite => Box::new(NonFiniteGuard),
+            StageSpec::NormClip { multiple } => Box::new(NormClip::new(multiple)),
+            StageSpec::ClusterSplit {
+                separation_threshold,
+            } => Box::new(ClusterAggregator::new(separation_threshold)),
+            StageSpec::LatentScreen { z_threshold } => {
+                let mut stage = LatentFilterAggregator::new(seed);
+                stage.z_threshold = z_threshold;
+                Box::new(stage)
+            }
+            StageSpec::HistoryScreen {
+                z_threshold,
+                min_history,
+            } => {
+                let mut stage = HistoryScreen::new(seed);
+                stage.z_threshold = z_threshold;
+                stage.min_history = min_history;
+                Box::new(stage)
+            }
+        }
+    }
+}
+
+/// The terminal combiner of a [`PipelineSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CombinerSpec {
+    /// Uniform mean of the survivors ([`UniformMean`]).
+    Mean,
+    /// Sample-count-weighted mean ([`FedAvg`]).
+    SampleWeightedMean,
+    /// Krum selection ([`Krum`]).
+    Krum {
+        /// Assumed number of Byzantine clients.
+        assumed_byzantine: usize,
+    },
+    /// Coordinate-wise trimmed mean ([`TrimmedMean`]).
+    TrimmedMean {
+        /// Fraction trimmed from each tail, in `[0, 0.5)`.
+        trim_fraction: f32,
+    },
+    /// Coordinate-wise median ([`CoordinateMedian`]).
+    CoordinateMedian,
+    /// FEDHIL's selective per-tensor mean ([`SelectiveAggregator`]).
+    Selective {
+        /// Fraction of tensors (output side) that are aggregated.
+        aggregate_fraction: f32,
+    },
+    /// SAFELOC's saliency-damped combining ([`SaliencyAggregator`]).
+    Saliency {
+        /// Deviation sharpness `k` in `S = 1/(1 + k·|ΔW|)`.
+        sharpness: f32,
+    },
+}
+
+impl CombinerSpec {
+    /// Short label for derived pipeline names.
+    pub fn label(&self) -> String {
+        match self {
+            CombinerSpec::Mean => "mean".to_string(),
+            CombinerSpec::SampleWeightedMean => "sample-mean".to_string(),
+            CombinerSpec::Krum { assumed_byzantine } => format!("krum(f={assumed_byzantine})"),
+            CombinerSpec::TrimmedMean { trim_fraction } => {
+                format!("trimmed-mean({trim_fraction})")
+            }
+            CombinerSpec::CoordinateMedian => "coordinate-median".to_string(),
+            CombinerSpec::Selective { aggregate_fraction } => {
+                format!("selective({aggregate_fraction})")
+            }
+            CombinerSpec::Saliency { sharpness } => format!("saliency(k={sharpness})"),
+        }
+    }
+
+    /// Builds the runnable combiner.
+    pub fn build(&self) -> Box<dyn Combiner> {
+        match *self {
+            CombinerSpec::Mean => Box::new(UniformMean),
+            CombinerSpec::SampleWeightedMean => Box::new(FedAvg),
+            CombinerSpec::Krum { assumed_byzantine } => Box::new(Krum::new(assumed_byzantine)),
+            CombinerSpec::TrimmedMean { trim_fraction } => {
+                Box::new(TrimmedMean::new(trim_fraction))
+            }
+            CombinerSpec::CoordinateMedian => Box::new(CoordinateMedian),
+            CombinerSpec::Selective { aggregate_fraction } => {
+                Box::new(SelectiveAggregator::new(aggregate_fraction))
+            }
+            CombinerSpec::Saliency { sharpness } => {
+                Box::new(SaliencyAggregator::default().with_sharpness(sharpness))
+            }
+        }
+    }
+}
+
 // --------------------------------------------------------------- the spec
 
-/// A declarative scenario suite: the cartesian grid of six axes.
+/// A declarative scenario suite: the cartesian grid of seven axes
+/// (framework × defense × building × fleet × attack × participation ×
+/// seed).
 ///
 /// Empty `buildings` means "the scale's default buildings"; `rounds` 0
 /// means "the scale's default round count" — so one spec file serves
@@ -480,6 +692,11 @@ pub struct ScenarioSpec {
     pub description: String,
     /// Framework axis.
     pub frameworks: Vec<FrameworkSpec>,
+    /// Defense axis: each entry runs every framework with that defense
+    /// ([`DefenseSpec::Builtin`] = the framework's own rule). Defaults to
+    /// builtin only, so pre-existing specs are unchanged.
+    #[serde(default = "default_defenses")]
+    pub defenses: Vec<DefenseSpec>,
     /// Paper building ids; empty = the scale's defaults.
     #[serde(default = "Vec::new")]
     pub buildings: Vec<usize>,
@@ -527,6 +744,12 @@ fn default_participation() -> Vec<ParticipationSpec> {
 fn default_seed_salts() -> Vec<u64> {
     vec![0]
 }
+fn default_defenses() -> Vec<DefenseSpec> {
+    vec![DefenseSpec::Builtin]
+}
+fn builtin_defense() -> DefenseSpec {
+    DefenseSpec::Builtin
+}
 
 impl ScenarioSpec {
     /// A minimal spec over one framework and the clean scenario; builders
@@ -536,6 +759,7 @@ impl ScenarioSpec {
             name: name.to_string(),
             description: String::new(),
             frameworks,
+            defenses: default_defenses(),
             buildings: Vec::new(),
             fleets: default_fleets(),
             attacks,
@@ -555,6 +779,9 @@ impl ScenarioSpec {
 pub struct CellIndex {
     /// Index into [`ScenarioSpec::frameworks`].
     pub framework: usize,
+    /// Index into [`ScenarioSpec::defenses`] (0 for pre-axis reports).
+    #[serde(default = "usize_zero")]
+    pub defense: usize,
     /// Index into the effective building list.
     pub building: usize,
     /// Index into [`ScenarioSpec::fleets`].
@@ -572,6 +799,9 @@ pub struct CellIndex {
 pub struct ScenarioCell {
     /// Framework under test.
     pub framework: FrameworkSpec,
+    /// Defense composition (builtin for pre-axis cells).
+    #[serde(default = "builtin_defense")]
+    pub defense: DefenseSpec,
     /// Paper building id.
     pub building: usize,
     /// Fleet shape.
@@ -608,11 +838,24 @@ impl ScenarioCell {
         self.scenario_seed(base) ^ 0xC0_4082 ^ ((self.index.participation as u64 + 1) << 8)
     }
 
+    /// Seed for spec-built defense stages (projections, AE init). Derived
+    /// from the scenario seed *without* a defense-index salt, so two
+    /// defense variants of the same scenario screen the same training
+    /// stream and stay comparable.
+    pub fn defense_seed(&self, base: u64) -> u64 {
+        self.scenario_seed(base) ^ 0xDE_FE2E
+    }
+
     /// Compact display label.
     pub fn label(&self) -> String {
+        let defense = match &self.defense {
+            DefenseSpec::Builtin => String::new(),
+            spec => format!(" +{}", spec.label()),
+        };
         format!(
-            "{} B{} {} {}",
+            "{}{} B{} {} {}",
             self.framework.label(),
+            defense,
             self.building,
             self.fleet.label(),
             self.attack.label()
@@ -624,6 +867,10 @@ impl ScenarioCell {
 
 /// Builds the experimental bundle for one cell's `(building, fleet)` pair.
 type DatasetBuilder = Box<dyn Fn(usize, &FleetSpec, u64) -> BuildingDataset>;
+
+/// A cell paired with its instantiated framework (or the defense
+/// override's refusal), the unit the parallel executor consumes.
+type PreparedCell = (ScenarioCell, Result<Box<dyn Framework>, String>);
 
 /// Expands a [`ScenarioSpec`] over a [`HarnessConfig`] and executes the
 /// grid, caching datasets per `(building, fleet)` and pretrained framework
@@ -701,30 +948,34 @@ impl SuiteRunner {
         let rounds = self.rounds();
         let mut out = Vec::new();
         for (fi, framework) in self.spec.frameworks.iter().enumerate() {
-            for (bi, &building) in buildings.iter().enumerate() {
-                for (li, fleet) in self.spec.fleets.iter().enumerate() {
-                    for (ai, attack) in self.spec.attacks.iter().enumerate() {
-                        for (pi, participation) in self.spec.participation.iter().enumerate() {
-                            for (si, &seed_salt) in self.spec.seed_salts.iter().enumerate() {
-                                out.push(ScenarioCell {
-                                    framework: framework.clone(),
-                                    building,
-                                    fleet: fleet.clone(),
-                                    attack: attack.clone(),
-                                    participation: participation.clone(),
-                                    seed_salt,
-                                    rounds,
-                                    boost: self.spec.boost,
-                                    coherent: self.spec.coherent,
-                                    index: CellIndex {
-                                        framework: fi,
-                                        building: bi,
-                                        fleet: li,
-                                        attack: ai,
-                                        participation: pi,
-                                        seed: si,
-                                    },
-                                });
+            for (di, defense) in self.spec.defenses.iter().enumerate() {
+                for (bi, &building) in buildings.iter().enumerate() {
+                    for (li, fleet) in self.spec.fleets.iter().enumerate() {
+                        for (ai, attack) in self.spec.attacks.iter().enumerate() {
+                            for (pi, participation) in self.spec.participation.iter().enumerate() {
+                                for (si, &seed_salt) in self.spec.seed_salts.iter().enumerate() {
+                                    out.push(ScenarioCell {
+                                        framework: framework.clone(),
+                                        defense: defense.clone(),
+                                        building,
+                                        fleet: fleet.clone(),
+                                        attack: attack.clone(),
+                                        participation: participation.clone(),
+                                        seed_salt,
+                                        rounds,
+                                        boost: self.spec.boost,
+                                        coherent: self.spec.coherent,
+                                        index: CellIndex {
+                                            framework: fi,
+                                            defense: di,
+                                            building: bi,
+                                            fleet: li,
+                                            attack: ai,
+                                            participation: pi,
+                                            seed: si,
+                                        },
+                                    });
+                                }
                             }
                         }
                     }
@@ -773,10 +1024,23 @@ impl SuiteRunner {
     }
 
     /// A ready-to-run framework for one cell: the pretrained template,
-    /// cloned and specialized (τ overrides applied).
-    pub fn framework(&mut self, cell: &ScenarioCell) -> Box<dyn Framework> {
+    /// cloned and specialized (τ overrides applied, the cell's defense
+    /// pipeline swapped in).
+    ///
+    /// # Errors
+    ///
+    /// Returns the framework's refusal message when the cell requests a
+    /// defense override the framework does not support.
+    pub fn framework(&mut self, cell: &ScenarioCell) -> Result<Box<dyn Framework>, String> {
         let key = self.ensure_template(cell);
-        self.templates[&key].instantiate(&cell.framework)
+        let mut framework = self.templates[&key].instantiate(&cell.framework);
+        if let DefenseSpec::Pipeline(spec) = &cell.defense {
+            let pipeline = spec.build(cell.defense_seed(self.cfg.seed));
+            framework
+                .set_aggregator(Box::new(pipeline))
+                .map_err(|e| format!("defense {:?} not applicable: {e}", spec.label()))?;
+        }
+        Ok(framework)
     }
 
     /// Executes one cell end to end: fleet construction with the cell's
@@ -810,7 +1074,7 @@ impl SuiteRunner {
         let wave_len = (rayon::current_num_threads() * 2).max(1);
         let mut runs: Vec<CellRun> = Vec::with_capacity(total);
         for wave in cells.chunks(wave_len) {
-            let prepared: Vec<(ScenarioCell, Box<dyn Framework>)> = wave
+            let prepared: Vec<PreparedCell> = wave
                 .iter()
                 .map(|cell| (cell.clone(), self.framework(cell)))
                 .collect();
@@ -843,16 +1107,29 @@ impl SuiteRunner {
 }
 
 /// Executes one cell against the prepared dataset cache, converting a
-/// panicking cell into a [`CellRun`] with [`CellRun::error`] set.
+/// panicking cell — or a framework that refused the cell's defense
+/// override — into a [`CellRun`] with [`CellRun::error`] set.
 fn run_prepared_cell(
     datasets: &HashMap<(usize, usize), BuildingDataset>,
     base_seed: u64,
     cell: ScenarioCell,
-    framework: Box<dyn Framework>,
+    framework: Result<Box<dyn Framework>, String>,
 ) -> CellRun {
     let data = datasets
         .get(&(cell.building, cell.fleet.total))
         .expect("prepare ensured the dataset");
+    let framework = match framework {
+        Ok(framework) => framework,
+        Err(message) => {
+            return CellRun {
+                cell,
+                fleet_size: data.num_clients(),
+                errors: Vec::new(),
+                reports: Vec::new(),
+                error: Some(message),
+            }
+        }
+    };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let scenario = Scenario {
             attack: cell.attack.attack.clone(),
@@ -1008,11 +1285,27 @@ impl CellRun {
             .collect()
     }
 
+    /// Per-stage defense telemetry pooled over the cell's rounds: total
+    /// rejections and mean wall time by stage name, in pipeline order
+    /// (order of first appearance). Empty for frameworks predating the
+    /// stage trail.
+    pub fn stage_stats(&self) -> Vec<StageSuiteStats> {
+        safeloc_fl::pooled_stage_telemetry(self.reports.iter())
+            .into_iter()
+            .map(|s| StageSuiteStats {
+                stage: s.stage,
+                rejections: s.rejections,
+                mean_wall_ms: s.wall_ms,
+            })
+            .collect()
+    }
+
     /// The serializable per-cell report.
     pub fn report(&self) -> SuiteCellReport {
         let stats = self.stats();
         SuiteCellReport {
             framework: self.cell.framework.label(),
+            defense: self.cell.defense.label(),
             building: self.cell.building,
             fleet: self.fleet_label(),
             attack: self.cell.attack.label(),
@@ -1027,6 +1320,7 @@ impl CellRun {
             honest_rejection_rate: self.honest_rejection_rate(),
             mean_attacker_weight: self.mean_attacker_weight(),
             rules: self.rule_stats(),
+            stage_stats: self.stage_stats(),
             mean_train_ms: self.mean_train_ms(),
             mean_aggregate_ms: self.mean_aggregate_ms(),
             error: self.error.clone(),
@@ -1107,8 +1401,22 @@ impl SuiteRun {
             .iter()
             .map(|c| {
                 let stats = c.stats();
+                let stage_rejections = {
+                    let parts: Vec<String> = c
+                        .stage_stats()
+                        .iter()
+                        .filter(|s| s.rejections > 0)
+                        .map(|s| format!("{}:{}", s.stage, s.rejections))
+                        .collect();
+                    if parts.is_empty() {
+                        "—".to_string()
+                    } else {
+                        parts.join(" ")
+                    }
+                };
                 vec![
                     c.cell.framework.label(),
+                    c.cell.defense.label(),
                     format!("B{}", c.cell.building),
                     c.fleet_label(),
                     c.cell.attack.label(),
@@ -1120,6 +1428,7 @@ impl SuiteRun {
                     c.mean_attacker_weight()
                         .map(|w| format!("{w:.3}"))
                         .unwrap_or_else(|| "—".to_string()),
+                    stage_rejections,
                     format!("{:.1}", c.mean_train_ms()),
                     format!("{:.2}", c.mean_aggregate_ms()),
                 ]
@@ -1128,6 +1437,7 @@ impl SuiteRun {
         markdown_table(
             &[
                 "framework",
+                "defense",
                 "building",
                 "fleet",
                 "attack",
@@ -1137,6 +1447,7 @@ impl SuiteRun {
                 "attacker rej.",
                 "honest rej.",
                 "attacker weight",
+                "stage rejections",
                 "train ms",
                 "agg ms",
             ],
@@ -1165,11 +1476,26 @@ pub struct RuleStats {
     pub false_positive_rate: Option<f32>,
 }
 
+/// Per-stage defense telemetry of one cell, pooled over its rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSuiteStats {
+    /// Stage (or combiner) name, in pipeline order.
+    pub stage: String,
+    /// Total updates this stage rejected over the cell's rounds.
+    pub rejections: usize,
+    /// Mean wall time per round, milliseconds.
+    pub mean_wall_ms: f64,
+}
+
 /// The serializable record of one executed cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SuiteCellReport {
     /// Framework display name.
     pub framework: String,
+    /// Defense composition label (`"builtin"` for the framework's own
+    /// rule).
+    #[serde(default = "String::new")]
+    pub defense: String,
     /// Paper building id.
     pub building: usize,
     /// Fleet label (`"(total, attackers)"`).
@@ -1198,6 +1524,9 @@ pub struct SuiteCellReport {
     pub mean_attacker_weight: Option<f32>,
     /// Per-rule rejection/false-positive statistics.
     pub rules: Vec<RuleStats>,
+    /// Per-stage rejections and wall time, in pipeline order.
+    #[serde(default = "Vec::new")]
+    pub stage_stats: Vec<StageSuiteStats>,
     /// Mean client-training wall time per round, ms.
     pub mean_train_ms: f64,
     /// Mean aggregation wall time per round, ms.
@@ -1250,7 +1579,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(clippy::identity_op)] // the full six-axis product documents the grid
+    #[allow(clippy::identity_op)] // the full axis product documents the grid
     fn grid_expansion_is_the_axis_product() {
         let cfg = HarnessConfig {
             scale: Scale::Quick,

@@ -49,7 +49,7 @@ fn tiny_spec() -> ScenarioSpec {
 }
 
 #[test]
-#[allow(clippy::identity_op)] // the full six-axis product documents the grid
+#[allow(clippy::identity_op)] // the full axis product documents the grid
 fn suite_runs_every_cell_and_reports_metrics() {
     let mut runner = tiny_runner(tiny_spec());
     let expected = runner.cells().len();
@@ -204,7 +204,7 @@ fn failing_cells_are_embedded_as_errors_not_fatal() {
 }
 
 #[test]
-#[allow(clippy::identity_op)] // the full six-axis product documents the grid
+#[allow(clippy::identity_op)] // the full axis product documents the grid
 fn checked_in_small_cohort_spec_parses_and_expands() {
     let json = include_str!("../../../scenarios/small_cohort.json");
     let spec: ScenarioSpec =
@@ -221,4 +221,104 @@ fn checked_in_small_cohort_spec_parses_and_expands() {
     );
     // frameworks × buildings × fleets × attacks × participation × seeds
     assert_eq!(runner.cells().len(), 3 * 1 * 1 * 1 * 4 * 1);
+}
+
+#[test]
+fn defense_axis_multiplies_the_grid_and_swaps_pipelines_in() {
+    use safeloc_bench::{CombinerSpec, DefenseSpec, PipelineSpec, StageSpec};
+
+    let mut spec = tiny_spec();
+    spec.frameworks = vec![FrameworkSpec::FedLoc];
+    spec.participation = vec![ParticipationSpec::full()];
+    spec.attacks = vec![AttackSpec::of(Attack::label_flip(1.0))];
+    spec.boost = Some(6.0);
+    spec.defenses = vec![
+        DefenseSpec::Builtin,
+        DefenseSpec::Pipeline(PipelineSpec {
+            name: Some("norm-clip+krum".into()),
+            stages: vec![StageSpec::NormClip { multiple: 3.0 }],
+            combiner: CombinerSpec::Krum {
+                assumed_byzantine: 1,
+            },
+        }),
+        DefenseSpec::Pipeline(PipelineSpec {
+            name: None,
+            stages: Vec::new(),
+            combiner: CombinerSpec::CoordinateMedian,
+        }),
+    ];
+    let mut runner = tiny_runner(spec);
+    let cells = runner.cells();
+    assert_eq!(cells.len(), 3, "defense axis must multiply the grid");
+    let run = runner.run();
+    assert!(run.cells.iter().all(|c| c.error.is_none()));
+
+    // The builtin cell keeps FEDLOC's own (defenseless) rule: every
+    // update accepted, no rejections anywhere in the stage trail.
+    let builtin = &run.cells[0];
+    assert_eq!(builtin.cell.defense, DefenseSpec::Builtin);
+    assert_eq!(builtin.attacker_rejection_rate(), Some(0.0));
+
+    // The composed cell rejects through the spec-built pipeline, and the
+    // per-stage trail in the report shows which stage did it.
+    let composed = &run.cells[1];
+    assert_eq!(composed.cell.defense.label(), "norm-clip+krum");
+    let stages = composed.stage_stats();
+    let names: Vec<&str> = stages.iter().map(|s| s.stage.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["norm-clip", "krum"],
+        "stage trail must list the composition in order"
+    );
+    let krum = stages.iter().find(|s| s.stage == "krum").unwrap();
+    assert!(
+        krum.rejections > 0,
+        "Krum selection rejects the non-selected updates"
+    );
+    assert!(stages.iter().all(|s| s.mean_wall_ms >= 0.0));
+
+    // Serialized cell reports carry the defense label and stage stats.
+    let report = run.report();
+    assert_eq!(report.cells[0].defense, "builtin");
+    assert_eq!(report.cells[1].defense, "norm-clip+krum");
+    assert!(!report.cells[1].stage_stats.is_empty());
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SuiteReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+    // The markdown table names the defense axis.
+    let md = run.markdown();
+    assert!(md.contains("norm-clip+krum"));
+    assert!(md.contains("coordinate-median"));
+}
+
+#[test]
+fn defense_variants_share_one_pretrained_template() {
+    use safeloc_bench::{CombinerSpec, DefenseSpec, PipelineSpec};
+
+    // Same framework × building × fleet with two defenses: the runner must
+    // pretrain exactly one template (the defense is applied post-clone).
+    let mut spec = tiny_spec();
+    spec.frameworks = vec![FrameworkSpec::FedLoc];
+    spec.participation = vec![ParticipationSpec::full()];
+    spec.attacks = vec![AttackSpec::clean()];
+    spec.defenses = vec![
+        DefenseSpec::Builtin,
+        DefenseSpec::Pipeline(PipelineSpec {
+            name: None,
+            stages: Vec::new(),
+            combiner: CombinerSpec::Mean,
+        }),
+    ];
+    let mut runner = tiny_runner(spec);
+    let cells = runner.cells();
+    // Building both cells' frameworks forces template resolution; if the
+    // defense leaked into the template key this would pretrain twice and
+    // the clean trajectories would diverge between axis positions.
+    let a = runner.framework(&cells[0]).expect("builtin instantiates");
+    let b = runner.framework(&cells[1]).expect("pipeline instantiates");
+    assert_eq!(
+        a.global_params(),
+        b.global_params(),
+        "defense variants must fork the same pretrained weights"
+    );
 }

@@ -23,17 +23,23 @@ use safeloc_nn::{Adam, HasParams, Matrix, NamedParams, TrainConfig};
 ///    cohort; each participating client de-noises its local data through
 ///    the autoencoder (RCE > τ ⇒ replaced with its reconstruction,
 ///    neutralizing backdoor perturbations), retrains its LM for 5 epochs at
-///    the reduced rate, and uploads it. The server applies saliency-map
-///    aggregation, which suppresses the weight deviations that
-///    label-flipped training produces; the returned
+///    the reduced rate, and uploads it. The server runs its defense
+///    pipeline — canonically the stage-less saliency composition
+///    ([`SaliencyAggregator::into_pipeline`]), which suppresses the weight
+///    deviations that label-flipped training produces; the returned
 ///    [`RoundReport`] records each update's mean
-///    saliency as its acceptance weight.
+///    saliency as its acceptance weight. [`Framework::set_aggregator`]
+///    swaps in any other composed pipeline (scenario-spec defense
+///    ablations) without touching the client-side protocol.
 /// 3. [`Framework::predict`] — detection-aware inference: flagged inputs
 ///    are classified from their re-encoded reconstruction.
 #[derive(Clone)]
 pub struct SafeLoc {
     net: FusedNetwork,
-    aggregator: SaliencyAggregator,
+    /// The saliency configuration the default pipeline is built from
+    /// (kept so sharpness/mode tweaks rebuild it).
+    saliency: SaliencyAggregator,
+    aggregator: Box<dyn Aggregator>,
     cfg: SafeLocConfig,
     /// p95 of the clean training data's RCE, calibrated at pretraining;
     /// τ is read relative to this baseline (`DESIGN.md` §5).
@@ -46,7 +52,7 @@ impl std::fmt::Debug for SafeLoc {
         f.debug_struct("SafeLoc")
             .field("params", &self.net.num_params())
             .field("tau", &self.cfg.tau)
-            .field("aggregation", &self.cfg.aggregation)
+            .field("aggregation", &self.aggregator.name().to_string())
             .field("rounds_run", &self.rounds_run)
             .finish()
     }
@@ -63,10 +69,11 @@ impl SafeLoc {
             n_classes,
             seed: cfg.seed,
         });
-        let aggregator = SaliencyAggregator::new(cfg.aggregation);
+        let saliency = SaliencyAggregator::new(cfg.aggregation);
         Self {
             net,
-            aggregator,
+            saliency,
+            aggregator: Box::new(saliency.into_pipeline()),
             cfg,
             rce_baseline: f32::INFINITY, // calibrated during pretrain
             rounds_run: 0,
@@ -100,9 +107,12 @@ impl SafeLoc {
     }
 
     /// Overrides the saliency sharpness (0 makes S ≡ 1, i.e. plain delta
-    /// averaging — the ablation's "no saliency" variant).
+    /// averaging — the ablation's "no saliency" variant). Rebuilds the
+    /// canonical saliency pipeline, replacing any pipeline previously
+    /// installed through [`Framework::set_aggregator`].
     pub fn set_saliency_sharpness(&mut self, sharpness: f32) {
-        self.aggregator.sharpness = sharpness;
+        self.saliency.sharpness = sharpness;
+        self.aggregator = Box::new(self.saliency.into_pipeline());
     }
 
     /// The framework configuration.
@@ -121,47 +131,47 @@ impl SafeLoc {
         let n_classes = self.net.n_classes();
         let round_salt = (self.rounds_run as u64 + 1) << 16;
         // One snapshot shared across the fleet (the seed re-snapshotted the
-        // full fused model once per client).
+        // full fused model once per client). The fields the fleet reads are
+        // hoisted so the parallel closure does not capture `self` (whose
+        // boxed defense pipeline is Send, not Sync — it is only ever run
+        // from the server thread).
         let gm_snapshot = self.net.snapshot();
+        let net = &self.net;
+        let cfg = &self.cfg;
+        let threshold = self.effective_threshold();
         active_clients(clients, plan)
             .into_par_iter()
             .map(|c| {
                 // 1. A backdoor attacker perturbs the RSS feed before the
                 //    pipeline sees it (Fig. 2).
-                let base = c.base_labels(&self.net, &self.cfg.local);
-                let x = c.round_rss(&self.net, &base, n_classes);
+                let base = c.base_labels(net, &cfg.local);
+                let x = c.round_rss(net, &base, n_classes);
                 // 2. Client-side poison detection + de-noising (§IV.A):
                 //    rows whose RCE exceeds τ are replaced by their
                 //    reconstructions, neutralizing the perturbation.
-                let (den_x, _) =
-                    self.net
-                        .denoise_matrix(&x, self.effective_threshold(), self.cfg.rce_mode);
+                let (den_x, _) = net.denoise_matrix(&x, threshold, cfg.rce_mode);
                 // 3. Labeling per protocol — under self-training the labels
                 //    come from the *de-noised* input, which is what defeats
                 //    the backdoor payload.
-                let labels = match self.cfg.local.labeling {
-                    safeloc_fl::LabelingMode::SelfTrain => self.net.predict(&den_x),
+                let labels = match cfg.local.labeling {
+                    safeloc_fl::LabelingMode::SelfTrain => net.predict(&den_x),
                     safeloc_fl::LabelingMode::Surveyed => c.local.labels.clone(),
                 };
                 // 4. A label-flipping attacker corrupts the final labels —
                 //    invisible to the client-side defense by construction.
                 let labels = c.round_labels(labels, n_classes);
                 // 5. Lightweight local retraining of the fused LM.
-                let mut lm = self.net.clone();
-                let mut opt = Adam::new(self.cfg.local.learning_rate);
+                let mut lm = net.clone();
+                let mut opt = Adam::new(cfg.local.learning_rate);
                 let n = den_x.rows();
                 lm.fit_augmented(
                     &den_x,
                     &labels,
                     &mut opt,
-                    &TrainConfig::new(
-                        self.cfg.local.epochs,
-                        self.cfg.local.batch_size,
-                        c.seed ^ round_salt,
-                    ),
-                    self.cfg.detach_decoder,
-                    self.cfg.recon_weight,
-                    self.cfg.augment.as_ref(),
+                    &TrainConfig::new(cfg.local.epochs, cfg.local.batch_size, c.seed ^ round_salt),
+                    cfg.detach_decoder,
+                    cfg.recon_weight,
+                    cfg.augment.as_ref(),
                 );
                 let params = c.finalize_params(&gm_snapshot, lm.snapshot());
                 ClientUpdate::new(c.id, params, n)
@@ -206,9 +216,10 @@ impl Framework for SafeLoc {
         let updates = self.collect_updates(clients, plan);
         let timer = timer.split();
         let outcome = self.aggregator.aggregate(&self.net.snapshot(), &updates);
+        let stages = self.aggregator.take_stage_telemetry();
         self.net
             .load(&outcome.params)
-            .expect("saliency aggregation preserves architecture");
+            .expect("aggregation preserves architecture");
         let report = timer.finish(
             self.rounds_run,
             self.name(),
@@ -216,6 +227,7 @@ impl Framework for SafeLoc {
             plan,
             &updates,
             &outcome,
+            stages,
         );
         self.rounds_run += 1;
         report
@@ -237,6 +249,14 @@ impl Framework for SafeLoc {
 
     fn clone_box(&self) -> Box<dyn Framework> {
         Box::new(self.clone())
+    }
+
+    fn set_aggregator(&mut self, aggregator: Box<dyn Aggregator>) -> Result<(), String> {
+        // The client-side detector/de-noiser is untouched: only the
+        // server-side combination rule is swapped, which is exactly the
+        // ablation axis ("SAFELOC's pipeline with X instead of saliency").
+        self.aggregator = aggregator;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
-//! Saliency-map based aggregation (paper §IV.B, Eqs. 6–9).
+//! Saliency-map based aggregation (paper §IV.B, Eqs. 6–9) — SAFELOC's
+//! terminal [`Combiner`] in the defense-pipeline API.
 //!
-//! For every weight tensor of every returned local model, the server
+//! For every weight tensor of every surviving local model, the server
 //! computes the elementwise deviation from the global model (Eq. 6), maps
 //! it through the inverse-deviation saliency `S = 1 / (1 + |ΔW|)` (Eq. 7,
 //! values in `(0, 1]`), and uses `S` to shrink the influence of heavily
@@ -18,11 +19,19 @@
 //! * [`AggregationMode::Literal`]: Eq. 9 as printed, applied to the mean
 //!   adjusted LM and damped by ½ so identical models remain a fixed point:
 //!   `W'_GM = (W_GM + mean_i(S_i ∘ W_LM,i)) / 2`.
+//!
+//! Saliency is a *soft* defense: it rejects nothing, so as a combiner it
+//! accepts every surviving update with its mean elementwise saliency as
+//! the acceptance weight. [`SaliencyAggregator::into_pipeline`] wraps it
+//! into the stage-less canonical pipeline SAFELOC deploys; any screening
+//! stage (norm clipping, a history screen) can be composed in front of it
+//! from a scenario spec.
 
 use rayon::prelude::*;
-use safeloc_fl::{AggregationOutcome, Aggregator, ClientUpdate, UpdateDecision};
+use safeloc_fl::defense::{Combiner, DefensePipeline, RoundContext, Verdicts};
 use safeloc_nn::{Matrix, NamedParams};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Interpretation of Eq. 9 (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,7 +69,7 @@ pub struct SaliencyAggregator {
 }
 
 impl SaliencyAggregator {
-    /// Creates the aggregator with the default sharpness of 10.
+    /// Creates the combiner with the default sharpness of 10.
     pub fn new(mode: AggregationMode) -> Self {
         Self {
             mode,
@@ -73,6 +82,20 @@ impl SaliencyAggregator {
         self.sharpness = sharpness;
         self
     }
+
+    /// Display label, distinguishing the Eq. 9 readings.
+    pub fn label(&self) -> &'static str {
+        match self.mode {
+            AggregationMode::Normalized => "Saliency",
+            AggregationMode::Literal => "Saliency(Literal)",
+        }
+    }
+
+    /// The canonical SAFELOC pipeline: no screening stages, saliency
+    /// combining. This is what [`SafeLoc`](crate::SafeLoc) deploys.
+    pub fn into_pipeline(self) -> DefensePipeline {
+        DefensePipeline::new(self.label(), Vec::new(), Box::new(self))
+    }
 }
 
 impl Default for SaliencyAggregator {
@@ -81,13 +104,17 @@ impl Default for SaliencyAggregator {
     }
 }
 
-impl Aggregator for SaliencyAggregator {
-    fn aggregate_filtered(
-        &mut self,
-        global: &NamedParams,
-        updates: &[&ClientUpdate],
-    ) -> AggregationOutcome {
-        let n = updates.len() as f32;
+impl Combiner for SaliencyAggregator {
+    fn name(&self) -> &'static str {
+        "saliency"
+    }
+
+    fn combine(&mut self, ctx: &RoundContext<'_>, verdicts: &mut Verdicts) -> NamedParams {
+        let active = verdicts.active_indices();
+        let sources: Vec<Cow<'_, NamedParams>> =
+            active.iter().map(|&i| verdicts.effective(ctx, i)).collect();
+        let global = ctx.global();
+        let n = sources.len() as f32;
         // Tensors are independent, so the per-tensor saliency-gate-and-
         // average work fans out across threads; names() fixes the order so
         // results are identical for any thread count. Each tensor's pass
@@ -101,13 +128,13 @@ impl Aggregator for SaliencyAggregator {
             .par_iter()
             .map(|name| {
                 let gm = global.get(name).expect("same arch");
-                let mut saliency_sums = vec![0.0f64; updates.len()];
+                let mut saliency_sums = vec![0.0f64; sources.len()];
                 let next = match mode {
                     AggregationMode::Normalized => {
                         // W' = W_GM + mean_i( S_i ∘ (W_LM,i − W_GM) )
                         let mut acc = gm.scale(0.0);
-                        for (u, sum) in updates.iter().zip(&mut saliency_sums) {
-                            let lm = u.params.get(name).expect("same arch");
+                        for (p, sum) in sources.iter().zip(&mut saliency_sums) {
+                            let lm = p.get(name).expect("same arch");
                             let s = saliency_matrix(lm, gm, sharpness);
                             *sum += s.as_slice().iter().map(|&v| v as f64).sum::<f64>();
                             let gated = s.hadamard(&lm.sub(gm));
@@ -119,8 +146,8 @@ impl Aggregator for SaliencyAggregator {
                     AggregationMode::Literal => {
                         // W' = ( W_GM + mean_i( S_i ∘ W_LM,i ) ) / 2
                         let mut acc = gm.scale(0.0);
-                        for (u, sum) in updates.iter().zip(&mut saliency_sums) {
-                            let lm = u.params.get(name).expect("same arch");
+                        for (p, sum) in sources.iter().zip(&mut saliency_sums) {
+                            let lm = p.get(name).expect("same arch");
                             let s = saliency_matrix(lm, gm, sharpness);
                             *sum += s.as_slice().iter().map(|&v| v as f64).sum::<f64>();
                             acc.axpy(1.0 / n, &s.hadamard(lm));
@@ -133,40 +160,29 @@ impl Aggregator for SaliencyAggregator {
                 (next, saliency_sums)
             })
             .collect();
-        let mut totals = vec![0.0f64; updates.len()];
+        let mut totals = vec![0.0f64; sources.len()];
         for (_, sums) in &per_tensor {
             for (t, s) in totals.iter_mut().zip(sums) {
                 *t += s;
             }
         }
-        let params: NamedParams = names
-            .into_iter()
-            .map(str::to_string)
-            .zip(per_tensor.into_iter().map(|(t, _)| t))
-            .collect();
         // Saliency is a *soft* defense: no update is ever rejected
         // outright. The decision trail records each update's mean
         // elementwise saliency as its acceptance weight — honest updates
         // sit near 1, heavily deviating (poisoned) updates near 0 — which
         // is what reports use to show suppression.
         let num_params = global.num_params().max(1) as f64;
-        let decisions: Vec<UpdateDecision> = totals
-            .into_iter()
-            .map(|sum| UpdateDecision::Accepted {
-                weight: (sum / num_params) as f32,
-            })
-            .collect();
-        AggregationOutcome { params, decisions }
-    }
-
-    fn name(&self) -> &'static str {
-        match self.mode {
-            AggregationMode::Normalized => "Saliency",
-            AggregationMode::Literal => "Saliency(Literal)",
+        for (&i, sum) in active.iter().zip(totals) {
+            verdicts.set_weight(i, (sum / num_params) as f32);
         }
+        names
+            .into_iter()
+            .map(str::to_string)
+            .zip(per_tensor.into_iter().map(|(t, _)| t))
+            .collect()
     }
 
-    fn clone_box(&self) -> Box<dyn Aggregator> {
+    fn clone_combiner(&self) -> Box<dyn Combiner> {
         Box::new(*self)
     }
 }
@@ -174,6 +190,7 @@ impl Aggregator for SaliencyAggregator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use safeloc_fl::{Aggregator, ClientUpdate, UpdateDecision};
 
     fn params(w: &[f32]) -> NamedParams {
         NamedParams::new(vec![(
@@ -184,6 +201,14 @@ mod tests {
 
     fn update(id: usize, w: &[f32]) -> ClientUpdate {
         ClientUpdate::new(id, params(w), 10)
+    }
+
+    fn saliency(mode: AggregationMode) -> DefensePipeline {
+        SaliencyAggregator::new(mode).into_pipeline()
+    }
+
+    fn default_saliency() -> DefensePipeline {
+        SaliencyAggregator::default().into_pipeline()
     }
 
     #[test]
@@ -222,17 +247,17 @@ mod tests {
             ClientUpdate::new(0, g.clone(), 1),
             ClientUpdate::new(1, g.clone(), 1),
         ];
-        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        let out = default_saliency().aggregate(&g, &u);
         assert_eq!(out.params, g);
     }
 
     #[test]
     fn identical_updates_are_a_fixed_point_literal() {
         let g = params(&[1.0]);
-        // S = 1 for identical, so W' = (W + W)/2 ... wait: S∘W_LM = 1*1 = 1,
-        // mean = 1, W' = (1 + 1)/2 = 1. Fixed point holds.
+        // S = 1 for identical, so S∘W_LM = 1*1 = 1, mean = 1,
+        // W' = (1 + 1)/2 = 1. Fixed point holds.
         let u = vec![ClientUpdate::new(0, g.clone(), 1)];
-        let out = SaliencyAggregator::new(AggregationMode::Literal).aggregate(&g, &u);
+        let out = saliency(AggregationMode::Literal).aggregate(&g, &u);
         let w = out.params.get("w").unwrap().get(0, 0);
         assert!((w - 1.0).abs() < 1e-6, "literal fixed point broken: {w}");
     }
@@ -241,7 +266,7 @@ mod tests {
     fn small_honest_updates_pass_almost_unchanged() {
         let g = params(&[0.0]);
         let u = vec![update(0, &[0.1])];
-        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        let out = default_saliency().aggregate(&g, &u);
         let w = out.params.get("w").unwrap().get(0, 0);
         // S = 1/(1 + 10·0.1) = 0.5; step = 0.05 = 50% of the honest delta.
         assert!(
@@ -254,7 +279,7 @@ mod tests {
     fn large_poisoned_updates_are_bounded() {
         let g = params(&[0.0]);
         let u = vec![update(0, &[1000.0])];
-        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        let out = default_saliency().aggregate(&g, &u);
         let w = out.params.get("w").unwrap().get(0, 0);
         // Elementwise influence bound: |Δ|/(1+k|Δ|) < 1/k.
         assert!(w < 0.1, "poisoned step not bounded: {w}");
@@ -271,7 +296,7 @@ mod tests {
             .map(|(i, &w)| update(i, &[w]))
             .collect();
         updates.push(update(9, &[50.0])); // attacker
-        let out = SaliencyAggregator::default().aggregate(&g, &updates);
+        let out = default_saliency().aggregate(&g, &updates);
         let w = out.params.get("w").unwrap().get(0, 0);
         // FedAvg would land at (0.52/6 of sum…) ≈ 8.42; saliency keeps the
         // step near the honest consensus plus a bounded attacker residue.
@@ -286,11 +311,9 @@ mod tests {
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[3.0]);
-        assert_eq!(SaliencyAggregator::default().aggregate(&g, &[]).params, g);
+        assert_eq!(default_saliency().aggregate(&g, &[]).params, g);
         assert_eq!(
-            SaliencyAggregator::new(AggregationMode::Literal)
-                .aggregate(&g, &[])
-                .params,
+            saliency(AggregationMode::Literal).aggregate(&g, &[]).params,
             g
         );
     }
@@ -299,7 +322,7 @@ mod tests {
     fn non_finite_updates_are_dropped() {
         let g = params(&[0.0]);
         let u = vec![update(0, &[0.2]), update(1, &[f32::NAN])];
-        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        let out = default_saliency().aggregate(&g, &u);
         assert!(!out.params.has_non_finite());
         assert_eq!(out.rejected(), 1);
     }
@@ -308,7 +331,7 @@ mod tests {
     fn decision_weights_expose_attacker_suppression() {
         let g = params(&[0.0, 0.0]);
         let u = vec![update(0, &[0.05, 0.05]), update(1, &[40.0, -40.0])];
-        let out = SaliencyAggregator::default().aggregate(&g, &u);
+        let out = default_saliency().aggregate(&g, &u);
         let weight = |d: &UpdateDecision| match d {
             UpdateDecision::Accepted { weight } => *weight,
             other => panic!("saliency never rejects, got {other:?}"),
@@ -320,10 +343,15 @@ mod tests {
     }
 
     #[test]
-    fn names_distinguish_modes() {
-        assert_eq!(SaliencyAggregator::default().name(), "Saliency");
+    fn labels_distinguish_modes() {
         assert_eq!(
-            SaliencyAggregator::new(AggregationMode::Literal).name(),
+            SaliencyAggregator::default().into_pipeline().label(),
+            "Saliency"
+        );
+        assert_eq!(
+            SaliencyAggregator::new(AggregationMode::Literal)
+                .into_pipeline()
+                .label(),
             "Saliency(Literal)"
         );
     }

@@ -66,10 +66,10 @@ proptest! {
             )
             .unwrap(),
         )]);
-        let mut agg = SaliencyAggregator::new(AggregationMode::Normalized);
-        let out = agg.aggregate(&gm, &[ClientUpdate::new(0, lm, 1)]);
-        let step = out.params.get("w").unwrap().sub(gm.get("w").unwrap());
+        let agg = SaliencyAggregator::new(AggregationMode::Normalized);
         let bound = 1.0 / agg.sharpness;
+        let out = agg.into_pipeline().aggregate(&gm, &[ClientUpdate::new(0, lm, 1)]);
+        let step = out.params.get("w").unwrap().sub(gm.get("w").unwrap());
         prop_assert!(
             step.as_slice().iter().all(|v| v.abs() < bound + 1e-5),
             "step exceeded 1/k bound: {:?}", step
@@ -100,7 +100,7 @@ proptest! {
             })
             .collect();
         let mode = if literal { AggregationMode::Literal } else { AggregationMode::Normalized };
-        let out = SaliencyAggregator::new(mode).aggregate(&gm, &updates);
+        let out = SaliencyAggregator::new(mode).into_pipeline().aggregate(&gm, &updates);
         prop_assert!(!out.params.has_non_finite());
     }
 

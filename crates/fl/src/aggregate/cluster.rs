@@ -1,21 +1,23 @@
-//! FEDCC-style clustering aggregation: group updates by similarity, keep
-//! the majority cluster.
+//! FEDCC-style clustering: group updates by similarity, keep the majority
+//! cluster — now a screening [`DefenseStage`] of the defense-pipeline API.
 
-use super::{Aggregator, DistanceMatrix};
-use crate::report::{AggregationOutcome, UpdateDecision};
-use crate::update::ClientUpdate;
-use rayon::prelude::*;
-use safeloc_nn::{Matrix, NamedParams};
+use crate::defense::{DefenseStage, RoundContext, Verdicts};
+use safeloc_nn::Matrix;
 
 /// Clustering defense following the paper's §II summary of FEDCC:
 /// "clustering techniques to group LMs based on gradient similarity,
 /// allowing it to detect and exclude poisoned updates".
 ///
-/// The update deltas (LM − GM) are flattened and split by 2-means with
-/// cosine distance; the larger cluster is federated-averaged. When the two
-/// clusters are nearly indistinguishable (no attack), everything is kept.
-/// Minority-cluster members show up in the decision trail as rejected by
-/// `"cluster"` with their cosine distance to the kept centroid as score.
+/// The update deltas (LM − GM, from the round's shared
+/// [`RoundContext::deltas`]) are split by 2-means with cosine distance;
+/// the minority cluster is rejected with rule `"cluster"` and the cosine
+/// distance to the kept centroid as score, leaving the majority for the
+/// pipeline's combiner (a [`UniformMean`](crate::defense::UniformMean) in
+/// the canonical FEDCC composition,
+/// [`DefensePipeline::cluster`](crate::defense::DefensePipeline::cluster)).
+/// When the two clusters are nearly indistinguishable (no attack), or the
+/// round is too small to cluster meaningfully (≤ 2 survivors), everything
+/// is kept.
 ///
 /// The known failure mode — reproduced in Fig. 6 — is that under strong
 /// *backdoor* perturbations honest heterogeneous clients scatter enough
@@ -23,12 +25,12 @@ use safeloc_nn::{Matrix, NamedParams};
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterAggregator {
     /// Minimum cosine separation between centroids for the split to count
-    /// as an attack; below this everything is aggregated.
+    /// as an attack; below this everything is kept.
     pub separation_threshold: f32,
 }
 
 impl ClusterAggregator {
-    /// Creates the aggregator with the given separation threshold.
+    /// Creates the stage with the given separation threshold.
     pub fn new(separation_threshold: f32) -> Self {
         Self {
             separation_threshold,
@@ -58,34 +60,38 @@ fn cos_dist(a: &Matrix, b: &Matrix) -> f32 {
     1.0 - cosine(a, b)
 }
 
-impl Aggregator for ClusterAggregator {
-    fn aggregate_filtered(
-        &mut self,
-        global: &NamedParams,
-        updates: &[&ClientUpdate],
-    ) -> AggregationOutcome {
-        if updates.len() <= 2 {
-            // Too few to cluster meaningfully; plain average.
-            let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
-            return AggregationOutcome::all_accepted(NamedParams::mean(&snaps), updates.len());
+impl DefenseStage for ClusterAggregator {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn screen(&mut self, ctx: &RoundContext<'_>, verdicts: &mut Verdicts) {
+        let active = verdicts.active_indices();
+        let n = active.len();
+        if n <= 2 {
+            // Too few to cluster meaningfully; keep everything.
+            return;
         }
 
-        let deltas: Vec<Matrix> = updates
-            .par_iter()
-            .map(|u| u.params.delta(global).flatten())
-            .collect();
-
-        // Deterministic 2-means seeding: the pair with maximal cosine
-        // distance becomes the initial centroids. All pairwise cosine
-        // distances come from the shared round matrix (computed once, in
-        // parallel) instead of a bespoke O(n²·d) double loop.
-        let n = deltas.len();
-        let pairwise = DistanceMatrix::cosine(&deltas);
-        let (ca, cb, best) = pairwise.max_pair().expect("n > 2 by the guard above");
-        if best < self.separation_threshold {
-            // No meaningful split — aggregate everyone.
-            let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
-            return AggregationOutcome::all_accepted(NamedParams::mean(&snaps), n);
+        let deltas = ctx.deltas();
+        // Deterministic 2-means seeding: the active pair with maximal
+        // cosine distance becomes the initial centroids. All pairwise
+        // cosine distances come from the shared round matrix (computed
+        // once, in parallel) instead of a bespoke O(n²·d) double loop.
+        let pairwise = ctx.cosine();
+        let mut best = (active[0], active[1], f32::NEG_INFINITY);
+        for (slot, &i) in active.iter().enumerate() {
+            for &j in &active[slot + 1..] {
+                let d = pairwise.get(i, j);
+                if d > best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (ca, cb, separation) = best;
+        if separation < self.separation_threshold {
+            // No meaningful split — keep everyone.
+            return;
         }
 
         let mut centroid_a = deltas[ca].clone();
@@ -93,24 +99,25 @@ impl Aggregator for ClusterAggregator {
         let mut assignment = vec![0u8; n];
         for _ in 0..10 {
             let mut changed = false;
-            for (i, d) in deltas.iter().enumerate() {
+            for (slot, &i) in active.iter().enumerate() {
+                let d = &deltas[i];
                 let side = if cos_dist(d, &centroid_a) <= cos_dist(d, &centroid_b) {
                     0
                 } else {
                     1
                 };
-                if assignment[i] != side {
-                    assignment[i] = side;
+                if assignment[slot] != side {
+                    assignment[slot] = side;
                     changed = true;
                 }
             }
             // Recompute centroids.
             for side in 0..2u8 {
-                let members: Vec<&Matrix> = deltas
+                let members: Vec<&Matrix> = active
                     .iter()
                     .zip(&assignment)
                     .filter(|(_, &a)| a == side)
-                    .map(|(d, _)| d)
+                    .map(|(&i, _)| &deltas[i])
                     .collect();
                 if members.is_empty() {
                     continue;
@@ -137,38 +144,14 @@ impl Aggregator for ClusterAggregator {
         } else {
             &centroid_b
         };
-        let kept: Vec<NamedParams> = updates
-            .iter()
-            .zip(&assignment)
-            .filter(|(_, &a)| a == majority)
-            .map(|(u, _)| u.params.clone())
-            .collect();
-        let weight = 1.0 / kept.len().max(1) as f32;
-        let decisions = deltas
-            .iter()
-            .zip(&assignment)
-            .map(|(d, &a)| {
-                if a == majority {
-                    UpdateDecision::Accepted { weight }
-                } else {
-                    UpdateDecision::Rejected {
-                        rule: "cluster".to_string(),
-                        score: cos_dist(d, kept_centroid),
-                    }
-                }
-            })
-            .collect();
-        AggregationOutcome {
-            params: NamedParams::mean(&kept),
-            decisions,
+        for (&i, &a) in active.iter().zip(&assignment) {
+            if a != majority {
+                verdicts.reject(i, "cluster", cos_dist(&deltas[i], kept_centroid));
+            }
         }
     }
 
-    fn name(&self) -> &'static str {
-        "Cluster"
-    }
-
-    fn clone_box(&self) -> Box<dyn Aggregator> {
+    fn clone_stage(&self) -> Box<dyn DefenseStage> {
         Box::new(*self)
     }
 }
@@ -177,6 +160,13 @@ impl Aggregator for ClusterAggregator {
 mod tests {
     use super::super::test_support::{params, update};
     use super::*;
+    use crate::defense::DefensePipeline;
+    use crate::report::UpdateDecision;
+    use crate::Aggregator;
+
+    fn cluster() -> DefensePipeline {
+        DefensePipeline::cluster(ClusterAggregator::default().separation_threshold)
+    }
 
     #[test]
     fn majority_cluster_wins() {
@@ -190,7 +180,7 @@ mod tests {
             update(4, &[-5.0, 5.0], &[0.0]),
             update(5, &[-5.2, 5.1], &[0.0]),
         ];
-        let out = ClusterAggregator::default().aggregate(&g, &u);
+        let out = cluster().aggregate(&g, &u);
         let w0 = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((0.8..=1.2).contains(&w0), "poisoned cluster won: {w0}");
         // The two poisoned updates are the rejected minority, scored far
@@ -215,7 +205,7 @@ mod tests {
             update(1, &[1.01], &[0.0]),
             update(2, &[0.99], &[0.0]),
         ];
-        let out = ClusterAggregator::default().aggregate(&g, &u);
+        let out = cluster().aggregate(&g, &u);
         let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((w - 1.0).abs() < 0.05);
         assert_eq!(out.accepted(), 3);
@@ -225,14 +215,14 @@ mod tests {
     fn two_or_fewer_updates_average() {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[2.0], &[0.0]), update(1, &[4.0], &[0.0])];
-        let out = ClusterAggregator::default().aggregate(&g, &u);
+        let out = cluster().aggregate(&g, &u);
         assert!((out.params.get("layer0.w").unwrap().get(0, 0) - 3.0).abs() < 1e-5);
     }
 
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[5.0], &[5.0]);
-        assert_eq!(ClusterAggregator::default().aggregate(&g, &[]).params, g);
+        assert_eq!(cluster().aggregate(&g, &[]).params, g);
     }
 
     #[test]
@@ -245,8 +235,44 @@ mod tests {
             update(2, &[-1.0], &[0.0]),
             update(3, &[-1.0], &[0.0]),
         ];
-        let out = ClusterAggregator::default().aggregate(&g, &u);
+        let out = cluster().aggregate(&g, &u);
         assert!(!out.params.has_non_finite());
         assert_eq!(out.accepted() + out.rejected(), 4);
+    }
+
+    /// A composition the monolith could never express: the cluster screen
+    /// feeding Krum selection instead of a mean — the minority cluster is
+    /// gone before Krum scores, so its colluders cannot vote for each
+    /// other.
+    #[test]
+    fn cluster_screen_composes_with_krum_selection() {
+        use crate::aggregate::Krum;
+        let g = params(&[0.0, 0.0], &[0.0]);
+        let u = vec![
+            update(0, &[1.0, 0.1], &[0.0]),
+            update(1, &[1.1, 0.0], &[0.0]),
+            update(2, &[0.9, 0.05], &[0.0]),
+            update(3, &[-5.0, 5.0], &[0.0]),
+            update(4, &[-5.2, 5.1], &[0.0]),
+        ];
+        let mut p = DefensePipeline::new(
+            "cluster+krum",
+            vec![Box::new(ClusterAggregator::default())],
+            Box::new(Krum::new(1)),
+        );
+        let out = p.aggregate(&g, &u);
+        assert_eq!(out.accepted(), 1, "Krum selects one of the kept cluster");
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
+        assert!((0.8..=1.2).contains(&w), "selected from the minority: {w}");
+        // Both rules appear in the decision trail.
+        let rules: Vec<&str> = out
+            .decisions
+            .iter()
+            .filter_map(|d| match d {
+                UpdateDecision::Rejected { rule, .. } => Some(rule.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(rules.contains(&"cluster") && rules.contains(&"krum"));
     }
 }

@@ -1,42 +1,41 @@
-//! Federated averaging (McMahan et al.) — FEDLOC's aggregation rule.
+//! Federated averaging (McMahan et al.) — FEDLOC's aggregation rule,
+//! now the sample-weighted-mean [`Combiner`] of the defense-pipeline API.
 
-use super::Aggregator;
-use crate::report::{AggregationOutcome, UpdateDecision};
-use crate::update::ClientUpdate;
+use crate::defense::{Combiner, RoundContext, Verdicts};
 use safeloc_nn::NamedParams;
 
-/// Sample-weighted federated averaging: the next GM is the weighted mean of
-/// the client LMs. No defense whatsoever — this is why FEDLOC collapses
-/// under poisoning in Figs. 1 and 6. Every update is accepted; its decision
-/// records the sample-count share it contributed with.
+/// Sample-weighted federated averaging: the next GM is the weighted mean
+/// of the surviving LMs, each weighted by its sample-count share. As the
+/// whole defense ([`DefensePipeline::fedavg`](crate::defense::DefensePipeline::fedavg),
+/// no screening stages) this is FEDLOC's rule — no defense whatsoever,
+/// which is why FEDLOC collapses under poisoning in Figs. 1 and 6. Behind
+/// screening stages it is the vanilla terminal most layered defenses end
+/// in.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FedAvg;
 
-impl Aggregator for FedAvg {
-    fn aggregate_filtered(
-        &mut self,
-        global: &NamedParams,
-        updates: &[&ClientUpdate],
-    ) -> AggregationOutcome {
-        let total: f32 = updates.iter().map(|u| u.num_samples.max(1) as f32).sum();
-        let mut acc = global.scale(0.0);
-        let mut decisions = Vec::with_capacity(updates.len());
-        for u in updates {
-            let w = u.num_samples.max(1) as f32 / total;
-            acc.axpy(w, &u.params);
-            decisions.push(UpdateDecision::Accepted { weight: w });
-        }
-        AggregationOutcome {
-            params: acc,
-            decisions,
-        }
-    }
-
+impl Combiner for FedAvg {
     fn name(&self) -> &'static str {
-        "FedAvg"
+        "sample-mean"
     }
 
-    fn clone_box(&self) -> Box<dyn Aggregator> {
+    fn combine(&mut self, ctx: &RoundContext<'_>, verdicts: &mut Verdicts) -> NamedParams {
+        let active = verdicts.active_indices();
+        let updates = ctx.updates();
+        let total: f32 = active
+            .iter()
+            .map(|&i| updates[i].num_samples.max(1) as f32)
+            .sum();
+        let mut acc = ctx.global().scale(0.0);
+        for &i in &active {
+            let w = updates[i].num_samples.max(1) as f32 / total;
+            acc.axpy(w, verdicts.effective(ctx, i).as_ref());
+            verdicts.set_weight(i, w);
+        }
+        acc
+    }
+
+    fn clone_combiner(&self) -> Box<dyn Combiner> {
         Box::new(*self)
     }
 }
@@ -44,7 +43,15 @@ impl Aggregator for FedAvg {
 #[cfg(test)]
 mod tests {
     use super::super::test_support::{params, update};
+    #[allow(unused_imports)]
     use super::*;
+    use crate::defense::DefensePipeline;
+    use crate::report::UpdateDecision;
+    use crate::{Aggregator, ClientUpdate};
+
+    fn fedavg() -> DefensePipeline {
+        DefensePipeline::fedavg()
+    }
 
     #[test]
     fn equal_weights_average() {
@@ -53,7 +60,7 @@ mod tests {
             update(0, &[2.0, 0.0], &[1.0]),
             update(1, &[0.0, 4.0], &[3.0]),
         ];
-        let out = FedAvg.aggregate(&g, &u);
+        let out = fedavg().aggregate(&g, &u);
         assert_eq!(out.params.get("layer0.w").unwrap().as_slice(), &[1.0, 2.0]);
         assert_eq!(out.params.get("layer0.b").unwrap().as_slice(), &[2.0]);
         assert_eq!(out.accepted(), 2);
@@ -66,7 +73,7 @@ mod tests {
         let mut b = update(1, &[4.0], &[4.0]);
         a.num_samples = 30;
         b.num_samples = 10;
-        let out = FedAvg.aggregate(&g, &[a, b]);
+        let out = fedavg().aggregate(&g, &[a, b]);
         assert!((out.params.get("layer0.w").unwrap().get(0, 0) - 1.0).abs() < 1e-6);
         assert_eq!(
             out.decisions[0],
@@ -78,7 +85,7 @@ mod tests {
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[1.0, 2.0], &[3.0]);
-        let out = FedAvg.aggregate(&g, &[]);
+        let out = fedavg().aggregate(&g, &[]);
         assert_eq!(out.params, g);
         assert!(out.decisions.is_empty());
     }
@@ -88,7 +95,7 @@ mod tests {
         let g = params(&[0.0], &[0.0]);
         let good = update(0, &[2.0], &[2.0]);
         let bad = update(1, &[f32::NAN], &[0.0]);
-        let out = FedAvg.aggregate(&g, &[good, bad]);
+        let out = fedavg().aggregate(&g, &[good, bad]);
         assert_eq!(out.params.get("layer0.w").unwrap().as_slice(), &[2.0]);
         assert!(!out.params.has_non_finite());
         assert_eq!(out.rejected(), 1);
@@ -101,6 +108,6 @@ mod tests {
             ClientUpdate::new(0, g.clone(), 5),
             ClientUpdate::new(1, g.clone(), 5),
         ];
-        assert_eq!(FedAvg.aggregate(&g, &u).params, g);
+        assert_eq!(fedavg().aggregate(&g, &u).params, g);
     }
 }

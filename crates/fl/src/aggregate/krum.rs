@@ -1,21 +1,24 @@
 //! Krum (Blanchard et al. / El Mhamdi et al.): select the single update
 //! closest to its peers — the earliest FL indoor-localization defense the
-//! paper cites as [22].
+//! paper cites as [22], now a selecting [`Combiner`] of the
+//! defense-pipeline API.
 
-use super::{Aggregator, DistanceMatrix};
-use crate::report::{AggregationOutcome, UpdateDecision};
-use crate::update::ClientUpdate;
+use crate::defense::{Combiner, RoundContext, Verdicts};
 use safeloc_nn::NamedParams;
 
-/// Krum selection: the next GM is the one LM whose summed squared distance
-/// to its `n - f - 2` nearest peers is smallest, where `f` is the assumed
-/// number of Byzantine clients.
+/// Krum selection: the next GM is the one surviving LM whose summed
+/// squared distance to its `n - f - 2` nearest surviving peers is
+/// smallest, where `f` is the assumed number of Byzantine clients.
 ///
 /// Robust to a minority of arbitrary updates, but discards the
 /// collaborative signal of every non-selected client — the paper's §II
 /// criticism ("fails to incorporate collaborative learning from all
 /// clients"). The decision trail makes that visible: one update is
 /// accepted with weight 1, every other is rejected with its Krum score.
+/// Distances come from the round's shared [`RoundContext::squared_l2`]
+/// matrix; selection always scores the *unclipped* updates (distance
+/// ranking is what Krum's guarantee is stated over), while the returned
+/// GM honors the selected update's clip scale if a stage bounded it.
 #[derive(Debug, Clone, Copy)]
 pub struct Krum {
     /// Assumed number of malicious clients.
@@ -37,28 +40,34 @@ impl Default for Krum {
     }
 }
 
-impl Aggregator for Krum {
-    fn aggregate_filtered(
-        &mut self,
-        _global: &NamedParams,
-        updates: &[&ClientUpdate],
-    ) -> AggregationOutcome {
-        if updates.len() == 1 {
-            return AggregationOutcome::all_accepted(updates[0].params.clone(), 1);
+impl Combiner for Krum {
+    fn name(&self) -> &'static str {
+        "krum"
+    }
+
+    fn combine(&mut self, ctx: &RoundContext<'_>, verdicts: &mut Verdicts) -> NamedParams {
+        let active = verdicts.active_indices();
+        if active.len() == 1 {
+            verdicts.set_weight(active[0], 1.0);
+            return verdicts.effective(ctx, active[0]).into_owned();
         }
-        let n = updates.len();
+        let n = active.len();
         // Number of closest neighbours to score against.
         let k = n.saturating_sub(self.assumed_byzantine + 2).max(1);
-        // One symmetric distance pass for the whole round. The seed
-        // recomputed all O(n²) distances per candidate — O(n³·d) total and
-        // each (i, j) pair evaluated twice; this is O(n²·d/2) once, with
-        // the pair set computed in parallel.
-        let distances = DistanceMatrix::squared_l2(updates);
+        // One symmetric distance pass for the whole round, shared with any
+        // other distance-reading stage. The seed recomputed all O(n²)
+        // distances per candidate — O(n³·d) total; this is O(n²·d/2) once.
+        let distances = ctx.squared_l2();
         let mut scores = Vec::with_capacity(n);
-        let mut best = (f32::INFINITY, 0usize);
+        let mut best = (f32::INFINITY, active[0]);
         let mut dists = Vec::with_capacity(n.saturating_sub(1));
-        for i in 0..n {
-            distances.distances_from(i, &mut dists);
+        for &i in &active {
+            dists.clear();
+            for &j in &active {
+                if j != i {
+                    dists.push(distances.get(i, j));
+                }
+            }
             dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let score: f32 = dists.iter().take(k).sum();
             scores.push(score);
@@ -66,31 +75,17 @@ impl Aggregator for Krum {
                 best = (score, i);
             }
         }
-        let decisions = scores
-            .into_iter()
-            .enumerate()
-            .map(|(i, score)| {
-                if i == best.1 {
-                    UpdateDecision::Accepted { weight: 1.0 }
-                } else {
-                    UpdateDecision::Rejected {
-                        rule: "krum".to_string(),
-                        score,
-                    }
-                }
-            })
-            .collect();
-        AggregationOutcome {
-            params: updates[best.1].params.clone(),
-            decisions,
+        for (&i, score) in active.iter().zip(scores) {
+            if i == best.1 {
+                verdicts.set_weight(i, 1.0);
+            } else {
+                verdicts.reject(i, "krum", score);
+            }
         }
+        verdicts.effective(ctx, best.1).into_owned()
     }
 
-    fn name(&self) -> &'static str {
-        "Krum"
-    }
-
-    fn clone_box(&self) -> Box<dyn Aggregator> {
+    fn clone_combiner(&self) -> Box<dyn Combiner> {
         Box::new(*self)
     }
 }
@@ -99,6 +94,13 @@ impl Aggregator for Krum {
 mod tests {
     use super::super::test_support::{params, update};
     use super::*;
+    use crate::defense::DefensePipeline;
+    use crate::report::UpdateDecision;
+    use crate::Aggregator;
+
+    fn krum(f: usize) -> DefensePipeline {
+        DefensePipeline::krum(f)
+    }
 
     #[test]
     fn selects_the_consensus_update() {
@@ -110,7 +112,7 @@ mod tests {
             update(2, &[0.9], &[1.0]),
             update(3, &[50.0], &[-50.0]),
         ];
-        let out = Krum::new(1).aggregate(&g, &u);
+        let out = krum(1).aggregate(&g, &u);
         let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((0.8..=1.2).contains(&w), "picked the outlier: {w}");
         // Exactly one accepted; the outlier's rejection score dwarfs the
@@ -131,7 +133,7 @@ mod tests {
     fn single_update_is_returned_as_is() {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[3.0], &[4.0])];
-        let out = Krum::default().aggregate(&g, &u);
+        let out = krum(1).aggregate(&g, &u);
         assert_eq!(out.params, u[0].params);
         assert_eq!(out.accepted(), 1);
     }
@@ -139,7 +141,7 @@ mod tests {
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[7.0], &[8.0]);
-        assert_eq!(Krum::default().aggregate(&g, &[]).params, g);
+        assert_eq!(krum(1).aggregate(&g, &[]).params, g);
     }
 
     #[test]
@@ -150,7 +152,7 @@ mod tests {
             update(1, &[f32::INFINITY], &[0.0]),
             update(2, &[1.05], &[1.0]),
         ];
-        let out = Krum::new(1).aggregate(&g, &u);
+        let out = krum(1).aggregate(&g, &u);
         assert!(!out.params.has_non_finite());
         assert!(!out.decisions[1].is_accepted());
     }
@@ -164,7 +166,7 @@ mod tests {
             .collect();
         u.push(update(5, &[10.0], &[0.0]));
         u.push(update(6, &[10.0], &[0.0]));
-        let out = Krum::new(2).aggregate(&g, &u);
+        let out = krum(2).aggregate(&g, &u);
         let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!(w < 2.0, "collusion won: {w}");
     }
@@ -181,8 +183,32 @@ mod tests {
             update(3, &[10.0], &[0.0]),
             update(4, &[10.0], &[0.0]),
         ];
-        let out = Krum::new(2).aggregate(&g, &u);
+        let out = krum(2).aggregate(&g, &u);
         let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!(w > 2.0, "expected the documented failure mode, got {w}");
+    }
+
+    /// The composition the monolith could never express: norm-bounding
+    /// before selection defuses the boosted colluders that beat bare Krum
+    /// below its n ≥ 2f + 3 guarantee.
+    #[test]
+    fn norm_clip_rescues_krum_below_the_guarantee_threshold() {
+        use crate::defense::NormClip;
+        let g = params(&[0.0], &[0.0]);
+        let u = vec![
+            update(0, &[1.0], &[0.0]),
+            update(1, &[1.02], &[0.0]),
+            update(2, &[0.98], &[0.0]),
+            update(3, &[10.0], &[0.0]),
+            update(4, &[10.0], &[0.0]),
+        ];
+        let mut clipped = DefensePipeline::new(
+            "norm-clip+krum",
+            vec![Box::new(NormClip::new(1.5))],
+            Box::new(Krum::new(2)),
+        );
+        let out = clipped.aggregate(&g, &u);
+        let w = out.params.get("layer0.w").unwrap().get(0, 0);
+        assert!(w < 2.0, "clipped colluders still replaced the model: {w}");
     }
 }

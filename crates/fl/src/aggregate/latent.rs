@@ -1,35 +1,40 @@
-//! FEDLS-style latent-space anomaly filtering.
+//! FEDLS-style latent-space anomaly screening, plus the opt-in
+//! benign-history screen — both [`DefenseStage`]s of the defense-pipeline
+//! API.
 
-use super::Aggregator;
-use crate::report::{AggregationOutcome, UpdateDecision};
-use crate::update::ClientUpdate;
+use crate::defense::{DefenseStage, RoundContext, Verdicts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use safeloc_nn::{
-    Activation, Adam, Dense, Init, Matrix, MseLoss, NamedParams, Optimizer, Sequential,
-};
+use safeloc_nn::{Activation, Adam, Dense, Init, Matrix, MseLoss, Optimizer, Sequential};
 
-/// Latent-space update filtering, following the paper's §II summary of
+/// Latent-space update screening, following the paper's §II summary of
 /// FEDLS: "autoencoder-based latent space representations to detect
 /// anomalous LM updates".
 ///
-/// Update deltas are random-projected to a small feature space (the deltas
-/// have tens of thousands of dimensions; FEDLS's own encoder serves the
-/// same role), an autoencoder is fit on the round's features, and updates
-/// whose reconstruction error exceeds `mean + z_threshold·std` are dropped
-/// before federated averaging.
+/// Update deltas (from the round's shared [`RoundContext::deltas`]) are
+/// random-projected to a small feature space (the deltas have tens of
+/// thousands of dimensions; FEDLS's own encoder serves the same role), an
+/// autoencoder is fit on the accumulated benign history, and updates
+/// whose reconstruction error exceeds `mean + z_threshold·std` are
+/// rejected with rule `"latent"` before the pipeline's combiner runs (a
+/// [`UniformMean`](crate::defense::UniformMean) in the canonical FEDLS
+/// composition, [`DefensePipeline::latent`](crate::defense::DefensePipeline::latent)).
 ///
-/// This is the "resource-intensive" baseline of Table I: it runs a second,
-/// large model server-side every round.
+/// This is the "resource-intensive" baseline of Table I: it runs a
+/// second, large model server-side every round.
 ///
-/// Rounds smaller than the 3-update guard cannot fit a filter of their own;
-/// they are screened against the accumulated benign history instead
+/// Rounds smaller than the 3-update guard cannot fit a filter of their
+/// own; they are screened against the accumulated benign history instead
 /// (median-norm rescale + z-test against the history rows' distance
 /// distribution), so a boosted attacker in a cohort of two no longer
 /// bypasses the defense under partial participation. With no history yet —
-/// e.g. the very first round is already small — the round averages exactly
-/// as before.
+/// e.g. the very first round is already small — the round passes exactly
+/// as before. The round-local z-test still cannot flag 1 outlier among
+/// exactly 3 updates (mean+1.8σ of 3 points always covers the outlier);
+/// composing a [`HistoryScreen`] after this stage
+/// ([`DefensePipeline::latent_with_history`](crate::defense::DefensePipeline::latent_with_history))
+/// closes that gap without re-pinning the default trajectories.
 #[derive(Debug, Clone)]
 pub struct LatentFilterAggregator {
     /// Random-projection feature dimension.
@@ -53,7 +58,7 @@ pub struct LatentFilterAggregator {
 }
 
 impl LatentFilterAggregator {
-    /// Creates the aggregator with sensible defaults (32-d features, 60
+    /// Creates the stage with sensible defaults (32-d features, 60
     /// epochs, 1.8σ rejection).
     pub fn new(seed: u64) -> Self {
         Self {
@@ -82,14 +87,6 @@ impl LatentFilterAggregator {
     /// Number of accepted feature rows retained as benign history.
     const HISTORY_CAP: usize = 60;
 
-    /// Norm ratio past which an unscreened bootstrap row is kept *out* of
-    /// the benign record: a model-replacement attacker boosts its delta by
-    /// `n_clients / n_attackers` (≥ 3 for any minority attacker in the
-    /// paper's fleets), so a row dwarfing its own round's smallest update —
-    /// or the record so far — by that much must not seed the history the
-    /// small-cohort screen trusts.
-    const BOOTSTRAP_NORM_RATIO: f32 = 3.0;
-
     /// Builds (or rebuilds on dimension change) the random projection and
     /// returns it, so callers can project many updates in parallel against
     /// one shared matrix.
@@ -107,20 +104,14 @@ impl LatentFilterAggregator {
         self.projection.as_ref().expect("just built")
     }
 
-    /// Feature rows of `updates`: delta from the global model, flattened and
+    /// Feature rows of the active updates: the shared flattened deltas,
     /// random-projected (in parallel against the shared projection).
-    fn project_updates(
-        &mut self,
-        global: &NamedParams,
-        updates: &[&ClientUpdate],
-    ) -> Vec<Vec<f32>> {
-        let projection = self.projection_for(global.num_params());
-        updates
+    fn project_active(&mut self, ctx: &RoundContext<'_>, active: &[usize]) -> Vec<Vec<f32>> {
+        let projection = self.projection_for(ctx.global().num_params());
+        let deltas = ctx.deltas();
+        active
             .par_iter()
-            .map(|u| {
-                let flat = u.params.delta(global).flatten();
-                flat.matmul(projection).into_vec()
-            })
+            .map(|&i| deltas[i].matmul(projection).into_vec())
             .collect()
     }
 
@@ -148,10 +139,11 @@ impl LatentFilterAggregator {
     /// distribution is rejected.
     fn screen_small_round(
         &mut self,
-        global: &NamedParams,
-        updates: &[&ClientUpdate],
-    ) -> AggregationOutcome {
-        let raw_rows = self.project_updates(global, updates);
+        ctx: &RoundContext<'_>,
+        active: &[usize],
+        verdicts: &mut Verdicts,
+    ) {
+        let raw_rows = self.project_active(ctx, active);
         let raw_norms: Vec<f32> = raw_rows.iter().map(|r| row_norm(r)).collect();
         let benign_scale = median_lower(&self.history_norms).max(1e-9);
         let rows: Vec<Vec<f32>> = raw_rows
@@ -159,60 +151,88 @@ impl LatentFilterAggregator {
             .map(|r| r.iter().map(|v| v / benign_scale).collect())
             .collect();
 
-        let center = column_median(&self.history);
-        let hist_dists: Vec<f32> = self.history.iter().map(|r| distance(r, &center)).collect();
-        let mean_h = hist_dists.iter().sum::<f32>() / hist_dists.len() as f32;
-        let var_h = hist_dists
-            .iter()
-            .map(|d| (d - mean_h) * (d - mean_h))
-            .sum::<f32>()
-            / hist_dists.len() as f32;
-        // Floor the threshold at half the benign center magnitude: a
-        // near-degenerate history (all rows alike) must not reject honest
-        // updates over ordinary round-to-round drift, while a boosted
-        // attacker sits whole multiples of the benign norm away.
-        let spread = var_h.sqrt().max(1e-6);
-        let threshold = (mean_h + self.z_threshold * spread).max(0.5 * row_norm(&center));
+        let (center, threshold) = history_threshold(&self.history, self.z_threshold);
 
-        let scores: Vec<f32> = rows.iter().map(|r| distance(r, &center)).collect();
-        let mut kept: Vec<NamedParams> = Vec::new();
-        let mut decisions: Vec<UpdateDecision> = Vec::with_capacity(updates.len());
-        for ((u, row), (&score, &raw_norm)) in
-            updates.iter().zip(&rows).zip(scores.iter().zip(&raw_norms))
-        {
+        for ((&i, row), &raw_norm) in active.iter().zip(&rows).zip(&raw_norms) {
+            let score = distance(row, &center);
             if score <= threshold {
-                kept.push(u.params.clone());
                 self.remember(row.clone(), raw_norm);
-                decisions.push(UpdateDecision::Accepted { weight: 0.0 });
             } else {
-                decisions.push(UpdateDecision::Rejected {
-                    rule: "latent".to_string(),
-                    score,
-                });
+                verdicts.reject(i, "latent", score);
             }
         }
-        let weight = 1.0 / kept.len().max(1) as f32;
-        for d in &mut decisions {
-            if let UpdateDecision::Accepted { weight: w } = d {
-                *w = weight;
-            }
-        }
-        let params = if kept.is_empty() {
-            global.clone()
-        } else {
-            NamedParams::mean(&kept)
-        };
-        AggregationOutcome { params, decisions }
     }
 }
 
+/// Norm ratio past which an unscreened bootstrap row is kept *out* of a
+/// benign record: a model-replacement attacker boosts its delta by
+/// `n_clients / n_attackers` (≥ 3 for any minority attacker in the
+/// paper's fleets), so a row dwarfing its own round's smallest update —
+/// or the record so far — by that much must not seed the history a
+/// screen later trusts.
+const BOOTSTRAP_NORM_RATIO: f32 = 3.0;
+
+/// Bootstrap recording shared by the FEDLS small-round fallback and the
+/// [`HistoryScreen`]: normalizes each plausible feature row to unit scale
+/// and returns the `(row, raw_norm)` pairs to remember as benign. Rows
+/// exceeding [`BOOTSTRAP_NORM_RATIO`] times the smallest benign-looking
+/// magnitude in sight (the round minimum, tightened by the record's lower
+/// median once one exists) are boost suspects and excluded.
+fn bootstrap_rows(
+    raw_rows: &[Vec<f32>],
+    norms: &[f32],
+    history_norms: &[f32],
+) -> Vec<(Vec<f32>, f32)> {
+    let round_min = norms
+        .iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min)
+        .max(1e-9);
+    let record_scale = if history_norms.is_empty() {
+        round_min
+    } else {
+        // Lower median: robust to a boosted row already recorded.
+        median_lower(history_norms).min(round_min).max(1e-9)
+    };
+    let mut out = Vec::new();
+    for (row, &norm) in raw_rows.iter().zip(norms) {
+        if norm / record_scale > BOOTSTRAP_NORM_RATIO {
+            continue;
+        }
+        let scale = norm.max(1e-9);
+        out.push((row.iter().map(|v| v / scale).collect(), norm));
+    }
+    out
+}
+
+/// The benign-history screen statistics shared by the FEDLS small-round
+/// fallback and the [`HistoryScreen`]: the history's coordinate-wise
+/// median center, and the rejection threshold — `mean + z·spread` of the
+/// history rows' own distance-to-center distribution, floored at half the
+/// center magnitude (a near-degenerate history with all rows alike must
+/// not reject honest updates over ordinary round-to-round drift, while a
+/// boosted attacker sits whole multiples of the benign norm away).
+fn history_threshold(history: &[Vec<f32>], z_threshold: f32) -> (Vec<f32>, f32) {
+    let center = column_median(history);
+    let hist_dists: Vec<f32> = history.iter().map(|r| distance(r, &center)).collect();
+    let mean_h = hist_dists.iter().sum::<f32>() / hist_dists.len() as f32;
+    let var_h = hist_dists
+        .iter()
+        .map(|d| (d - mean_h) * (d - mean_h))
+        .sum::<f32>()
+        / hist_dists.len() as f32;
+    let spread = var_h.sqrt().max(1e-6);
+    let threshold = (mean_h + z_threshold * spread).max(0.5 * row_norm(&center));
+    (center, threshold)
+}
+
 /// L2 norm of a feature row.
-fn row_norm(r: &[f32]) -> f32 {
+pub(crate) fn row_norm(r: &[f32]) -> f32 {
     r.iter().map(|v| v * v).sum::<f32>().sqrt()
 }
 
 /// Euclidean distance between two feature rows.
-fn distance(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn distance(a: &[f32], b: &[f32]) -> f32 {
     a.iter()
         .zip(b)
         .map(|(x, y)| (x - y) * (x - y))
@@ -221,7 +241,7 @@ fn distance(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Median of a non-empty slice (upper median, matching the in-round path).
-fn median(values: &[f32]) -> f32 {
+pub(crate) fn median(values: &[f32]) -> f32 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     sorted[sorted.len() / 2]
@@ -231,64 +251,52 @@ fn median(values: &[f32]) -> f32 {
 /// norms, so when a contaminated record has an even split the smaller
 /// middle value is the benign one — the screen's scale reference uses this
 /// variant.
-fn median_lower(values: &[f32]) -> f32 {
+pub(crate) fn median_lower(values: &[f32]) -> f32 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     sorted[(sorted.len() - 1) / 2]
 }
 
 /// Coordinate-wise median of a non-empty set of equal-length rows.
-fn column_median(rows: &[Vec<f32>]) -> Vec<f32> {
+pub(crate) fn column_median(rows: &[Vec<f32>]) -> Vec<f32> {
     let cols = rows[0].len();
     (0..cols)
         .map(|c| median(&rows.iter().map(|r| r[c]).collect::<Vec<f32>>()))
         .collect()
 }
 
-impl Aggregator for LatentFilterAggregator {
-    fn aggregate_filtered(
-        &mut self,
-        global: &NamedParams,
-        updates: &[&ClientUpdate],
-    ) -> AggregationOutcome {
-        if updates.len() < Self::MIN_ROUND {
+impl DefenseStage for LatentFilterAggregator {
+    fn name(&self) -> &'static str {
+        "latent"
+    }
+
+    fn screen(&mut self, ctx: &RoundContext<'_>, verdicts: &mut Verdicts) {
+        let active = verdicts.active_indices();
+        if active.is_empty() {
+            return;
+        }
+        if active.len() < Self::MIN_ROUND {
             // The round is too small to fit the AE (or any within-round
             // statistic). With accumulated benign history the updates are
             // screened against it — a single boosted attacker in a cohort
             // of two used to sail through here (the fig8 collapse). With
             // no usable history yet there is genuinely nothing to test
-            // against: the round averages exactly as the seed did, but its
+            // against: the round passes exactly as the seed did, but its
             // rows are *recorded*, so a session running nothing but small
             // cohorts still bootstraps a history and starts screening
             // within a couple of rounds.
             if self.history.len() < Self::MIN_FALLBACK_HISTORY {
-                let raw_rows = self.project_updates(global, updates);
+                let raw_rows = self.project_active(ctx, &active);
                 let norms: Vec<f32> = raw_rows.iter().map(|r| row_norm(r)).collect();
-                let round_min = norms
-                    .iter()
-                    .copied()
-                    .fold(f32::INFINITY, f32::min)
-                    .max(1e-9);
-                let record_scale = if self.history_norms.is_empty() {
-                    round_min
-                } else {
-                    // Lower median: robust to a boosted row already recorded.
-                    median_lower(&self.history_norms).min(round_min).max(1e-9)
-                };
-                for (row, &norm) in raw_rows.iter().zip(&norms) {
-                    // A row dwarfing the smallest benign-looking magnitude
-                    // in sight is a boost suspect: still accepted (nothing
-                    // to screen against yet), but never recorded as benign.
-                    if norm / record_scale > Self::BOOTSTRAP_NORM_RATIO {
-                        continue;
-                    }
-                    let scale = norm.max(1e-9);
-                    self.remember(row.iter().map(|v| v / scale).collect(), norm);
+                // Boost suspects are still accepted (nothing to screen
+                // against yet) but never recorded as benign.
+                for (row, norm) in bootstrap_rows(&raw_rows, &norms, &self.history_norms) {
+                    self.remember(row, norm);
                 }
-                let snaps: Vec<NamedParams> = updates.iter().map(|u| u.params.clone()).collect();
-                return AggregationOutcome::all_accepted(NamedParams::mean(&snaps), updates.len());
+                return;
             }
-            return self.screen_small_round(global, updates);
+            self.screen_small_round(ctx, &active, verdicts);
+            return;
         }
 
         // Feature matrix: one row per update, scaled by the round's median
@@ -296,7 +304,7 @@ impl Aggregator for LatentFilterAggregator {
         // preserving outlier magnitude *within* the round. Each update's
         // delta-flatten-project chain is independent, so the fleet is
         // projected in parallel against the shared projection matrix.
-        let raw_rows = self.project_updates(global, updates);
+        let raw_rows = self.project_active(ctx, &active);
         let raw_norms: Vec<f32> = raw_rows.iter().map(|r| row_norm(r)).collect();
         let median_norm = median(&raw_norms).max(1e-9);
         let rows: Vec<Vec<f32>> = raw_rows
@@ -354,46 +362,138 @@ impl Aggregator for LatentFilterAggregator {
         let std = var.sqrt();
         let threshold = mean + self.z_threshold * std.max(1e-12);
 
-        let mut kept: Vec<NamedParams> = Vec::new();
-        let mut kept_slots: Vec<bool> = Vec::with_capacity(updates.len());
-        for ((u, row), (&score, &raw_norm)) in
-            updates.iter().zip(&rows).zip(scores.iter().zip(&raw_norms))
+        for ((&i, row), (&score, &raw_norm)) in
+            active.iter().zip(&rows).zip(scores.iter().zip(&raw_norms))
         {
-            let keep = score <= threshold;
-            kept_slots.push(keep);
-            if keep {
-                kept.push(u.params.clone());
+            if score <= threshold {
                 self.remember(row.clone(), raw_norm);
+            } else {
+                verdicts.reject(i, "latent", score);
             }
         }
-        let weight = 1.0 / kept.len().max(1) as f32;
-        let decisions = kept_slots
-            .into_iter()
-            .zip(&scores)
-            .map(|(keep, &score)| {
-                if keep {
-                    UpdateDecision::Accepted { weight }
-                } else {
-                    UpdateDecision::Rejected {
-                        rule: "latent".to_string(),
-                        score,
-                    }
-                }
-            })
-            .collect();
-        let params = if kept.is_empty() {
-            global.clone()
-        } else {
-            NamedParams::mean(&kept)
-        };
-        AggregationOutcome { params, decisions }
     }
 
+    fn clone_stage(&self) -> Box<dyn DefenseStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// The opt-in benign-history screen: z-tests *every* round — small or
+/// large — against its own accumulated record of accepted feature rows,
+/// with the same median-norm rescale the FEDLS small-cohort fallback
+/// uses.
+///
+/// Composing it after [`LatentFilterAggregator`]
+/// ([`DefensePipeline::latent_with_history`](crate::defense::DefensePipeline::latent_with_history))
+/// closes the documented gap the round-local filter cannot: in a round of
+/// exactly 3 updates the in-round `mean + 1.8σ` test always covers one
+/// outlier, but the outlier still sits whole multiples of the benign norm
+/// away from the history and is rejected here with rule
+/// `"history-screen"`. It also works standalone in front of any combiner.
+#[derive(Debug, Clone)]
+pub struct HistoryScreen {
+    /// Random-projection feature dimension.
+    pub feature_dim: usize,
+    /// Rejection threshold in standard deviations above the history's
+    /// mean distance-to-center.
+    pub z_threshold: f32,
+    /// Accepted rows required before screening activates; earlier rounds
+    /// only record.
+    pub min_history: usize,
+    /// Seed for the projection.
+    pub seed: u64,
+    projection: Option<Matrix>,
+    history: Vec<Vec<f32>>,
+    history_norms: Vec<f32>,
+}
+
+impl HistoryScreen {
+    /// Creates the screen with the FEDLS-matching defaults (32-d features,
+    /// 1.8σ, 3-row activation gate).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            feature_dim: 32,
+            z_threshold: 1.8,
+            min_history: 3,
+            seed,
+            projection: None,
+            history: Vec::new(),
+            history_norms: Vec::new(),
+        }
+    }
+
+    /// Number of accepted feature rows retained.
+    const HISTORY_CAP: usize = 60;
+
+    fn projection_for(&mut self, d: usize) -> &Matrix {
+        if self
+            .projection
+            .as_ref()
+            .map(|p| p.rows() != d)
+            .unwrap_or(true)
+        {
+            // A different stream than the latent stage's projection, so
+            // composing both never correlates their feature spaces.
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x415C_0FEE);
+            let scale = (1.0 / self.feature_dim as f32).sqrt();
+            self.projection = Some(Init::Uniform(scale).matrix(d, self.feature_dim, &mut rng));
+        }
+        self.projection.as_ref().expect("just built")
+    }
+
+    fn remember(&mut self, row: Vec<f32>, raw_norm: f32) {
+        self.history.push(row);
+        self.history_norms.push(raw_norm);
+        if self.history.len() > Self::HISTORY_CAP {
+            let excess = self.history.len() - Self::HISTORY_CAP;
+            self.history.drain(..excess);
+            self.history_norms.drain(..excess);
+        }
+    }
+}
+
+impl DefenseStage for HistoryScreen {
     fn name(&self) -> &'static str {
-        "LatentFilter"
+        "history-screen"
     }
 
-    fn clone_box(&self) -> Box<dyn Aggregator> {
+    fn screen(&mut self, ctx: &RoundContext<'_>, verdicts: &mut Verdicts) {
+        let active = verdicts.active_indices();
+        if active.is_empty() {
+            return;
+        }
+        let projection = self.projection_for(ctx.global().num_params());
+        let deltas = ctx.deltas();
+        let raw_rows: Vec<Vec<f32>> = active
+            .par_iter()
+            .map(|&i| deltas[i].matmul(projection).into_vec())
+            .collect();
+        let raw_norms: Vec<f32> = raw_rows.iter().map(|r| row_norm(r)).collect();
+
+        if self.history.len() < self.min_history {
+            // Bootstrap: record plausible rows, screen nothing (same
+            // shared logic as the latent stage's small-round bootstrap).
+            for (row, norm) in bootstrap_rows(&raw_rows, &raw_norms, &self.history_norms) {
+                self.remember(row, norm);
+            }
+            return;
+        }
+
+        let benign_scale = median_lower(&self.history_norms).max(1e-9);
+        let (center, threshold) = history_threshold(&self.history, self.z_threshold);
+
+        for ((&i, raw), &raw_norm) in active.iter().zip(&raw_rows).zip(&raw_norms) {
+            let row: Vec<f32> = raw.iter().map(|v| v / benign_scale).collect();
+            let score = distance(&row, &center);
+            if score <= threshold {
+                self.remember(row, raw_norm);
+            } else {
+                verdicts.reject(i, "history-screen", score);
+            }
+        }
+    }
+
+    fn clone_stage(&self) -> Box<dyn DefenseStage> {
         Box::new(self.clone())
     }
 }
@@ -401,19 +501,28 @@ impl Aggregator for LatentFilterAggregator {
 #[cfg(test)]
 mod tests {
     use super::super::test_support::{params, update};
+    #[allow(unused_imports)]
     use super::*;
+    use crate::defense::DefensePipeline;
+    use crate::report::UpdateDecision;
+    use crate::{Aggregator, ClientUpdate};
+    use safeloc_nn::NamedParams;
+
+    fn latent(seed: u64) -> DefensePipeline {
+        DefensePipeline::latent(seed)
+    }
 
     #[test]
     fn empty_round_keeps_global() {
         let g = params(&[1.0], &[1.0]);
-        assert_eq!(LatentFilterAggregator::new(0).aggregate(&g, &[]).params, g);
+        assert_eq!(latent(0).aggregate(&g, &[]).params, g);
     }
 
     #[test]
     fn small_rounds_average() {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[2.0], &[0.0]), update(1, &[4.0], &[0.0])];
-        let out = LatentFilterAggregator::new(0).aggregate(&g, &u);
+        let out = latent(0).aggregate(&g, &u);
         assert!((out.params.get("layer0.w").unwrap().get(0, 0) - 3.0).abs() < 1e-5);
         assert_eq!(out.accepted(), 2);
     }
@@ -428,7 +537,7 @@ mod tests {
             update(3, &[1.02, 1.0, 1.03, 0.97], &[0.1]),
         ];
         u.push(update(4, &[-80.0, 90.0, -70.0, 60.0], &[5.0]));
-        let out = LatentFilterAggregator::new(1).aggregate(&g, &u);
+        let out = latent(1).aggregate(&g, &u);
         let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!(w.abs() < 5.0, "outlier leaked: {w}");
         match &out.decisions[4] {
@@ -446,7 +555,7 @@ mod tests {
         let u: Vec<_> = (0..6)
             .map(|i| update(i, &[1.0 + i as f32 * 0.01, 1.0], &[0.2]))
             .collect();
-        let out = LatentFilterAggregator::new(2).aggregate(&g, &u);
+        let out = latent(2).aggregate(&g, &u);
         let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!((0.9..=1.1).contains(&w), "homogeneous mean off: {w}");
     }
@@ -470,7 +579,7 @@ mod tests {
     #[test]
     fn small_cohort_attacker_is_rejected_against_history() {
         let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
-        let mut agg = LatentFilterAggregator::new(1);
+        let mut agg = latent(1);
         for r in 0..2 {
             let out = agg.aggregate(&g, &benign_round(5, r as f32 * 0.005));
             assert!(out.accepted() >= 4, "benign round mostly accepted");
@@ -503,7 +612,7 @@ mod tests {
     #[test]
     fn small_cohort_honest_updates_survive_the_history_screen() {
         let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
-        let mut agg = LatentFilterAggregator::new(4);
+        let mut agg = latent(4);
         for r in 0..3 {
             agg.aggregate(&g, &benign_round(4, r as f32 * 0.004));
         }
@@ -528,7 +637,7 @@ mod tests {
     #[test]
     fn bootstrap_rounds_do_not_record_the_boosted_attacker_as_benign() {
         let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
-        let mut agg = LatentFilterAggregator::new(9);
+        let mut agg = latent(9);
         let attacker = || update(5, &[-60.0, 70.0, -55.0, 65.0], &[5.0]);
         // Round 1 is already the collapse shape: cohort of 2, no history.
         let out1 = agg.aggregate(&g, &[update(0, &[1.0, 1.0, 1.0, 1.0], &[0.1]), attacker()]);
@@ -560,7 +669,7 @@ mod tests {
     fn small_round_with_no_history_still_averages_bitwise() {
         let g = params(&[0.0], &[0.0]);
         let u = vec![update(0, &[2.0], &[4.0]), update(1, &[4.0], &[8.0])];
-        let out = LatentFilterAggregator::new(0).aggregate(&g, &u);
+        let out = latent(0).aggregate(&g, &u);
         let expected = NamedParams::mean(&[u[0].params.clone(), u[1].params.clone()]);
         assert_eq!(out.params, expected);
         assert_eq!(out.accepted(), 2);
@@ -572,8 +681,69 @@ mod tests {
         let u: Vec<_> = (0..5)
             .map(|i| update(i, &[i as f32, 1.0], &[0.0]))
             .collect();
-        let a = LatentFilterAggregator::new(7).aggregate(&g, &u);
-        let b = LatentFilterAggregator::new(7).aggregate(&g, &u);
+        let a = latent(7).aggregate(&g, &u);
+        let b = latent(7).aggregate(&g, &u);
         assert_eq!(a, b);
+    }
+
+    /// The documented blind spot of the bare latent filter: in a round of
+    /// exactly 3 updates the in-round `mean + 1.8σ` z-test always covers a
+    /// single outlier — and the ROADMAP follow-up closes it by composing
+    /// the history screen behind it. Same attacker, same rounds: the bare
+    /// pipeline accepts the boosted update, the `latent → history-screen`
+    /// variant rejects it while honest updates keep flowing.
+    #[test]
+    fn history_screen_closes_the_three_update_round_gap() {
+        let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
+        let run = |mut pipeline: DefensePipeline| {
+            // Benign history accumulates over two full rounds.
+            for r in 0..2 {
+                let out = pipeline.aggregate(&g, &benign_round(5, r as f32 * 0.005));
+                assert!(out.accepted() >= 4, "benign round mostly accepted");
+            }
+            // The gap shape: exactly 3 updates, one boosted attacker.
+            let small = vec![
+                update(0, &[1.01, 0.99, 1.0, 1.0], &[0.1]),
+                update(1, &[0.99, 1.01, 1.0, 1.0], &[0.1]),
+                update(5, &[-70.0, 80.0, -65.0, 72.0], &[5.0]),
+            ];
+            pipeline.aggregate(&g, &small)
+        };
+
+        let bare = run(DefensePipeline::latent(1));
+        assert!(
+            bare.decisions[2].is_accepted(),
+            "the documented 3-update gap closed without the history screen?"
+        );
+
+        let screened = run(DefensePipeline::latent_with_history(1));
+        assert!(screened.decisions[0].is_accepted());
+        assert!(screened.decisions[1].is_accepted());
+        match &screened.decisions[2] {
+            UpdateDecision::Rejected { rule, score } => {
+                assert_eq!(rule, "history-screen");
+                assert!(score.is_finite());
+            }
+            other => panic!("3-update-round attacker still accepted: {other:?}"),
+        }
+        // The GM follows the honest pair, not the boost.
+        let w = screened.params.get("layer0.w").unwrap().get(0, 0);
+        assert!((0.9..=1.1).contains(&w), "GM dragged: {w}");
+    }
+
+    /// The history screen must not blanket-reject once active: honest
+    /// full-size rounds keep flowing through the composed variant.
+    #[test]
+    fn history_screen_passes_honest_full_rounds() {
+        let g = params(&[0.0, 0.0, 0.0, 0.0], &[0.0]);
+        let mut p = DefensePipeline::latent_with_history(3);
+        for r in 0..4 {
+            let out = p.aggregate(&g, &benign_round(5, r as f32 * 0.004));
+            assert!(
+                out.accepted() >= 4,
+                "round {r} over-rejected: {:?}",
+                out.decisions
+            );
+        }
     }
 }

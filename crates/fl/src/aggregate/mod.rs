@@ -1,13 +1,23 @@
-//! Server-side aggregation strategies.
+//! Server-side aggregation: the [`Aggregator`] contract, the shared
+//! guard, and the rule building blocks defense pipelines compose.
 //!
-//! Each strategy turns the current global model plus a set of client
+//! An [`Aggregator`] turns the current global model plus a set of client
 //! updates into an [`AggregationOutcome`]: the next global model *and* a
 //! per-update decision trail (accepted with what weight / rejected by which
 //! rule with what score) that [`RoundReport`](crate::RoundReport)s are
-//! built from. The five rules here cover the baselines the paper compares
-//! against; SAFELOC's saliency-map rule lives in the `safeloc` crate.
+//! built from.
 //!
-//! Strategies implement [`Aggregator::aggregate_filtered`], which is only
+//! Since the defense-pipeline redesign the only production implementor is
+//! [`DefensePipeline`](crate::defense::DefensePipeline): an ordered list
+//! of screening stages plus one terminal combiner. The paper's rules live
+//! here as those building blocks — [`FedAvg`], [`Krum`] and
+//! [`SelectiveAggregator`] are combiners, [`ClusterAggregator`],
+//! [`LatentFilterAggregator`] and [`HistoryScreen`] are screening stages
+//! (SAFELOC's saliency combiner lives in the `safeloc` crate) — and the
+//! canonical compositions (`DefensePipeline::fedavg()`, `::krum(f)`, …)
+//! reproduce the monolithic aggregators they replaced bit for bit.
+//!
+//! Implementors provide [`Aggregator::aggregate_filtered`], which is only
 //! ever called with a non-empty, all-finite update set. The two invariants
 //! every rule used to duplicate — "an empty round must not corrupt the GM"
 //! and "NaN/Inf updates are dropped before the rule sees them" — live once,
@@ -25,10 +35,10 @@ pub use cluster::ClusterAggregator;
 pub use distance::DistanceMatrix;
 pub use fedavg::FedAvg;
 pub use krum::Krum;
-pub use latent::LatentFilterAggregator;
+pub use latent::{HistoryScreen, LatentFilterAggregator};
 pub use selective::SelectiveAggregator;
 
-use crate::report::{AggregationOutcome, UpdateDecision};
+use crate::report::{AggregationOutcome, StageTelemetry, UpdateDecision};
 use crate::update::ClientUpdate;
 use safeloc_nn::NamedParams;
 
@@ -51,12 +61,23 @@ pub trait Aggregator: Send {
         updates: &[&ClientUpdate],
     ) -> AggregationOutcome;
 
-    /// Strategy name for reports.
-    fn name(&self) -> &'static str;
+    /// Strategy name for reports (a pipeline's composition label).
+    fn name(&self) -> &str;
 
     /// Boxed clone, so servers holding `Box<dyn Aggregator>` are clonable
     /// (the bench harness clones pretrained frameworks across scenarios).
     fn clone_box(&self) -> Box<dyn Aggregator>;
+
+    /// Drains the per-stage telemetry of the most recent
+    /// [`Aggregator::aggregate`] call — rejection counts and wall time by
+    /// stage name, combiner last. Engines fold it into the round's
+    /// [`RoundReport`](crate::RoundReport). The default (for aggregators
+    /// without internal stages) is empty; telemetry lives outside
+    /// [`AggregationOutcome`] so outcome equality stays meaningful in
+    /// determinism tests while wall clocks vary run to run.
+    fn take_stage_telemetry(&mut self) -> Vec<StageTelemetry> {
+        Vec::new()
+    }
 
     /// The guarded entry point every round goes through: filters
     /// non-finite updates, returns the global model unchanged when nothing
@@ -156,6 +177,7 @@ pub(crate) mod test_support {
 mod tests {
     use super::test_support::{params, update};
     use super::*;
+    use crate::defense::DefensePipeline;
 
     #[test]
     fn guard_scatters_decisions_back_to_input_positions() {
@@ -166,7 +188,7 @@ mod tests {
             update(2, &[f32::INFINITY], &[0.0]),
             update(3, &[4.0], &[4.0]),
         ];
-        let out = FedAvg.aggregate(&g, &u);
+        let out = DefensePipeline::fedavg().aggregate(&g, &u);
         assert_eq!(out.decisions.len(), 4);
         assert!(matches!(
             &out.decisions[0],
@@ -182,7 +204,7 @@ mod tests {
     fn guard_clones_global_when_nothing_survives() {
         let g = params(&[7.0], &[8.0]);
         let u = vec![update(0, &[f32::NAN], &[0.0])];
-        let out = FedAvg.aggregate(&g, &u);
+        let out = DefensePipeline::fedavg().aggregate(&g, &u);
         assert_eq!(out.params, g);
         assert_eq!(out.accepted(), 0);
     }

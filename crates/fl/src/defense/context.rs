@@ -1,0 +1,151 @@
+//! The shared, lazily-built quantities one defense round computes once.
+//!
+//! Every screening stage and combiner reads the same per-round facts —
+//! update deltas, their norms, pairwise distances. Before the pipeline
+//! redesign each monolithic aggregator recomputed its own copy (Krum its
+//! distance set, clustering its delta flattening, the latent filter its
+//! own delta-flatten pass). A [`RoundContext`] owns all of them behind
+//! lazy cells: the first stage that needs a quantity pays for it, every
+//! later stage reads it for free, and compositions like
+//! `cluster → latent-screen` share one delta pass instead of two.
+
+use crate::aggregate::DistanceMatrix;
+use crate::update::ClientUpdate;
+use rayon::prelude::*;
+use safeloc_nn::{Matrix, NamedParams};
+use std::borrow::Cow;
+use std::sync::OnceLock;
+
+/// Read-only facts about one aggregation round, built lazily and shared by
+/// every [`DefenseStage`](crate::defense::DefenseStage) and
+/// [`Combiner`](crate::defense::Combiner) in a pipeline.
+///
+/// The context never mutates updates; stages record their conclusions in
+/// the round's [`Verdicts`](crate::defense::Verdicts) instead.
+pub struct RoundContext<'a> {
+    global: &'a NamedParams,
+    updates: &'a [&'a ClientUpdate],
+    deltas: OnceLock<Vec<Matrix>>,
+    raw_norms: OnceLock<Vec<f32>>,
+    squared_l2: OnceLock<DistanceMatrix>,
+    cosine: OnceLock<DistanceMatrix>,
+}
+
+impl<'a> RoundContext<'a> {
+    /// Wraps one round's global model and (guard-filtered) updates.
+    pub fn new(global: &'a NamedParams, updates: &'a [&'a ClientUpdate]) -> Self {
+        Self {
+            global,
+            updates,
+            deltas: OnceLock::new(),
+            raw_norms: OnceLock::new(),
+            squared_l2: OnceLock::new(),
+            cosine: OnceLock::new(),
+        }
+    }
+
+    /// The current global model.
+    pub fn global(&self) -> &NamedParams {
+        self.global
+    }
+
+    /// The round's updates, in cohort order.
+    pub fn updates(&self) -> &[&ClientUpdate] {
+        self.updates
+    }
+
+    /// Number of updates in the round.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// `true` when the round carries no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Flattened update deltas `LM_i − GM`, one `1 × num_params` row per
+    /// update, computed in parallel on first use. This is the
+    /// representation the clustering split and the latent projection both
+    /// read.
+    pub fn deltas(&self) -> &[Matrix] {
+        self.deltas.get_or_init(|| {
+            self.updates
+                .par_iter()
+                .map(|u| u.params.delta(self.global).flatten())
+                .collect()
+        })
+    }
+
+    /// L2 norm of each update's delta (the magnitude a norm-bounding stage
+    /// screens, and the quantity a boost attack inflates).
+    pub fn raw_norms(&self) -> &[f32] {
+        self.raw_norms
+            .get_or_init(|| self.deltas().iter().map(|d| d.l2_norm()).collect())
+    }
+
+    /// Pairwise squared-L2 distances between update parameters — the
+    /// matrix Krum scores against, computed once per round.
+    pub fn squared_l2(&self) -> &DistanceMatrix {
+        self.squared_l2
+            .get_or_init(|| DistanceMatrix::squared_l2(self.updates))
+    }
+
+    /// Pairwise cosine distances between update deltas — the metric the
+    /// clustering split groups by.
+    pub fn cosine(&self) -> &DistanceMatrix {
+        self.cosine
+            .get_or_init(|| DistanceMatrix::cosine(self.deltas()))
+    }
+
+    /// Update `i`'s parameters after applying a clip scale: the raw LM for
+    /// `scale >= 1`, otherwise `GM + scale · (LM − GM)` (the norm-bounded
+    /// update a clipping stage admits). Borrows in the unclipped fast path
+    /// so canonical single-rule pipelines stay allocation-identical to the
+    /// monoliths they replaced.
+    pub fn effective_params(&self, i: usize, scale: f32) -> Cow<'_, NamedParams> {
+        if scale >= 1.0 {
+            Cow::Borrowed(&self.updates[i].params)
+        } else {
+            let mut p = self.global.scale(1.0 - scale);
+            p.axpy(scale, &self.updates[i].params);
+            Cow::Owned(p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::test_support::{params, update};
+
+    #[test]
+    fn deltas_and_norms_match_direct_computation() {
+        let g = params(&[1.0, 1.0], &[0.0]);
+        let u = [
+            update(0, &[2.0, 1.0], &[0.0]),
+            update(1, &[1.0, 4.0], &[3.0]),
+        ];
+        let refs: Vec<&ClientUpdate> = u.iter().collect();
+        let ctx = RoundContext::new(&g, &refs);
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(ctx.deltas()[0].as_slice(), &[1.0, 0.0, 0.0]);
+        assert_eq!(ctx.deltas()[1].as_slice(), &[0.0, 3.0, 3.0]);
+        let expected: f32 = (9.0f32 + 9.0).sqrt();
+        assert!((ctx.raw_norms()[1] - expected).abs() < 1e-6);
+        // Distance matrices agree with the direct constructors.
+        assert_eq!(*ctx.squared_l2(), DistanceMatrix::squared_l2(&refs));
+    }
+
+    #[test]
+    fn effective_params_borrows_unclipped_and_interpolates_clipped() {
+        let g = params(&[0.0], &[0.0]);
+        let u = [update(0, &[4.0], &[8.0])];
+        let refs: Vec<&ClientUpdate> = u.iter().collect();
+        let ctx = RoundContext::new(&g, &refs);
+        assert!(matches!(ctx.effective_params(0, 1.0), Cow::Borrowed(_)));
+        let half = ctx.effective_params(0, 0.5);
+        assert_eq!(half.get("layer0.w").unwrap().get(0, 0), 2.0);
+        assert_eq!(half.get("layer0.b").unwrap().get(0, 0), 4.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! The mutable per-update state a defense pipeline threads through its
+//! stages: who is still in the round, who was rejected by which rule at
+//! what score, and what clip scale survivors carry.
+
+use crate::defense::RoundContext;
+use crate::report::UpdateDecision;
+use safeloc_nn::NamedParams;
+use std::borrow::Cow;
+
+/// One update's standing inside a running pipeline.
+#[derive(Debug, Clone, PartialEq)]
+enum Standing {
+    /// Still in the round; `weight` is the acceptance weight the combiner
+    /// assigns (0 until it runs).
+    Active {
+        /// Acceptance weight recorded in the final decision.
+        weight: f32,
+    },
+    /// Excluded by a stage or the combiner.
+    Rejected {
+        /// Name of the rejecting rule.
+        rule: String,
+        /// The rule's anomaly score.
+        score: f32,
+    },
+}
+
+/// Per-update verdicts of a defense round: stages reject and clip, the
+/// combiner weights, and [`Verdicts::into_decisions`] renders the trail
+/// [`RoundReport`](crate::RoundReport)s are assembled from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdicts {
+    standings: Vec<Standing>,
+    scales: Vec<f32>,
+}
+
+impl Verdicts {
+    /// All-active verdicts for a round of `n` updates.
+    pub fn new(n: usize) -> Self {
+        Self {
+            standings: vec![Standing::Active { weight: 0.0 }; n],
+            scales: vec![1.0; n],
+        }
+    }
+
+    /// Number of updates the verdicts cover.
+    pub fn len(&self) -> usize {
+        self.standings.len()
+    }
+
+    /// `true` when the verdicts cover no updates.
+    pub fn is_empty(&self) -> bool {
+        self.standings.is_empty()
+    }
+
+    /// `true` while update `i` is still in the round.
+    pub fn is_active(&self, i: usize) -> bool {
+        matches!(self.standings[i], Standing::Active { .. })
+    }
+
+    /// Indices of the updates still in the round, ascending.
+    pub fn active_indices(&self) -> Vec<usize> {
+        (0..self.standings.len())
+            .filter(|&i| self.is_active(i))
+            .collect()
+    }
+
+    /// Number of updates still in the round.
+    pub fn active_count(&self) -> usize {
+        self.standings
+            .iter()
+            .filter(|s| matches!(s, Standing::Active { .. }))
+            .count()
+    }
+
+    /// Number of rejected updates.
+    pub fn rejected_count(&self) -> usize {
+        self.standings.len() - self.active_count()
+    }
+
+    /// Excludes update `i` with the rejecting rule's name and score. A
+    /// no-op if an earlier stage already rejected it — the first rejection
+    /// owns the decision trail.
+    pub fn reject(&mut self, i: usize, rule: &str, score: f32) {
+        if self.is_active(i) {
+            self.standings[i] = Standing::Rejected {
+                rule: rule.to_string(),
+                score,
+            };
+        }
+    }
+
+    /// Caps update `i`'s influence: its effective parameters become
+    /// `GM + scale · (LM − GM)`. Scales compose multiplicatively across
+    /// stages and clamp to `[0, 1]`.
+    pub fn clip(&mut self, i: usize, scale: f32) {
+        self.scales[i] = (self.scales[i] * scale.clamp(0.0, 1.0)).clamp(0.0, 1.0);
+    }
+
+    /// Update `i`'s accumulated clip scale (1 when never clipped).
+    pub fn scale(&self, i: usize) -> f32 {
+        self.scales[i]
+    }
+
+    /// Sets the acceptance weight the combiner grants active update `i`.
+    /// No-op on rejected updates.
+    pub fn set_weight(&mut self, i: usize, weight: f32) {
+        if let Standing::Active { weight: w } = &mut self.standings[i] {
+            *w = weight;
+        }
+    }
+
+    /// Update `i`'s parameters with its clip scale applied (see
+    /// [`RoundContext::effective_params`]).
+    pub fn effective<'c>(&self, ctx: &'c RoundContext<'_>, i: usize) -> Cow<'c, NamedParams> {
+        ctx.effective_params(i, self.scales[i])
+    }
+
+    /// Renders the final per-update decision trail, in update order.
+    pub fn into_decisions(self) -> Vec<UpdateDecision> {
+        self.standings
+            .into_iter()
+            .map(|s| match s {
+                Standing::Active { weight } => UpdateDecision::Accepted { weight },
+                Standing::Rejected { rule, score } => UpdateDecision::Rejected { rule, score },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_is_first_writer_wins() {
+        let mut v = Verdicts::new(3);
+        v.reject(1, "norm", 2.0);
+        v.reject(1, "krum", 9.0);
+        assert_eq!(v.active_indices(), vec![0, 2]);
+        assert_eq!(v.active_count(), 2);
+        assert_eq!(v.rejected_count(), 1);
+        let d = v.into_decisions();
+        assert_eq!(
+            d[1],
+            UpdateDecision::Rejected {
+                rule: "norm".into(),
+                score: 2.0
+            }
+        );
+    }
+
+    #[test]
+    fn clip_scales_compose_and_clamp() {
+        let mut v = Verdicts::new(1);
+        v.clip(0, 0.5);
+        v.clip(0, 0.5);
+        assert!((v.scale(0) - 0.25).abs() < 1e-6);
+        v.clip(0, 7.0); // clamped to 1: cannot boost
+        assert!((v.scale(0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_only_land_on_active_updates() {
+        let mut v = Verdicts::new(2);
+        v.reject(0, "x", 1.0);
+        v.set_weight(0, 0.9);
+        v.set_weight(1, 0.4);
+        let d = v.into_decisions();
+        assert!(!d[0].is_accepted());
+        assert_eq!(d[1], UpdateDecision::Accepted { weight: 0.4 });
+    }
+}

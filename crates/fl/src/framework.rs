@@ -1,5 +1,6 @@
 //! The uniform interface the benchmark harness drives.
 
+use crate::aggregate::Aggregator;
 use crate::client::Client;
 use crate::report::RoundReport;
 use crate::round::RoundPlan;
@@ -51,6 +52,29 @@ pub trait Framework: Send {
     /// Boxed clone — lets the bench harness pretrain a framework once and
     /// fork it across attack scenarios.
     fn clone_box(&self) -> Box<dyn Framework>;
+
+    /// Replaces the framework's server-side defense with another
+    /// [`Aggregator`] — in practice a composed
+    /// [`DefensePipeline`](crate::defense::DefensePipeline) — keeping the
+    /// trained global model and the client-side protocol. This is how a
+    /// scenario spec sweeps defense compositions over one pretrained
+    /// framework (the `DefenseSpec` axis in `safeloc-bench`).
+    ///
+    /// The default declines: frameworks whose defense is inseparable from
+    /// their protocol can refuse, and the suite surfaces the message as a
+    /// cell error instead of silently running the wrong defense.
+    ///
+    /// # Errors
+    ///
+    /// A message explaining why this framework's defense cannot be
+    /// replaced.
+    fn set_aggregator(&mut self, aggregator: Box<dyn Aggregator>) -> Result<(), String> {
+        let _ = aggregator;
+        Err(format!(
+            "{} does not support replacing its server-side defense",
+            self.name()
+        ))
+    }
 
     /// Classification accuracy helper.
     fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f32 {

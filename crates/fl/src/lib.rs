@@ -13,14 +13,23 @@
 //!   [`NamedParams`](safeloc_nn::NamedParams).
 //! * [`Aggregator`] — the server-side combination rule, returning an
 //!   [`AggregationOutcome`] (next GM + per-update accept/reject decisions).
-//!   Five baseline strategies are implemented: [`FedAvg`], [`Krum`],
-//!   [`SelectiveAggregator`] (FEDHIL), [`ClusterAggregator`] (FEDCC) and
-//!   [`LatentFilterAggregator`] (FEDLS). SAFELOC's saliency-map aggregation
-//!   lives in the `safeloc` crate — it is the paper's contribution.
-//!   Pairwise-distance rules share one [`aggregate::DistanceMatrix`] per
-//!   round, computed in parallel, and every rule inherits the shared
+//!   Its production implementor is the composable
+//!   [`DefensePipeline`]: ordered
+//!   [`defense::DefenseStage`]s that screen updates through
+//!   a shared lazily-built [`defense::RoundContext`]
+//!   (deltas, norms, distance matrices — computed once per round), then
+//!   one terminal [`defense::Combiner`]. The paper's rules are
+//!   the building blocks: [`FedAvg`], [`Krum`] and [`SelectiveAggregator`]
+//!   (FEDHIL) are combiners; [`ClusterAggregator`] (FEDCC),
+//!   [`LatentFilterAggregator`] (FEDLS) and the opt-in [`HistoryScreen`]
+//!   are screening stages; generic [`defense::NormClip`],
+//!   [`defense::TrimmedMean`] and [`defense::CoordinateMedian`] open the
+//!   robust-aggregation literature's compositions. SAFELOC's saliency
+//!   combiner lives in the `safeloc` crate — it is the paper's
+//!   contribution. Every pipeline inherits the shared
 //!   empty-round/non-finite guard ([`aggregate::aggregate_or_clone`]) from
-//!   the trait's provided entry point.
+//!   the trait's provided entry point, and reports per-stage rejections
+//!   and wall time through [`report::StageTelemetry`].
 //! * **Round lifecycle** — a seeded [`CohortSampler`] draws one
 //!   [`RoundPlan`] per round (full, uniform-k or weighted cohorts —
 //!   including [`CohortSampler::weighted_by_data_volume`], which derives
@@ -46,13 +55,13 @@
 //! # Example
 //!
 //! ```
-//! use safeloc_fl::{Client, FedAvg, FlSession, Framework, SequentialFlServer, ServerConfig};
+//! use safeloc_fl::{Client, DefensePipeline, FlSession, Framework, SequentialFlServer, ServerConfig};
 //! use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 //!
 //! let data = BuildingDataset::generate(Building::tiny(3), &DatasetConfig::tiny(), 3);
 //! let mut server = SequentialFlServer::new(
 //!     &[data.building.num_aps(), 32, data.building.num_rps()],
-//!     Box::new(FedAvg),
+//!     Box::new(DefensePipeline::fedavg()),
 //!     ServerConfig::tiny(),
 //! );
 //! server.pretrain(&data.server_train);
@@ -69,6 +78,7 @@
 
 pub mod aggregate;
 pub mod client;
+pub mod defense;
 pub mod framework;
 pub mod report;
 pub mod round;
@@ -77,12 +87,15 @@ pub mod session;
 pub mod update;
 
 pub use aggregate::{
-    Aggregator, ClusterAggregator, FedAvg, Krum, LatentFilterAggregator, SelectiveAggregator,
+    Aggregator, ClusterAggregator, FedAvg, HistoryScreen, Krum, LatentFilterAggregator,
+    SelectiveAggregator,
 };
 pub use client::{Client, LabelingMode, LocalTrainConfig};
+pub use defense::{Combiner, DefensePipeline, DefenseStage};
 pub use framework::Framework;
 pub use report::{
-    pooled_rate, AggregationOutcome, ClientOutcome, ClientReport, RoundReport, UpdateDecision,
+    pooled_rate, pooled_stage_telemetry, AggregationOutcome, ClientOutcome, ClientReport,
+    RoundReport, StageTelemetry, UpdateDecision,
 };
 pub use round::{Availability, CohortSampler, CohortStrategy, RoundPlan};
 pub use server::{active_clients, SequentialFlServer, ServerConfig};

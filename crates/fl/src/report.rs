@@ -18,6 +18,22 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
 
+/// One defense stage's footprint on a round: how many updates it
+/// rejected and how long it ran. A
+/// [`DefensePipeline`](crate::defense::DefensePipeline) emits one entry
+/// per stage in execution order, combiner last; engines fold the trail
+/// into [`RoundReport::stages`] so suite reports and `BENCH_nn.json` can
+/// attribute both rejections and wall time to individual stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTelemetry {
+    /// Stage (or combiner) name, e.g. `"norm-clip"`, `"latent"`, `"krum"`.
+    pub stage: String,
+    /// Updates this stage rejected this round (clipping stages reject 0).
+    pub rejections: usize,
+    /// Wall-clock time of the stage, milliseconds.
+    pub wall_ms: f64,
+}
+
 /// An aggregation rule's verdict on one client update.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum UpdateDecision {
@@ -124,6 +140,11 @@ pub struct RoundReport {
     pub train_ms: f64,
     /// Wall-clock time of server-side aggregation, milliseconds.
     pub aggregate_ms: f64,
+    /// Per-stage defense telemetry, in pipeline order (combiner last).
+    /// Empty for aggregators without internal stages and for reports
+    /// serialized before the pipeline redesign.
+    #[serde(default = "Vec::new")]
+    pub stages: Vec<StageTelemetry>,
 }
 
 impl RoundReport {
@@ -147,6 +168,7 @@ impl RoundReport {
         plan: &RoundPlan,
         updates: &[ClientUpdate],
         outcome: &AggregationOutcome,
+        stages: Vec<StageTelemetry>,
         train_ms: f64,
         aggregate_ms: f64,
     ) -> Self {
@@ -199,6 +221,7 @@ impl RoundReport {
             clients: reports,
             train_ms,
             aggregate_ms,
+            stages,
         }
     }
 
@@ -294,8 +317,10 @@ impl RoundReport {
 /// let updates = self.collect_updates(clients, plan);
 /// let timer = timer.split();
 /// let outcome = self.aggregator.aggregate(&gm.snapshot(), &updates);
+/// let stages = self.aggregator.take_stage_telemetry();
 /// gm.load(&outcome.params)?;
-/// let report = timer.finish(self.rounds_run, self.name(), clients, plan, &updates, &outcome);
+/// let report =
+///     timer.finish(self.rounds_run, self.name(), clients, plan, &updates, &outcome, stages);
 /// ```
 #[derive(Debug)]
 pub struct RoundTimer {
@@ -331,7 +356,9 @@ impl RoundTimer {
 impl RoundSplit {
     /// Ends the aggregation phase and assembles the round's report (see
     /// [`RoundReport::assemble`] for the contract on `updates` and
-    /// `outcome`).
+    /// `outcome`; `stages` is the aggregator's drained
+    /// [`Aggregator::take_stage_telemetry`](crate::Aggregator::take_stage_telemetry)).
+    #[allow(clippy::too_many_arguments)]
     pub fn finish(
         self,
         round: usize,
@@ -340,6 +367,7 @@ impl RoundSplit {
         plan: &RoundPlan,
         updates: &[ClientUpdate],
         outcome: &AggregationOutcome,
+        stages: Vec<StageTelemetry>,
     ) -> RoundReport {
         RoundReport::assemble(
             round,
@@ -348,6 +376,7 @@ impl RoundSplit {
             plan,
             updates,
             outcome,
+            stages,
             self.train_ms,
             self.aggregate_start.elapsed().as_secs_f64() * 1e3,
         )
@@ -369,6 +398,42 @@ pub fn pooled_rate<'a>(
     } else {
         Some(present.iter().sum::<f32>() / present.len() as f32)
     }
+}
+
+/// Pools per-round stage telemetry over a report history into one entry
+/// per stage name, in order of first appearance (= pipeline order):
+/// `rejections` totalled, `wall_ms` averaged over the rounds the stage
+/// appeared in. This is the single fold behind the suite's per-cell
+/// `stage_stats`, `BENCH_nn.json`'s `session[].stage_ms` and any ad-hoc
+/// report consumer — so the pooling semantics cannot drift between them.
+pub fn pooled_stage_telemetry<'a>(
+    reports: impl Iterator<Item = &'a RoundReport>,
+) -> Vec<StageTelemetry> {
+    let mut pooled: Vec<StageTelemetry> = Vec::new();
+    let mut rounds_seen: Vec<usize> = Vec::new();
+    for report in reports {
+        for stage in &report.stages {
+            let slot = match pooled.iter().position(|s| s.stage == stage.stage) {
+                Some(slot) => slot,
+                None => {
+                    pooled.push(StageTelemetry {
+                        stage: stage.stage.clone(),
+                        rejections: 0,
+                        wall_ms: 0.0,
+                    });
+                    rounds_seen.push(0);
+                    pooled.len() - 1
+                }
+            };
+            pooled[slot].rejections += stage.rejections;
+            pooled[slot].wall_ms += stage.wall_ms;
+            rounds_seen[slot] += 1;
+        }
+    }
+    for (s, rounds) in pooled.iter_mut().zip(rounds_seen) {
+        s.wall_ms /= rounds.max(1) as f64;
+    }
+    pooled
 }
 
 fn rejection_rate<'a>(clients: impl Iterator<Item = &'a ClientReport>) -> Option<f32> {
@@ -430,6 +495,7 @@ mod tests {
                 .collect(),
             train_ms: 1.0,
             aggregate_ms: 0.5,
+            stages: Vec::new(),
         }
     }
 
@@ -499,15 +565,33 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let r = report_with(vec![(
+        let mut r = report_with(vec![(
             true,
             ClientOutcome::Rejected {
                 rule: "cluster".into(),
                 score: 0.7,
             },
         )]);
+        r.stages = vec![StageTelemetry {
+            stage: "cluster".into(),
+            rejections: 1,
+            wall_ms: 0.2,
+        }];
         let json = serde_json::to_string(&r).unwrap();
         let back: RoundReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn reports_without_a_stages_field_still_deserialize() {
+        // Reports persisted before the pipeline redesign carry no stage
+        // telemetry; the field defaults to empty.
+        let r = report_with(vec![(false, ClientOutcome::Trained { weight: 1.0 })]);
+        let json = serde_json::to_string(&r).unwrap();
+        let without = json.replace(",\"stages\":[]", "");
+        assert_ne!(json, without, "fixture no longer serializes the field");
+        let back: RoundReport = serde_json::from_str(&without).unwrap();
+        assert!(back.stages.is_empty());
+        assert_eq!(back.clients, r.clients);
     }
 }

@@ -155,9 +155,18 @@ impl SequentialFlServer {
         self.rounds_run
     }
 
-    /// The configured aggregation rule's name.
-    pub fn aggregator_name(&self) -> &'static str {
+    /// The configured aggregation rule's name (a pipeline's composition
+    /// label).
+    pub fn aggregator_name(&self) -> &str {
         self.aggregator.name()
+    }
+
+    /// Replaces the server-side defense, keeping the trained global model —
+    /// how the scenario-suite engine swaps composed
+    /// [`DefensePipeline`](crate::defense::DefensePipeline)s into a
+    /// pretrained framework.
+    pub fn set_aggregator(&mut self, aggregator: Box<dyn Aggregator>) {
+        self.aggregator = aggregator;
     }
 
     /// Collects updates from the plan's participating clients (shared with
@@ -210,6 +219,7 @@ impl Framework for SequentialFlServer {
         let updates = self.collect_updates(clients, plan);
         let timer = timer.split();
         let outcome = self.aggregator.aggregate(&self.gm.snapshot(), &updates);
+        let stages = self.aggregator.take_stage_telemetry();
         self.gm
             .load(&outcome.params)
             .expect("aggregator preserves architecture");
@@ -220,6 +230,7 @@ impl Framework for SequentialFlServer {
             plan,
             &updates,
             &outcome,
+            stages,
         );
         self.rounds_run += 1;
         report
@@ -240,16 +251,25 @@ impl Framework for SequentialFlServer {
     fn clone_box(&self) -> Box<dyn Framework> {
         Box::new(self.clone())
     }
+
+    fn set_aggregator(&mut self, aggregator: Box<dyn Aggregator>) -> Result<(), String> {
+        SequentialFlServer::set_aggregator(self, aggregator);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aggregate::{FedAvg, Krum};
+    use crate::defense::DefensePipeline;
     use crate::report::ClientOutcome;
     use crate::round::Availability;
     use safeloc_attacks::{Attack, PoisonInjector};
     use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+
+    fn fedavg() -> Box<dyn Aggregator> {
+        Box::new(DefensePipeline::fedavg())
+    }
 
     fn run_full_rounds(s: &mut SequentialFlServer, clients: &mut [Client], n: usize) {
         for _ in 0..n {
@@ -272,7 +292,7 @@ mod tests {
     #[test]
     fn pretraining_reaches_high_train_accuracy() {
         let data = dataset();
-        let mut s = server(&data, Box::new(FedAvg));
+        let mut s = server(&data, fedavg());
         s.pretrain(&data.server_train);
         let acc = s.accuracy(&data.server_train.x, &data.server_train.labels);
         assert!(acc > 0.8, "pretrain accuracy {acc}");
@@ -281,7 +301,7 @@ mod tests {
     #[test]
     fn clean_rounds_do_not_destroy_the_model() {
         let data = dataset();
-        let mut s = server(&data, Box::new(FedAvg));
+        let mut s = server(&data, fedavg());
         s.pretrain(&data.server_train);
         let before = s.accuracy(&data.server_train.x, &data.server_train.labels);
         let mut clients = Client::from_dataset(&data, 0);
@@ -311,8 +331,8 @@ mod tests {
             s.accuracy(&eval.x, &eval.labels)
         };
 
-        let fedavg_acc = run(Box::new(FedAvg));
-        let krum_acc = run(Box::new(Krum::new(1)));
+        let fedavg_acc = run(fedavg());
+        let krum_acc = run(Box::new(DefensePipeline::krum(1)));
         // Krum should be no worse than FedAvg under poisoning (usually much
         // better); allow slack for the tiny dataset.
         assert!(
@@ -326,7 +346,7 @@ mod tests {
     fn round_is_deterministic() {
         let data = dataset();
         let run = || {
-            let mut s = server(&data, Box::new(FedAvg));
+            let mut s = server(&data, fedavg());
             s.pretrain(&data.server_train);
             let mut clients = Client::from_dataset(&data, 0);
             let plan = RoundPlan::full(clients.len());
@@ -339,7 +359,7 @@ mod tests {
     #[test]
     fn debug_is_informative() {
         let data = dataset();
-        let s = server(&data, Box::new(FedAvg));
+        let s = server(&data, fedavg());
         let dbg = format!("{s:?}");
         assert!(dbg.contains("FedAvg"));
     }
@@ -347,7 +367,7 @@ mod tests {
     #[test]
     fn full_round_reports_every_client_trained() {
         let data = dataset();
-        let mut s = server(&data, Box::new(FedAvg));
+        let mut s = server(&data, fedavg());
         s.pretrain(&data.server_train);
         let mut clients = Client::from_dataset(&data, 0);
         let plan = RoundPlan::full(clients.len());
@@ -366,7 +386,7 @@ mod tests {
     #[test]
     fn partial_plan_trains_only_the_participants() {
         let data = dataset();
-        let mut s = server(&data, Box::new(FedAvg));
+        let mut s = server(&data, fedavg());
         s.pretrain(&data.server_train);
         let mut clients = Client::from_dataset(&data, 0);
         let plan = RoundPlan::new(vec![
@@ -387,7 +407,7 @@ mod tests {
     #[test]
     fn all_dropout_round_keeps_the_global_model() {
         let data = dataset();
-        let mut s = server(&data, Box::new(FedAvg));
+        let mut s = server(&data, fedavg());
         s.pretrain(&data.server_train);
         let before = s.global_model().snapshot();
         let mut clients = Client::from_dataset(&data, 0);

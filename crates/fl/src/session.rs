@@ -9,14 +9,15 @@
 //!
 //! ```
 //! use safeloc_fl::{
-//!     Client, CohortSampler, FedAvg, FlSession, Framework, SequentialFlServer, ServerConfig,
+//!     Client, CohortSampler, DefensePipeline, FlSession, Framework, SequentialFlServer,
+//!     ServerConfig,
 //! };
 //! use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 //!
 //! let data = BuildingDataset::generate(Building::tiny(3), &DatasetConfig::tiny(), 3);
 //! let mut server = SequentialFlServer::new(
 //!     &[data.building.num_aps(), 32, data.building.num_rps()],
-//!     Box::new(FedAvg),
+//!     Box::new(DefensePipeline::fedavg()),
 //!     ServerConfig::tiny(),
 //! );
 //! server.pretrain(&data.server_train);
@@ -199,7 +200,7 @@ impl FlSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aggregate::{FedAvg, Krum};
+    use crate::defense::DefensePipeline;
     use crate::round::RoundPlan;
     use crate::server::{SequentialFlServer, ServerConfig};
     use safeloc_attacks::{Attack, PoisonInjector};
@@ -223,7 +224,7 @@ mod tests {
     #[test]
     fn full_session_matches_manual_run_round_bitwise() {
         let data = dataset();
-        let server = pretrained(&data, Box::new(FedAvg));
+        let server = pretrained(&data, Box::new(DefensePipeline::fedavg()));
 
         let mut manual = server.clone();
         let mut clients = Client::from_dataset(&data, 0);
@@ -252,7 +253,7 @@ mod tests {
     #[test]
     fn partial_sessions_report_smaller_cohorts() {
         let data = dataset();
-        let server = pretrained(&data, Box::new(FedAvg));
+        let server = pretrained(&data, Box::new(DefensePipeline::fedavg()));
         let mut session = FlSession::builder(Box::new(server))
             .clients(Client::from_dataset(&data, 0))
             .sampler(CohortSampler::uniform(2, 5))
@@ -264,7 +265,7 @@ mod tests {
     #[test]
     fn krum_session_surfaces_attacker_rejections() {
         let data = dataset();
-        let server = pretrained(&data, Box::new(Krum::new(1)));
+        let server = pretrained(&data, Box::new(DefensePipeline::krum(1)));
         let mut clients = Client::from_dataset(&data, 0);
         let last = clients.len() - 1;
         clients[last].injector =
@@ -290,7 +291,7 @@ mod tests {
     #[should_panic(expected = "one weight per client")]
     fn weighted_sampler_with_wrong_length_is_rejected_at_build() {
         let data = dataset();
-        let server = pretrained(&data, Box::new(FedAvg));
+        let server = pretrained(&data, Box::new(DefensePipeline::fedavg()));
         let clients = Client::from_dataset(&data, 0);
         // One weight short: the last client would silently never be drawn.
         let weights = vec![1.0; clients.len() - 1];
@@ -303,7 +304,7 @@ mod tests {
     #[test]
     fn data_volume_weighted_sampler_builds_and_runs() {
         let data = dataset();
-        let server = pretrained(&data, Box::new(FedAvg));
+        let server = pretrained(&data, Box::new(DefensePipeline::fedavg()));
         let clients = Client::from_dataset(&data, 0);
         let sampler = CohortSampler::weighted_by_data_volume(2, &clients, 9);
         let mut session = FlSession::builder(Box::new(server))
@@ -317,7 +318,7 @@ mod tests {
     #[test]
     fn all_zero_weights_yield_empty_rounds_and_keep_the_gm() {
         let data = dataset();
-        let server = pretrained(&data, Box::new(FedAvg));
+        let server = pretrained(&data, Box::new(DefensePipeline::fedavg()));
         let clients = Client::from_dataset(&data, 0);
         let before = server.global_model().snapshot();
         let n = clients.len();
@@ -354,7 +355,7 @@ mod tests {
         }
 
         let data = dataset();
-        let server = pretrained(&data, Box::new(FedAvg));
+        let server = pretrained(&data, Box::new(DefensePipeline::fedavg()));
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut session = FlSession::builder(Box::new(server))
             .clients(Client::from_dataset(&data, 0))
@@ -377,7 +378,7 @@ mod tests {
     fn session_is_deterministic_given_seeds() {
         let data = dataset();
         let run = || {
-            let server = pretrained(&data, Box::new(FedAvg));
+            let server = pretrained(&data, Box::new(DefensePipeline::fedavg()));
             let mut session = FlSession::builder(Box::new(server))
                 .clients(Client::from_dataset(&data, 0))
                 .sampler(

@@ -69,7 +69,9 @@ impl ModelPublisher for RegistryPublisher {
 mod tests {
     use super::*;
     use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-    use safeloc_fl::{Client, FedAvg, FlSession, Framework, SequentialFlServer, ServerConfig};
+    use safeloc_fl::{
+        Client, DefensePipeline, FlSession, Framework, SequentialFlServer, ServerConfig,
+    };
     use safeloc_nn::HasParams;
 
     #[test]
@@ -77,7 +79,7 @@ mod tests {
         let data = BuildingDataset::generate(Building::tiny(3), &DatasetConfig::tiny(), 3);
         let mut server = SequentialFlServer::new(
             &[data.building.num_aps(), 16, data.building.num_rps()],
-            Box::new(FedAvg),
+            Box::new(DefensePipeline::fedavg()),
             ServerConfig::tiny(),
         );
         server.pretrain(&data.server_train);
@@ -122,7 +124,7 @@ mod tests {
         let data = BuildingDataset::generate(Building::tiny(4), &DatasetConfig::tiny(), 4);
         let mut server = SequentialFlServer::new(
             &[data.building.num_aps(), 16, data.building.num_rps()],
-            Box::new(FedAvg),
+            Box::new(DefensePipeline::fedavg()),
             ServerConfig::tiny(),
         );
         server.pretrain(&data.server_train);

@@ -6,7 +6,7 @@
 //! Run with `cargo run --example serving`.
 
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceCatalog};
-use safeloc_fl::{Client, FedAvg, FlSession, Framework, SequentialFlServer, ServerConfig};
+use safeloc_fl::{Client, DefensePipeline, FlSession, Framework, SequentialFlServer, ServerConfig};
 use safeloc_serve::{
     request_pool, run_load, LoadPlan, LocalizeRequest, ModelKey, ModelRegistry, RegistryPublisher,
     ServeConfig, Service,
@@ -19,7 +19,7 @@ fn main() {
     let data = BuildingDataset::generate(Building::tiny(7), &DatasetConfig::tiny(), 7);
     let mut server = SequentialFlServer::new(
         &[data.building.num_aps(), 24, data.building.num_rps()],
-        Box::new(FedAvg),
+        Box::new(DefensePipeline::fedavg()),
         ServerConfig::tiny(),
     );
     println!("pretraining the global model...");

@@ -4,7 +4,7 @@
 use safeloc::{SafeLoc, SafeLocConfig, SaliencyAggregator};
 use safeloc_attacks::{Attack, PoisonInjector, ALL_ATTACK_KINDS};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Aggregator, Client, ClientUpdate, FedAvg, Framework, RoundPlan};
+use safeloc_fl::{Aggregator, Client, ClientUpdate, DefensePipeline, Framework, RoundPlan};
 use safeloc_metrics::{localization_errors, ErrorStats};
 use safeloc_nn::{Matrix, NamedParams};
 
@@ -73,8 +73,10 @@ fn saliency_suppresses_boosted_outliers_more_than_fedavg() {
         10,
     ));
 
-    let fedavg = FedAvg.aggregate(&gm, &updates);
-    let saliency = SaliencyAggregator::default().aggregate(&gm, &updates);
+    let fedavg = DefensePipeline::fedavg().aggregate(&gm, &updates);
+    let saliency = SaliencyAggregator::default()
+        .into_pipeline()
+        .aggregate(&gm, &updates);
     let fa = fedavg.params.get("w").unwrap().get(0, 0);
     let sa = saliency.params.get("w").unwrap().get(0, 0);
     assert!(

@@ -4,7 +4,7 @@
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
-use safeloc_fl::{Client, FedAvg, Framework, RoundPlan, SequentialFlServer, ServerConfig};
+use safeloc_fl::{Client, DefensePipeline, Framework, RoundPlan, SequentialFlServer, ServerConfig};
 use safeloc_nn::HasParams;
 
 fn run_safeloc(seed: u64) -> Vec<usize> {
@@ -43,7 +43,7 @@ fn sequential_server_rounds_reproduce() {
     let run = || {
         let mut s = SequentialFlServer::new(
             &[data.building.num_aps(), 16, data.building.num_rps()],
-            Box::new(FedAvg),
+            Box::new(DefensePipeline::fedavg()),
             ServerConfig::tiny(),
         );
         s.pretrain(&data.server_train);

@@ -4,9 +4,8 @@
 use safeloc::{SafeLoc, SafeLocConfig, SaliencyAggregator};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, FingerprintSet};
 use safeloc_fl::{
-    Aggregator, Availability, Client, ClientUpdate, ClusterAggregator, FedAvg, Framework, Krum,
-    LatentFilterAggregator, RoundPlan, SelectiveAggregator, SequentialFlServer, ServerConfig,
-    UpdateDecision,
+    Aggregator, Availability, Client, ClientUpdate, DefensePipeline, Framework, RoundPlan,
+    SequentialFlServer, ServerConfig, UpdateDecision,
 };
 use safeloc_nn::{Matrix, NamedParams};
 
@@ -14,14 +13,17 @@ fn dataset() -> BuildingDataset {
     BuildingDataset::generate(Building::tiny(13), &DatasetConfig::tiny(), 13)
 }
 
+/// The six paper rules as their canonical pipeline compositions — the
+/// shared guard contract must hold for every one of them.
 fn all_aggregators() -> Vec<Box<dyn Aggregator>> {
     vec![
-        Box::new(FedAvg),
-        Box::new(Krum::new(1)),
-        Box::new(SelectiveAggregator::default()),
-        Box::new(ClusterAggregator::default()),
-        Box::new(LatentFilterAggregator::new(0)),
-        Box::new(SaliencyAggregator::default()),
+        Box::new(DefensePipeline::fedavg()),
+        Box::new(DefensePipeline::krum(1)),
+        Box::new(DefensePipeline::selective(0.5)),
+        Box::new(DefensePipeline::cluster(0.15)),
+        Box::new(DefensePipeline::latent(0)),
+        Box::new(SaliencyAggregator::default().into_pipeline()),
+        Box::new(DefensePipeline::latent_with_history(0)),
     ]
 }
 
@@ -86,7 +88,7 @@ fn rounds_with_a_subset_of_clients_work() {
     let data = dataset();
     let mut server = SequentialFlServer::new(
         &[data.building.num_aps(), 12, data.building.num_rps()],
-        Box::new(FedAvg),
+        Box::new(DefensePipeline::fedavg()),
         ServerConfig::tiny(),
     );
     server.pretrain(&data.server_train);
@@ -159,7 +161,7 @@ fn stale_plans_referencing_departed_clients_are_harmless() {
     let data = dataset();
     let mut server = SequentialFlServer::new(
         &[data.building.num_aps(), 12, data.building.num_rps()],
-        Box::new(FedAvg),
+        Box::new(DefensePipeline::fedavg()),
         ServerConfig::tiny(),
     );
     server.pretrain(&data.server_train);

@@ -13,8 +13,8 @@ use rayon::ThreadPoolBuilder;
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 use safeloc_fl::{
-    Aggregator, Client, ClientUpdate, CohortSampler, FlSession, Framework, Krum, RoundPlan,
-    RoundReport, SequentialFlServer, ServerConfig,
+    Aggregator, Client, ClientUpdate, CohortSampler, DefensePipeline, FlSession, Framework,
+    RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::{HasParams, NamedParams};
 
@@ -37,7 +37,7 @@ fn sequential_server_round_is_bitwise_deterministic_across_thread_counts() {
         with_threads(threads, || {
             let mut s = SequentialFlServer::new(
                 &[data.building.num_aps(), 16, data.building.num_rps()],
-                Box::new(safeloc_fl::FedAvg),
+                Box::new(safeloc_fl::DefensePipeline::fedavg()),
                 ServerConfig::tiny(),
             );
             s.pretrain(&data.server_train);
@@ -106,7 +106,9 @@ fn krum_with_shared_distance_matrix_is_thread_count_invariant() {
         })
         .collect();
     let run = |threads: usize| -> NamedParams {
-        with_threads(threads, || Krum::new(1).aggregate(&gm, &updates).params)
+        with_threads(threads, || {
+            DefensePipeline::krum(1).aggregate(&gm, &updates).params
+        })
     };
     let serial = run(1);
     assert_eq!(
@@ -163,7 +165,7 @@ fn subsampled_session_is_bitwise_deterministic_across_thread_counts() {
         with_threads(threads, || {
             let mut s = SequentialFlServer::new(
                 &[data.building.num_aps(), 16, data.building.num_rps()],
-                Box::new(safeloc_fl::FedAvg),
+                Box::new(safeloc_fl::DefensePipeline::fedavg()),
                 ServerConfig::tiny(),
             );
             s.pretrain(&data.server_train);

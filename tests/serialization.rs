@@ -112,13 +112,14 @@ fn round_lifecycle_types_round_trip() {
 #[test]
 fn round_reports_round_trip() {
     use safeloc_fl::{
-        Client, FedAvg, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+        Client, DefensePipeline, Framework, RoundPlan, RoundReport, SequentialFlServer,
+        ServerConfig,
     };
 
     let data = BuildingDataset::generate(Building::tiny(2), &DatasetConfig::tiny(), 2);
     let mut s = SequentialFlServer::new(
         &[data.building.num_aps(), 8, data.building.num_rps()],
-        Box::new(FedAvg),
+        Box::new(DefensePipeline::fedavg()),
         ServerConfig::tiny(),
     );
     s.pretrain(&data.server_train);
