@@ -14,14 +14,21 @@
 //!    spread of model versions observed across responses demonstrates the
 //!    mid-traffic swap.
 //!
+//! With `--transport tcp` a third phase serves the same pool through the
+//! `safeloc-wire` TCP front and records **honest end-to-end latency** —
+//! injected link latency plus framing, the socket round trip and
+//! micro-batched inference — under several fault-injection profiles
+//! (raw loopback, LAN-like, WAN-like).
+//!
 //! Results are written to a standalone `SERVE_*.json` report and, when a
 //! `BENCH_nn.json`-style perf report exists, merged into its `serving`
-//! section (validated with the same rules as `perf_report --check`).
+//! (and, with `--transport tcp`, `transport`) sections — validated with
+//! the same rules as `perf_report --check`.
 //!
-//! Usage: `serve_bench [--quick|--full] [--seed N] [--out PATH]
-//! [--bench PATH]`.
+//! Usage: `serve_bench [--quick|--full] [--seed N] [--transport tcp]
+//! [--out PATH] [--bench PATH]`.
 
-use safeloc_bench::perf::{PerfReport, ServingTiming};
+use safeloc_bench::perf::{PerfReport, ServingTiming, TransportTiming};
 use safeloc_bench::{HarnessConfig, Scale};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceCatalog};
 use safeloc_fl::{Client, DefensePipeline, FlSession, Framework, SequentialFlServer, ServerConfig};
@@ -30,6 +37,7 @@ use safeloc_serve::{
     request_pool, run_load, LoadPlan, ModelKey, ModelRegistry, RegistryPublisher, ServeConfig,
     Service, ServingStats,
 };
+use safeloc_wire::{run_tcp_load, FaultProfile, WireServer};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,6 +47,7 @@ struct Args {
     out: String,
     bench: String,
     bench_explicit: bool,
+    transport_tcp: bool,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +58,7 @@ fn parse_args() -> Args {
     let mut out = "SERVE_nn.json".to_string();
     let mut bench = "BENCH_nn.json".to_string();
     let mut bench_explicit = false;
+    let mut transport_tcp = false;
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -77,8 +87,17 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| panic!("--bench requires a path"));
                 bench_explicit = true;
             }
+            "--transport" => {
+                i += 1;
+                match argv.get(i).map(String::as_str) {
+                    Some("tcp") => transport_tcp = true,
+                    Some("inproc") => transport_tcp = false,
+                    other => panic!("--transport expects tcp or inproc, got {other:?}"),
+                }
+            }
             other => panic!(
-                "unknown argument {other:?} (expected --quick/--full/--seed N/--out PATH/--bench PATH)"
+                "unknown argument {other:?} (expected --quick/--full/--seed N/--transport \
+                 tcp|inproc/--out PATH/--bench PATH)"
             ),
         }
         i += 1;
@@ -88,6 +107,7 @@ fn parse_args() -> Args {
         out,
         bench,
         bench_explicit,
+        transport_tcp,
     }
 }
 
@@ -98,6 +118,9 @@ struct ServingReport {
     quick: bool,
     seed: u64,
     scenarios: Vec<ServingTiming>,
+    /// TCP-transport phase results; empty unless `--transport tcp` ran.
+    #[serde(default = "Vec::new")]
+    transport: Vec<TransportTiming>,
 }
 
 fn timing(scenario: &str, stats: &ServingStats) -> ServingTiming {
@@ -179,11 +202,11 @@ fn main() {
         batch_deadline: Duration::from_millis(1),
         workers: 2,
     };
-    let service = Service::start(
+    let service = Arc::new(Service::start(
         Arc::clone(&registry),
         DeviceCatalog::new(data.devices.clone()),
         serve_cfg,
-    );
+    ));
     let mut pool = request_pool(&data);
     // A quarter of the arrival mix comes from phones the catalog has never
     // seen: they route to the building-default model — the entry the FL
@@ -279,6 +302,50 @@ fn main() {
         swap.min_version,
         swap.max_version
     );
+    // Phase 3 (opt-in): the same pool through the wire — honest
+    // end-to-end latency under injected link-latency profiles.
+    let mut transport = Vec::new();
+    if args.transport_tcp {
+        let profiles = [
+            ("loopback", FaultProfile::ideal()),
+            ("lan", FaultProfile::latency(5.0, 1.0, args.cfg.seed)),
+            ("wan", FaultProfile::latency(40.0, 8.0, args.cfg.seed)),
+        ];
+        let wire = WireServer::serve(Arc::clone(&service)).expect("bind wire front");
+        eprintln!("phase 3: TCP transport at {} ...", wire.addr());
+        for (profile, fault) in &profiles {
+            let stats = run_tcp_load(
+                wire.addr(),
+                &pool,
+                &LoadPlan::new(population, requests_per_client, args.cfg.seed ^ 0x7C),
+                fault,
+            )
+            .unwrap_or_else(|e| panic!("TCP load under profile {profile} failed: {e}"))
+            .stats();
+            eprintln!(
+                "  {profile:<10} link {:>5.1}±{:<4.1} ms: {:.0} req/s, p50 {:.2} ms, \
+                 p95 {:.2} ms, p99 {:.2} ms",
+                fault.latency_ms_mean,
+                fault.latency_ms_std,
+                stats.throughput_rps,
+                stats.p50_ms,
+                stats.p95_ms,
+                stats.p99_ms
+            );
+            transport.push(TransportTiming {
+                profile: profile.to_string(),
+                injected_latency_ms: fault.latency_ms_mean,
+                injected_latency_std_ms: fault.latency_ms_std,
+                population: stats.population,
+                requests: stats.requests,
+                failures: stats.failures,
+                throughput_rps: stats.throughput_rps,
+                p50_ms: stats.p50_ms,
+                p95_ms: stats.p95_ms,
+                p99_ms: stats.p99_ms,
+            });
+        }
+    }
     service.shutdown();
 
     let label = |phase: &str| format!("{phase} p={population} b={}", serve_cfg.max_batch);
@@ -292,6 +359,7 @@ fn main() {
         quick,
         seed: args.cfg.seed,
         scenarios: scenarios.clone(),
+        transport: transport.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -315,6 +383,9 @@ fn main() {
     let mut merge_target: PerfReport = serde_json::from_str(&bench_json)
         .unwrap_or_else(|e| panic!("cannot parse {}: {e:?}", args.bench));
     merge_target.serving = scenarios;
+    if args.transport_tcp {
+        merge_target.transport = transport;
+    }
     if let Err(problems) = merge_target.validate() {
         eprintln!("serving section FAILED validation: {problems}");
         std::process::exit(1);

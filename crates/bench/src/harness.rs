@@ -8,6 +8,7 @@ use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceProfile};
 use safeloc_fl::report::pooled_rate;
 use safeloc_fl::{Client, CohortSampler, FlSession, Framework, RoundReport, ServerConfig};
 use safeloc_metrics::localization_errors;
+use safeloc_wire::FaultProfile;
 
 /// Experiment scale, selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -274,6 +275,45 @@ pub fn run_fleet_with_reports(
         .build();
     session.run(rounds);
     let (framework, _, reports) = session.into_parts();
+    ScenarioOutcome {
+        errors: evaluate_errors(framework.as_ref(), data),
+        reports,
+    }
+}
+
+/// [`run_fleet_with_reports`] under simulated network conditions: every
+/// round's sampled cohort plan is replayed through the wire crate's
+/// fault-injection shim ([`FaultProfile::degrade_plan`]) before the
+/// framework runs it, so a would-be connection drop becomes
+/// [`Availability::DropsOut`](safeloc_fl::Availability::DropsOut) and a
+/// slow reader — or a latency draw beyond `deadline_ms` — becomes
+/// [`Availability::Straggles`](safeloc_fl::Availability::Straggles).
+/// Network conditions thereby sweep like any other scenario axis without
+/// paying per-cell process spawns.
+///
+/// An ideal profile takes the exact [`FlSession`] path, so cells without
+/// the network axis stay bitwise identical to the pre-axis engine.
+pub fn run_fleet_with_network(
+    mut framework: Box<dyn Framework>,
+    data: &BuildingDataset,
+    mut clients: Vec<Client>,
+    rounds: usize,
+    sampler: CohortSampler,
+    fault: &FaultProfile,
+    deadline_ms: f64,
+) -> ScenarioOutcome {
+    if fault.is_ideal() {
+        return run_fleet_with_reports(framework, data, clients, rounds, sampler);
+    }
+    if let Err(problem) = sampler.validate_for_fleet(clients.len()) {
+        panic!("run_fleet_with_network: {problem}");
+    }
+    let mut reports = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let plan = sampler.plan(round, clients.len());
+        let degraded = fault.degrade_plan(&plan, round as u64, deadline_ms);
+        reports.push(framework.run_round(&mut clients, &degraded));
+    }
     ScenarioOutcome {
         errors: evaluate_errors(framework.as_ref(), data),
         reports,

@@ -33,12 +33,12 @@ pub mod suite;
 
 pub use harness::{
     build_dataset, build_frameworks, default_buildings, evaluate_errors, pretrained_safeloc,
-    run_fleet_with_reports, run_scenario, run_scenario_with_reports, scenario_fleet, HarnessConfig,
-    Scale, Scenario, ScenarioOutcome,
+    run_fleet_with_network, run_fleet_with_reports, run_scenario, run_scenario_with_reports,
+    scenario_fleet, HarnessConfig, Scale, Scenario, ScenarioOutcome,
 };
 pub use perf::{pool_stage_means, time_median_ns, PerfReport, StageMean};
 pub use suite::{
-    AttackSpec, CellRun, CombinerSpec, DefenseSpec, FleetSpec, FrameworkSpec, ParticipationMode,
-    ParticipationSpec, PipelineSpec, SafelocVariant, ScenarioCell, ScenarioSpec, StageSpec,
-    StageSuiteStats, SuiteCellReport, SuiteReport, SuiteRun, SuiteRunner,
+    AttackSpec, CellRun, CombinerSpec, DefenseSpec, FleetSpec, FrameworkSpec, NetworkSpec,
+    ParticipationMode, ParticipationSpec, PipelineSpec, SafelocVariant, ScenarioCell, ScenarioSpec,
+    StageSpec, StageSuiteStats, SuiteCellReport, SuiteReport, SuiteRun, SuiteRunner,
 };

@@ -175,6 +175,35 @@ pub struct ServingTiming {
     pub max_version: u64,
 }
 
+/// One TCP-transport serving measurement (the `serve_bench --transport
+/// tcp` path): honest end-to-end latency — injected link latency plus
+/// framing, the socket round trip and micro-batched inference — under a
+/// named fault-injection profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportTiming {
+    /// Fault-injection profile label (`loopback`, `lan`, `wan`, …).
+    pub profile: String,
+    /// Mean injected link latency, ms (0 for the raw loopback profile).
+    pub injected_latency_ms: f64,
+    /// Injected latency standard deviation, ms.
+    pub injected_latency_std_ms: f64,
+    /// Closed-loop clients driving the TCP front.
+    pub population: usize,
+    /// Requests completed.
+    pub requests: usize,
+    /// Requests rejected by the service (travel as typed error frames).
+    #[serde(default = "usize_zero")]
+    pub failures: usize,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+}
+
 /// The full report serialized to `BENCH_nn.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -200,6 +229,10 @@ pub struct PerfReport {
     /// the file).
     #[serde(default = "Vec::new")]
     pub serving: Vec<ServingTiming>,
+    /// TCP-transport serving numbers, written by `serve_bench --transport
+    /// tcp` (empty until it runs; preserved on rewrite like `serving`).
+    #[serde(default = "Vec::new")]
+    pub transport: Vec<TransportTiming>,
 }
 
 impl PerfReport {
@@ -278,6 +311,25 @@ impl PerfReport {
                 failure_problems.push(format!(
                     "serving[{}].failures = {} (requests rejected at admission)",
                     s.scenario, s.failures
+                ));
+            }
+        }
+        for t in &self.transport {
+            check(
+                format!("transport[{}].throughput_rps", t.profile),
+                t.throughput_rps,
+            );
+            check(format!("transport[{}].p50_ms", t.profile), t.p50_ms);
+            check(format!("transport[{}].p95_ms", t.profile), t.p95_ms);
+            check(format!("transport[{}].p99_ms", t.profile), t.p99_ms);
+            check(
+                format!("transport[{}].requests", t.profile),
+                t.requests as f64,
+            );
+            if t.failures > 0 {
+                failure_problems.push(format!(
+                    "transport[{}].failures = {} (requests rejected over the wire)",
+                    t.profile, t.failures
                 ));
             }
         }
@@ -361,6 +413,22 @@ impl PerfReport {
                 ));
             }
         }
+        if !self.transport.is_empty() {
+            out.push_str("\ntransport (TCP front, end-to-end incl. injected link latency):\n");
+            for t in &self.transport {
+                out.push_str(&format!(
+                    "  {:<12} link {:>5.1}±{:<4.1} ms  {:>8.0} req/s  p50 {:>6.2} ms  \
+                     p95 {:>6.2} ms  p99 {:>6.2} ms\n",
+                    t.profile,
+                    t.injected_latency_ms,
+                    t.injected_latency_std_ms,
+                    t.throughput_rps,
+                    t.p50_ms,
+                    t.p95_ms,
+                    t.p99_ms
+                ));
+            }
+        }
         out
     }
 }
@@ -437,6 +505,18 @@ mod tests {
                 min_version: 1,
                 max_version: 3,
             }],
+            transport: vec![TransportTiming {
+                profile: "lan".into(),
+                injected_latency_ms: 5.0,
+                injected_latency_std_ms: 1.0,
+                population: 8,
+                requests: 800,
+                failures: 0,
+                throughput_rps: 900.0,
+                p50_ms: 6.1,
+                p95_ms: 8.0,
+                p99_ms: 9.5,
+            }],
         }
     }
 
@@ -496,6 +576,15 @@ mod tests {
         failing.serving[0].failures = 3;
         let err = failing.validate().unwrap_err();
         assert!(err.contains("serving[population=8].failures = 3"), "{err}");
+
+        let mut transport = sample_report();
+        transport.transport[0].p95_ms = f64::NAN;
+        let err = transport.validate().unwrap_err();
+        assert!(err.contains("transport[lan].p95_ms"), "{err}");
+        let mut dropped = sample_report();
+        dropped.transport[0].failures = 2;
+        let err = dropped.validate().unwrap_err();
+        assert!(err.contains("transport[lan].failures = 2"), "{err}");
     }
 
     #[test]
@@ -504,11 +593,27 @@ mod tests {
         // the perf trajectory stays readable across schema bumps.
         let mut report = sample_report();
         report.serving.clear();
+        report.transport.clear();
         let json = serde_json::to_string(&report).unwrap();
-        let stripped = json.replace(",\"serving\":[]", "");
+        let stripped = json
+            .replace(",\"serving\":[]", "")
+            .replace(",\"transport\":[]", "");
         assert_ne!(json, stripped, "serving key present before stripping");
         let back: PerfReport = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, report);
         assert!(back.validate().is_ok(), "empty serving section validates");
+    }
+
+    #[test]
+    fn reports_without_a_transport_section_still_parse() {
+        // Pre-wire files have no `transport` key.
+        let mut report = sample_report();
+        report.transport.clear();
+        let json = serde_json::to_string(&report).unwrap();
+        let stripped = json.replace(",\"transport\":[]", "");
+        assert_ne!(json, stripped, "transport key present before stripping");
+        let back: PerfReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, report);
+        assert!(back.validate().is_ok(), "empty transport section validates");
     }
 }

@@ -3,7 +3,8 @@
 //! per cell.
 //!
 //! Every paper figure is a sweep over the same axes — framework, defense,
-//! building, fleet shape, attack, participation and seed — and each
+//! building, fleet shape, attack, participation, network conditions and
+//! seed — and each
 //! `fig*`/`table*` binary used to hand-roll its own nested loops over them.
 //! A [`ScenarioSpec`] names the axes declaratively; a [`SuiteRunner`]
 //! expands the cartesian grid into [`ScenarioCell`]s, pretrains one
@@ -23,7 +24,7 @@
 //! ```
 
 use crate::harness::{
-    default_buildings, run_fleet_with_reports, scenario_fleet, HarnessConfig, Scenario,
+    default_buildings, run_fleet_with_network, scenario_fleet, HarnessConfig, Scenario,
 };
 use rayon::prelude::*;
 use safeloc::{AggregationMode, DaeAugment, SafeLoc, SaliencyAggregator};
@@ -40,6 +41,7 @@ use safeloc_fl::{
     Krum, LatentFilterAggregator, RoundReport, SelectiveAggregator,
 };
 use safeloc_metrics::{markdown_table, ErrorStats};
+use safeloc_wire::FaultProfile;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -471,6 +473,105 @@ impl ParticipationSpec {
     }
 }
 
+// -------------------------------------------------------- the network axis
+
+/// The network axis of a suite cell: a named transport-fault profile plus
+/// the server's round deadline.
+///
+/// Each round's sampled cohort plan is replayed through the wire crate's
+/// fault-injection shim ([`FaultProfile::degrade_plan`]) before the
+/// framework runs it: a drawn connection drop benches the client as a
+/// dropout, and a slow reader — or a latency draw beyond `deadline_ms` —
+/// benches it as a straggler. The draws are the *same* deterministic
+/// stream the `fl_client` process applies to a real TCP transport, so a
+/// spec cell and a cross-process deployment under the same profile and
+/// seed degrade identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Optional display-name override for tables (`"lan"`, `"wan-lossy"`).
+    #[serde(default = "Option::default")]
+    pub name: Option<String>,
+    /// Mean injected one-way latency, milliseconds.
+    #[serde(default = "f64_zero")]
+    pub latency_ms_mean: f64,
+    /// Standard deviation of the injected latency (0 = constant).
+    #[serde(default = "f64_zero")]
+    pub latency_ms_std: f64,
+    /// Per-(round, client) probability of dropping the connection instead
+    /// of delivering the update.
+    #[serde(default = "f64_zero")]
+    pub drop_probability: f64,
+    /// Per-(round, client) probability of trickling the update slower than
+    /// any deadline (a slow-reader straggler).
+    #[serde(default = "f64_zero")]
+    pub slow_reader_probability: f64,
+    /// Server round deadline, milliseconds: a latency draw beyond it turns
+    /// the client into a straggler. 0 = no deadline (only drops and slow
+    /// readers bite).
+    #[serde(default = "f64_zero")]
+    pub deadline_ms: f64,
+}
+
+impl NetworkSpec {
+    /// The perfect network: zero latency, no drops, no stragglers. Cells
+    /// under it take the exact pre-axis execution path, bit for bit.
+    pub fn ideal() -> Self {
+        Self {
+            name: None,
+            latency_ms_mean: 0.0,
+            latency_ms_std: 0.0,
+            drop_probability: 0.0,
+            slow_reader_probability: 0.0,
+            deadline_ms: 0.0,
+        }
+    }
+
+    /// `true` when the profile can degrade nothing.
+    pub fn is_ideal(&self) -> bool {
+        self.fault(0).is_ideal()
+    }
+
+    /// The seeded fault profile this spec describes; `seed` comes from the
+    /// cell ([`ScenarioCell::network_seed`]) so distinct repetitions draw
+    /// independent fault streams.
+    pub fn fault(&self, seed: u64) -> FaultProfile {
+        FaultProfile {
+            latency_ms_mean: self.latency_ms_mean,
+            latency_ms_std: self.latency_ms_std,
+            drop_probability: self.drop_probability,
+            slow_reader_probability: self.slow_reader_probability,
+            seed,
+        }
+    }
+
+    /// Display label: the override, or a compact derived form.
+    pub fn label(&self) -> String {
+        if let Some(name) = &self.name {
+            return name.clone();
+        }
+        if self.is_ideal() {
+            return "ideal".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.latency_ms_mean > 0.0 || self.latency_ms_std > 0.0 {
+            parts.push(format!(
+                "lat={}±{}ms",
+                self.latency_ms_mean, self.latency_ms_std
+            ));
+        }
+        if self.drop_probability > 0.0 {
+            parts.push(format!("drop={}", self.drop_probability));
+        }
+        if self.slow_reader_probability > 0.0 {
+            parts.push(format!("slow={}", self.slow_reader_probability));
+        }
+        if self.deadline_ms > 0.0 {
+            parts.push(format!("ddl={}ms", self.deadline_ms));
+        }
+        parts.join(" ")
+    }
+}
+
 // -------------------------------------------------------- the defense axis
 
 /// The defense axis of a suite cell: the framework's own rule, or a
@@ -676,9 +777,9 @@ impl CombinerSpec {
 
 // --------------------------------------------------------------- the spec
 
-/// A declarative scenario suite: the cartesian grid of seven axes
+/// A declarative scenario suite: the cartesian grid of eight axes
 /// (framework × defense × building × fleet × attack × participation ×
-/// seed).
+/// network × seed).
 ///
 /// Empty `buildings` means "the scale's default buildings"; `rounds` 0
 /// means "the scale's default round count" — so one spec file serves
@@ -708,6 +809,11 @@ pub struct ScenarioSpec {
     /// Participation axis; defaults to full participation.
     #[serde(default = "default_participation")]
     pub participation: Vec<ParticipationSpec>,
+    /// Network axis: transport-fault profiles replayed onto every round's
+    /// cohort plan. Defaults to the ideal network only, so pre-existing
+    /// specs are unchanged (and bitwise identical).
+    #[serde(default = "default_networks")]
+    pub networks: Vec<NetworkSpec>,
     /// Rounds per cell; 0 = the scale's default.
     #[serde(default = "usize_zero")]
     pub rounds: usize,
@@ -747,6 +853,15 @@ fn default_seed_salts() -> Vec<u64> {
 fn default_defenses() -> Vec<DefenseSpec> {
     vec![DefenseSpec::Builtin]
 }
+fn default_networks() -> Vec<NetworkSpec> {
+    vec![NetworkSpec::ideal()]
+}
+fn ideal_network() -> NetworkSpec {
+    NetworkSpec::ideal()
+}
+fn ideal_network_label() -> String {
+    "ideal".to_string()
+}
 fn builtin_defense() -> DefenseSpec {
     DefenseSpec::Builtin
 }
@@ -764,6 +879,7 @@ impl ScenarioSpec {
             fleets: default_fleets(),
             attacks,
             participation: default_participation(),
+            networks: default_networks(),
             rounds: 0,
             seed_salts: default_seed_salts(),
             boost: None,
@@ -790,6 +906,9 @@ pub struct CellIndex {
     pub attack: usize,
     /// Index into [`ScenarioSpec::participation`].
     pub participation: usize,
+    /// Index into [`ScenarioSpec::networks`] (0 for pre-axis reports).
+    #[serde(default = "usize_zero")]
+    pub network: usize,
     /// Index into [`ScenarioSpec::seed_salts`].
     pub seed: usize,
 }
@@ -810,6 +929,9 @@ pub struct ScenarioCell {
     pub attack: AttackSpec,
     /// Cohort strategy + churn.
     pub participation: ParticipationSpec,
+    /// Network conditions (ideal for pre-axis cells).
+    #[serde(default = "ideal_network")]
+    pub network: NetworkSpec,
     /// Seed salt from the spec's seed axis.
     pub seed_salt: u64,
     /// Federated rounds.
@@ -846,19 +968,33 @@ impl ScenarioCell {
         self.scenario_seed(base) ^ 0xDE_FE2E
     }
 
+    /// Seed for the cell's transport-fault stream. Salted by the network
+    /// index so two network variants of the same scenario draw independent
+    /// fault streams (while sharing training streams — the scenario seed
+    /// carries no network salt, keeping variants comparable).
+    pub fn network_seed(&self, base: u64) -> u64 {
+        self.scenario_seed(base) ^ 0x4E_77E7 ^ ((self.index.network as u64 + 1) << 12)
+    }
+
     /// Compact display label.
     pub fn label(&self) -> String {
         let defense = match &self.defense {
             DefenseSpec::Builtin => String::new(),
             spec => format!(" +{}", spec.label()),
         };
+        let network = if self.network.is_ideal() {
+            String::new()
+        } else {
+            format!(" net={}", self.network.label())
+        };
         format!(
-            "{}{} B{} {} {}",
+            "{}{} B{} {} {}{}",
             self.framework.label(),
             defense,
             self.building,
             self.fleet.label(),
-            self.attack.label()
+            self.attack.label(),
+            network
         )
     }
 }
@@ -953,28 +1089,33 @@ impl SuiteRunner {
                     for (li, fleet) in self.spec.fleets.iter().enumerate() {
                         for (ai, attack) in self.spec.attacks.iter().enumerate() {
                             for (pi, participation) in self.spec.participation.iter().enumerate() {
-                                for (si, &seed_salt) in self.spec.seed_salts.iter().enumerate() {
-                                    out.push(ScenarioCell {
-                                        framework: framework.clone(),
-                                        defense: defense.clone(),
-                                        building,
-                                        fleet: fleet.clone(),
-                                        attack: attack.clone(),
-                                        participation: participation.clone(),
-                                        seed_salt,
-                                        rounds,
-                                        boost: self.spec.boost,
-                                        coherent: self.spec.coherent,
-                                        index: CellIndex {
-                                            framework: fi,
-                                            defense: di,
-                                            building: bi,
-                                            fleet: li,
-                                            attack: ai,
-                                            participation: pi,
-                                            seed: si,
-                                        },
-                                    });
+                                for (ni, network) in self.spec.networks.iter().enumerate() {
+                                    for (si, &seed_salt) in self.spec.seed_salts.iter().enumerate()
+                                    {
+                                        out.push(ScenarioCell {
+                                            framework: framework.clone(),
+                                            defense: defense.clone(),
+                                            building,
+                                            fleet: fleet.clone(),
+                                            attack: attack.clone(),
+                                            participation: participation.clone(),
+                                            network: network.clone(),
+                                            seed_salt,
+                                            rounds,
+                                            boost: self.spec.boost,
+                                            coherent: self.spec.coherent,
+                                            index: CellIndex {
+                                                framework: fi,
+                                                defense: di,
+                                                building: bi,
+                                                fleet: li,
+                                                attack: ai,
+                                                participation: pi,
+                                                network: ni,
+                                                seed: si,
+                                            },
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -1147,7 +1288,16 @@ fn run_prepared_cell(
         let sampler = cell
             .participation
             .sampler(&clients, cell.sampler_seed(base_seed));
-        run_fleet_with_reports(framework, data, clients, cell.rounds, sampler)
+        let fault = cell.network.fault(cell.network_seed(base_seed));
+        run_fleet_with_network(
+            framework,
+            data,
+            clients,
+            cell.rounds,
+            sampler,
+            &fault,
+            cell.network.deadline_ms,
+        )
     }));
     match outcome {
         Ok(outcome) => CellRun {
@@ -1310,6 +1460,7 @@ impl CellRun {
             fleet: self.fleet_label(),
             attack: self.cell.attack.label(),
             participation: self.cell.participation.label(self.fleet_size),
+            network: self.cell.network.label(),
             rounds: self.cell.rounds,
             seed_salt: self.cell.seed_salt,
             best_m: stats.best,
@@ -1421,6 +1572,7 @@ impl SuiteRun {
                     c.fleet_label(),
                     c.cell.attack.label(),
                     c.cell.participation.label(c.fleet_size),
+                    c.cell.network.label(),
                     format!("{:.2}", stats.mean),
                     format!("{:.1}%", c.accuracy() * 100.0),
                     fmt_rate(c.attacker_rejection_rate()),
@@ -1442,6 +1594,7 @@ impl SuiteRun {
                 "fleet",
                 "attack",
                 "participation",
+                "network",
                 "mean err (m)",
                 "accuracy",
                 "attacker rej.",
@@ -1504,6 +1657,9 @@ pub struct SuiteCellReport {
     pub attack: String,
     /// Participation label.
     pub participation: String,
+    /// Network-conditions label (`"ideal"` for pre-axis reports).
+    #[serde(default = "ideal_network_label")]
+    pub network: String,
     /// Federated rounds run.
     pub rounds: usize,
     /// Seed salt of the repetition.
@@ -1640,6 +1796,7 @@ mod tests {
         let s: ScenarioSpec = serde_json::from_str(json).unwrap();
         assert_eq!(s.fleets, vec![FleetSpec::paper()]);
         assert_eq!(s.participation, vec![ParticipationSpec::full()]);
+        assert_eq!(s.networks, vec![NetworkSpec::ideal()]);
         assert_eq!(s.seed_salts, vec![0]);
         assert_eq!(s.rounds, 0);
         assert!(!s.coherent);
@@ -1700,6 +1857,72 @@ mod tests {
         assert_eq!(ids.len(), small.num_clients() - 1);
         assert!(ids.contains(&0));
         assert!(!ids.contains(&small.train_device));
+    }
+
+    #[test]
+    #[allow(clippy::identity_op)] // the full axis product documents the grid
+    fn network_axis_multiplies_the_grid_with_independent_fault_seeds() {
+        let mut s = spec();
+        s.networks = vec![
+            NetworkSpec::ideal(),
+            NetworkSpec {
+                name: Some("lossy".into()),
+                drop_probability: 0.2,
+                ..NetworkSpec::ideal()
+            },
+        ];
+        let runner = SuiteRunner::new(
+            HarnessConfig {
+                scale: Scale::Quick,
+                seed: 7,
+            },
+            s,
+        );
+        let cells = runner.cells();
+        // frameworks × defense × buildings × fleets × attacks ×
+        // participation × networks × seeds
+        assert_eq!(cells.len(), 2 * 1 * 1 * 1 * 2 * 2 * 2 * 2);
+        let ideal = cells.iter().find(|c| c.index.network == 0).unwrap();
+        let lossy = cells
+            .iter()
+            .find(|c| {
+                c.index.network == 1
+                    && c.index
+                        == CellIndex {
+                            network: 1,
+                            ..ideal.index
+                        }
+            })
+            .unwrap();
+        // Network variants share the training stream but not the fault one.
+        assert_eq!(ideal.scenario_seed(7), lossy.scenario_seed(7));
+        assert_ne!(ideal.network_seed(7), lossy.network_seed(7));
+        assert!(lossy.label().contains("net=lossy"));
+        assert!(!ideal.label().contains("net="), "{}", ideal.label());
+    }
+
+    #[test]
+    fn network_labels_derive_from_the_profile() {
+        assert_eq!(NetworkSpec::ideal().label(), "ideal");
+        let wan = NetworkSpec {
+            latency_ms_mean: 40.0,
+            latency_ms_std: 8.0,
+            drop_probability: 0.1,
+            deadline_ms: 250.0,
+            ..NetworkSpec::ideal()
+        };
+        assert_eq!(wan.label(), "lat=40±8ms drop=0.1 ddl=250ms");
+        let named = NetworkSpec {
+            name: Some("wan".into()),
+            ..wan
+        };
+        assert_eq!(named.label(), "wan");
+        assert!(!named.is_ideal());
+        // The built profile carries every knob plus the cell seed.
+        let fault = named.fault(9);
+        assert_eq!(fault.latency_ms_mean, 40.0);
+        assert_eq!(fault.drop_probability, 0.1);
+        assert_eq!(fault.seed, 9);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use rayon::ThreadPoolBuilder;
 use safeloc_attacks::Attack;
 use safeloc_bench::{
-    AttackSpec, FrameworkSpec, HarnessConfig, ParticipationMode, ParticipationSpec, Scale,
-    ScenarioSpec, SuiteReport, SuiteRunner,
+    AttackSpec, FrameworkSpec, HarnessConfig, NetworkSpec, ParticipationMode, ParticipationSpec,
+    Scale, ScenarioSpec, SuiteReport, SuiteRunner,
 };
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, FingerprintSet};
 use safeloc_nn::Matrix;
@@ -201,6 +201,105 @@ fn failing_cells_are_embedded_as_errors_not_fatal() {
     let back: SuiteReport = serde_json::from_str(&json).unwrap();
     assert_eq!(report, back);
     assert!(back.cells.iter().any(|c| c.error.is_some()));
+}
+
+#[test]
+fn network_axis_degrades_rounds_through_the_fault_shim() {
+    use safeloc_fl::ClientOutcome;
+
+    let mut spec = tiny_spec();
+    spec.frameworks = vec![FrameworkSpec::FedLoc];
+    spec.participation = vec![ParticipationSpec::full()];
+    spec.attacks = vec![AttackSpec::clean()];
+    spec.networks = vec![
+        NetworkSpec::ideal(),
+        NetworkSpec {
+            name: Some("lossy".into()),
+            drop_probability: 1.0,
+            ..NetworkSpec::ideal()
+        },
+        NetworkSpec {
+            name: Some("congested".into()),
+            latency_ms_mean: 50.0,
+            deadline_ms: 10.0,
+            ..NetworkSpec::ideal()
+        },
+    ];
+    let mut runner = tiny_runner(spec);
+    assert_eq!(runner.cells().len(), 3, "network axis multiplies the grid");
+    let run = runner.run();
+    assert!(run.cells.iter().all(|c| c.error.is_none()));
+
+    // Everyone delivers on the ideal network — and that cell is bitwise
+    // identical to a spec without the network axis at all.
+    let ideal = &run.cells[0];
+    assert!(ideal.reports.iter().all(|r| r
+        .clients
+        .iter()
+        .all(|c| matches!(c.outcome, ClientOutcome::Trained { .. }))));
+    let mut pre_axis = tiny_spec();
+    pre_axis.frameworks = vec![FrameworkSpec::FedLoc];
+    pre_axis.participation = vec![ParticipationSpec::full()];
+    pre_axis.attacks = vec![AttackSpec::clean()];
+    let mut pre_axis_runner = tiny_runner(pre_axis);
+    let pre_axis_run = pre_axis_runner.run();
+    assert_eq!(
+        ideal.errors, pre_axis_run.cells[0].errors,
+        "ideal-network cells must reproduce the pre-axis engine bitwise"
+    );
+
+    // drop_probability 1.0: every connection drops, every round.
+    let lossy = &run.cells[1];
+    assert!(lossy.reports.iter().all(|r| r
+        .clients
+        .iter()
+        .all(|c| matches!(c.outcome, ClientOutcome::DroppedOut))));
+
+    // Constant 50 ms latency against a 10 ms deadline: everyone straggles.
+    let congested = &run.cells[2];
+    assert!(congested.reports.iter().all(|r| r
+        .clients
+        .iter()
+        .all(|c| matches!(c.outcome, ClientOutcome::Straggled))));
+
+    // The report and markdown carry the network axis.
+    let report = run.report();
+    assert_eq!(report.cells[0].network, "ideal");
+    assert_eq!(report.cells[1].network, "lossy");
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SuiteReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+    assert!(run.markdown().contains("congested"));
+}
+
+#[test]
+#[allow(clippy::identity_op)] // the full axis product documents the grid
+fn checked_in_network_churn_spec_parses_and_expands() {
+    let json = include_str!("../../../scenarios/network_churn.json");
+    let spec: ScenarioSpec =
+        serde_json::from_str(json).expect("scenarios/network_churn.json parses");
+    assert_eq!(spec.name, "network_churn");
+    assert_eq!(spec.networks.len(), 4);
+    assert!(spec.networks[0].is_ideal());
+    assert!(spec.networks.iter().skip(1).all(|n| !n.is_ideal()));
+    // At least two profiles inject latency; at least one drops connections.
+    assert!(
+        spec.networks
+            .iter()
+            .filter(|n| n.latency_ms_mean > 0.0)
+            .count()
+            >= 2
+    );
+    assert!(spec.networks.iter().any(|n| n.drop_probability > 0.0));
+    let runner = SuiteRunner::new(
+        HarnessConfig {
+            scale: Scale::Quick,
+            seed: 42,
+        },
+        spec,
+    );
+    // frameworks × attacks × networks
+    assert_eq!(runner.cells().len(), 2 * 1 * 4);
 }
 
 #[test]

@@ -59,6 +59,35 @@ impl DistanceMatrix {
         })
     }
 
+    /// Squared L2 distances between *clip-scaled* update deltas:
+    /// `‖sᵢ·δᵢ − sⱼ·δⱼ‖²` for flattened deltas `δ` and per-update clip
+    /// scales `s`. This is the distance between the effective updates
+    /// `GM + sᵢ·δᵢ` a clipping stage admits — what a selection rule must
+    /// rank once any update has been norm-bounded, lest it score ghosts
+    /// the aggregation will never apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` and `scales` lengths differ.
+    pub fn squared_l2_scaled(deltas: &[safeloc_nn::Matrix], scales: &[f32]) -> Self {
+        assert_eq!(
+            deltas.len(),
+            scales.len(),
+            "one clip scale per update delta"
+        );
+        Self::build(deltas.len(), |i, j| {
+            deltas[i]
+                .as_slice()
+                .iter()
+                .zip(deltas[j].as_slice())
+                .map(|(&a, &b)| {
+                    let d = scales[i] * a - scales[j] * b;
+                    d * d
+                })
+                .sum()
+        })
+    }
+
     /// Cosine distances (`1 − cos`) between flattened update deltas — the
     /// metric FEDCC-style clustering groups by. `deltas` are the flattened
     /// `LM − GM` rows.

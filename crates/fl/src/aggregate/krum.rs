@@ -3,6 +3,7 @@
 //! paper cites as [22], now a selecting [`Combiner`] of the
 //! defense-pipeline API.
 
+use crate::aggregate::DistanceMatrix;
 use crate::defense::{Combiner, RoundContext, Verdicts};
 use safeloc_nn::NamedParams;
 
@@ -15,10 +16,14 @@ use safeloc_nn::NamedParams;
 /// criticism ("fails to incorporate collaborative learning from all
 /// clients"). The decision trail makes that visible: one update is
 /// accepted with weight 1, every other is rejected with its Krum score.
-/// Distances come from the round's shared [`RoundContext::squared_l2`]
-/// matrix; selection always scores the *unclipped* updates (distance
-/// ranking is what Krum's guarantee is stated over), while the returned
-/// GM honors the selected update's clip scale if a stage bounded it.
+/// Selection ranks the updates aggregation would actually apply: in the
+/// common unclipped round, distances come from the round's shared
+/// [`RoundContext::squared_l2`] matrix; once any stage has clipped an
+/// update, distances are recomputed over the clip-scaled deltas
+/// ([`DistanceMatrix::squared_l2_scaled`]) so a boosted attacker cannot
+/// first be shrunk to the benign norm scale and then still be ranked —
+/// and selected — at its unclipped magnitude. The returned GM honors the
+/// selected update's clip scale either way.
 #[derive(Debug, Clone, Copy)]
 pub struct Krum {
     /// Assumed number of malicious clients.
@@ -57,7 +62,16 @@ impl Combiner for Krum {
         // One symmetric distance pass for the whole round, shared with any
         // other distance-reading stage. The seed recomputed all O(n²)
         // distances per candidate — O(n³·d) total; this is O(n²·d/2) once.
-        let distances = ctx.squared_l2();
+        // If an upstream stage clipped anything, score the clip-scaled
+        // deltas instead — the updates aggregation will actually apply.
+        let scaled;
+        let distances = if active.iter().any(|&i| verdicts.scale(i) < 1.0) {
+            let scales: Vec<f32> = (0..ctx.len()).map(|i| verdicts.scale(i)).collect();
+            scaled = DistanceMatrix::squared_l2_scaled(ctx.deltas(), &scales);
+            &scaled
+        } else {
+            ctx.squared_l2()
+        };
         let mut scores = Vec::with_capacity(n);
         let mut best = (f32::INFINITY, active[0]);
         let mut dists = Vec::with_capacity(n.saturating_sub(1));
@@ -210,5 +224,58 @@ mod tests {
         let out = clipped.aggregate(&g, &u);
         let w = out.params.get("layer0.w").unwrap().get(0, 0);
         assert!(w < 2.0, "clipped colluders still replaced the model: {w}");
+    }
+
+    /// Regression for the documented Krum-after-clip gap: selection used
+    /// to rank *unclipped* distances even after a `NormClip` stage, so an
+    /// attacker who parked just inside the clip cap — while clipping
+    /// dragged the honest tail onto the cap sphere near it — won the
+    /// unclipped ranking and was selected. Scoring the clip-scaled deltas
+    /// (what aggregation actually applies) rejects it.
+    #[test]
+    fn krum_selection_sees_clipped_deltas() {
+        use crate::defense::NormClip;
+        let g = params(&[0.0, 0.0], &[0.0]);
+        // Honest spread along one axis; the attacker sits just off-axis at
+        // the round's lower-median norm (= the clip cap), n = 5, f = 1.
+        let u = vec![
+            update(0, &[2.0, 0.0], &[0.0]),
+            update(1, &[8.0, 0.0], &[0.0]),
+            update(2, &[14.0, 0.0], &[0.0]),
+            update(3, &[20.0, 0.0], &[0.0]),
+            update(4, &[11.0, 2.0], &[0.0]),
+        ];
+
+        // Bare Krum takes the bait: unclipped, the attacker is the most
+        // central update (k = 2 nearest at 13 + 13 = 26 vs 49 for every
+        // honest client) — the geometry the gap is about.
+        let bare = krum(1).aggregate(&g, &u);
+        assert!(
+            bare.decisions[4].is_accepted(),
+            "geometry no longer baits bare Krum; the regression test is vacuous"
+        );
+
+        // NormClip(1.0) caps at the lower-median norm (the attacker's own
+        // ≈ 11.18): clients 2 and 3 get dragged onto the cap sphere at
+        // [11.18, 0], right next to the attacker. Before the fix Krum
+        // still ranked the unclipped points and selected the attacker.
+        let mut clipped = DefensePipeline::new(
+            "norm-clip+krum",
+            vec![Box::new(NormClip::new(1.0))],
+            Box::new(Krum::new(1)),
+        );
+        let out = clipped.aggregate(&g, &u);
+        assert!(
+            !out.decisions[4].is_accepted(),
+            "attacker survived Krum selection after clipping"
+        );
+        // The winner is a clipped honest update sitting at the cap.
+        let w = out.params.get("layer0.w").unwrap();
+        assert!(
+            (w.get(0, 0) - 11.18034).abs() < 1e-3 && w.get(0, 1) == 0.0,
+            "unexpected selected GM: [{}, {}]",
+            w.get(0, 0),
+            w.get(0, 1)
+        );
     }
 }

@@ -1,0 +1,227 @@
+//! A federated client as its own OS process.
+//!
+//! Rebuilds one fleet member deterministically from CLI arguments (the
+//! same dataset/fleet seeds the server's mirror fleet uses), joins the
+//! round server, and then follows the round protocol: receive the GM
+//! broadcast, run the *identical* client-side training path the
+//! in-process engine runs (`prepare_round_data` →
+//! `train_sequential_lm` with seed `client.seed ^ round_salt` →
+//! `finalize_params`), and upload the full local model. With an ideal
+//! [`FaultProfile`] the uploaded update is bitwise the in-process one.
+//!
+//! Transport faults are applied client-side from the shared profile: a
+//! drawn drop closes the connection (crash-stop — the client is gone for
+//! later rounds too), drawn latency sleeps before the upload, and a drawn
+//! slow-reader trickles the update in tiny chunks until the server's
+//! round deadline gives up on it.
+
+use safeloc_attacks::{Attack, PoisonInjector};
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+use safeloc_fl::client::train_sequential_lm;
+use safeloc_fl::{Client, LocalTrainConfig, ServerConfig};
+use safeloc_nn::{Activation, HasParams, Sequential};
+use safeloc_wire::{FaultProfile, Frame, FrameConn, UpdateFrame, WireError};
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    client: usize,
+    dims: Vec<usize>,
+    dataset: String,
+    building_seed: u64,
+    building_id: usize,
+    data_seed: u64,
+    fleet_seed: u64,
+    local: String,
+    label_flip: Option<f32>,
+    boost: f32,
+    fault: FaultProfile,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            addr: String::new(),
+            client: usize::MAX,
+            dims: Vec::new(),
+            dataset: "tiny".to_string(),
+            building_seed: 3,
+            building_id: 0,
+            data_seed: 3,
+            fleet_seed: 0,
+            local: "tiny".to_string(),
+            label_flip: None,
+            boost: 1.0,
+            fault: FaultProfile::ideal(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--addr" => args.addr = value("--addr")?,
+                "--client" => {
+                    args.client = value("--client")?
+                        .parse()
+                        .map_err(|e| format!("--client: {e}"))?
+                }
+                "--dims" => {
+                    args.dims = value("--dims")?
+                        .split(',')
+                        .map(|d| d.trim().parse::<usize>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| format!("--dims: {e}"))?
+                }
+                "--dataset" => args.dataset = value("--dataset")?,
+                "--building-seed" => {
+                    args.building_seed = value("--building-seed")?
+                        .parse()
+                        .map_err(|e| format!("--building-seed: {e}"))?
+                }
+                "--building-id" => {
+                    args.building_id = value("--building-id")?
+                        .parse()
+                        .map_err(|e| format!("--building-id: {e}"))?
+                }
+                "--data-seed" => {
+                    args.data_seed = value("--data-seed")?
+                        .parse()
+                        .map_err(|e| format!("--data-seed: {e}"))?
+                }
+                "--fleet-seed" => {
+                    args.fleet_seed = value("--fleet-seed")?
+                        .parse()
+                        .map_err(|e| format!("--fleet-seed: {e}"))?
+                }
+                "--local" => args.local = value("--local")?,
+                "--label-flip" => {
+                    args.label_flip = Some(
+                        value("--label-flip")?
+                            .parse()
+                            .map_err(|e| format!("--label-flip: {e}"))?,
+                    )
+                }
+                "--boost" => {
+                    args.boost = value("--boost")?
+                        .parse()
+                        .map_err(|e| format!("--boost: {e}"))?
+                }
+                "--fault" => {
+                    args.fault = serde_json::from_str(&value("--fault")?)
+                        .map_err(|e| format!("--fault: {e:?}"))?
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if args.addr.is_empty() {
+            return Err("--addr is required".to_string());
+        }
+        if args.client == usize::MAX {
+            return Err("--client is required".to_string());
+        }
+        if args.dims.len() < 2 {
+            return Err("--dims needs at least two comma-separated widths".to_string());
+        }
+        Ok(args)
+    }
+
+    fn dataset(&self) -> Result<BuildingDataset, String> {
+        let (building, cfg) = match self.dataset.as_str() {
+            "tiny" => (Building::tiny(self.building_seed), DatasetConfig::tiny()),
+            "paper" => (Building::paper(self.building_id), DatasetConfig::paper()),
+            other => return Err(format!("unknown --dataset {other} (tiny|paper)")),
+        };
+        Ok(BuildingDataset::generate(building, &cfg, self.data_seed))
+    }
+
+    fn local_config(&self) -> Result<LocalTrainConfig, String> {
+        Ok(match self.local.as_str() {
+            "tiny" => ServerConfig::tiny().local,
+            "default" => ServerConfig::default_scale(0).local,
+            "paper" => ServerConfig::paper(0).local,
+            other => return Err(format!("unknown --local {other} (tiny|default|paper)")),
+        })
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("fl_client: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let data = args.dataset()?;
+    let local = args.local_config()?;
+    let mut clients = Client::from_dataset(&data, args.fleet_seed);
+    if args.client >= clients.len() {
+        return Err(format!(
+            "--client {} out of range for a {}-client fleet",
+            args.client,
+            clients.len()
+        ));
+    }
+    let mut me = clients.swap_remove(args.client);
+    if let Some(fraction) = args.label_flip {
+        // The harness's non-coherent attacker stream: seed ^ ((id+1) << 24).
+        let stream = args.fleet_seed ^ ((me.id as u64 + 1) << 24);
+        me.injector =
+            Some(PoisonInjector::new(Attack::label_flip(fraction), stream).with_boost(args.boost));
+    }
+
+    let mut conn = FrameConn::connect(args.addr.as_str()).map_err(|e| e.to_string())?;
+    conn.client_handshake().map_err(|e| e.to_string())?;
+    conn.send(&Frame::Join {
+        client_index: me.id as u32,
+    })
+    .map_err(|e| e.to_string())?;
+
+    loop {
+        match conn.recv() {
+            // Round preamble — the broadcast is what starts training.
+            Ok(Frame::CohortInvite { .. }) | Ok(Frame::RoundPlan { .. }) => continue,
+            Ok(Frame::GmBroadcast {
+                round,
+                round_salt,
+                params,
+            }) => {
+                let draw = args.fault.draw(round as u64, me.id as u64);
+                if draw.drop {
+                    conn.shutdown();
+                    return Ok(());
+                }
+                let mut gm = Sequential::mlp(&args.dims, Activation::Relu, 0);
+                gm.load(&params)
+                    .map_err(|e| format!("GM broadcast does not fit --dims: {e}"))?;
+                let n_classes = gm.out_dim();
+                let set = me.prepare_round_data(&gm, n_classes, &local);
+                let lm = train_sequential_lm(&gm, &set, &local, me.seed ^ round_salt);
+                let lm = me.finalize_params(&params, lm);
+                let update = Frame::Update(UpdateFrame {
+                    client_id: me.id as u64,
+                    round,
+                    building: data.building.id as u32,
+                    device_class: me.device_name.clone(),
+                    num_samples: set.len() as u64,
+                    params: lm,
+                });
+                if draw.latency_ms > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(draw.latency_ms / 1e3));
+                }
+                if draw.slow_reader {
+                    // Trickle until the server's deadline gives up on us;
+                    // the resulting write error just ends the trickle.
+                    let _ = conn.send_slowly(&update, 64, Duration::from_millis(25));
+                } else {
+                    conn.send(&update).map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(Frame::Bye) => return Ok(()),
+            Ok(other) => return Err(format!("unexpected {} from the round server", other.kind())),
+            // The server closing the fleet is an orderly end of session.
+            Err(WireError::Io(_)) => return Ok(()),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}

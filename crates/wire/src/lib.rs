@@ -1,0 +1,43 @@
+//! Cross-process serving and federated rounds for the SAFELOC
+//! reproduction: a compact, versioned binary wire protocol plus the
+//! process-separation layer on top of it.
+//!
+//! Everything else in the workspace runs in one process; this crate puts
+//! the SAFELOC threat-model boundary where it actually sits — poisoned
+//! updates arrive over a wire, not via `&mut [Client]`. Four pieces:
+//!
+//! * [`frame`] — the wire format: length-prefixed, tagged binary frames
+//!   ([`Frame`]) with explicit schema negotiation ([`WIRE_SCHEMA`]) and
+//!   total decoding into typed [`WireError`]s — malformed input never
+//!   panics either end.
+//! * [`conn`] — [`FrameConn`]: whole-frame I/O over a `TcpStream`, read
+//!   deadlines, and the `Hello`/`HelloAck` handshake.
+//! * [`tcp`] — the serving front: [`WireServer`] decodes localization
+//!   requests into `safeloc-serve`'s micro-batch [`Service`], keeping
+//!   served predictions bitwise identical to offline `predict`;
+//!   [`WireClient`] and [`run_tcp_load`] are the matching client side.
+//! * [`remote`] — cross-process FL: [`RemoteFleet`] +
+//!   [`RemoteFlServer`] run federated rounds against `fl_client`
+//!   processes under a server-side deadline, reproducing the in-process
+//!   GM trajectory bitwise when fault injection is off.
+//! * [`fault`] — [`FaultProfile`]: seeded latency / drop / slow-reader
+//!   injection, shared between the real transport (the `fl_client` bin
+//!   applies draws to its socket) and the scenario-suite engine (which
+//!   replays the same draws onto in-process round plans).
+//!
+//! [`Service`]: safeloc_serve::Service
+
+pub mod conn;
+pub mod fault;
+pub mod frame;
+pub mod remote;
+pub mod tcp;
+
+pub use conn::FrameConn;
+pub use fault::{FaultDraw, FaultProfile};
+pub use frame::{
+    Frame, UpdateFrame, WireAvailability, WireError, ERR_MALFORMED, ERR_PROTOCOL, ERR_SCHEMA,
+    ERR_SERVE, MAX_FRAME_LEN, WIRE_SCHEMA,
+};
+pub use remote::{RemoteFlServer, RemoteFleet};
+pub use tcp::{run_tcp_load, WireClient, WireServer};

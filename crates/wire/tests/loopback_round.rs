@@ -1,0 +1,211 @@
+//! Cross-process federated rounds over loopback TCP.
+//!
+//! The headline pin: with fault injection off, a wire-transported round —
+//! every client its own OS process (`fl_client`), updates crossing a real
+//! socket — reproduces the in-process engine's GM trajectory **bitwise**,
+//! round after round. Then the failure half: a transport drop surfaces as
+//! `DroppedOut`, a latency spike past the server deadline surfaces as
+//! `Straggled`, and in both cases aggregation proceeds with the survivors
+//! instead of stalling.
+
+use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+use safeloc_fl::report::ClientOutcome;
+use safeloc_fl::{Client, DefensePipeline, Framework, RoundPlan, SequentialFlServer, ServerConfig};
+use safeloc_wire::{FaultProfile, RemoteFlServer, RemoteFleet};
+use std::process::{Child, Command};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const FLEET_SEED: u64 = 0;
+const DATA_SEED: u64 = 3;
+
+fn dataset() -> BuildingDataset {
+    BuildingDataset::generate(Building::tiny(DATA_SEED), &DatasetConfig::tiny(), DATA_SEED)
+}
+
+fn dims(data: &BuildingDataset) -> Vec<usize> {
+    vec![data.building.num_aps(), 16, data.building.num_rps()]
+}
+
+/// Spawns one `fl_client` process for fleet slot `client`.
+fn spawn_client(addr: &str, client: usize, dims: &[usize], fault: Option<&FaultProfile>) -> Child {
+    let dims_arg = dims
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fl_client"));
+    cmd.args(["--addr", addr, "--client", &client.to_string()])
+        .args(["--dims", &dims_arg])
+        .args(["--dataset", "tiny"])
+        .args(["--building-seed", &DATA_SEED.to_string()])
+        .args(["--data-seed", &DATA_SEED.to_string()])
+        .args(["--fleet-seed", &FLEET_SEED.to_string()])
+        .args(["--local", "tiny"]);
+    if let Some(profile) = fault {
+        cmd.args(["--fault", &serde_json::to_string(profile).unwrap()]);
+    }
+    cmd.spawn().expect("spawn fl_client")
+}
+
+struct RemoteHarness {
+    server: RemoteFlServer,
+    fleet: Arc<Mutex<RemoteFleet>>,
+    children: Vec<Child>,
+    mirror: Vec<Client>,
+}
+
+/// Boots a full remote fleet: binds the round server, spawns one process
+/// per client (with optional per-client fault profiles), and waits for
+/// every join.
+fn remote_harness(
+    data: &BuildingDataset,
+    deadline: Duration,
+    fault_for: impl Fn(usize) -> Option<FaultProfile>,
+) -> RemoteHarness {
+    let mirror = Client::from_dataset(data, FLEET_SEED);
+    let dims = dims(data);
+    let mut fleet = RemoteFleet::bind(mirror.len()).unwrap();
+    let addr = fleet.addr().to_string();
+    let children: Vec<Child> = (0..mirror.len())
+        .map(|i| spawn_client(&addr, i, &dims, fault_for(i).as_ref()))
+        .collect();
+    fleet.accept_all(Duration::from_secs(60)).unwrap();
+    assert_eq!(fleet.connected(), mirror.len());
+    let fleet = Arc::new(Mutex::new(fleet));
+    let mut server = RemoteFlServer::new(
+        &dims,
+        Box::new(DefensePipeline::fedavg()),
+        ServerConfig::tiny(),
+        Arc::clone(&fleet),
+        deadline,
+    );
+    server.pretrain(&data.server_train);
+    RemoteHarness {
+        server,
+        fleet,
+        children,
+        mirror,
+    }
+}
+
+impl RemoteHarness {
+    /// Says goodbye to the fleet and reaps the child processes.
+    fn teardown(self) {
+        self.fleet.lock().unwrap().broadcast_bye();
+        for mut child in self.children {
+            // A faulted client may be sleeping out a multi-second injected
+            // latency; don't let it hold the test hostage.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Fault injection off: three wire-transported rounds reproduce the
+/// in-process GM trajectory bitwise, round by round.
+#[test]
+fn loopback_round_is_bitwise_identical_to_in_process() {
+    let data = dataset();
+    let dims = dims(&data);
+
+    let mut inproc = SequentialFlServer::new(
+        &dims,
+        Box::new(DefensePipeline::fedavg()),
+        ServerConfig::tiny(),
+    );
+    inproc.pretrain(&data.server_train);
+    let mut local_fleet = Client::from_dataset(&data, FLEET_SEED);
+
+    let mut remote = remote_harness(&data, Duration::from_secs(120), |_| None);
+    assert_eq!(
+        remote.server.global_params(),
+        inproc.global_params(),
+        "pretrain must already agree before any wire traffic"
+    );
+
+    let n = local_fleet.len();
+    for round in 0..3 {
+        let plan = RoundPlan::full(n);
+        let local_report = inproc.run_round(&mut local_fleet, &plan);
+        let wire_report = remote.server.run_round(&mut remote.mirror, &plan);
+        assert_eq!(
+            remote.server.global_params(),
+            inproc.global_params(),
+            "GM diverged after round {round}"
+        );
+        assert_eq!(local_report.round, wire_report.round);
+        // Same per-client story: everyone trained, same weights, same
+        // sample counts — only wall-clock timings may differ.
+        assert_eq!(local_report.clients, wire_report.clients);
+    }
+
+    // The transported trajectory actually moved (the pin is not vacuous).
+    assert_ne!(
+        remote.server.global_params(),
+        SequentialFlServer::new(
+            &dims,
+            Box::new(DefensePipeline::fedavg()),
+            ServerConfig::tiny()
+        )
+        .global_params()
+    );
+    remote.teardown();
+}
+
+/// A client whose transport drops every round surfaces as `DroppedOut`;
+/// the round still aggregates the survivors.
+#[test]
+fn transport_drop_becomes_dropout_and_does_not_stall_the_round() {
+    let data = dataset();
+    let victim = 1;
+    let mut remote = remote_harness(&data, Duration::from_secs(120), |i| {
+        (i == victim).then(|| FaultProfile::ideal().with_drops(1.0))
+    });
+
+    let n = remote.mirror.len();
+    let before = remote.server.global_params();
+    let plan = RoundPlan::full(n);
+    let report = remote.server.run_round(&mut remote.mirror, &plan);
+
+    assert_eq!(report.clients.len(), n);
+    assert_eq!(report.clients[victim].outcome, ClientOutcome::DroppedOut);
+    let trained = report
+        .clients
+        .iter()
+        .filter(|c| matches!(c.outcome, ClientOutcome::Trained { .. }))
+        .count();
+    assert_eq!(trained, n - 1);
+    assert_ne!(
+        remote.server.global_params(),
+        before,
+        "the survivors' round must still move the GM"
+    );
+    remote.teardown();
+}
+
+/// A client stuck behind a huge injected latency misses the server-side
+/// round deadline and surfaces as `Straggled` — a hung client cannot
+/// stall aggregation.
+#[test]
+fn deadline_turns_a_hung_client_into_a_straggler() {
+    let data = dataset();
+    let victim = 0;
+    let mut remote = remote_harness(&data, Duration::from_secs(4), |i| {
+        (i == victim).then(|| FaultProfile::latency(120_000.0, 0.0, 11))
+    });
+
+    let n = remote.mirror.len();
+    let plan = RoundPlan::full(n);
+    let report = remote.server.run_round(&mut remote.mirror, &plan);
+
+    assert_eq!(report.clients[victim].outcome, ClientOutcome::Straggled);
+    let trained = report
+        .clients
+        .iter()
+        .filter(|c| matches!(c.outcome, ClientOutcome::Trained { .. }))
+        .count();
+    assert_eq!(trained, n - 1);
+    assert_eq!(remote.server.rounds_run(), 1);
+    remote.teardown();
+}
