@@ -299,22 +299,7 @@ fn top_k_sign_mask(grad: &Matrix, fraction: f32) -> Matrix {
     let mut scratch: Vec<usize> = (0..cols).collect();
     for r in 0..grad.rows() {
         let row = grad.row(r);
-        for (slot, c) in scratch.iter_mut().enumerate() {
-            *c = slot;
-        }
-        if k < cols {
-            // Total order: |v| descending, then column ascending — a
-            // deterministic tie-break makes the top-k *set* unique, so an
-            // unstable partition selects the same columns the stable sort
-            // did.
-            scratch.select_nth_unstable_by(k - 1, |&a, &b| {
-                row[b]
-                    .abs()
-                    .partial_cmp(&row[a].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            });
-        }
+        select_top_k_by_magnitude(row, k, &mut scratch);
         for &c in scratch.iter().take(k) {
             let s = if row[c] > 0.0 {
                 1.0
@@ -327,6 +312,43 @@ fn top_k_sign_mask(grad: &Matrix, fraction: f32) -> Matrix {
         }
     }
     out
+}
+
+/// Partitions `scratch` so its first `k` entries index the `k`
+/// largest-|v| values of `values`. Ties at the k-boundary break by index
+/// (ascending), so the selected *set* is unique — the total order that
+/// makes an unstable partition deterministic.
+///
+/// `scratch` is reinitialized to `0..values.len()` on every call; reusing
+/// one buffer across calls keeps the hot path allocation-free. Shared by
+/// the CLB mask δ above and the FL layer's top-k delta sparsifier, so the
+/// two selections cannot drift apart.
+///
+/// # Panics
+///
+/// Panics if `scratch.len() != values.len()`.
+pub fn select_top_k_by_magnitude(values: &[f32], k: usize, scratch: &mut [usize]) {
+    assert_eq!(
+        scratch.len(),
+        values.len(),
+        "scratch must be values-sized (fill with any content; it is reset)"
+    );
+    for (slot, c) in scratch.iter_mut().enumerate() {
+        *c = slot;
+    }
+    if k == 0 || k >= values.len() {
+        return;
+    }
+    // Total order: |v| descending, then index ascending — a deterministic
+    // tie-break makes the top-k *set* unique, so an unstable partition
+    // selects the same entries a stable sort would.
+    scratch.select_nth_unstable_by(k - 1, |&a, &b| {
+        values[b]
+            .abs()
+            .partial_cmp(&values[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
 }
 
 /// Shared PGD/MIM loop: L2-normalized (optionally momentum-accumulated)

@@ -43,7 +43,7 @@ pub mod gradient;
 pub mod injector;
 pub mod sweep;
 
-pub use attack::{Attack, AttackKind, ALL_ATTACK_KINDS, BACKDOOR_KINDS};
+pub use attack::{select_top_k_by_magnitude, Attack, AttackKind, ALL_ATTACK_KINDS, BACKDOOR_KINDS};
 pub use gradient::GradientSource;
 pub use injector::PoisonInjector;
 pub use sweep::{paper_epsilon_grid, paper_tau_grid};

@@ -168,7 +168,7 @@ impl Framework for Onlad {
                 let filtered = FingerprintSet::new(x, labels);
                 let params = train_sequential_lm(localizer, &filtered, local, c.seed ^ round_salt);
                 let params = c.finalize_params(&gm_snapshot, params);
-                ClientUpdate::new(c.id, params, filtered.len())
+                c.build_update(&gm_snapshot, params, filtered.len())
             })
             .collect();
         let timer = timer.split();

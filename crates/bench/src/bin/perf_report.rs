@@ -339,14 +339,14 @@ fn main() {
     eprintln!("measuring aggregation strategies...");
     let aggregation = bench_aggregation(if args.quick { 3 } else { 7 }, args.seed);
 
-    // The serving and transport sections are owned by `serve_bench`;
-    // preserve whatever an earlier run wrote into the out file so
-    // regenerating the training-side numbers does not silently drop the
-    // serving trajectory.
-    let (serving, transport) = std::fs::read_to_string(&args.out)
+    // The serving, transport and fleet sections are owned by
+    // `serve_bench` / `fleet_scale`; preserve whatever an earlier run
+    // wrote into the out file so regenerating the training-side numbers
+    // does not silently drop those trajectories.
+    let (serving, transport, fleet) = std::fs::read_to_string(&args.out)
         .ok()
         .and_then(|json| serde_json::from_str::<PerfReport>(&json).ok())
-        .map(|old| (old.serving, old.transport))
+        .map(|old| (old.serving, old.transport, old.fleet))
         .unwrap_or_default();
 
     let report = PerfReport {
@@ -360,6 +360,7 @@ fn main() {
         session,
         serving,
         transport,
+        fleet,
     };
 
     println!("{}", report.summary());

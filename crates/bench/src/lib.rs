@@ -26,17 +26,21 @@
 //! 700-epoch configuration) and `--seed N`; the default is a
 //! scaled-down-but-converged configuration (`DESIGN.md` §5).
 
+pub mod fleet;
 pub mod harness;
 pub mod naive;
 pub mod perf;
+pub mod rss;
 pub mod suite;
 
+pub use fleet::SyntheticFleet;
 pub use harness::{
     build_dataset, build_frameworks, default_buildings, evaluate_errors, pretrained_safeloc,
     run_fleet_with_network, run_fleet_with_reports, run_scenario, run_scenario_with_reports,
     scenario_fleet, HarnessConfig, Scale, Scenario, ScenarioOutcome,
 };
-pub use perf::{pool_stage_means, time_median_ns, PerfReport, StageMean};
+pub use perf::{pool_stage_means, time_median_ns, FleetTiming, PerfReport, StageMean};
+pub use rss::{peak_rss_bytes, reset_peak_rss};
 pub use suite::{
     AttackSpec, CellRun, CombinerSpec, DefenseSpec, FleetSpec, FrameworkSpec, NetworkSpec,
     ParticipationMode, ParticipationSpec, PipelineSpec, SafelocVariant, ScenarioCell, ScenarioSpec,

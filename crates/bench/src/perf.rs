@@ -204,6 +204,36 @@ pub struct TransportTiming {
     pub p99_ms: f64,
 }
 
+/// One fleet-scale streaming-round measurement (the `fleet_scale`
+/// binary): a synthetic fleet of `clients` devices run through one
+/// streaming round at bounded cohort size, recording wall time, the
+/// process peak RSS, and the bytes each update representation puts on
+/// the wire — the fig. 7 successor at city scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTiming {
+    /// Fleet size (total clients the provider can materialize).
+    pub clients: usize,
+    /// Clients materialized per round (the streaming cohort bound).
+    pub cohort: usize,
+    /// Delta representation label (`dense`, `topk(5%)`, `q8`).
+    pub delta: String,
+    /// Wall time for the round, ms.
+    pub wall_ms: f64,
+    /// Process peak RSS over the round, bytes (`None` where the
+    /// platform exposes no watermark — validation then skips it).
+    pub peak_rss_bytes: Option<u64>,
+    /// Estimated bytes a materialized (non-streaming) fleet of this
+    /// size would hold resident: `clients x per-client model+data
+    /// footprint`. The streaming headroom claim is
+    /// `materialized_bytes / peak_rss_bytes`.
+    pub materialized_bytes: u64,
+    /// Total update bytes crossing the wire this round under `delta`.
+    pub wire_bytes: u64,
+    /// Wire bytes a dense round of the same cohort would ship —
+    /// `wire_bytes / dense_wire_bytes` is the compression ratio.
+    pub dense_wire_bytes: u64,
+}
+
 /// The full report serialized to `BENCH_nn.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -233,6 +263,10 @@ pub struct PerfReport {
     /// tcp` (empty until it runs; preserved on rewrite like `serving`).
     #[serde(default = "Vec::new")]
     pub transport: Vec<TransportTiming>,
+    /// Fleet-scale streaming-round numbers, written by `fleet_scale`
+    /// (empty until it runs; preserved on rewrite like `serving`).
+    #[serde(default = "Vec::new")]
+    pub fleet: Vec<FleetTiming>,
 }
 
 impl PerfReport {
@@ -333,6 +367,28 @@ impl PerfReport {
                 ));
             }
         }
+        for f in &self.fleet {
+            let cell = format!("fleet[{} clients, {}]", f.clients, f.delta);
+            check(format!("{cell}.wall_ms"), f.wall_ms);
+            check(format!("{cell}.wire_bytes"), f.wire_bytes as f64);
+            check(
+                format!("{cell}.dense_wire_bytes"),
+                f.dense_wire_bytes as f64,
+            );
+            check(
+                format!("{cell}.materialized_bytes"),
+                f.materialized_bytes as f64,
+            );
+            if let Some(rss) = f.peak_rss_bytes {
+                check(format!("{cell}.peak_rss_bytes"), rss as f64);
+            }
+            if f.cohort == 0 || f.cohort > f.clients {
+                failure_problems.push(format!(
+                    "{cell}.cohort = {} (must be 1..=clients)",
+                    f.cohort
+                ));
+            }
+        }
         problems.extend(failure_problems);
         if problems.is_empty() {
             Ok(())
@@ -429,6 +485,26 @@ impl PerfReport {
                 ));
             }
         }
+        if !self.fleet.is_empty() {
+            out.push_str("\nfleet scale (streaming rounds, fleet_scale):\n");
+            for f in &self.fleet {
+                let rss = match f.peak_rss_bytes {
+                    Some(bytes) => format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0)),
+                    None => "n/a".to_string(),
+                };
+                out.push_str(&format!(
+                    "  {:>7} clients (cohort {:>5}, {:<9}) {:>9.1} ms  peak RSS {:>10}  \
+                     wire {:>12} B ({:.2}x dense)\n",
+                    f.clients,
+                    f.cohort,
+                    f.delta,
+                    f.wall_ms,
+                    rss,
+                    f.wire_bytes,
+                    f.wire_bytes as f64 / f.dense_wire_bytes.max(1) as f64,
+                ));
+            }
+        }
         out
     }
 }
@@ -516,6 +592,16 @@ mod tests {
                 p50_ms: 6.1,
                 p95_ms: 8.0,
                 p99_ms: 9.5,
+            }],
+            fleet: vec![FleetTiming {
+                clients: 10_000,
+                cohort: 64,
+                delta: "topk(5%)".into(),
+                wall_ms: 900.0,
+                peak_rss_bytes: Some(64 * 1024 * 1024),
+                materialized_bytes: 4 * 1024 * 1024 * 1024,
+                wire_bytes: 1_500_000,
+                dense_wire_bytes: 30_000_000,
             }],
         }
     }
@@ -615,5 +701,45 @@ mod tests {
         let back: PerfReport = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, report);
         assert!(back.validate().is_ok(), "empty transport section validates");
+    }
+
+    #[test]
+    fn reports_without_a_fleet_section_still_parse() {
+        // Pre-fleet-sweep files have no `fleet` key.
+        let mut report = sample_report();
+        report.fleet.clear();
+        let json = serde_json::to_string(&report).unwrap();
+        let stripped = json.replace(",\"fleet\":[]", "");
+        assert_ne!(json, stripped, "fleet key present before stripping");
+        let back: PerfReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, report);
+        assert!(back.validate().is_ok(), "empty fleet section validates");
+    }
+
+    #[test]
+    fn broken_fleet_cells_fail_validation() {
+        let mut zero_wall = sample_report();
+        zero_wall.fleet[0].wall_ms = 0.0;
+        let err = zero_wall.validate().unwrap_err();
+        assert!(
+            err.contains("fleet[10000 clients, topk(5%)].wall_ms"),
+            "{err}"
+        );
+
+        let mut bad_cohort = sample_report();
+        bad_cohort.fleet[0].cohort = 0;
+        let err = bad_cohort.validate().unwrap_err();
+        assert!(err.contains("cohort = 0"), "{err}");
+
+        let mut oversized = sample_report();
+        oversized.fleet[0].cohort = oversized.fleet[0].clients + 1;
+        assert!(oversized.validate().is_err());
+
+        // A platform with no RSS watermark still validates: the memory
+        // column is simply absent, not zero.
+        let mut no_rss = sample_report();
+        no_rss.fleet[0].peak_rss_bytes = None;
+        assert!(no_rss.validate().is_ok());
+        assert!(no_rss.summary().contains("n/a"));
     }
 }

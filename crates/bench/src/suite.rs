@@ -37,8 +37,8 @@ use safeloc_fl::defense::{
 };
 use safeloc_fl::report::pooled_rate;
 use safeloc_fl::{
-    Client, ClientOutcome, ClusterAggregator, CohortSampler, FedAvg, Framework, HistoryScreen,
-    Krum, LatentFilterAggregator, RoundReport, SelectiveAggregator,
+    Client, ClientOutcome, ClusterAggregator, CohortSampler, DeltaSpec, FedAvg, Framework,
+    HistoryScreen, Krum, LatentFilterAggregator, RoundReport, SelectiveAggregator,
 };
 use safeloc_metrics::{markdown_table, ErrorStats};
 use safeloc_wire::FaultProfile;
@@ -814,6 +814,15 @@ pub struct ScenarioSpec {
     /// specs are unchanged (and bitwise identical).
     #[serde(default = "default_networks")]
     pub networks: Vec<NetworkSpec>,
+    /// Delta-representation axis: every client uploads its update under
+    /// this compression spec ([`DeltaSpec::Dense`] = the exact path).
+    /// Unknown representation names fail spec parsing with serde's
+    /// unknown-variant error, like [`DefenseSpec`] stages. Defaults to
+    /// dense only, so pre-existing specs are unchanged (and bitwise
+    /// identical). The axis does not salt the scenario seed — compression
+    /// variants of a cell train on identical streams and stay comparable.
+    #[serde(default = "default_deltas")]
+    pub deltas: Vec<DeltaSpec>,
     /// Rounds per cell; 0 = the scale's default.
     #[serde(default = "usize_zero")]
     pub rounds: usize,
@@ -856,11 +865,20 @@ fn default_defenses() -> Vec<DefenseSpec> {
 fn default_networks() -> Vec<NetworkSpec> {
     vec![NetworkSpec::ideal()]
 }
+fn default_deltas() -> Vec<DeltaSpec> {
+    vec![DeltaSpec::Dense]
+}
+fn dense_delta() -> DeltaSpec {
+    DeltaSpec::Dense
+}
 fn ideal_network() -> NetworkSpec {
     NetworkSpec::ideal()
 }
 fn ideal_network_label() -> String {
     "ideal".to_string()
+}
+fn dense_delta_label() -> String {
+    "dense".to_string()
 }
 fn builtin_defense() -> DefenseSpec {
     DefenseSpec::Builtin
@@ -880,6 +898,7 @@ impl ScenarioSpec {
             attacks,
             participation: default_participation(),
             networks: default_networks(),
+            deltas: default_deltas(),
             rounds: 0,
             seed_salts: default_seed_salts(),
             boost: None,
@@ -909,6 +928,9 @@ pub struct CellIndex {
     /// Index into [`ScenarioSpec::networks`] (0 for pre-axis reports).
     #[serde(default = "usize_zero")]
     pub network: usize,
+    /// Index into [`ScenarioSpec::deltas`] (0 for pre-axis reports).
+    #[serde(default = "usize_zero")]
+    pub delta: usize,
     /// Index into [`ScenarioSpec::seed_salts`].
     pub seed: usize,
 }
@@ -932,6 +954,10 @@ pub struct ScenarioCell {
     /// Network conditions (ideal for pre-axis cells).
     #[serde(default = "ideal_network")]
     pub network: NetworkSpec,
+    /// Update representation every client uploads under (dense for
+    /// pre-axis cells).
+    #[serde(default = "dense_delta")]
+    pub delta: DeltaSpec,
     /// Seed salt from the spec's seed axis.
     pub seed_salt: u64,
     /// Federated rounds.
@@ -987,14 +1013,20 @@ impl ScenarioCell {
         } else {
             format!(" net={}", self.network.label())
         };
+        let delta = if self.delta.is_dense() {
+            String::new()
+        } else {
+            format!(" delta={}", self.delta.label())
+        };
         format!(
-            "{}{} B{} {} {}{}",
+            "{}{} B{} {} {}{}{}",
             self.framework.label(),
             defense,
             self.building,
             self.fleet.label(),
             self.attack.label(),
-            network
+            network,
+            delta
         )
     }
 }
@@ -1090,31 +1122,36 @@ impl SuiteRunner {
                         for (ai, attack) in self.spec.attacks.iter().enumerate() {
                             for (pi, participation) in self.spec.participation.iter().enumerate() {
                                 for (ni, network) in self.spec.networks.iter().enumerate() {
-                                    for (si, &seed_salt) in self.spec.seed_salts.iter().enumerate()
-                                    {
-                                        out.push(ScenarioCell {
-                                            framework: framework.clone(),
-                                            defense: defense.clone(),
-                                            building,
-                                            fleet: fleet.clone(),
-                                            attack: attack.clone(),
-                                            participation: participation.clone(),
-                                            network: network.clone(),
-                                            seed_salt,
-                                            rounds,
-                                            boost: self.spec.boost,
-                                            coherent: self.spec.coherent,
-                                            index: CellIndex {
-                                                framework: fi,
-                                                defense: di,
-                                                building: bi,
-                                                fleet: li,
-                                                attack: ai,
-                                                participation: pi,
-                                                network: ni,
-                                                seed: si,
-                                            },
-                                        });
+                                    for (ci, &delta) in self.spec.deltas.iter().enumerate() {
+                                        for (si, &seed_salt) in
+                                            self.spec.seed_salts.iter().enumerate()
+                                        {
+                                            out.push(ScenarioCell {
+                                                framework: framework.clone(),
+                                                defense: defense.clone(),
+                                                building,
+                                                fleet: fleet.clone(),
+                                                attack: attack.clone(),
+                                                participation: participation.clone(),
+                                                network: network.clone(),
+                                                delta,
+                                                seed_salt,
+                                                rounds,
+                                                boost: self.spec.boost,
+                                                coherent: self.spec.coherent,
+                                                index: CellIndex {
+                                                    framework: fi,
+                                                    defense: di,
+                                                    building: bi,
+                                                    fleet: li,
+                                                    attack: ai,
+                                                    participation: pi,
+                                                    network: ni,
+                                                    delta: ci,
+                                                    seed: si,
+                                                },
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -1284,7 +1321,12 @@ fn run_prepared_cell(
             boost: cell.boost,
             coherent: cell.coherent,
         };
-        let clients = scenario_fleet(data, &scenario);
+        let mut clients = scenario_fleet(data, &scenario);
+        if !cell.delta.is_dense() {
+            for client in &mut clients {
+                client.compressor = cell.delta.compressor();
+            }
+        }
         let sampler = cell
             .participation
             .sampler(&clients, cell.sampler_seed(base_seed));
@@ -1461,6 +1503,7 @@ impl CellRun {
             attack: self.cell.attack.label(),
             participation: self.cell.participation.label(self.fleet_size),
             network: self.cell.network.label(),
+            delta: self.cell.delta.label(),
             rounds: self.cell.rounds,
             seed_salt: self.cell.seed_salt,
             best_m: stats.best,
@@ -1660,6 +1703,9 @@ pub struct SuiteCellReport {
     /// Network-conditions label (`"ideal"` for pre-axis reports).
     #[serde(default = "ideal_network_label")]
     pub network: String,
+    /// Delta-representation label (`"dense"` for pre-axis reports).
+    #[serde(default = "dense_delta_label")]
+    pub delta: String,
     /// Federated rounds run.
     pub rounds: usize,
     /// Seed salt of the repetition.
@@ -1899,6 +1945,69 @@ mod tests {
         assert_ne!(ideal.network_seed(7), lossy.network_seed(7));
         assert!(lossy.label().contains("net=lossy"));
         assert!(!ideal.label().contains("net="), "{}", ideal.label());
+    }
+
+    #[test]
+    fn delta_axis_multiplies_the_grid_without_salting_the_scenario_seed() {
+        let mut s = spec();
+        s.deltas = vec![
+            DeltaSpec::Dense,
+            DeltaSpec::TopK { fraction: 0.05 },
+            DeltaSpec::QuantizedI8,
+        ];
+        let runner = SuiteRunner::new(
+            HarnessConfig {
+                scale: Scale::Quick,
+                seed: 7,
+            },
+            s,
+        );
+        let cells = runner.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 3);
+        let dense = cells.iter().find(|c| c.index.delta == 0).unwrap();
+        let topk = cells
+            .iter()
+            .find(|c| {
+                c.index.delta == 1
+                    && c.index
+                        == CellIndex {
+                            delta: 1,
+                            ..dense.index
+                        }
+            })
+            .unwrap();
+        // Compression variants of a cell train on identical streams.
+        assert_eq!(dense.scenario_seed(7), topk.scenario_seed(7));
+        assert_eq!(dense.sampler_seed(7), topk.sampler_seed(7));
+        assert!(topk.label().contains("delta=topk=0.05"), "{}", topk.label());
+        assert!(!dense.label().contains("delta="), "{}", dense.label());
+    }
+
+    #[test]
+    fn unknown_delta_repr_names_fail_spec_parsing_naming_the_offender() {
+        let json = r#"{
+            "name": "bad",
+            "frameworks": ["FedLoc"],
+            "attacks": [{}],
+            "deltas": ["Sparse9000"]
+        }"#;
+        let err = serde_json::from_str::<ScenarioSpec>(json).unwrap_err();
+        let msg = format!("{err:?}");
+        assert!(
+            msg.contains("Sparse9000"),
+            "error names the offender: {msg}"
+        );
+    }
+
+    #[test]
+    fn specs_without_a_delta_axis_default_to_dense_only() {
+        let json = r#"{
+            "name": "plain",
+            "frameworks": ["FedLoc"],
+            "attacks": [{}]
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.deltas, vec![DeltaSpec::Dense]);
     }
 
     #[test]

@@ -174,7 +174,7 @@ impl SafeLoc {
                     cfg.augment.as_ref(),
                 );
                 let params = c.finalize_params(&gm_snapshot, lm.snapshot());
-                ClientUpdate::new(c.id, params, n)
+                c.build_update(&gm_snapshot, params, n)
             })
             .collect()
     }

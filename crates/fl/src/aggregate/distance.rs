@@ -30,30 +30,59 @@ impl DistanceMatrix {
     /// Builds the matrix by evaluating `metric(i, j)` for every pair
     /// `i < j`, in parallel for non-trivial pair counts.
     pub fn build(n: usize, metric: impl Fn(usize, usize) -> f32 + Sync + Send) -> Self {
+        Self::build_into(n, Vec::new(), metric)
+    }
+
+    /// [`build`](Self::build) into a reused buffer: `scratch` (typically a
+    /// previous round's matrix, via [`into_values`](Self::into_values)) is
+    /// cleared and refilled, so steady-state rounds stop reallocating the
+    /// O(n²) triangle. The computed values are identical to a fresh
+    /// [`build`](Self::build) — buffer reuse never changes a distance.
+    pub fn build_into(
+        n: usize,
+        scratch: Vec<f32>,
+        metric: impl Fn(usize, usize) -> f32 + Sync + Send,
+    ) -> Self {
         let pairs = n * n.saturating_sub(1) / 2;
-        let values: Vec<f32> = if pairs < PARALLEL_MIN_PAIRS {
-            (0..pairs)
-                .map(|p| {
-                    let (i, j) = unflatten(p, n);
-                    metric(i, j)
-                })
-                .collect()
-        } else {
-            (0..pairs)
-                .into_par_iter()
-                .map(|p| {
-                    let (i, j) = unflatten(p, n);
-                    metric(i, j)
-                })
-                .collect()
-        };
+        let mut values = scratch;
+        values.clear();
+        if pairs < PARALLEL_MIN_PAIRS {
+            values.extend((0..pairs).map(|p| {
+                let (i, j) = unflatten(p, n);
+                metric(i, j)
+            }));
+            return Self { n, values };
+        }
+        values.resize(pairs, 0.0);
+        // The condensed triangle is row-contiguous: split it into one
+        // mutable slice per row and fill rows in parallel. Same values as
+        // the flat pair loop, just a different work partition.
+        let mut rows: Vec<(usize, &mut [f32])> = Vec::with_capacity(n - 1);
+        let mut rest = values.as_mut_slice();
+        for i in 0..n - 1 {
+            let (head, tail) = rest.split_at_mut(n - 1 - i);
+            rows.push((i, head));
+            rest = tail;
+        }
+        rows.into_par_iter()
+            .map(|(i, row)| {
+                for (offset, v) in row.iter_mut().enumerate() {
+                    *v = metric(i, i + 1 + offset);
+                }
+            })
+            .collect::<Vec<()>>();
         Self { n, values }
     }
 
     /// Squared L2 distances between the flattened parameters of every pair
     /// of updates — the matrix Krum scores against.
     pub fn squared_l2(updates: &[&ClientUpdate]) -> Self {
-        Self::build(updates.len(), |i, j| {
+        Self::squared_l2_into(updates, Vec::new())
+    }
+
+    /// [`squared_l2`](Self::squared_l2) into a reused buffer.
+    pub fn squared_l2_into(updates: &[&ClientUpdate], scratch: Vec<f32>) -> Self {
+        Self::build_into(updates.len(), scratch, |i, j| {
             let d = updates[i].params.l2_distance(&updates[j].params);
             d * d
         })
@@ -92,8 +121,13 @@ impl DistanceMatrix {
     /// metric FEDCC-style clustering groups by. `deltas` are the flattened
     /// `LM − GM` rows.
     pub fn cosine(deltas: &[safeloc_nn::Matrix]) -> Self {
+        Self::cosine_into(deltas, Vec::new())
+    }
+
+    /// [`cosine`](Self::cosine) into a reused buffer.
+    pub fn cosine_into(deltas: &[safeloc_nn::Matrix], scratch: Vec<f32>) -> Self {
         let norms: Vec<f32> = deltas.iter().map(|d| d.l2_norm()).collect();
-        Self::build(deltas.len(), |i, j| {
+        Self::build_into(deltas.len(), scratch, |i, j| {
             let denom = norms[i] * norms[j];
             if denom == 0.0 {
                 1.0
@@ -101,6 +135,12 @@ impl DistanceMatrix {
                 1.0 - deltas[i].flat_dot(&deltas[j]) / denom
             }
         })
+    }
+
+    /// Dismantles the matrix into its value buffer, for reuse as the
+    /// `scratch` of a later round's [`build_into`](Self::build_into).
+    pub fn into_values(self) -> Vec<f32> {
+        self.values
     }
 
     /// Number of points the matrix covers.
@@ -247,6 +287,27 @@ mod tests {
         assert!(m.get(0, 1).abs() < 1e-6, "parallel vectors");
         assert!((m.get(0, 2) - 1.0).abs() < 1e-6, "orthogonal vectors");
         assert!((m.get(0, 3) - 1.0).abs() < 1e-6, "zero vector convention");
+    }
+
+    #[test]
+    fn build_into_reuses_the_buffer_and_matches_a_fresh_build() {
+        let metric = |i: usize, j: usize| ((i * 13 + j * 3) % 31) as f32;
+        // Big enough for the parallel path, shrinking across rounds.
+        let fresh = DistanceMatrix::build(12, metric);
+        let prior = DistanceMatrix::build(20, |i, j| (i + j) as f32);
+        let scratch = prior.into_values();
+        let cap = scratch.capacity();
+        let reused = DistanceMatrix::build_into(12, scratch, metric);
+        assert_eq!(reused, fresh, "buffer reuse changed a distance");
+        assert_eq!(
+            reused.into_values().capacity(),
+            cap,
+            "the O(n²) buffer was reallocated instead of reused"
+        );
+        // The serial path reuses too.
+        let tiny_fresh = DistanceMatrix::build(3, metric);
+        let tiny = DistanceMatrix::build_into(3, vec![9.0; 50], metric);
+        assert_eq!(tiny, tiny_fresh);
     }
 
     #[test]

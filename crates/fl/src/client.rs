@@ -1,6 +1,8 @@
 //! FL clients: local data, optional poisoning, and the client-side
 //! training protocol.
 
+use crate::delta::DeltaCompressor;
+use crate::update::ClientUpdate;
 use safeloc_attacks::{GradientSource, PoisonInjector};
 use safeloc_dataset::{BuildingDataset, FingerprintSet};
 use safeloc_nn::{Adam, HasParams, Matrix, NamedParams, Sequential, TrainConfig};
@@ -69,22 +71,31 @@ pub struct Client {
     pub injector: Option<PoisonInjector>,
     /// Per-client seed stream for local training.
     pub seed: u64,
+    /// Delta compressor with its error-feedback residual, if the client
+    /// uploads compressed updates. `None` keeps the exact dense path.
+    pub compressor: Option<DeltaCompressor>,
 }
 
 impl Client {
     /// Builds the client fleet of a [`BuildingDataset`], all clean.
     pub fn from_dataset(data: &BuildingDataset, seed: u64) -> Vec<Client> {
-        data.client_local
-            .iter()
-            .enumerate()
-            .map(|(i, set)| Client {
-                id: i,
-                device_name: data.devices[i].name.clone(),
-                local: set.clone(),
-                injector: None,
-                seed: seed ^ ((i as u64 + 1) << 32),
-            })
+        (0..data.client_local.len())
+            .map(|i| Client::single_from_dataset(data, seed, i))
             .collect()
+    }
+
+    /// Builds one client of the fleet `from_dataset(data, seed)` would
+    /// build, without materializing the others. Streaming fleets use this
+    /// to bound peak memory by cohort size.
+    pub fn single_from_dataset(data: &BuildingDataset, seed: u64, i: usize) -> Client {
+        Client {
+            id: i,
+            device_name: data.devices[i].name.clone(),
+            local: data.client_local[i].clone(),
+            injector: None,
+            seed: seed ^ ((i as u64 + 1) << 32),
+            compressor: None,
+        }
     }
 
     /// `true` if the client carries a poison injector.
@@ -138,6 +149,28 @@ impl Client {
         let mut out = gm.clone();
         out.axpy(boost, &lm.delta(gm));
         out
+    }
+
+    /// Packages finalized LM weights into the [`ClientUpdate`] this client
+    /// uploads. Without a compressor this is exactly [`ClientUpdate::new`]
+    /// (the bitwise-pinned dense path). With one, the delta from the GM is
+    /// compressed under error feedback and the update's parameters are
+    /// re-materialized as `GM + decode(repr)`, so the server and every
+    /// defense screen exactly what crossed the wire.
+    pub fn build_update(
+        &mut self,
+        gm: &NamedParams,
+        params: NamedParams,
+        num_samples: usize,
+    ) -> ClientUpdate {
+        let Some(compressor) = &mut self.compressor else {
+            return ClientUpdate::new(self.id, params, num_samples);
+        };
+        let flat = params.delta(gm).flatten();
+        let (repr, decoded) = compressor.compress(flat.as_slice());
+        let mut out = gm.clone();
+        out.add_flat(&decoded);
+        ClientUpdate::with_repr(self.id, out, num_samples, repr)
     }
 
     /// Labels for the client's raw RSS under `cfg.labeling`, before any

@@ -8,13 +8,59 @@
 //! lazy cells: the first stage that needs a quantity pays for it, every
 //! later stage reads it for free, and compositions like
 //! `cluster → latent-screen` share one delta pass instead of two.
+//!
+//! # Exact vs. sampled screening distances
+//!
+//! Rounds of up to [`EXACT_SCREEN_MAX`] updates use the exact distance
+//! paths — every pair over every coordinate, bitwise-pinned by
+//! `tests/round_lifecycle.rs` (every paper-scale cohort is far below the
+//! threshold). Larger rounds switch to a *sampled* estimate: each delta is
+//! reduced to a deterministic stride subsample of
+//! [`SCREEN_SAMPLE_DIM`] coordinates laid out as one contiguous `n × d′`
+//! block, pairwise distances are computed blockwise on it, and squared-L2
+//! values are rescaled by `d/d′` (cosine needs no rescale — both norms
+//! shrink together). No RNG is involved, so sampled rounds stay
+//! bitwise-identical for any thread count. This keeps Krum/Cluster-style
+//! screening `O(n²·d′)` instead of `O(n²·d)` at city-scale cohorts.
+//!
+//! # Buffer reuse
+//!
+//! The O(n²) distance triangles are the round's largest screening
+//! allocations; a [`DistanceScratch`] carries them across rounds
+//! ([`RoundContext::with_scratch`] → [`RoundContext::reclaim_scratch`]),
+//! so steady-state rounds reallocate nothing. Reuse never changes a
+//! value — warm-scratch rounds are bitwise-identical to cold ones.
 
 use crate::aggregate::DistanceMatrix;
 use crate::update::ClientUpdate;
 use rayon::prelude::*;
 use safeloc_nn::{Matrix, NamedParams};
 use std::borrow::Cow;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
+
+/// Largest round screened through the exact distance paths; bigger rounds
+/// use the deterministic coordinate subsample (see the module docs).
+pub const EXACT_SCREEN_MAX: usize = 64;
+
+/// Coordinate budget per update for sampled screening distances.
+pub const SCREEN_SAMPLE_DIM: usize = 2048;
+
+/// Reusable buffers for the per-round O(n²) distance triangles, carried
+/// across rounds by the owning pipeline.
+#[derive(Debug, Default, Clone)]
+pub struct DistanceScratch {
+    squared_l2: Vec<f32>,
+    cosine: Vec<f32>,
+}
+
+/// The `n × d′` stride-subsampled delta block sampled screening computes
+/// distances on.
+struct SampledDeltas {
+    rows: Vec<f32>,
+    d_prime: usize,
+    /// `d / d′` — the unbiased rescale for sampled squared distances.
+    scale: f32,
+}
 
 /// Read-only facts about one aggregation round, built lazily and shared by
 /// every [`DefenseStage`](crate::defense::DefenseStage) and
@@ -29,11 +75,22 @@ pub struct RoundContext<'a> {
     raw_norms: OnceLock<Vec<f32>>,
     squared_l2: OnceLock<DistanceMatrix>,
     cosine: OnceLock<DistanceMatrix>,
+    sampled: OnceLock<SampledDeltas>,
+    scratch: Mutex<DistanceScratch>,
 }
 
 impl<'a> RoundContext<'a> {
     /// Wraps one round's global model and (guard-filtered) updates.
     pub fn new(global: &'a NamedParams, updates: &'a [&'a ClientUpdate]) -> Self {
+        Self::with_scratch(global, updates, DistanceScratch::default())
+    }
+
+    /// [`new`](Self::new), reusing a previous round's distance buffers.
+    pub fn with_scratch(
+        global: &'a NamedParams,
+        updates: &'a [&'a ClientUpdate],
+        scratch: DistanceScratch,
+    ) -> Self {
         Self {
             global,
             updates,
@@ -41,7 +98,22 @@ impl<'a> RoundContext<'a> {
             raw_norms: OnceLock::new(),
             squared_l2: OnceLock::new(),
             cosine: OnceLock::new(),
+            sampled: OnceLock::new(),
+            scratch: Mutex::new(scratch),
         }
+    }
+
+    /// Dismantles the context, handing its distance buffers back for the
+    /// next round.
+    pub fn reclaim_scratch(self) -> DistanceScratch {
+        let mut scratch = self.scratch.into_inner().expect("scratch lock poisoned");
+        if let Some(m) = self.squared_l2.into_inner() {
+            scratch.squared_l2 = m.into_values();
+        }
+        if let Some(m) = self.cosine.into_inner() {
+            scratch.cosine = m.into_values();
+        }
+        scratch
     }
 
     /// The current global model.
@@ -85,17 +157,96 @@ impl<'a> RoundContext<'a> {
     }
 
     /// Pairwise squared-L2 distances between update parameters — the
-    /// matrix Krum scores against, computed once per round.
+    /// matrix Krum scores against, computed once per round. Exact up to
+    /// [`EXACT_SCREEN_MAX`] updates, a `d/d′`-rescaled blockwise estimate
+    /// on the coordinate subsample above it (see the module docs).
     pub fn squared_l2(&self) -> &DistanceMatrix {
-        self.squared_l2
-            .get_or_init(|| DistanceMatrix::squared_l2(self.updates))
+        self.squared_l2.get_or_init(|| {
+            let scratch = std::mem::take(&mut self.lock_scratch().squared_l2);
+            if self.updates.len() <= EXACT_SCREEN_MAX {
+                return DistanceMatrix::squared_l2_into(self.updates, scratch);
+            }
+            let s = self.sampled();
+            let (rows, d_prime, scale) = (&s.rows, s.d_prime, s.scale);
+            DistanceMatrix::build_into(self.updates.len(), scratch, |i, j| {
+                let a = &rows[i * d_prime..(i + 1) * d_prime];
+                let b = &rows[j * d_prime..(j + 1) * d_prime];
+                let sum: f32 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| {
+                        let d = x - y;
+                        d * d
+                    })
+                    .sum();
+                sum * scale
+            })
+        })
     }
 
     /// Pairwise cosine distances between update deltas — the metric the
-    /// clustering split groups by.
+    /// clustering split groups by. Exact up to [`EXACT_SCREEN_MAX`]
+    /// updates, blockwise on the coordinate subsample above it (cosine
+    /// needs no rescale — both norms shrink with the sample).
     pub fn cosine(&self) -> &DistanceMatrix {
-        self.cosine
-            .get_or_init(|| DistanceMatrix::cosine(self.deltas()))
+        self.cosine.get_or_init(|| {
+            let scratch = std::mem::take(&mut self.lock_scratch().cosine);
+            if self.updates.len() <= EXACT_SCREEN_MAX {
+                return DistanceMatrix::cosine_into(self.deltas(), scratch);
+            }
+            let s = self.sampled();
+            let (rows, d_prime) = (&s.rows, s.d_prime);
+            let norms: Vec<f32> = rows
+                .chunks(d_prime)
+                .map(|r| r.iter().map(|&v| v * v).sum::<f32>().sqrt())
+                .collect();
+            DistanceMatrix::build_into(self.updates.len(), scratch, |i, j| {
+                let denom = norms[i] * norms[j];
+                if denom == 0.0 {
+                    return 1.0;
+                }
+                let a = &rows[i * d_prime..(i + 1) * d_prime];
+                let b = &rows[j * d_prime..(j + 1) * d_prime];
+                let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+                1.0 - dot / denom
+            })
+        })
+    }
+
+    fn lock_scratch(&self) -> std::sync::MutexGuard<'_, DistanceScratch> {
+        self.scratch.lock().expect("scratch lock poisoned")
+    }
+
+    /// The `n × d′` subsampled delta block (built once). Coordinates are a
+    /// deterministic stride `⌊j·d/d′⌋` over each flattened delta, so two
+    /// runs — at any thread count — sample identical coordinates.
+    fn sampled(&self) -> &SampledDeltas {
+        self.sampled.get_or_init(|| {
+            let d = self.global.num_params().max(1);
+            let d_prime = d.min(SCREEN_SAMPLE_DIM);
+            let per_update: Vec<Vec<f32>> = self
+                .updates
+                .par_iter()
+                .map(|u| {
+                    let flat = u.params.delta(self.global).flatten();
+                    let s = flat.as_slice();
+                    // `get` only misses for a zero-parameter model (d was
+                    // clamped to 1); its "delta" samples as zero.
+                    (0..d_prime)
+                        .map(|j| s.get(j * d / d_prime).copied().unwrap_or(0.0))
+                        .collect()
+                })
+                .collect();
+            let mut rows = Vec::with_capacity(self.updates.len() * d_prime);
+            for r in per_update {
+                rows.extend(r);
+            }
+            SampledDeltas {
+                rows,
+                d_prime,
+                scale: d as f32 / d_prime as f32,
+            }
+        })
     }
 
     /// Update `i`'s parameters after applying a clip scale: the raw LM for
@@ -135,6 +286,87 @@ mod tests {
         assert!((ctx.raw_norms()[1] - expected).abs() < 1e-6);
         // Distance matrices agree with the direct constructors.
         assert_eq!(*ctx.squared_l2(), DistanceMatrix::squared_l2(&refs));
+    }
+
+    #[test]
+    fn warm_scratch_rounds_are_bitwise_identical_to_cold_ones() {
+        let g = params(&[0.5, -0.5], &[0.1]);
+        let u: Vec<ClientUpdate> = (0..6)
+            .map(|i| {
+                let v = i as f32 * 0.3 - 1.0;
+                update(i, &[v, -v], &[v * 0.5])
+            })
+            .collect();
+        let refs: Vec<&ClientUpdate> = u.iter().collect();
+
+        let cold = RoundContext::new(&g, &refs);
+        let cold_l2 = cold.squared_l2().clone();
+        let cold_cos = cold.cosine().clone();
+        let scratch = cold.reclaim_scratch();
+
+        let warm = RoundContext::with_scratch(&g, &refs, scratch);
+        assert_eq!(*warm.squared_l2(), cold_l2, "warm L2 diverged");
+        assert_eq!(*warm.cosine(), cold_cos, "warm cosine diverged");
+    }
+
+    /// Large rounds over a model no wider than the sample budget: the
+    /// stride subsample is the identity, so the sampled estimate must
+    /// agree with the exact metric (up to f32 summation order).
+    #[test]
+    fn sampled_distances_match_exact_when_the_sample_covers_every_coordinate() {
+        let g = params(&[0.0, 0.0], &[0.0]);
+        let n = EXACT_SCREEN_MAX + 3;
+        let u: Vec<ClientUpdate> = (0..n)
+            .map(|i| {
+                let v = (i as f32 * 0.137).sin();
+                update(i, &[v, v * 0.5], &[-v])
+            })
+            .collect();
+        let refs: Vec<&ClientUpdate> = u.iter().collect();
+        let ctx = RoundContext::new(&g, &refs);
+        let sampled_l2 = ctx.squared_l2();
+        let sampled_cos = ctx.cosine();
+        let exact_l2 = DistanceMatrix::squared_l2(&refs);
+        let exact_cos = DistanceMatrix::cosine(
+            &refs
+                .iter()
+                .map(|r| r.params.delta(&g).flatten())
+                .collect::<Vec<_>>(),
+        );
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (sampled_l2.get(i, j) - exact_l2.get(i, j)).abs() < 1e-5,
+                    "L2 ({i},{j}): {} vs {}",
+                    sampled_l2.get(i, j),
+                    exact_l2.get(i, j)
+                );
+                assert!(
+                    (sampled_cos.get(i, j) - exact_cos.get(i, j)).abs() < 1e-5,
+                    "cos ({i},{j}): {} vs {}",
+                    sampled_cos.get(i, j),
+                    exact_cos.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_at_the_threshold_take_the_exact_path_bitwise() {
+        let g = params(&[0.0, 0.0], &[0.0]);
+        let u: Vec<ClientUpdate> = (0..EXACT_SCREEN_MAX)
+            .map(|i| {
+                let v = (i as f32 * 0.731).cos();
+                update(i, &[v, -v], &[v * 2.0])
+            })
+            .collect();
+        let refs: Vec<&ClientUpdate> = u.iter().collect();
+        let ctx = RoundContext::new(&g, &refs);
+        assert_eq!(
+            *ctx.squared_l2(),
+            DistanceMatrix::squared_l2(&refs),
+            "threshold rounds must stay on the exact, pinned path"
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod robust;
 mod stages;
 mod verdicts;
 
-pub use context::RoundContext;
+pub use context::{DistanceScratch, RoundContext, EXACT_SCREEN_MAX, SCREEN_SAMPLE_DIM};
 pub use robust::{CoordinateMedian, TrimmedMean, UniformMean};
 pub use stages::{NonFiniteGuard, NormClip};
 pub use verdicts::Verdicts;
@@ -127,6 +127,9 @@ pub struct DefensePipeline {
     stages: Vec<Box<dyn DefenseStage>>,
     combiner: Box<dyn Combiner>,
     last_telemetry: Vec<StageTelemetry>,
+    /// Distance buffers reused across rounds — reuse is bitwise-neutral
+    /// (see [`DistanceScratch`]).
+    scratch: DistanceScratch,
 }
 
 impl std::fmt::Debug for DefensePipeline {
@@ -155,6 +158,7 @@ impl DefensePipeline {
             stages,
             combiner,
             last_telemetry: Vec::new(),
+            scratch: DistanceScratch::default(),
         }
     }
 
@@ -246,7 +250,7 @@ impl Aggregator for DefensePipeline {
         global: &NamedParams,
         updates: &[&ClientUpdate],
     ) -> AggregationOutcome {
-        let ctx = RoundContext::new(global, updates);
+        let ctx = RoundContext::with_scratch(global, updates, std::mem::take(&mut self.scratch));
         let mut verdicts = Verdicts::new(updates.len());
         let mut telemetry = Vec::with_capacity(self.stages.len() + 1);
         for stage in &mut self.stages {
@@ -274,6 +278,7 @@ impl Aggregator for DefensePipeline {
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
         });
         self.last_telemetry = telemetry;
+        self.scratch = ctx.reclaim_scratch();
         AggregationOutcome {
             params,
             decisions: verdicts.into_decisions(),
@@ -365,6 +370,23 @@ mod tests {
         );
         let dbg = format!("{:?}", DefensePipeline::cluster(0.15));
         assert!(dbg.contains("Cluster") && dbg.contains("cluster"));
+    }
+
+    #[test]
+    fn reused_distance_scratch_never_changes_an_outcome() {
+        let g = params(&[0.0, 0.0], &[0.0]);
+        let u = vec![
+            update(0, &[1.0, 1.0], &[0.1]),
+            update(1, &[1.1, 0.9], &[0.1]),
+            update(2, &[0.9, 1.1], &[0.1]),
+            update(3, &[9.0, -9.0], &[4.0]),
+        ];
+        // A warm pipeline (scratch from round 1) must produce bitwise the
+        // same round-2 outcome as a cold one.
+        let mut warm = DefensePipeline::krum(1);
+        let _ = warm.aggregate(&g, &u);
+        let mut cold = DefensePipeline::krum(1);
+        assert_eq!(warm.aggregate(&g, &u), cold.aggregate(&g, &u));
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! Streaming fleets: city-scale rounds with cohort-bounded memory.
+//!
+//! [`FlSession`](crate::FlSession) owns its whole fleet as `Vec<Client>`,
+//! which is the right shape for paper-scale experiments (tens of clients)
+//! but materializes every client's local fingerprints up front — at
+//! city scale (10⁴–10⁵ phones) the fleet dominates peak RSS even though a
+//! round only ever touches its cohort. [`StreamingFlSession`] bounds peak
+//! memory by cohort size instead: a [`FleetProvider`] materializes exactly
+//! the clients a round's [`RoundPlan`] names, the framework runs over that
+//! slice, and the provider reclaims them afterwards.
+//!
+//! Determinism is preserved by construction:
+//!
+//! * [`Client::single_from_dataset`] builds client `i` exactly as
+//!   [`Client::from_dataset`] would (same `seed ^ ((i+1) << 32)` stream),
+//!   so a stateless client rebuilt next round is bitwise the client that
+//!   was dropped.
+//! * The cohort slice is ordered by fleet index (plans sort on
+//!   construction) and the remapped plan preserves per-client
+//!   [`Availability`](crate::Availability), so the framework sees the same active clients in
+//!   the same order as a materialized run.
+//! * Round reports keep true fleet identities: report entries carry
+//!   `Client::id`, not the cohort slot.
+//!
+//! Providers only need to persist clients with round-to-round state — a
+//! poison injector's RNG stream or a [`DeltaCompressor`](crate::DeltaCompressor)'s error-feedback
+//! residual ([`Client::has_round_state`]). Everything else can be rebuilt
+//! on demand.
+
+use crate::client::Client;
+use crate::framework::Framework;
+use crate::report::{pooled_rate, RoundReport};
+use crate::round::{CohortSampler, RoundPlan};
+use crate::session::ModelPublisher;
+
+impl Client {
+    /// `true` if the client carries state that must survive between
+    /// rounds: a poison injector (whose RNG stream advances per round) or
+    /// a compressor that has accumulated an error-feedback residual.
+    /// Stateless clients rebuild bitwise-identically from their seed, so
+    /// streaming fleets may drop them after each round.
+    pub fn has_round_state(&self) -> bool {
+        self.injector.is_some() || self.compressor.as_ref().is_some_and(|c| c.has_state())
+    }
+}
+
+/// A source of clients that can be materialized one at a time.
+///
+/// Contract: `materialize(i)` returns the fleet's client `i`, either
+/// rebuilt from scratch or restored from a previous [`reclaim`]. For a
+/// client without round-to-round state ([`Client::has_round_state`]) the
+/// rebuilt copy must be bitwise the reclaimed one, so providers are free
+/// to drop it; stateful clients must round-trip through `reclaim`.
+///
+/// [`reclaim`]: FleetProvider::reclaim
+pub trait FleetProvider {
+    /// Total fleet size (clients are indexed `0..len()`).
+    fn len(&self) -> usize;
+
+    /// `true` if the fleet is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes fleet client `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    fn materialize(&mut self, index: usize) -> Client;
+
+    /// Returns a client after its round, giving the provider the chance
+    /// to persist round-to-round state.
+    fn reclaim(&mut self, client: Client);
+}
+
+/// The trivial provider: a fully materialized fleet behind the
+/// [`FleetProvider`] interface.
+///
+/// Useful for equivalence tests (streaming over a materialized fleet must
+/// reproduce [`FlSession`](crate::FlSession) bitwise) and for small fleets
+/// driven through streaming-only call sites. Clients are stored in place;
+/// `materialize` clones and `reclaim` writes back, so stateful clients
+/// (injectors, compressor residuals) persist exactly as they would in a
+/// `Vec<Client>` fleet.
+pub struct MaterializedFleet {
+    clients: Vec<Client>,
+}
+
+impl MaterializedFleet {
+    /// Wraps a fleet. Clients must sit at their own index (`clients[i].id
+    /// == i`), which is how every fleet constructor builds them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some client's `id` differs from its position.
+    pub fn new(clients: Vec<Client>) -> Self {
+        for (i, c) in clients.iter().enumerate() {
+            assert_eq!(
+                c.id, i,
+                "MaterializedFleet: client {} sits at slot {i}",
+                c.id
+            );
+        }
+        Self { clients }
+    }
+
+    /// The underlying fleet.
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Mutable fleet access (e.g. to compromise a client between rounds).
+    pub fn clients_mut(&mut self) -> &mut [Client] {
+        &mut self.clients
+    }
+}
+
+impl FleetProvider for MaterializedFleet {
+    fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn materialize(&mut self, index: usize) -> Client {
+        self.clients[index].clone()
+    }
+
+    fn reclaim(&mut self, client: Client) {
+        let slot = client.id;
+        self.clients[slot] = client;
+    }
+}
+
+/// Builder for [`StreamingFlSession`].
+pub struct StreamingSessionBuilder {
+    framework: Box<dyn Framework>,
+    provider: Box<dyn FleetProvider>,
+    sampler: CohortSampler,
+    publisher: Option<Box<dyn ModelPublisher>>,
+}
+
+impl StreamingSessionBuilder {
+    /// Sets the cohort sampler (default: full participation, no churn).
+    /// Full participation over a streaming fleet still materializes the
+    /// whole cohort — pick a bounded strategy to bound memory.
+    pub fn sampler(mut self, sampler: CohortSampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Attaches a [`ModelPublisher`] observing every round's aggregated
+    /// global model (default: none).
+    pub fn publisher(mut self, publisher: Box<dyn ModelPublisher>) -> Self {
+        self.publisher = Some(publisher);
+        self
+    }
+
+    /// Finalizes the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler is not usable over the provider's fleet size
+    /// (same validation as [`FlSession`](crate::FlSession)).
+    pub fn build(self) -> StreamingFlSession {
+        if let Err(problem) = self.sampler.validate_for_fleet(self.provider.len()) {
+            panic!("StreamingFlSession: {problem}");
+        }
+        StreamingFlSession {
+            framework: self.framework,
+            provider: self.provider,
+            sampler: self.sampler,
+            publisher: self.publisher,
+            history: Vec::new(),
+        }
+    }
+}
+
+/// A federated session whose peak memory is bounded by cohort size, not
+/// fleet size.
+///
+/// Each round: draw the plan over the *fleet*, materialize only the
+/// cohort, run the framework over the cohort slice under a slot-remapped
+/// plan (availabilities preserved), then hand every client back to the
+/// provider. See the module docs for the determinism argument.
+pub struct StreamingFlSession {
+    framework: Box<dyn Framework>,
+    provider: Box<dyn FleetProvider>,
+    sampler: CohortSampler,
+    publisher: Option<Box<dyn ModelPublisher>>,
+    history: Vec<RoundReport>,
+}
+
+impl StreamingFlSession {
+    /// Starts building a session around a (typically pretrained)
+    /// framework and a fleet provider.
+    pub fn builder(
+        framework: Box<dyn Framework>,
+        provider: Box<dyn FleetProvider>,
+    ) -> StreamingSessionBuilder {
+        StreamingSessionBuilder {
+            framework,
+            provider,
+            sampler: CohortSampler::full(),
+            publisher: None,
+        }
+    }
+
+    /// Executes the next round: plan over the fleet, materialize the
+    /// cohort, run, reclaim, record.
+    pub fn next_round(&mut self) -> &RoundReport {
+        let plan = self.sampler.plan(self.history.len(), self.provider.len());
+        // Plans are sorted by fleet index on construction, so the cohort
+        // slice is in fleet order — the same order a materialized fleet
+        // presents its active clients in.
+        let mut cohort: Vec<Client> = plan
+            .cohort()
+            .iter()
+            .map(|&(i, _)| self.provider.materialize(i))
+            .collect();
+        let slot_plan = RoundPlan::new(
+            plan.cohort()
+                .iter()
+                .enumerate()
+                .map(|(slot, &(_, availability))| (slot, availability))
+                .collect(),
+        );
+        let report = self.framework.run_round(&mut cohort, &slot_plan);
+        for client in cohort {
+            self.provider.reclaim(client);
+        }
+        if let Some(publisher) = &mut self.publisher {
+            publisher.publish_round(&report, &self.framework.global_params());
+        }
+        self.history.push(report);
+        self.history.last().expect("just pushed")
+    }
+
+    /// Runs `n` more rounds and returns their reports.
+    pub fn run(&mut self, n: usize) -> &[RoundReport] {
+        let start = self.history.len();
+        for _ in 0..n {
+            self.next_round();
+        }
+        &self.history[start..]
+    }
+
+    /// Rounds executed by this session.
+    pub fn rounds_run(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Every report so far, in round order.
+    pub fn reports(&self) -> &[RoundReport] {
+        &self.history
+    }
+
+    /// The framework under the session.
+    pub fn framework(&self) -> &dyn Framework {
+        self.framework.as_ref()
+    }
+
+    /// Mutable framework access.
+    pub fn framework_mut(&mut self) -> &mut dyn Framework {
+        self.framework.as_mut()
+    }
+
+    /// The fleet provider.
+    pub fn provider(&self) -> &dyn FleetProvider {
+        self.provider.as_ref()
+    }
+
+    /// Mutable provider access.
+    pub fn provider_mut(&mut self) -> &mut dyn FleetProvider {
+        self.provider.as_mut()
+    }
+
+    /// Pooled attacker-rejection rate over every round run so far.
+    pub fn attacker_rejection_rate(&self) -> Option<f32> {
+        pooled_rate(self.history.iter(), RoundReport::attacker_rejection_rate)
+    }
+
+    /// Pooled honest-rejection rate over every round run so far.
+    pub fn honest_rejection_rate(&self) -> Option<f32> {
+        pooled_rate(self.history.iter(), RoundReport::honest_rejection_rate)
+    }
+
+    /// Dismantles the session into framework, provider and history.
+    pub fn into_parts(self) -> (Box<dyn Framework>, Box<dyn FleetProvider>, Vec<RoundReport>) {
+        (self.framework, self.provider, self.history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defense::DefensePipeline;
+    use crate::delta::{DeltaCompressor, DeltaSpec};
+    use crate::server::{SequentialFlServer, ServerConfig};
+    use crate::session::FlSession;
+    use safeloc_attacks::{Attack, PoisonInjector};
+    use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
+
+    fn dataset() -> BuildingDataset {
+        BuildingDataset::generate(Building::tiny(4), &DatasetConfig::tiny(), 5)
+    }
+
+    fn pretrained(data: &BuildingDataset) -> SequentialFlServer {
+        let mut s = SequentialFlServer::new(
+            &[data.building.num_aps(), 24, data.building.num_rps()],
+            Box::new(DefensePipeline::fedavg()),
+            ServerConfig::tiny(),
+        );
+        s.pretrain(&data.server_train);
+        s
+    }
+
+    fn fleet(data: &BuildingDataset) -> Vec<Client> {
+        let mut clients = Client::from_dataset(data, 0);
+        // One stateful attacker and one compressing client, to exercise
+        // the reclaim path for both kinds of round-to-round state.
+        clients[1].injector = Some(PoisonInjector::new(Attack::label_flip(1.0), 3));
+        clients[2].compressor = Some(DeltaCompressor::new(DeltaSpec::TopK { fraction: 0.1 }));
+        clients
+    }
+
+    #[test]
+    fn single_from_dataset_matches_the_fleet_constructor() {
+        let data = dataset();
+        let fleet = Client::from_dataset(&data, 42);
+        for (i, c) in fleet.iter().enumerate() {
+            let solo = Client::single_from_dataset(&data, 42, i);
+            assert_eq!(solo.id, c.id);
+            assert_eq!(solo.seed, c.seed);
+            assert_eq!(solo.device_name, c.device_name);
+            assert_eq!(solo.local, c.local);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialized_session_bitwise_under_churn() {
+        let data = dataset();
+        let sampler = || {
+            CohortSampler::uniform(3, 9)
+                .with_dropout(0.2)
+                .with_straggle(0.2)
+        };
+
+        let mut dense = FlSession::builder(Box::new(pretrained(&data)))
+            .clients(fleet(&data))
+            .sampler(sampler())
+            .build();
+        dense.run(4);
+
+        let provider = MaterializedFleet::new(fleet(&data));
+        let mut streaming =
+            StreamingFlSession::builder(Box::new(pretrained(&data)), Box::new(provider))
+                .sampler(sampler())
+                .build();
+        streaming.run(4);
+
+        assert_eq!(
+            streaming.framework().global_params(),
+            dense.framework().global_params(),
+            "streaming cohorts diverged from the materialized fleet"
+        );
+        for (s, d) in streaming.reports().iter().zip(dense.reports()) {
+            assert_eq!(s.clients, d.clients, "per-round outcomes diverged");
+        }
+    }
+
+    #[test]
+    fn streaming_reports_true_fleet_ids_not_cohort_slots() {
+        let data = dataset();
+        let provider = MaterializedFleet::new(fleet(&data));
+        let n = provider.len();
+        let mut session =
+            StreamingFlSession::builder(Box::new(pretrained(&data)), Box::new(provider))
+                .sampler(CohortSampler::uniform(2, 7))
+                .build();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let report = session.next_round();
+            assert_eq!(report.clients.len(), 2);
+            for c in &report.clients {
+                assert!(c.client_id < n);
+                seen.insert(c.client_id);
+            }
+        }
+        assert!(
+            seen.len() > 2,
+            "four uniform(2-of-{n}) rounds should touch more than one cohort's worth of ids: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn reclaim_persists_compressor_residuals() {
+        let data = dataset();
+        let provider = MaterializedFleet::new(fleet(&data));
+        let mut session =
+            StreamingFlSession::builder(Box::new(pretrained(&data)), Box::new(provider)).build();
+        session.run(1);
+        // Downcast-free check: materialize the compressing client again
+        // and confirm its residual survived the round.
+        let c = session.provider_mut().materialize(2);
+        assert!(
+            c.compressor.as_ref().unwrap().has_state(),
+            "error-feedback residual was lost on reclaim"
+        );
+        assert!(c.has_round_state());
+        session.provider_mut().reclaim(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per client")]
+    fn sampler_validation_runs_at_build() {
+        let data = dataset();
+        let provider = MaterializedFleet::new(fleet(&data));
+        let n = provider.len();
+        let _ = StreamingFlSession::builder(Box::new(pretrained(&data)), Box::new(provider))
+            .sampler(CohortSampler::weighted(2, vec![1.0; n - 1], 5))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "sits at slot")]
+    fn materialized_fleet_rejects_misplaced_clients() {
+        let data = dataset();
+        let mut clients = Client::from_dataset(&data, 0);
+        clients.swap_remove(0);
+        let _ = MaterializedFleet::new(clients);
+    }
+}

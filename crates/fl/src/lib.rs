@@ -79,6 +79,8 @@
 pub mod aggregate;
 pub mod client;
 pub mod defense;
+pub mod delta;
+pub mod fleet;
 pub mod framework;
 pub mod report;
 pub mod round;
@@ -92,6 +94,8 @@ pub use aggregate::{
 };
 pub use client::{Client, LabelingMode, LocalTrainConfig};
 pub use defense::{Combiner, DefensePipeline, DefenseStage};
+pub use delta::{DeltaCompressor, DeltaRepr, DeltaSpec};
+pub use fleet::{FleetProvider, MaterializedFleet, StreamingFlSession};
 pub use framework::Framework;
 pub use report::{
     pooled_rate, pooled_stage_telemetry, AggregationOutcome, ClientOutcome, ClientReport,

@@ -193,7 +193,7 @@ impl SequentialFlServer {
                 let set = c.prepare_round_data(gm, n_classes, local);
                 let params = train_sequential_lm(gm, &set, local, c.seed ^ round_salt);
                 let params = c.finalize_params(&gm_snapshot, params);
-                ClientUpdate::new(c.id, params, set.len())
+                c.build_update(&gm_snapshot, params, set.len())
             })
             .collect()
     }

@@ -1,5 +1,6 @@
 //! Client → server model updates.
 
+use crate::delta::DeltaRepr;
 use safeloc_nn::NamedParams;
 use serde::{Deserialize, Serialize};
 
@@ -9,20 +10,49 @@ pub struct ClientUpdate {
     /// Which client produced the update.
     pub client_id: usize,
     /// The full LM weights (not a delta — aggregation rules that want the
-    /// delta compute it against the current GM).
+    /// delta compute it against the current GM). For a compressed update
+    /// these are the *re-materialized* weights `GM + decode(repr)`, so
+    /// defenses screen exactly what crossed the wire.
     pub params: NamedParams,
     /// Number of local samples trained on (FedAvg weighting).
     pub num_samples: usize,
+    /// The representation this update travels in (dense for the exact,
+    /// bitwise-pinned path; updates serialized before the delta refactor
+    /// default to dense).
+    #[serde(default = "DeltaRepr::default")]
+    pub repr: DeltaRepr,
 }
 
 impl ClientUpdate {
-    /// Creates an update.
+    /// Creates a dense (uncompressed) update — the exact seed path.
     pub fn new(client_id: usize, params: NamedParams, num_samples: usize) -> Self {
         Self {
             client_id,
             params,
             num_samples,
+            repr: DeltaRepr::Dense,
         }
+    }
+
+    /// Creates an update carrying an explicit wire representation.
+    pub fn with_repr(
+        client_id: usize,
+        params: NamedParams,
+        num_samples: usize,
+        repr: DeltaRepr,
+    ) -> Self {
+        Self {
+            client_id,
+            params,
+            num_samples,
+            repr,
+        }
+    }
+
+    /// Parameter bytes this update occupies on the wire (see
+    /// [`DeltaRepr::wire_bytes`]).
+    pub fn wire_bytes(&self) -> usize {
+        self.repr.wire_bytes(self.params.num_params())
     }
 }
 
@@ -38,5 +68,18 @@ mod tests {
         assert_eq!(u.client_id, 3);
         assert_eq!(u.num_samples, 40);
         assert_eq!(u.params, p);
+        assert_eq!(u.repr, DeltaRepr::Dense);
+        assert_eq!(u.wire_bytes(), 4 * 4);
+    }
+
+    #[test]
+    fn updates_serialized_before_the_delta_refactor_still_parse() {
+        let p = NamedParams::new(vec![("w".into(), Matrix::zeros(1, 2))]);
+        let u = ClientUpdate::new(1, p, 8);
+        let json = serde_json::to_string(&u).unwrap();
+        let without = json.replace(",\"repr\":\"Dense\"", "");
+        assert_ne!(json, without, "fixture no longer serializes the field");
+        let back: ClientUpdate = serde_json::from_str(&without).unwrap();
+        assert_eq!(back, u);
     }
 }

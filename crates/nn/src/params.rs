@@ -283,6 +283,30 @@ impl NamedParams {
         Matrix::from_vec(1, cols, data).expect("flatten length is consistent by construction")
     }
 
+    /// In-place `self += flat`, where `flat` is a flattened-parameter
+    /// vector in [`NamedParams::flatten`] order — the inverse direction of
+    /// `flatten`, used to re-materialize a model from a flat delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` differs from [`NamedParams::num_params`].
+    pub fn add_flat(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.num_params(),
+            "add_flat: flat vector length mismatch"
+        );
+        let mut offset = 0;
+        for (_, t) in &mut self.tensors {
+            let slice = t.as_mut_slice();
+            let len = slice.len();
+            for (dst, src) in slice.iter_mut().zip(&flat[offset..offset + len]) {
+                *dst += src;
+            }
+            offset += len;
+        }
+    }
+
     /// `true` if any tensor contains NaN or infinity.
     pub fn has_non_finite(&self) -> bool {
         self.tensors.iter().any(|(_, t)| t.has_non_finite())
@@ -447,6 +471,21 @@ mod tests {
     fn flatten_concatenates_in_order() {
         let p = snap(&[("a", vec![1.0, 2.0]), ("b", vec![3.0])]);
         assert_eq!(p.flatten().as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_flat_inverts_flatten_order() {
+        let mut p = snap(&[("a", vec![1.0, 2.0]), ("b", vec![3.0])]);
+        p.add_flat(&[0.5, -1.0, 2.0]);
+        assert_eq!(p.get("a").unwrap().as_slice(), &[1.5, 1.0]);
+        assert_eq!(p.get("b").unwrap().as_slice(), &[5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_flat")]
+    fn add_flat_rejects_length_mismatch() {
+        let mut p = snap(&[("a", vec![1.0, 2.0])]);
+        p.add_flat(&[1.0]);
     }
 
     #[test]

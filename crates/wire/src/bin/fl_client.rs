@@ -18,9 +18,9 @@
 use safeloc_attacks::{Attack, PoisonInjector};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 use safeloc_fl::client::train_sequential_lm;
-use safeloc_fl::{Client, LocalTrainConfig, ServerConfig};
+use safeloc_fl::{Client, DeltaCompressor, DeltaSpec, LocalTrainConfig, ServerConfig};
 use safeloc_nn::{Activation, HasParams, Sequential};
-use safeloc_wire::{FaultProfile, Frame, FrameConn, UpdateFrame, WireError};
+use safeloc_wire::{DeltaUpdateFrame, FaultProfile, Frame, FrameConn, UpdateFrame, WireError};
 use std::time::Duration;
 
 struct Args {
@@ -36,6 +36,26 @@ struct Args {
     label_flip: Option<f32>,
     boost: f32,
     fault: FaultProfile,
+    delta: DeltaSpec,
+}
+
+/// Parses `--delta dense | topk:<fraction> | q8`.
+fn parse_delta(value: &str) -> Result<DeltaSpec, String> {
+    if value == "dense" {
+        return Ok(DeltaSpec::Dense);
+    }
+    if value == "q8" {
+        return Ok(DeltaSpec::QuantizedI8);
+    }
+    if let Some(fraction) = value.strip_prefix("topk:") {
+        let fraction: f32 = fraction
+            .parse()
+            .map_err(|e| format!("--delta topk fraction: {e}"))?;
+        return Ok(DeltaSpec::TopK { fraction });
+    }
+    Err(format!(
+        "unknown --delta {value} (dense|topk:<fraction>|q8)"
+    ))
 }
 
 impl Args {
@@ -53,6 +73,7 @@ impl Args {
             label_flip: None,
             boost: 1.0,
             fault: FaultProfile::ideal(),
+            delta: DeltaSpec::Dense,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -109,6 +130,7 @@ impl Args {
                     args.fault = serde_json::from_str(&value("--fault")?)
                         .map_err(|e| format!("--fault: {e:?}"))?
                 }
+                "--delta" => args.delta = parse_delta(&value("--delta")?)?,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -169,6 +191,9 @@ fn run() -> Result<(), String> {
         me.injector =
             Some(PoisonInjector::new(Attack::label_flip(fraction), stream).with_boost(args.boost));
     }
+    if !args.delta.is_dense() {
+        me.compressor = Some(DeltaCompressor::new(args.delta));
+    }
 
     let mut conn = FrameConn::connect(args.addr.as_str()).map_err(|e| e.to_string())?;
     conn.client_handshake().map_err(|e| e.to_string())?;
@@ -198,14 +223,28 @@ fn run() -> Result<(), String> {
                 let set = me.prepare_round_data(&gm, n_classes, &local);
                 let lm = train_sequential_lm(&gm, &set, &local, me.seed ^ round_salt);
                 let lm = me.finalize_params(&params, lm);
-                let update = Frame::Update(UpdateFrame {
-                    client_id: me.id as u64,
-                    round,
-                    building: data.building.id as u32,
-                    device_class: me.device_name.clone(),
-                    num_samples: set.len() as u64,
-                    params: lm,
-                });
+                // With `--delta`, the compressor turns the trained LM into
+                // a compressed delta frame; the default path stays the
+                // byte-identical dense upload.
+                let built = me.build_update(&params, lm, set.len());
+                let update = match built.repr {
+                    safeloc_fl::DeltaRepr::Dense => Frame::Update(UpdateFrame {
+                        client_id: me.id as u64,
+                        round,
+                        building: data.building.id as u32,
+                        device_class: me.device_name.clone(),
+                        num_samples: set.len() as u64,
+                        params: built.params,
+                    }),
+                    repr => Frame::UpdateDelta(DeltaUpdateFrame {
+                        client_id: me.id as u64,
+                        round,
+                        building: data.building.id as u32,
+                        device_class: me.device_name.clone(),
+                        num_samples: set.len() as u64,
+                        repr,
+                    }),
+                };
                 if draw.latency_ms > 0.0 {
                     std::thread::sleep(Duration::from_secs_f64(draw.latency_ms / 1e3));
                 }

@@ -21,20 +21,34 @@
 //! gets a typed [`WireError::SchemaVersion`] (and, on the server, an
 //! [`Frame::Error`] frame) instead of garbled payload decodes later.
 //!
-//! # Why parameters travel as full flat tensors
+//! # Dense frames vs. compressed delta frames (schema v2)
 //!
-//! Update and GM-broadcast frames carry [`NamedParams`] as raw `f32` LE
-//! words — *not* as deltas. `f32` addition is not invertible, so a
-//! delta-encoded update (`LM − GM` re-added server-side) would break the
+//! By default, update and GM-broadcast frames carry [`NamedParams`] as raw
+//! `f32` LE words — *not* as deltas. `f32` addition is not invertible, so
+//! a delta-encoded update (`LM − GM` re-added server-side) would break the
 //! repo's bitwise-trajectory invariant; the full local model round-trips
-//! exactly. All decoding is total: any malformed input yields a typed
+//! exactly.
+//!
+//! Schema v2 adds the *opt-in* [`Frame::UpdateDelta`] frame: a client that
+//! has chosen lossy compression (top-k or int8 quantization, with
+//! client-side error feedback) uploads only its encoded
+//! [`DeltaRepr`], shrinking the upload from `4·d`
+//! bytes to `O(k)`. The compressing client *re-materializes* its own
+//! parameters as `GM + decode(encode(δ))` before training the next round,
+//! and the server does the same on receipt — so both sides, and every
+//! defense, see exactly the weights that crossed the wire. Dense sessions
+//! never produce these frames and keep their bitwise trajectories.
+//!
+//! All decoding is total: any malformed input yields a typed
 //! [`WireError`], never a panic — pinned by the proptest suite in
 //! `tests/frame_robustness.rs`.
 
+use safeloc_fl::DeltaRepr;
 use safeloc_nn::{Matrix, NamedParams};
 
-/// Wire schema version spoken by this build.
-pub const WIRE_SCHEMA: u32 = 1;
+/// Wire schema version spoken by this build. v2 added the compressed
+/// [`Frame::UpdateDelta`] frame.
+pub const WIRE_SCHEMA: u32 = 2;
 
 /// Hard cap on `tag + payload` length (16 MiB). Large enough for a
 /// paper-scale model update (~100k parameters ≈ 400 KiB), small enough
@@ -143,6 +157,28 @@ pub struct UpdateFrame {
     pub params: NamedParams,
 }
 
+/// One *compressed* client update in flight: the encoded delta
+/// representation plus the same metadata as [`UpdateFrame`]. The server
+/// re-materializes full parameters as `GM + decode(repr)` (see the module
+/// docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaUpdateFrame {
+    /// Client identifier (fleet index).
+    pub client_id: u64,
+    /// Round the update belongs to.
+    pub round: u32,
+    /// Building the client localizes in.
+    pub building: u32,
+    /// Device class string, for the per-device serving registry.
+    pub device_class: String,
+    /// Local fingerprints the update trained on.
+    pub num_samples: u64,
+    /// The compressed delta. [`DeltaRepr::Dense`] is legal on the wire but
+    /// carries no coefficients — servers reject it as a protocol error
+    /// (dense updates travel as [`Frame::Update`]).
+    pub repr: DeltaRepr,
+}
+
 /// Availability a round plan assigns a cohort member, as sent on the wire.
 /// Mirrors `safeloc_fl::Availability` (codes 0/1/2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +259,9 @@ pub enum Frame {
     },
     /// A client's trained update.
     Update(UpdateFrame),
+    /// A client's trained update in compressed delta form (schema v2,
+    /// opt-in — see the module docs).
+    UpdateDelta(DeltaUpdateFrame),
     /// A localization request.
     LocalizeReq {
         /// Client-chosen correlation id, echoed in the response.
@@ -267,6 +306,7 @@ const TAG_GM_BROADCAST: u8 = 0x06;
 const TAG_UPDATE: u8 = 0x07;
 const TAG_LOCALIZE_REQ: u8 = 0x08;
 const TAG_LOCALIZE_RESP: u8 = 0x09;
+const TAG_UPDATE_DELTA: u8 = 0x0A;
 const TAG_ERROR: u8 = 0x0E;
 const TAG_BYE: u8 = 0x0F;
 
@@ -281,6 +321,7 @@ impl Frame {
             Frame::RoundPlan { .. } => "RoundPlan",
             Frame::GmBroadcast { .. } => "GmBroadcast",
             Frame::Update(_) => "Update",
+            Frame::UpdateDelta(_) => "UpdateDelta",
             Frame::LocalizeReq { .. } => "LocalizeReq",
             Frame::LocalizeResp { .. } => "LocalizeResp",
             Frame::Error { .. } => "Error",
@@ -351,6 +392,15 @@ impl Frame {
                 put_str(out, &update.device_class);
                 put_u64(out, update.num_samples);
                 put_params(out, &update.params);
+            }
+            Frame::UpdateDelta(update) => {
+                out.push(TAG_UPDATE_DELTA);
+                put_u64(out, update.client_id);
+                put_u32(out, update.round);
+                put_u32(out, update.building);
+                put_str(out, &update.device_class);
+                put_u64(out, update.num_samples);
+                put_delta_repr(out, &update.repr);
             }
             Frame::LocalizeReq {
                 id,
@@ -473,6 +523,14 @@ impl Frame {
                 num_samples: r.u64()?,
                 params: r.params()?,
             }),
+            TAG_UPDATE_DELTA => Frame::UpdateDelta(DeltaUpdateFrame {
+                client_id: r.u64()?,
+                round: r.u32()?,
+                building: r.u32()?,
+                device_class: r.string()?,
+                num_samples: r.u64()?,
+                repr: r.delta_repr()?,
+            }),
             TAG_LOCALIZE_REQ => {
                 let id = r.u64()?;
                 let building = r.u32()?;
@@ -539,6 +597,36 @@ fn put_f32(out: &mut Vec<u8>, v: f32) {
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u16(out, s.len() as u16);
     out.extend_from_slice(s.as_bytes());
+}
+
+/// Delta-representation discriminant bytes (schema v2).
+const REPR_DENSE: u8 = 0;
+const REPR_TOP_K: u8 = 1;
+const REPR_Q8: u8 = 2;
+
+/// A [`DeltaRepr`] as discriminant byte + coefficients: top-k as `u32`
+/// kept-count then `(u32 index, f32 value)` pairs (ascending indices, the
+/// compressor's canonical layout); int8 as `f32` scale, `u32` count, raw
+/// `i8` bytes.
+fn put_delta_repr(out: &mut Vec<u8>, repr: &DeltaRepr) {
+    match repr {
+        DeltaRepr::Dense => out.push(REPR_DENSE),
+        DeltaRepr::TopK { indices, values, k } => {
+            out.push(REPR_TOP_K);
+            put_u32(out, *k as u32);
+            put_u32(out, indices.len() as u32);
+            for (i, v) in indices.iter().zip(values) {
+                put_u32(out, *i);
+                put_f32(out, *v);
+            }
+        }
+        DeltaRepr::QuantizedI8 { scale, values } => {
+            out.push(REPR_Q8);
+            put_f32(out, *scale);
+            put_u32(out, values.len() as u32);
+            out.extend(values.iter().map(|&q| q as u8));
+        }
+    }
 }
 
 /// Tensors as `u32` count, then per tensor: `u16` name length, UTF-8
@@ -656,6 +744,35 @@ impl<'a> Reader<'a> {
         Ok(tensors.into_iter().collect())
     }
 
+    fn delta_repr(&mut self) -> Result<DeltaRepr, WireError> {
+        match self.u8()? {
+            REPR_DENSE => Ok(DeltaRepr::Dense),
+            REPR_TOP_K => {
+                let k = self.u32()? as usize;
+                let count = self.u32()? as usize;
+                // Each kept coefficient costs 8 bytes on the wire.
+                self.check_capacity(count, 8)?;
+                let mut indices = Vec::with_capacity(count);
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    indices.push(self.u32()?);
+                    values.push(self.f32()?);
+                }
+                Ok(DeltaRepr::TopK { indices, values, k })
+            }
+            REPR_Q8 => {
+                let scale = self.f32()?;
+                let count = self.u32()? as usize;
+                self.check_capacity(count, 1)?;
+                let values = self.take(count)?.iter().map(|&b| b as i8).collect();
+                Ok(DeltaRepr::QuantizedI8 { scale, values })
+            }
+            other => Err(WireError::BadPayload(format!(
+                "unknown delta repr discriminant {other}"
+            ))),
+        }
+    }
+
     /// Rejects trailing bytes: a frame must decode exactly.
     fn finish(self) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
@@ -713,6 +830,29 @@ mod tests {
             device_class: "HTC U11".to_string(),
             num_samples: 120,
             params,
+        }));
+        round_trip(Frame::UpdateDelta(DeltaUpdateFrame {
+            client_id: 12,
+            round: 4,
+            building: 0,
+            device_class: "Pixel 2".to_string(),
+            num_samples: 80,
+            repr: DeltaRepr::TopK {
+                indices: vec![0, 7, 31],
+                values: vec![0.5, -0.25, 1.0],
+                k: 3,
+            },
+        }));
+        round_trip(Frame::UpdateDelta(DeltaUpdateFrame {
+            client_id: 13,
+            round: 4,
+            building: 0,
+            device_class: "S7".to_string(),
+            num_samples: 64,
+            repr: DeltaRepr::QuantizedI8 {
+                scale: 0.01,
+                values: vec![-127, 0, 64, 127],
+            },
         }));
         round_trip(Frame::LocalizeReq {
             id: 99,
@@ -791,5 +931,64 @@ mod tests {
             Frame::decode_body(&body),
             Err(WireError::Truncated { .. })
         ));
+        // An UpdateDelta claiming u32::MAX top-k coefficients.
+        let mut body = vec![TAG_UPDATE_DELTA];
+        body.extend_from_slice(&0u64.to_le_bytes()); // client_id
+        body.extend_from_slice(&0u32.to_le_bytes()); // round
+        body.extend_from_slice(&0u32.to_le_bytes()); // building
+        body.extend_from_slice(&0u16.to_le_bytes()); // empty device class
+        body.extend_from_slice(&0u64.to_le_bytes()); // num_samples
+        body.push(REPR_TOP_K);
+        body.extend_from_slice(&3u32.to_le_bytes()); // k
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile count
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_delta_repr_discriminant_is_a_typed_error() {
+        let good = Frame::UpdateDelta(DeltaUpdateFrame {
+            client_id: 1,
+            round: 0,
+            building: 0,
+            device_class: String::new(),
+            num_samples: 1,
+            repr: DeltaRepr::Dense,
+        })
+        .encode();
+        let mut body = good[4..].to_vec();
+        let last = body.len() - 1;
+        body[last] = 9; // stomp the repr discriminant
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(WireError::BadPayload(msg)) if msg.contains("delta repr")
+        ));
+    }
+
+    #[test]
+    fn compressed_update_frames_shrink_with_k() {
+        let d = 4096usize;
+        let dense_payload = 4 * d;
+        let frame = |k: usize| {
+            Frame::UpdateDelta(DeltaUpdateFrame {
+                client_id: 0,
+                round: 0,
+                building: 0,
+                device_class: String::new(),
+                num_samples: 10,
+                repr: DeltaRepr::TopK {
+                    indices: (0..k as u32).collect(),
+                    values: vec![0.5; k],
+                    k,
+                },
+            })
+            .encode()
+            .len()
+        };
+        assert!(frame(41) < dense_payload / 10, "k=1% should shrink >10x");
+        assert!(frame(410) < dense_payload / 2);
+        assert!(frame(410) > frame(41), "wire bytes grow with k");
     }
 }

@@ -36,8 +36,8 @@ pub mod tcp;
 pub use conn::FrameConn;
 pub use fault::{FaultDraw, FaultProfile};
 pub use frame::{
-    Frame, UpdateFrame, WireAvailability, WireError, ERR_MALFORMED, ERR_PROTOCOL, ERR_SCHEMA,
-    ERR_SERVE, MAX_FRAME_LEN, WIRE_SCHEMA,
+    DeltaUpdateFrame, Frame, UpdateFrame, WireAvailability, WireError, ERR_MALFORMED, ERR_PROTOCOL,
+    ERR_SCHEMA, ERR_SERVE, MAX_FRAME_LEN, WIRE_SCHEMA,
 };
 pub use remote::{RemoteFlServer, RemoteFleet};
 pub use tcp::{run_tcp_load, WireClient, WireServer};

@@ -30,10 +30,14 @@
 //! trajectory bit for bit: updates carry full `f32` parameters (lossless
 //! on the wire), the broadcast carries the round salt so remote clients
 //! derive the identical training seed, and collection preserves fleet
-//! order. Pinned end to end by `tests/loopback_round.rs`.
+//! order. Pinned end to end by `tests/loopback_round.rs`. Clients that
+//! opted into delta compression upload [`Frame::UpdateDelta`] instead;
+//! the server re-materializes `GM + decode(repr)` — bitwise what the
+//! compressing client carries forward — and parity then holds against an
+//! in-process fleet whose clients carry the same compressor spec.
 
 use crate::conn::FrameConn;
-use crate::frame::{Frame, UpdateFrame, WireAvailability, WireError};
+use crate::frame::{DeltaUpdateFrame, Frame, UpdateFrame, WireAvailability, WireError};
 use safeloc_dataset::FingerprintSet;
 use safeloc_fl::report::{RoundSplit, RoundTimer};
 use safeloc_fl::{
@@ -336,6 +340,27 @@ impl Framework for RemoteFlServer {
                         update.num_samples as usize,
                     ));
                 }
+                Ok(Frame::UpdateDelta(update))
+                    if delta_update_matches(&update, i, round)
+                        && !matches!(update.repr, safeloc_fl::DeltaRepr::Dense) =>
+                {
+                    conn.set_read_timeout(None).ok();
+                    // Re-materialize exactly what crossed the wire:
+                    // `GM + decode(repr)` — the same parameters the
+                    // compressing client carries forward locally.
+                    let decoded = update
+                        .repr
+                        .decode(gm_params.num_params())
+                        .expect("non-dense repr always decodes");
+                    let mut params = gm_params.clone();
+                    params.add_flat(&decoded);
+                    updates.push(ClientUpdate::with_repr(
+                        i,
+                        params,
+                        update.num_samples as usize,
+                        update.repr,
+                    ));
+                }
                 Err(WireError::Timeout) => {
                     // Hung or trickling past the deadline: a straggler.
                     // The stream may sit mid-frame, so the connection is
@@ -396,5 +421,10 @@ impl Framework for RemoteFlServer {
 
 /// An update is only credited to the client and round it claims.
 fn update_matches(update: &UpdateFrame, client: usize, round: usize) -> bool {
+    update.client_id == client as u64 && update.round == round as u32
+}
+
+/// Same credit rule for compressed updates.
+fn delta_update_matches(update: &DeltaUpdateFrame, client: usize, round: usize) -> bool {
     update.client_id == client as u64 && update.round == round as u32
 }

@@ -28,7 +28,13 @@ fn dims(data: &BuildingDataset) -> Vec<usize> {
 }
 
 /// Spawns one `fl_client` process for fleet slot `client`.
-fn spawn_client(addr: &str, client: usize, dims: &[usize], fault: Option<&FaultProfile>) -> Child {
+fn spawn_client(
+    addr: &str,
+    client: usize,
+    dims: &[usize],
+    fault: Option<&FaultProfile>,
+    delta: Option<&str>,
+) -> Child {
     let dims_arg = dims
         .iter()
         .map(|d| d.to_string())
@@ -44,6 +50,9 @@ fn spawn_client(addr: &str, client: usize, dims: &[usize], fault: Option<&FaultP
         .args(["--local", "tiny"]);
     if let Some(profile) = fault {
         cmd.args(["--fault", &serde_json::to_string(profile).unwrap()]);
+    }
+    if let Some(spec) = delta {
+        cmd.args(["--delta", spec]);
     }
     cmd.spawn().expect("spawn fl_client")
 }
@@ -63,12 +72,21 @@ fn remote_harness(
     deadline: Duration,
     fault_for: impl Fn(usize) -> Option<FaultProfile>,
 ) -> RemoteHarness {
+    remote_harness_with_delta(data, deadline, fault_for, None)
+}
+
+fn remote_harness_with_delta(
+    data: &BuildingDataset,
+    deadline: Duration,
+    fault_for: impl Fn(usize) -> Option<FaultProfile>,
+    delta: Option<&str>,
+) -> RemoteHarness {
     let mirror = Client::from_dataset(data, FLEET_SEED);
     let dims = dims(data);
     let mut fleet = RemoteFleet::bind(mirror.len()).unwrap();
     let addr = fleet.addr().to_string();
     let children: Vec<Child> = (0..mirror.len())
-        .map(|i| spawn_client(&addr, i, &dims, fault_for(i).as_ref()))
+        .map(|i| spawn_client(&addr, i, &dims, fault_for(i).as_ref(), delta))
         .collect();
     fleet.accept_all(Duration::from_secs(60)).unwrap();
     assert_eq!(fleet.connected(), mirror.len());
@@ -150,6 +168,48 @@ fn loopback_round_is_bitwise_identical_to_in_process() {
         )
         .global_params()
     );
+    remote.teardown();
+}
+
+/// Compressed rounds (`--delta topk:0.25`) cross the wire as
+/// `UpdateDelta` frames and still reproduce the in-process compressed
+/// trajectory bitwise — the error-feedback residual lives client-side in
+/// both worlds, and the server re-materializes exactly what the
+/// in-process engine's `build_update` produces.
+#[test]
+fn compressed_loopback_round_matches_the_in_process_compressed_fleet() {
+    use safeloc_fl::{DeltaCompressor, DeltaSpec};
+
+    let data = dataset();
+    let dims = dims(&data);
+    let spec = DeltaSpec::TopK { fraction: 0.25 };
+
+    let mut inproc = SequentialFlServer::new(
+        &dims,
+        Box::new(DefensePipeline::fedavg()),
+        ServerConfig::tiny(),
+    );
+    inproc.pretrain(&data.server_train);
+    let mut local_fleet = Client::from_dataset(&data, FLEET_SEED);
+    for client in &mut local_fleet {
+        client.compressor = Some(DeltaCompressor::new(spec));
+    }
+
+    let mut remote =
+        remote_harness_with_delta(&data, Duration::from_secs(120), |_| None, Some("topk:0.25"));
+
+    let n = local_fleet.len();
+    for round in 0..3 {
+        let plan = RoundPlan::full(n);
+        let local_report = inproc.run_round(&mut local_fleet, &plan);
+        let wire_report = remote.server.run_round(&mut remote.mirror, &plan);
+        assert_eq!(
+            remote.server.global_params(),
+            inproc.global_params(),
+            "compressed GM diverged after round {round}"
+        );
+        assert_eq!(local_report.clients, wire_report.clients);
+    }
     remote.teardown();
 }
 

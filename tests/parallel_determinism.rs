@@ -13,8 +13,8 @@ use rayon::ThreadPoolBuilder;
 use safeloc::{SafeLoc, SafeLocConfig};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig};
 use safeloc_fl::{
-    Aggregator, Client, ClientUpdate, CohortSampler, DefensePipeline, FlSession, Framework,
-    RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
+    Aggregator, Client, ClientUpdate, CohortSampler, DefensePipeline, DeltaCompressor, DeltaSpec,
+    FlSession, Framework, RoundPlan, RoundReport, SequentialFlServer, ServerConfig,
 };
 use safeloc_nn::{HasParams, NamedParams};
 
@@ -153,6 +153,53 @@ fn cohort_sampling_is_seed_deterministic_across_thread_counts() {
     assert_eq!(serial, draw(4), "plan stream diverged across thread counts");
     // The same seed re-queried out of order still reproduces.
     assert_eq!(serial[7], sampler.plan(7, 8));
+}
+
+#[test]
+fn compressed_rounds_are_bitwise_deterministic_across_thread_counts() {
+    // Error-feedback compression must not perturb determinism: a fleet
+    // where every client ships top-k deltas (and one ships q8) produces a
+    // bitwise-identical GM and outcome trail on any thread count. The
+    // compressors are stateful — residuals accumulate round to round — so
+    // this also pins that residual state evolves identically under the
+    // parallel client map.
+    let data = dataset();
+    let run = |threads: usize| -> (NamedParams, Vec<RoundReport>) {
+        with_threads(threads, || {
+            let mut s = SequentialFlServer::new(
+                &[data.building.num_aps(), 16, data.building.num_rps()],
+                Box::new(safeloc_fl::DefensePipeline::fedavg()),
+                ServerConfig::tiny(),
+            );
+            s.pretrain(&data.server_train);
+            let mut clients = Client::from_dataset(&data, 0);
+            for client in &mut clients {
+                client.compressor = Some(DeltaCompressor::new(DeltaSpec::TopK { fraction: 0.1 }));
+            }
+            clients[1].compressor = Some(DeltaCompressor::new(DeltaSpec::QuantizedI8));
+            let mut session = FlSession::builder(Box::new(s))
+                .clients(clients)
+                .sampler(CohortSampler::uniform(3, 13))
+                .build();
+            session.run(3);
+            let (framework, _, reports) = session.into_parts();
+            (framework.global_params(), reports)
+        })
+    };
+    let (gm_serial, reports_serial) = run(1);
+    let (gm_parallel, reports_parallel) = run(4);
+    assert_eq!(gm_serial, gm_parallel, "compressed session GM diverged");
+    let outcomes = |reports: &[RoundReport]| -> Vec<_> {
+        reports
+            .iter()
+            .map(|r| r.clients.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        outcomes(&reports_serial),
+        outcomes(&reports_parallel),
+        "compressed per-client outcomes diverged across thread counts"
+    );
 }
 
 #[test]
