@@ -24,8 +24,10 @@
 //! Usage: `fleet_scale [--quick|--full] [--seed N] [--spec PATH]
 //! [--out PATH] [--bench PATH]`.
 
-use safeloc_bench::perf::{FleetTiming, PerfReport};
-use safeloc_bench::{peak_rss_bytes, reset_peak_rss, Scale, ScenarioSpec, SyntheticFleet};
+use safeloc_bench::perf::{FleetTiming, PerfReport, TelemetryOverhead};
+use safeloc_bench::{
+    peak_rss_bytes, record_peak_rss_gauge, reset_peak_rss, Scale, ScenarioSpec, SyntheticFleet,
+};
 use safeloc_fl::{
     CohortSampler, DefensePipeline, DeltaRepr, DeltaSpec, SequentialFlServer, ServerConfig,
     StreamingFlSession,
@@ -117,6 +119,13 @@ struct FleetReport {
     quick: bool,
     seed: u64,
     cells: Vec<FleetTiming>,
+    /// Telemetry-recording overhead on one streaming round.
+    #[serde(default = "no_overhead")]
+    telemetry_overhead: Option<TelemetryOverhead>,
+}
+
+fn no_overhead() -> Option<TelemetryOverhead> {
+    None
 }
 
 /// Number of scalar parameters of the swept model (`in*h + h + h*out + out`).
@@ -282,11 +291,75 @@ fn main() {
         }
     }
 
+    // Publish the sweep's memory high-water mark into the telemetry
+    // registry so a `telemetry_dump` snapshot of this process carries the
+    // same number the report records per cell.
+    record_peak_rss_gauge();
+
+    // Telemetry overhead A/B: one streaming round on the smallest cell
+    // with recording on vs off, modes interleaved, best (minimum wall
+    // time) of 3 per mode. A fresh fleet + session per timed round keeps
+    // every measurement a first round — no warm-cohort advantage for
+    // either mode. The perf-report validation gate holds this at ≤ 2%.
+    let ab_size = *sizes.iter().min().expect("fleet axis is non-empty");
+    let ab_delta = deltas[0];
+    let ab_cohort = participation.cohort_size(ab_size);
+    eprintln!(
+        "telemetry overhead A/B: 1 round, {ab_size} clients, cohort {ab_cohort}, {} \
+         (recording on vs off, best of 3)...",
+        ab_delta.label()
+    );
+    let time_round = || -> f64 {
+        let fleet = SyntheticFleet::new(
+            ab_size,
+            INPUT_DIM,
+            N_CLASSES,
+            SAMPLES_PER_CLIENT,
+            args.seed ^ 0xAB,
+            ab_delta,
+        );
+        let server = SequentialFlServer::new(
+            &[INPUT_DIM, HIDDEN, N_CLASSES],
+            Box::new(DefensePipeline::fedavg()),
+            ServerConfig::tiny(),
+        );
+        let mut session = StreamingFlSession::builder(Box::new(server), Box::new(fleet))
+            .sampler(CohortSampler::uniform(ab_cohort, args.seed ^ 0xC0_4082))
+            .build();
+        let started = Instant::now();
+        session.next_round();
+        started.elapsed().as_secs_f64() * 1e3
+    };
+    let (mut best_on, mut best_off) = (f64::MAX, f64::MAX);
+    for _ in 0..3 {
+        for on in [true, false] {
+            safeloc_telemetry::set_enabled(on);
+            let ms = time_round();
+            let best = if on { &mut best_on } else { &mut best_off };
+            *best = best.min(ms);
+        }
+    }
+    safeloc_telemetry::set_enabled(true);
+    let telemetry_overhead = TelemetryOverhead {
+        metric: "round_wall_ms".to_string(),
+        on_value: best_on,
+        off_value: best_off,
+        unit: "ms".to_string(),
+        // Noise can make the instrumented round faster; that is zero
+        // overhead, not negative.
+        overhead_pct: ((best_on - best_off) / best_off.max(1e-9) * 100.0).max(0.0),
+    };
+    eprintln!(
+        "  on {:.1} ms / off {:.1} ms -> {:.2}% overhead",
+        telemetry_overhead.on_value, telemetry_overhead.off_value, telemetry_overhead.overhead_pct
+    );
+
     let report = FleetReport {
         schema: "safeloc-bench/fleet-report/v1".to_string(),
         quick,
         seed: args.seed,
         cells: cells.clone(),
+        telemetry_overhead: Some(telemetry_overhead.clone()),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -318,6 +391,11 @@ fn main() {
     let mut merge_target: PerfReport = serde_json::from_str(&bench_json)
         .unwrap_or_else(|e| panic!("cannot parse {}: {e:?}", args.bench));
     merge_target.fleet = cells;
+    // The telemetry section is shared with `serve_bench`: fill only the
+    // streaming-round slot, keeping whatever serving entry already exists.
+    let mut telemetry_section = merge_target.telemetry.take().unwrap_or_default();
+    telemetry_section.streaming_round = Some(telemetry_overhead);
+    merge_target.telemetry = Some(telemetry_section);
     if let Err(problems) = merge_target.validate() {
         eprintln!("fleet section FAILED validation: {problems}");
         std::process::exit(1);

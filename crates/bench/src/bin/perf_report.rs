@@ -339,14 +339,14 @@ fn main() {
     eprintln!("measuring aggregation strategies...");
     let aggregation = bench_aggregation(if args.quick { 3 } else { 7 }, args.seed);
 
-    // The serving, transport and fleet sections are owned by
+    // The serving, transport, fleet and telemetry sections are owned by
     // `serve_bench` / `fleet_scale`; preserve whatever an earlier run
     // wrote into the out file so regenerating the training-side numbers
     // does not silently drop those trajectories.
-    let (serving, transport, fleet) = std::fs::read_to_string(&args.out)
+    let (serving, transport, fleet, telemetry) = std::fs::read_to_string(&args.out)
         .ok()
         .and_then(|json| serde_json::from_str::<PerfReport>(&json).ok())
-        .map(|old| (old.serving, old.transport, old.fleet))
+        .map(|old| (old.serving, old.transport, old.fleet, old.telemetry))
         .unwrap_or_default();
 
     let report = PerfReport {
@@ -361,6 +361,7 @@ fn main() {
         serving,
         transport,
         fleet,
+        telemetry,
     };
 
     println!("{}", report.summary());

@@ -28,7 +28,7 @@
 //! Usage: `serve_bench [--quick|--full] [--seed N] [--transport tcp]
 //! [--out PATH] [--bench PATH]`.
 
-use safeloc_bench::perf::{PerfReport, ServingTiming, TransportTiming};
+use safeloc_bench::perf::{PerfReport, ServingTiming, TelemetryOverhead, TransportTiming};
 use safeloc_bench::{HarnessConfig, Scale};
 use safeloc_dataset::{Building, BuildingDataset, DatasetConfig, DeviceCatalog};
 use safeloc_fl::{Client, DefensePipeline, FlSession, Framework, SequentialFlServer, ServerConfig};
@@ -121,6 +121,13 @@ struct ServingReport {
     /// TCP-transport phase results; empty unless `--transport tcp` ran.
     #[serde(default = "Vec::new")]
     transport: Vec<TransportTiming>,
+    /// Telemetry-recording overhead on the steady phase (phase 1b).
+    #[serde(default = "no_overhead")]
+    telemetry_overhead: Option<TelemetryOverhead>,
+}
+
+fn no_overhead() -> Option<TelemetryOverhead> {
+    None
 }
 
 fn timing(scenario: &str, stats: &ServingStats) -> ServingTiming {
@@ -239,6 +246,37 @@ fn main() {
     eprintln!(
         "  {:.0} req/s, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
         steady.throughput_rps, steady.p50_ms, steady.p95_ms, steady.p99_ms
+    );
+
+    // Phase 1b: telemetry-recording overhead on the very same steady
+    // workload. The process-global kill switch flips between reps and the
+    // modes are interleaved (on, off, on, off, ...) so machine drift hits
+    // both equally; best-of-N per mode discards scheduler noise. The
+    // perf-report validation gate holds the result at ≤ 2%.
+    eprintln!("phase 1b: telemetry overhead A/B (recording on vs off, best of 3)...");
+    let ab_plan = LoadPlan::new(population, requests_per_client, args.cfg.seed ^ 0xAB);
+    let (mut best_on, mut best_off) = (f64::MIN, f64::MIN);
+    for _ in 0..3 {
+        for on in [true, false] {
+            safeloc_telemetry::set_enabled(on);
+            let rps = run_load(&service, &pool, &ab_plan).stats().throughput_rps;
+            let best = if on { &mut best_on } else { &mut best_off };
+            *best = best.max(rps);
+        }
+    }
+    safeloc_telemetry::set_enabled(true);
+    let telemetry_overhead = TelemetryOverhead {
+        metric: "throughput_rps".to_string(),
+        on_value: best_on,
+        off_value: best_off,
+        unit: "req/s".to_string(),
+        // Noise can make the instrumented run faster; that is zero
+        // overhead, not negative.
+        overhead_pct: ((best_off - best_on) / best_off.max(1.0) * 100.0).max(0.0),
+    };
+    eprintln!(
+        "  on {:.0} req/s / off {:.0} req/s -> {:.2}% overhead",
+        telemetry_overhead.on_value, telemetry_overhead.off_value, telemetry_overhead.overhead_pct
     );
 
     // Phase 2: the same load while an FL session hot-swaps the default
@@ -360,6 +398,7 @@ fn main() {
         seed: args.cfg.seed,
         scenarios: scenarios.clone(),
         transport: transport.clone(),
+        telemetry_overhead: Some(telemetry_overhead.clone()),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -386,6 +425,11 @@ fn main() {
     if args.transport_tcp {
         merge_target.transport = transport;
     }
+    // The telemetry section is shared with `fleet_scale`: fill only the
+    // serving slot, keeping whatever streaming-round entry already exists.
+    let mut telemetry_section = merge_target.telemetry.take().unwrap_or_default();
+    telemetry_section.serving = Some(telemetry_overhead);
+    merge_target.telemetry = Some(telemetry_section);
     if let Err(problems) = merge_target.validate() {
         eprintln!("serving section FAILED validation: {problems}");
         std::process::exit(1);

@@ -32,6 +32,7 @@ pub mod naive;
 pub mod perf;
 pub mod rss;
 pub mod suite;
+pub mod telem;
 
 pub use fleet::SyntheticFleet;
 pub use harness::{
@@ -40,9 +41,10 @@ pub use harness::{
     scenario_fleet, HarnessConfig, Scale, Scenario, ScenarioOutcome,
 };
 pub use perf::{pool_stage_means, time_median_ns, FleetTiming, PerfReport, StageMean};
-pub use rss::{peak_rss_bytes, reset_peak_rss};
+pub use rss::{peak_rss_bytes, record_peak_rss_gauge, reset_peak_rss};
 pub use suite::{
     AttackSpec, CellRun, CombinerSpec, DefenseSpec, FleetSpec, FrameworkSpec, NetworkSpec,
     ParticipationMode, ParticipationSpec, PipelineSpec, SafelocVariant, ScenarioCell, ScenarioSpec,
     StageSpec, StageSuiteStats, SuiteCellReport, SuiteReport, SuiteRun, SuiteRunner,
 };
+pub use telem::{ChromeEvent, TelemetryDump};

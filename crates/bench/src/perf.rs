@@ -234,6 +234,45 @@ pub struct FleetTiming {
     pub dense_wire_bytes: u64,
 }
 
+/// One instrumented-vs-uninstrumented overhead measurement: the same
+/// workload run with telemetry recording enabled and disabled (the
+/// process-global kill switch), interleaved best-of-N so machine drift
+/// hits both modes equally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryOverhead {
+    /// What was measured (`throughput_rps`, `round_wall_ms`).
+    pub metric: String,
+    /// Best value with telemetry recording enabled.
+    pub on_value: f64,
+    /// Best value with telemetry recording disabled.
+    pub off_value: f64,
+    /// Unit of the two values.
+    pub unit: String,
+    /// Relative cost of recording, percent, clamped at 0 — noise can
+    /// make the instrumented run *faster*, which is zero overhead, not
+    /// negative. Validation gates this at [`TELEMETRY_OVERHEAD_GATE_PCT`].
+    pub overhead_pct: f64,
+}
+
+/// Validation ceiling on telemetry overhead: recording is lock-free
+/// relaxed atomics, so anything above 2% means the instrumentation
+/// regressed into the hot path.
+pub const TELEMETRY_OVERHEAD_GATE_PCT: f64 = 2.0;
+
+fn no_telemetry() -> Option<TelemetrySection> {
+    None
+}
+
+/// Telemetry-overhead measurements, written by `serve_bench` (serving)
+/// and `fleet_scale` (streaming round).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySection {
+    /// Serving steady-phase throughput, on vs off (`serve_bench`).
+    pub serving: Option<TelemetryOverhead>,
+    /// One streaming-round wall time, on vs off (`fleet_scale`).
+    pub streaming_round: Option<TelemetryOverhead>,
+}
+
 /// The full report serialized to `BENCH_nn.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -267,6 +306,11 @@ pub struct PerfReport {
     /// (empty until it runs; preserved on rewrite like `serving`).
     #[serde(default = "Vec::new")]
     pub fleet: Vec<FleetTiming>,
+    /// Telemetry-overhead measurements, written by `serve_bench` and
+    /// `fleet_scale` (absent until one of them runs; preserved on
+    /// rewrite like `serving`).
+    #[serde(default = "no_telemetry")]
+    pub telemetry: Option<TelemetrySection>,
 }
 
 impl PerfReport {
@@ -389,6 +433,29 @@ impl PerfReport {
                 ));
             }
         }
+        if let Some(telemetry) = &self.telemetry {
+            let entries = [
+                ("telemetry.serving", &telemetry.serving),
+                ("telemetry.streaming_round", &telemetry.streaming_round),
+            ];
+            for (name, entry) in entries {
+                let Some(o) = entry else { continue };
+                check(format!("{name}.on_value"), o.on_value);
+                check(format!("{name}.off_value"), o.off_value);
+                if !o.overhead_pct.is_finite() || o.overhead_pct < 0.0 {
+                    failure_problems.push(format!(
+                        "{name}.overhead_pct = {} (must be finite and >= 0)",
+                        o.overhead_pct
+                    ));
+                } else if o.overhead_pct > TELEMETRY_OVERHEAD_GATE_PCT {
+                    failure_problems.push(format!(
+                        "{name}.overhead_pct = {:.2} (recording must stay within \
+                         {TELEMETRY_OVERHEAD_GATE_PCT}%)",
+                        o.overhead_pct
+                    ));
+                }
+            }
+        }
         problems.extend(failure_problems);
         if problems.is_empty() {
             Ok(())
@@ -505,6 +572,22 @@ impl PerfReport {
                 ));
             }
         }
+        if let Some(telemetry) = &self.telemetry {
+            let entries = [
+                ("serving", &telemetry.serving),
+                ("streaming round", &telemetry.streaming_round),
+            ];
+            if entries.iter().any(|(_, e)| e.is_some()) {
+                out.push_str("\ntelemetry overhead (recording on vs off):\n");
+                for (label, entry) in entries {
+                    let Some(o) = entry else { continue };
+                    out.push_str(&format!(
+                        "  {:<16} {:<16} on {:>10.1} / off {:>10.1} {:<6} ({:+.2}%)\n",
+                        label, o.metric, o.on_value, o.off_value, o.unit, o.overhead_pct
+                    ));
+                }
+            }
+        }
         out
     }
 }
@@ -603,6 +686,22 @@ mod tests {
                 wire_bytes: 1_500_000,
                 dense_wire_bytes: 30_000_000,
             }],
+            telemetry: Some(TelemetrySection {
+                serving: Some(TelemetryOverhead {
+                    metric: "throughput_rps".into(),
+                    on_value: 3960.0,
+                    off_value: 4000.0,
+                    unit: "req/s".into(),
+                    overhead_pct: 1.0,
+                }),
+                streaming_round: Some(TelemetryOverhead {
+                    metric: "round_wall_ms".into(),
+                    on_value: 905.0,
+                    off_value: 900.0,
+                    unit: "ms".into(),
+                    overhead_pct: 0.56,
+                }),
+            }),
         }
     }
 
@@ -714,6 +813,82 @@ mod tests {
         let back: PerfReport = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, report);
         assert!(back.validate().is_ok(), "empty fleet section validates");
+    }
+
+    #[test]
+    fn reports_without_a_telemetry_section_still_parse() {
+        // Pre-telemetry files have no `telemetry` key.
+        let mut report = sample_report();
+        report.telemetry = None;
+        let json = serde_json::to_string(&report).unwrap();
+        let stripped = json.replace(",\"telemetry\":null", "");
+        assert_ne!(json, stripped, "telemetry key present before stripping");
+        let back: PerfReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, report);
+        assert!(
+            back.validate().is_ok(),
+            "absent telemetry section validates"
+        );
+    }
+
+    #[test]
+    fn telemetry_overhead_gate_holds_at_two_percent() {
+        // Over-gate overhead is a validation failure: the side channel
+        // leaked into the hot path.
+        let mut slow = sample_report();
+        slow.telemetry
+            .as_mut()
+            .unwrap()
+            .serving
+            .as_mut()
+            .unwrap()
+            .overhead_pct = 2.4;
+        let err = slow.validate().unwrap_err();
+        assert!(
+            err.contains("telemetry.serving.overhead_pct = 2.40"),
+            "{err}"
+        );
+
+        // Negative overhead means the clamp in the bench was skipped.
+        let mut negative = sample_report();
+        negative
+            .telemetry
+            .as_mut()
+            .unwrap()
+            .streaming_round
+            .as_mut()
+            .unwrap()
+            .overhead_pct = -0.5;
+        let err = negative.validate().unwrap_err();
+        assert!(
+            err.contains("telemetry.streaming_round.overhead_pct"),
+            "{err}"
+        );
+
+        // Exactly at the gate passes: the bound is inclusive.
+        let mut at_gate = sample_report();
+        at_gate
+            .telemetry
+            .as_mut()
+            .unwrap()
+            .serving
+            .as_mut()
+            .unwrap()
+            .overhead_pct = TELEMETRY_OVERHEAD_GATE_PCT;
+        assert!(at_gate.validate().is_ok());
+
+        // A broken measurement (zero off-value) fails like any other.
+        let mut broken = sample_report();
+        broken
+            .telemetry
+            .as_mut()
+            .unwrap()
+            .serving
+            .as_mut()
+            .unwrap()
+            .off_value = 0.0;
+        let err = broken.validate().unwrap_err();
+        assert!(err.contains("telemetry.serving.off_value"), "{err}");
     }
 
     #[test]

@@ -22,6 +22,20 @@ pub fn reset_peak_rss() -> bool {
     reset_peak_rss_impl()
 }
 
+/// Publishes the current peak RSS as the `process_peak_rss_bytes` gauge
+/// in the global telemetry registry, so a live scrape (or a
+/// `telemetry_dump` snapshot) carries the memory high-water mark next to
+/// the throughput series. Returns the recorded value, `None` where the
+/// platform has no watermark (the gauge is then left untouched — absent,
+/// not zero, mirroring `FleetTiming::peak_rss_bytes`).
+pub fn record_peak_rss_gauge() -> Option<u64> {
+    let bytes = peak_rss_bytes()?;
+    safeloc_telemetry::global()
+        .gauge("process_peak_rss_bytes", &[])
+        .set(bytes as i64);
+    Some(bytes)
+}
+
 #[cfg(target_os = "linux")]
 fn peak_rss_impl() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;

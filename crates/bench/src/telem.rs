@@ -1,0 +1,169 @@
+//! The `TELEM_*.json` dump format shared by the `telemetry_dump` binary
+//! and `examples/observability.rs`.
+//!
+//! One file carries everything the telemetry side channel can export:
+//! the frozen [`TelemetrySnapshot`] of a registry, the Prometheus text
+//! rendering of the same registry, and the flight recorder's
+//! chrome://tracing JSON. [`TelemetryDump::validate`] cross-checks the
+//! three views against each other — CI's `telemetry-smoke` job runs
+//! `telemetry_dump --check` over the file the observability example
+//! writes, so a drifting exposition format fails the build rather than
+//! silently producing unscrapable output.
+
+use safeloc_telemetry::{flight_recorder, parse_prometheus, Registry, TelemetrySnapshot};
+use serde::{Deserialize, Serialize};
+
+/// A full telemetry export: snapshot + Prometheus text + chrome trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryDump {
+    /// Dump format version.
+    pub schema: String,
+    /// All metric series, frozen.
+    pub snapshot: TelemetrySnapshot,
+    /// The same registry rendered as Prometheus exposition text.
+    pub prometheus: String,
+    /// The process flight recorder as chrome://tracing JSON (embedded as
+    /// a string: save it to a file and load it in `chrome://tracing` or
+    /// Perfetto).
+    pub chrome_trace: String,
+}
+
+/// One chrome://tracing complete event. Typed rather than dynamic
+/// because the vendored `serde_json::Value` does not implement
+/// `Deserialize`.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ChromeEvent {
+    /// Span name.
+    pub name: String,
+    /// Span category.
+    pub cat: String,
+    /// Event phase; the flight recorder only emits `"X"` (complete).
+    pub ph: String,
+    /// Start, microseconds since recorder start.
+    pub ts: f64,
+    /// Duration in microseconds.
+    pub dur: f64,
+}
+
+pub(crate) fn dump_schema() -> String {
+    "safeloc-bench/telemetry-dump/v1".to_string()
+}
+
+impl TelemetryDump {
+    /// Freezes `registry` and the global flight recorder into one dump.
+    pub fn capture(registry: &Registry) -> Self {
+        TelemetryDump {
+            schema: dump_schema(),
+            snapshot: registry.snapshot(),
+            prometheus: safeloc_telemetry::render_prometheus(registry),
+            chrome_trace: flight_recorder().chrome_trace_json(),
+        }
+    }
+
+    /// Cross-checks the three views. Returns the list of problems
+    /// (empty = valid):
+    ///
+    /// * the snapshot passes its own structural validation and is
+    ///   non-empty,
+    /// * the Prometheus text parses back and names every snapshot series,
+    /// * the chrome trace is valid JSON made of complete (`"X"`) events
+    ///   with non-negative timestamps.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = self.snapshot.validate();
+        if self.snapshot.is_empty() {
+            problems.push("snapshot holds no series (nothing was instrumented?)".to_string());
+        }
+        match parse_prometheus(&self.prometheus) {
+            Err(e) => problems.push(format!("prometheus text does not parse back: {e}")),
+            Ok(samples) => {
+                let names: Vec<String> = self
+                    .snapshot
+                    .counters
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .chain(self.snapshot.gauges.iter().map(|g| g.name.clone()))
+                    .collect();
+                for name in names {
+                    if !samples.iter().any(|s| s.name == name) {
+                        problems.push(format!(
+                            "series {name} is in the snapshot but missing from the \
+                             prometheus text"
+                        ));
+                    }
+                }
+            }
+        }
+        match serde_json::from_str::<Vec<ChromeEvent>>(&self.chrome_trace) {
+            Err(e) => problems.push(format!("chrome trace is not valid event JSON: {e:?}")),
+            Ok(events) => {
+                for event in &events {
+                    if event.ph != "X" {
+                        problems.push(format!(
+                            "trace event {} has phase {:?}, expected complete (\"X\")",
+                            event.name, event.ph
+                        ));
+                    }
+                    if event.ts < 0.0 || event.dur < 0.0 {
+                        problems.push(format!(
+                            "trace event {} has negative ts/dur ({}, {})",
+                            event.name, event.ts, event.dur
+                        ));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_dump() -> TelemetryDump {
+        let registry = Registry::new();
+        registry.counter("demo_total", &[("building", "1")]).add(3);
+        registry.gauge("demo_depth", &[]).set(2);
+        registry.histogram("demo_us", &[]).record_f64(42.0);
+        {
+            let recorder = flight_recorder();
+            recorder.clear();
+            let _span = recorder.span("demo", "test");
+        }
+        TelemetryDump::capture(&registry)
+    }
+
+    #[test]
+    fn captured_dump_validates_and_round_trips() {
+        let dump = populated_dump();
+        assert_eq!(dump.validate(), Vec::<String>::new());
+        let json = serde_json::to_string(&dump).unwrap();
+        let back: TelemetryDump = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dump);
+    }
+
+    #[test]
+    fn broken_views_are_reported() {
+        let mut empty = populated_dump();
+        empty.snapshot = TelemetrySnapshot::default();
+        assert!(empty.validate().iter().any(|p| p.contains("no series")));
+
+        let mut unscrapable = populated_dump();
+        unscrapable.prometheus = "demo_total{building=\"1\" 3".to_string();
+        assert!(!unscrapable.validate().is_empty());
+
+        let mut missing = populated_dump();
+        missing.prometheus = "other_total 1\n".to_string();
+        assert!(missing
+            .validate()
+            .iter()
+            .any(|p| p.contains("missing from the prometheus text")));
+
+        let mut garbled = populated_dump();
+        garbled.chrome_trace = "[{\"name\":".to_string();
+        assert!(garbled
+            .validate()
+            .iter()
+            .any(|p| p.contains("not valid event JSON")));
+    }
+}

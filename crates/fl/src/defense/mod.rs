@@ -277,6 +277,14 @@ impl Aggregator for DefensePipeline {
             rejections: verdicts.rejected_count() - rejected_before,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
         });
+        // Feed the trail into the process-global registry here, at the
+        // layer that produced it: callers that never drain
+        // `take_stage_telemetry` (ad-hoc aggregations, engines without
+        // report plumbing) would otherwise silently lose the stage
+        // timings and rejection counts.
+        for stage in &telemetry {
+            crate::metrics::fl_metrics().on_stage(stage);
+        }
         self.last_telemetry = telemetry;
         self.scratch = ctx.reclaim_scratch();
         AggregationOutcome {

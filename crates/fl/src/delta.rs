@@ -225,6 +225,7 @@ impl DeltaCompressor {
             .map(|(d, r)| d + r)
             .collect();
         let repr = encode(self.spec, &target);
+        crate::metrics::fl_metrics().on_delta(4 * delta.len(), repr.wire_bytes(delta.len()));
         let decoded = repr.decode(delta.len()).unwrap_or_else(|| target.clone());
         for ((r, t), d) in self.residual.iter_mut().zip(&target).zip(&decoded) {
             *r = t - d;

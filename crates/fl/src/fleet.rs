@@ -217,6 +217,7 @@ impl StreamingFlSession {
             .iter()
             .map(|&(i, _)| self.provider.materialize(i))
             .collect();
+        crate::metrics::fl_metrics().on_streaming_materialized(cohort.len() as i64);
         let slot_plan = RoundPlan::new(
             plan.cohort()
                 .iter()
@@ -225,9 +226,11 @@ impl StreamingFlSession {
                 .collect(),
         );
         let report = self.framework.run_round(&mut cohort, &slot_plan);
+        let reclaimed = cohort.len() as i64;
         for client in cohort {
             self.provider.reclaim(client);
         }
+        crate::metrics::fl_metrics().on_streaming_materialized(-reclaimed);
         if let Some(publisher) = &mut self.publisher {
             publisher.publish_round(&report, &self.framework.global_params());
         }

@@ -82,6 +82,7 @@ pub mod defense;
 pub mod delta;
 pub mod fleet;
 pub mod framework;
+pub mod metrics;
 pub mod report;
 pub mod round;
 pub mod server;
@@ -97,6 +98,7 @@ pub use defense::{Combiner, DefensePipeline, DefenseStage};
 pub use delta::{DeltaCompressor, DeltaRepr, DeltaSpec};
 pub use fleet::{FleetProvider, MaterializedFleet, StreamingFlSession};
 pub use framework::Framework;
+pub use metrics::{fl_metrics, FlMetrics};
 pub use report::{
     pooled_rate, pooled_stage_telemetry, AggregationOutcome, ClientOutcome, ClientReport,
     RoundReport, StageTelemetry, UpdateDecision,

@@ -1,0 +1,187 @@
+//! Federated-round telemetry: per-stage rejection and wall-time series,
+//! round-level wall/cohort metrics, delta-compression byte counters and
+//! the streaming-fleet materialization gauge.
+//!
+//! Everything records into the process-global telemetry registry as a
+//! pure side channel — nothing here feeds back into training,
+//! aggregation or cohort planning, so bitwise round trajectories are
+//! unchanged whether telemetry is enabled or not.
+//!
+//! Stage series are registered lazily per stage name (the pipeline's
+//! stage set is configuration, not code) and cached behind an `RwLock`;
+//! the steady-state path is a read-lock plus relaxed atomic ops.
+//!
+//! Metric catalog (all names prefixed `fl_`):
+//!
+//! | series | kind | labels |
+//! |---|---|---|
+//! | `fl_rounds_total` | counter | — |
+//! | `fl_round_wall_ms` | histogram | — |
+//! | `fl_round_train_ms` | histogram | — |
+//! | `fl_round_aggregate_ms` | histogram | — |
+//! | `fl_cohort_size` | histogram | — |
+//! | `fl_stage_rejections_total` | counter | `stage` |
+//! | `fl_stage_wall_us` | histogram | `stage` |
+//! | `fl_delta_raw_bytes_total` | counter | — |
+//! | `fl_delta_wire_bytes_total` | counter | — |
+//! | `fl_streaming_materialized` | gauge | — |
+
+use crate::report::StageTelemetry;
+use safeloc_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Cached per-stage handles.
+struct StageHandles {
+    rejections: Arc<Counter>,
+    wall_us: Arc<Histogram>,
+}
+
+/// Telemetry handles for the federated engine, shared process-wide.
+pub struct FlMetrics {
+    registry: Arc<Registry>,
+    rounds: Arc<Counter>,
+    round_wall_ms: Arc<Histogram>,
+    round_train_ms: Arc<Histogram>,
+    round_aggregate_ms: Arc<Histogram>,
+    cohort_size: Arc<Histogram>,
+    delta_raw_bytes: Arc<Counter>,
+    delta_wire_bytes: Arc<Counter>,
+    streaming_materialized: Arc<Gauge>,
+    stages: RwLock<HashMap<String, StageHandles>>,
+}
+
+impl FlMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            rounds: registry.counter("fl_rounds_total", &[]),
+            round_wall_ms: registry.histogram("fl_round_wall_ms", &[]),
+            round_train_ms: registry.histogram("fl_round_train_ms", &[]),
+            round_aggregate_ms: registry.histogram("fl_round_aggregate_ms", &[]),
+            cohort_size: registry.histogram("fl_cohort_size", &[]),
+            delta_raw_bytes: registry.counter("fl_delta_raw_bytes_total", &[]),
+            delta_wire_bytes: registry.counter("fl_delta_wire_bytes_total", &[]),
+            streaming_materialized: registry.gauge("fl_streaming_materialized", &[]),
+            stages: RwLock::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// Records one finished round: wall-clock split and cohort size.
+    pub fn on_round(&self, train_ms: f64, aggregate_ms: f64, cohort_size: usize) {
+        self.rounds.inc();
+        self.round_wall_ms.record_f64(train_ms + aggregate_ms);
+        self.round_train_ms.record_f64(train_ms);
+        self.round_aggregate_ms.record_f64(aggregate_ms);
+        self.cohort_size.record(cohort_size as u64);
+    }
+
+    /// Records one defense stage's footprint. Called by the pipeline for
+    /// every stage of every aggregation, so the series exist even for
+    /// engines that never drain
+    /// [`take_stage_telemetry`](crate::Aggregator::take_stage_telemetry).
+    pub fn on_stage(&self, stage: &StageTelemetry) {
+        {
+            let stages = self.stages.read().expect("fl metrics lock poisoned");
+            if let Some(handles) = stages.get(&stage.stage) {
+                handles.rejections.add(stage.rejections as u64);
+                handles.wall_us.record_f64(stage.wall_ms * 1e3);
+                return;
+            }
+        }
+        let mut stages = self.stages.write().expect("fl metrics lock poisoned");
+        let handles = stages.entry(stage.stage.clone()).or_insert_with(|| {
+            let labels: &[(&str, &str)] = &[("stage", &stage.stage)];
+            StageHandles {
+                rejections: self.registry.counter("fl_stage_rejections_total", labels),
+                wall_us: self.registry.histogram("fl_stage_wall_us", labels),
+            }
+        });
+        handles.rejections.add(stage.rejections as u64);
+        handles.wall_us.record_f64(stage.wall_ms * 1e3);
+    }
+
+    /// Records one delta compression: the dense bytes the update would
+    /// have cost on the wire versus what its encoding actually costs.
+    pub fn on_delta(&self, raw_bytes: usize, wire_bytes: usize) {
+        self.delta_raw_bytes.add(raw_bytes as u64);
+        self.delta_wire_bytes.add(wire_bytes as u64);
+    }
+
+    /// Tracks how many fleet members a streaming session currently holds
+    /// materialized (`delta` of +n on materialization, −n on reclaim).
+    pub fn on_streaming_materialized(&self, delta: i64) {
+        self.streaming_materialized.add(delta);
+    }
+}
+
+/// The process-wide federated-engine metrics, recording into
+/// [`safeloc_telemetry::global`].
+pub fn fl_metrics() -> &'static FlMetrics {
+    static METRICS: OnceLock<FlMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| FlMetrics::new(safeloc_telemetry::global()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_and_round_series_accumulate() {
+        let metrics = FlMetrics::new(Arc::new(Registry::new()));
+        metrics.on_round(10.0, 2.0, 8);
+        metrics.on_round(8.0, 1.0, 6);
+        metrics.on_stage(&StageTelemetry {
+            stage: "norm-clip".into(),
+            rejections: 0,
+            wall_ms: 0.5,
+        });
+        metrics.on_stage(&StageTelemetry {
+            stage: "krum".into(),
+            rejections: 3,
+            wall_ms: 1.5,
+        });
+        metrics.on_stage(&StageTelemetry {
+            stage: "krum".into(),
+            rejections: 2,
+            wall_ms: 1.0,
+        });
+        metrics.on_delta(4000, 320);
+        metrics.on_streaming_materialized(8);
+        metrics.on_streaming_materialized(-8);
+
+        let snap = metrics.registry.snapshot();
+        let counter = |name: &str, labels: &[(&str, &str)]| {
+            snap.counters
+                .iter()
+                .find(|c| {
+                    c.name == name
+                        && labels
+                            .iter()
+                            .all(|(k, v)| c.labels.contains(&((*k).into(), (*v).into())))
+                })
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("fl_rounds_total", &[]), 2);
+        assert_eq!(
+            counter("fl_stage_rejections_total", &[("stage", "krum")]),
+            5
+        );
+        assert_eq!(counter("fl_delta_raw_bytes_total", &[]), 4000);
+        assert_eq!(counter("fl_delta_wire_bytes_total", &[]), 320);
+        let wall = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "fl_round_wall_ms")
+            .unwrap();
+        assert_eq!(wall.count, 2);
+        assert!((wall.sum - 21.0).abs() < 1e-9);
+        let materialized = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "fl_streaming_materialized")
+            .unwrap();
+        assert_eq!(materialized.value, 0, "every materialization reclaimed");
+    }
+}

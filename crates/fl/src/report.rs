@@ -369,6 +369,11 @@ impl RoundSplit {
         outcome: &AggregationOutcome,
         stages: Vec<StageTelemetry>,
     ) -> RoundReport {
+        let aggregate_ms = self.aggregate_start.elapsed().as_secs_f64() * 1e3;
+        // Every engine funnels through this assembly point, so recording
+        // round wall time and cohort size here covers sequential, remote
+        // and streaming rounds alike.
+        crate::metrics::fl_metrics().on_round(self.train_ms, aggregate_ms, plan.cohort().len());
         RoundReport::assemble(
             round,
             framework,
@@ -378,7 +383,7 @@ impl RoundSplit {
             outcome,
             stages,
             self.train_ms,
-            self.aggregate_start.elapsed().as_secs_f64() * 1e3,
+            aggregate_ms,
         )
     }
 }

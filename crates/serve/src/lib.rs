@@ -65,12 +65,14 @@
 
 pub mod front;
 pub mod loadgen;
+pub mod metrics;
 pub mod publisher;
 pub mod registry;
 pub mod service;
 
 pub use front::{AdmittedRequest, LocalizeRequest, LocalizeResponse, RequestFront, ServeError};
 pub use loadgen::{request_pool, run_load, LoadOutcome, LoadPlan, ServingStats};
+pub use metrics::ServeMetrics;
 pub use publisher::RegistryPublisher;
 pub use registry::{
     ModelKey, ModelRegistry, RegistryError, ServedModel, DEFAULT_CLASS, REGISTRY_SCHEMA,

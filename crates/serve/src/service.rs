@@ -34,9 +34,11 @@
 //! hot-swap test pins.
 
 use crate::front::{AdmittedRequest, LocalizeRequest, LocalizeResponse, RequestFront, ServeError};
+use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
 use safeloc_dataset::DeviceCatalog;
 use safeloc_nn::Matrix;
+use safeloc_telemetry::Registry;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -63,10 +65,12 @@ impl Default for ServeConfig {
     }
 }
 
-/// One enqueued request: the admitted form plus its reply channel.
+/// One enqueued request: the admitted form plus its reply channel and
+/// admission timestamp (for the admission→response latency histogram).
 struct Job {
     admitted: AdmittedRequest,
     reply: Sender<LocalizeResponse>,
+    submitted: Instant,
 }
 
 /// A pending response: blocks on [`Ticket::wait`] until the batch holding
@@ -97,22 +101,37 @@ pub struct Service {
     queue: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     config: ServeConfig,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl Service {
     /// Starts a service over `registry` with the given device catalog and
-    /// scheduler configuration.
+    /// scheduler configuration, recording into the process-global
+    /// telemetry registry.
     pub fn start(
         registry: Arc<ModelRegistry>,
         catalog: DeviceCatalog,
         config: ServeConfig,
     ) -> Self {
+        Self::start_with_telemetry(registry, catalog, config, safeloc_telemetry::global())
+    }
+
+    /// Like [`Service::start`], but records into an explicit telemetry
+    /// registry — useful for tests and per-service isolation.
+    pub fn start_with_telemetry(
+        registry: Arc<ModelRegistry>,
+        catalog: DeviceCatalog,
+        config: ServeConfig,
+        telemetry: Arc<Registry>,
+    ) -> Self {
+        let metrics = ServeMetrics::new(telemetry);
         let (tx, rx) = channel::<Job>();
         let shared_rx = Arc::new(Mutex::new(rx));
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&shared_rx);
-                std::thread::spawn(move || worker_loop(&rx, config))
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(&rx, config, &metrics))
             })
             .collect();
         Self {
@@ -120,12 +139,18 @@ impl Service {
             queue: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
             config,
+            metrics,
         }
     }
 
     /// The scheduler configuration the service runs under.
     pub fn config(&self) -> ServeConfig {
         self.config
+    }
+
+    /// The telemetry registry this service records into.
+    pub fn telemetry(&self) -> Arc<Registry> {
+        Arc::clone(self.metrics.registry())
     }
 
     /// The registry requests are routed through.
@@ -145,11 +170,23 @@ impl Service {
     /// [`ServeError::ShuttingDown`] after [`Service::shutdown`].
     pub fn submit(&self, request: &LocalizeRequest) -> Result<Ticket, ServeError> {
         let admitted = self.front.admit(request)?;
+        self.metrics.on_admit(
+            admitted.model.key.building,
+            &admitted.device_class,
+            admitted.model.version,
+        );
         let (reply, rx) = channel();
         let queue = self.queue.lock().expect("service queue lock poisoned");
         let tx = queue.as_ref().ok_or(ServeError::ShuttingDown)?;
-        tx.send(Job { admitted, reply })
-            .map_err(|_| ServeError::ShuttingDown)?;
+        let job = Job {
+            admitted,
+            reply,
+            submitted: Instant::now(),
+        };
+        if tx.send(job).is_err() {
+            self.metrics.on_drop();
+            return Err(ServeError::ShuttingDown);
+        }
         Ok(Ticket { rx })
     }
 
@@ -198,7 +235,7 @@ impl Drop for Service {
 
 /// Worker: take one request, coalesce co-riders until batch-full or
 /// deadline, execute grouped by pinned snapshot, reply, repeat.
-fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, config: ServeConfig) {
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, config: ServeConfig, metrics: &ServeMetrics) {
     let max_batch = config.max_batch.max(1);
     loop {
         let mut batch = {
@@ -225,13 +262,14 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, config: ServeConfig) {
             }
             batch
         };
-        execute_batch(&mut batch);
+        metrics.on_batch(batch.len());
+        execute_batch(&mut batch, metrics);
     }
 }
 
 /// Runs one assembled micro-batch: group by pinned snapshot, one forward
 /// pass per group, reply per request.
-fn execute_batch(batch: &mut Vec<Job>) {
+fn execute_batch(batch: &mut Vec<Job>, metrics: &ServeMetrics) {
     while !batch.is_empty() {
         // Peel off the largest group sharing the first job's snapshot.
         // Arc pointer identity is exact: every publish makes a fresh Arc.
@@ -256,6 +294,7 @@ fn execute_batch(batch: &mut Vec<Job>) {
             .expect("admission fixed every row to the model width");
         let labels = model.predict(&x);
         for (job, label) in group.into_iter().zip(labels) {
+            metrics.on_reply(job.submitted);
             // A dropped ticket (client gave up) is not an error.
             let _ = job.reply.send(LocalizeResponse {
                 label,

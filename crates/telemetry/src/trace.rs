@@ -1,0 +1,265 @@
+//! The flight recorder: a bounded ring of completed [`Span`]s, exported
+//! in the chrome://tracing JSON array format.
+//!
+//! Spans are RAII — [`FlightRecorder::span`] stamps the start, dropping
+//! the guard records one [`TraceEvent`] into a pre-allocated ring under a
+//! short mutex (no allocation; `tests/alloc_free.rs` pins it). The ring
+//! keeps the most recent `capacity` events: when something goes wrong in
+//! a long run, the recorder holds the last moments before it, which is
+//! the entire point of a flight recorder.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (static so recording never allocates).
+    pub name: &'static str,
+    /// Category, used as the chrome-trace `cat` field.
+    pub cat: &'static str,
+    /// Start, microseconds since the recorder's epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Recording thread (small dense ids, assigned per thread on first
+    /// use).
+    pub tid: u64,
+}
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Next write position; wraps at capacity.
+    next: usize,
+    /// Total events ever recorded (so readers know whether we wrapped).
+    recorded: u64,
+}
+
+/// A bounded ring buffer of completed spans.
+pub struct FlightRecorder {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ring = self.ring.lock().expect("flight recorder poisoned");
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("recorded", &ring.recorded)
+            .finish()
+    }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` spans (minimum 1).
+    /// The ring is allocated here, once — recording never allocates.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            epoch: Instant::now(),
+            capacity,
+            ring: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                next: 0,
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Starts a span; the returned guard records on drop.
+    pub fn span(&self, name: &'static str, cat: &'static str) -> Span<'_> {
+        Span {
+            recorder: self,
+            name,
+            cat,
+            start: Instant::now(),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total spans ever recorded (≥ the retained count once wrapped).
+    pub fn recorded(&self) -> u64 {
+        self.ring.lock().expect("flight recorder poisoned").recorded
+    }
+
+    /// Forgets every retained span (the epoch is unchanged).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        ring.buf.clear();
+        ring.next = 0;
+        ring.recorded = 0;
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(event);
+        } else {
+            let slot = ring.next;
+            ring.buf[slot] = event;
+        }
+        ring.next = (ring.next + 1) % self.capacity;
+        ring.recorded += 1;
+    }
+
+    /// The retained spans, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("flight recorder poisoned");
+        if ring.buf.len() < self.capacity {
+            ring.buf.clone()
+        } else {
+            // Wrapped: the oldest retained event sits at `next`.
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&ring.buf[ring.next..]);
+            out.extend_from_slice(&ring.buf[..ring.next]);
+            out
+        }
+    }
+
+    /// Exports the retained spans as a chrome://tracing JSON array of
+    /// complete (`"ph": "X"`) events — load it at `chrome://tracing` or
+    /// in Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push('[');
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+                 \"pid\": 1, \"tid\": {}}}",
+                json_string(e.name),
+                json_string(e.cat),
+                e.ts_us,
+                e.dur_us,
+                e.tid
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for span names/categories.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// RAII span guard: started by [`FlightRecorder::span`], records its
+/// duration into the ring when dropped (unless recording is disabled).
+#[must_use = "a span records when dropped; binding it to _ records a zero-length span"]
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a FlightRecorder,
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !crate::enabled() {
+            return;
+        }
+        let ts_us = self
+            .start
+            .saturating_duration_since(self.recorder.epoch)
+            .as_micros() as u64;
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        self.recorder.push(TraceEvent {
+            name: self.name,
+            cat: self.cat,
+            ts_us,
+            dur_us,
+            tid: TID.with(|t| *t),
+        });
+    }
+}
+
+static GLOBAL_RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-global flight recorder (4096-span ring) instrumented
+/// subsystems default to.
+pub fn flight_recorder() -> &'static FlightRecorder {
+    GLOBAL_RECORDER.get_or_init(|| FlightRecorder::new(4096))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_order() {
+        let rec = FlightRecorder::new(8);
+        {
+            let _outer = rec.span("outer", "test");
+            drop(rec.span("inner", "test"));
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        // Inner dropped first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert!(events[1].dur_us >= events[0].dur_us);
+        assert_eq!(rec.recorded(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_export_escapes_and_structures() {
+        let rec = FlightRecorder::new(4);
+        drop(rec.span("with \"quotes\"", "cat"));
+        let json = rec.chrome_trace_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        // Machine-checkable: it must parse back as one complete event.
+        // (The vendored `serde_json::Value` is not `Deserialize`, so we
+        // parse into a typed struct instead.)
+        #[derive(serde::Deserialize)]
+        struct ChromeEvent {
+            name: String,
+            ph: String,
+        }
+        let parsed: Vec<ChromeEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "with \"quotes\"");
+        assert_eq!(parsed[0].ph, "X");
+    }
+
+    #[test]
+    fn clear_forgets_but_keeps_recording() {
+        let rec = FlightRecorder::new(4);
+        drop(rec.span("a", "t"));
+        rec.clear();
+        assert!(rec.events().is_empty());
+        drop(rec.span("b", "t"));
+        assert_eq!(rec.events()[0].name, "b");
+    }
+}

@@ -1,0 +1,41 @@
+//! The process-wide kill switch: disabled recording is a no-op for every
+//! primitive. Its own test binary (= its own process) because flipping
+//! the flag would race with parallel tests that record.
+
+use safeloc_telemetry::{FlightRecorder, Registry};
+
+#[test]
+fn disabled_recording_moves_nothing() {
+    let registry = Registry::new();
+    let counter = registry.counter("c_total", &[]);
+    let gauge = registry.gauge("g", &[]);
+    let histogram = registry.histogram("h", &[]);
+    let recorder = FlightRecorder::new(8);
+
+    safeloc_telemetry::set_enabled(false);
+    assert!(!safeloc_telemetry::enabled());
+    counter.inc();
+    counter.add(10);
+    gauge.set(5);
+    gauge.add(2);
+    histogram.record(1);
+    histogram.record_f64(2.0);
+    drop(recorder.span("quiet", "t"));
+    safeloc_telemetry::set_enabled(true);
+
+    assert_eq!(counter.get(), 0);
+    assert_eq!(gauge.get(), 0);
+    assert_eq!(histogram.count(), 0);
+    assert!(recorder.events().is_empty());
+    assert_eq!(recorder.recorded(), 0);
+
+    // Re-enabled: everything moves again, same handles.
+    counter.inc();
+    gauge.set(1);
+    histogram.record(1);
+    drop(recorder.span("loud", "t"));
+    assert_eq!(counter.get(), 1);
+    assert_eq!(gauge.get(), 1);
+    assert_eq!(histogram.count(), 1);
+    assert_eq!(recorder.events().len(), 1);
+}

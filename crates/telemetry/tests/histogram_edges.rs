@@ -1,0 +1,75 @@
+//! Histogram bucket-boundary edge cases: zero, subnormal, negative,
+//! infinite and NaN samples must land somewhere sensible — never panic,
+//! never lose the count, never poison the sum.
+
+use safeloc_telemetry::{Histogram, HISTOGRAM_BUCKETS};
+
+#[test]
+fn zero_and_subnormal_samples_land_in_the_first_bucket() {
+    let h = Histogram::new();
+    h.record(0);
+    h.record_f64(0.0);
+    h.record_f64(f64::MIN_POSITIVE / 2.0); // subnormal
+    h.record_f64(-3.0); // clamped
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.bucket_counts()[0], 4);
+    assert_eq!(h.overflow_count(), 0);
+    assert!(
+        h.sum() >= 0.0 && h.sum() < 1e-300,
+        "subnormals and clamped negatives sum to ~0, got {}",
+        h.sum()
+    );
+}
+
+#[test]
+fn non_finite_samples_hit_the_overflow_bucket_not_a_panic() {
+    let h = Histogram::new();
+    h.record_f64(f64::INFINITY);
+    h.record_f64(f64::NEG_INFINITY);
+    h.record_f64(f64::NAN);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.overflow_count(), 3);
+    assert_eq!(h.sum(), 0.0, "non-finite samples must not poison the sum");
+    // A later honest sample still averages cleanly.
+    h.record_f64(10.0);
+    assert_eq!(h.sum(), 10.0);
+    assert!(h.sum().is_finite());
+}
+
+#[test]
+fn huge_samples_overflow_instead_of_indexing_out_of_bounds() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record((1 << HISTOGRAM_BUCKETS) + 1);
+    h.record_f64(1e300);
+    h.record_f64(u64::MAX as f64 * 4.0);
+    assert_eq!(h.overflow_count(), 4);
+    assert_eq!(h.count(), 4);
+}
+
+#[test]
+fn exact_power_of_two_boundaries_are_inclusive() {
+    let h = Histogram::new();
+    h.record(1 << 10); // exactly le-1024
+    h.record((1 << 10) + 1); // first value of the next bucket
+    let buckets = h.bucket_counts();
+    assert_eq!(buckets[10], 1);
+    assert_eq!(buckets[11], 1);
+    // Float samples bucket like their integer ceilings.
+    let hf = Histogram::new();
+    hf.record_f64(1024.0);
+    hf.record_f64(1024.5);
+    let buckets = hf.bucket_counts();
+    assert_eq!(buckets[10], 1, "1024.0 is exactly le-1024");
+    assert_eq!(buckets[11], 1, "1024.5 ceils into le-2048");
+}
+
+#[test]
+fn last_finite_bucket_boundary() {
+    let h = Histogram::new();
+    h.record(1 << (HISTOGRAM_BUCKETS - 1)); // exactly the last finite bound
+    h.record((1 << (HISTOGRAM_BUCKETS - 1)) + 1);
+    let buckets = h.bucket_counts();
+    assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1);
+    assert_eq!(h.overflow_count(), 1);
+}

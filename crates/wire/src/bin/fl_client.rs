@@ -213,6 +213,7 @@ fn run() -> Result<(), String> {
             }) => {
                 let draw = args.fault.draw(round as u64, me.id as u64);
                 if draw.drop {
+                    safeloc_wire::wire_metrics().on_fault("drop");
                     conn.shutdown();
                     return Ok(());
                 }
@@ -246,9 +247,11 @@ fn run() -> Result<(), String> {
                     }),
                 };
                 if draw.latency_ms > 0.0 {
+                    safeloc_wire::wire_metrics().on_fault("latency");
                     std::thread::sleep(Duration::from_secs_f64(draw.latency_ms / 1e3));
                 }
                 if draw.slow_reader {
+                    safeloc_wire::wire_metrics().on_fault("slow_reader");
                     // Trickle until the server's deadline gives up on us;
                     // the resulting write error just ends the trickle.
                     let _ = conn.send_slowly(&update, 64, Duration::from_millis(25));

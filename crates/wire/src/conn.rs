@@ -7,7 +7,8 @@
 //! may sit mid-frame, so callers treat a timed-out connection as dead —
 //! exactly what the round server does to a straggler.
 
-use crate::frame::{Frame, WireError, ERR_SCHEMA, MAX_FRAME_LEN, WIRE_SCHEMA};
+use crate::frame::{Frame, WireError, ERR_SCHEMA, MAX_FRAME_LEN, MIN_WIRE_SCHEMA, WIRE_SCHEMA};
+use crate::metrics::wire_metrics;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -70,7 +71,12 @@ impl FrameConn {
     /// [`WireError::Io`] on any write failure.
     pub fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
         let bytes = frame.encode();
-        self.stream.write_all(&bytes).map_err(|e| map_io(&e))
+        wire_metrics().on_frame("out", frame.kind(), bytes.len());
+        self.stream.write_all(&bytes).map_err(|e| {
+            let err = map_io(&e);
+            wire_metrics().on_error(&err);
+            err
+        })
     }
 
     /// Sends raw bytes verbatim — for tests that need to put deliberately
@@ -97,6 +103,7 @@ impl FrameConn {
         delay: Duration,
     ) -> Result<(), WireError> {
         let bytes = frame.encode();
+        wire_metrics().on_frame("out", frame.kind(), bytes.len());
         for part in bytes.chunks(chunk.max(1)) {
             self.stream.write_all(part).map_err(|e| map_io(&e))?;
             self.stream.flush().map_err(|e| map_io(&e))?;
@@ -114,6 +121,11 @@ impl FrameConn {
     /// error from [`Frame::decode_body`], [`WireError::Io`] otherwise
     /// (including EOF).
     pub fn recv(&mut self) -> Result<Frame, WireError> {
+        self.recv_inner()
+            .inspect_err(|err| wire_metrics().on_error(err))
+    }
+
+    fn recv_inner(&mut self) -> Result<Frame, WireError> {
         let mut prefix = [0u8; 4];
         self.stream
             .read_exact(&mut prefix)
@@ -127,7 +139,9 @@ impl FrameConn {
         }
         let mut body = vec![0u8; len];
         self.stream.read_exact(&mut body).map_err(|e| map_io(&e))?;
-        Frame::decode_body(&body)
+        let frame = Frame::decode_body(&body)?;
+        wire_metrics().on_frame("in", frame.kind(), 4 + len);
+        Ok(frame)
     }
 
     /// Half-closes the stream in both directions (best effort).
@@ -136,19 +150,26 @@ impl FrameConn {
     }
 
     /// Opens the connection from the client side: sends `Hello`, expects a
-    /// matching `HelloAck`.
+    /// `HelloAck` and returns the negotiated schema — the server answers
+    /// `min(ours, theirs)`, so an older (but still ≥
+    /// [`MIN_WIRE_SCHEMA`]) server yields a downgraded connection rather
+    /// than a refusal. Frames gated on a newer schema (the metrics pair)
+    /// must not be sent below their version.
     ///
     /// # Errors
     ///
-    /// [`WireError::SchemaVersion`] if the server speaks another schema,
-    /// [`WireError::Peer`] if it answered with an error frame,
-    /// [`WireError::Protocol`] on any other reply, plus transport errors.
-    pub fn client_handshake(&mut self) -> Result<(), WireError> {
+    /// [`WireError::SchemaVersion`] if the server answered outside
+    /// `MIN_WIRE_SCHEMA..=WIRE_SCHEMA`, [`WireError::Peer`] if it
+    /// answered with an error frame, [`WireError::Protocol`] on any other
+    /// reply, plus transport errors.
+    pub fn client_handshake(&mut self) -> Result<u32, WireError> {
         self.send(&Frame::Hello {
             schema: WIRE_SCHEMA,
         })?;
         match self.recv()? {
-            Frame::HelloAck { schema } if schema == WIRE_SCHEMA => Ok(()),
+            Frame::HelloAck { schema } if (MIN_WIRE_SCHEMA..=WIRE_SCHEMA).contains(&schema) => {
+                Ok(schema)
+            }
             Frame::HelloAck { schema } => Err(WireError::SchemaVersion {
                 ours: WIRE_SCHEMA,
                 theirs: schema,
@@ -162,24 +183,29 @@ impl FrameConn {
     }
 
     /// Answers the client-side handshake from the server side: expects
-    /// `Hello`, replies `HelloAck` on a schema match or a typed error
-    /// frame (best effort) on mismatch.
+    /// `Hello` and, for any client schema ≥ [`MIN_WIRE_SCHEMA`], acks and
+    /// returns `min(ours, theirs)` — a v2 client keeps its v2
+    /// conversation; v3-only frames stay gated. Clients older than
+    /// [`MIN_WIRE_SCHEMA`] get a typed error frame (best effort).
     ///
     /// # Errors
     ///
-    /// [`WireError::SchemaVersion`] on a schema mismatch,
+    /// [`WireError::SchemaVersion`] on an unsupported client schema,
     /// [`WireError::Protocol`] if the opener was a different frame, plus
     /// decode/transport errors from the opener itself.
-    pub fn server_handshake(&mut self) -> Result<(), WireError> {
+    pub fn server_handshake(&mut self) -> Result<u32, WireError> {
         match self.recv()? {
-            Frame::Hello { schema } if schema == WIRE_SCHEMA => self.send(&Frame::HelloAck {
-                schema: WIRE_SCHEMA,
-            }),
+            Frame::Hello { schema } if schema >= MIN_WIRE_SCHEMA => {
+                let negotiated = schema.min(WIRE_SCHEMA);
+                self.send(&Frame::HelloAck { schema: negotiated })?;
+                Ok(negotiated)
+            }
             Frame::Hello { schema } => {
                 let _ = self.send(&Frame::Error {
                     code: ERR_SCHEMA,
                     message: format!(
-                        "server speaks wire schema v{WIRE_SCHEMA}, client sent v{schema}"
+                        "server speaks wire schema v{MIN_WIRE_SCHEMA}..=v{WIRE_SCHEMA}, \
+                         client sent v{schema}"
                     ),
                 });
                 Err(WireError::SchemaVersion {
@@ -221,23 +247,63 @@ mod tests {
     fn handshake_agrees_on_schema() {
         let (mut server, mut client) = pair();
         let s = std::thread::spawn(move || {
-            server.server_handshake().unwrap();
+            assert_eq!(server.server_handshake().unwrap(), WIRE_SCHEMA);
             server
         });
-        client.client_handshake().unwrap();
+        assert_eq!(client.client_handshake().unwrap(), WIRE_SCHEMA);
         s.join().unwrap();
+    }
+
+    #[test]
+    fn older_supported_client_negotiates_down() {
+        let (mut server, mut client) = pair();
+        let s = std::thread::spawn(move || server.server_handshake());
+        client
+            .send(&Frame::Hello {
+                schema: MIN_WIRE_SCHEMA,
+            })
+            .unwrap();
+        assert_eq!(s.join().unwrap(), Ok(MIN_WIRE_SCHEMA));
+        assert_eq!(
+            client.recv().unwrap(),
+            Frame::HelloAck {
+                schema: MIN_WIRE_SCHEMA
+            }
+        );
+    }
+
+    #[test]
+    fn newer_client_is_capped_at_our_schema() {
+        let (mut server, mut client) = pair();
+        let s = std::thread::spawn(move || server.server_handshake());
+        client
+            .send(&Frame::Hello {
+                schema: WIRE_SCHEMA + 5,
+            })
+            .unwrap();
+        assert_eq!(s.join().unwrap(), Ok(WIRE_SCHEMA));
+        assert_eq!(
+            client.recv().unwrap(),
+            Frame::HelloAck {
+                schema: WIRE_SCHEMA
+            }
+        );
     }
 
     #[test]
     fn schema_mismatch_is_typed_on_both_ends() {
         let (mut server, mut client) = pair();
         let s = std::thread::spawn(move || server.server_handshake());
-        client.send(&Frame::Hello { schema: 999 }).unwrap();
+        client
+            .send(&Frame::Hello {
+                schema: MIN_WIRE_SCHEMA - 1,
+            })
+            .unwrap();
         assert_eq!(
             s.join().unwrap(),
             Err(WireError::SchemaVersion {
                 ours: WIRE_SCHEMA,
-                theirs: 999
+                theirs: MIN_WIRE_SCHEMA - 1
             })
         );
         match client.recv().unwrap() {

@@ -47,8 +47,15 @@ use safeloc_fl::DeltaRepr;
 use safeloc_nn::{Matrix, NamedParams};
 
 /// Wire schema version spoken by this build. v2 added the compressed
-/// [`Frame::UpdateDelta`] frame.
-pub const WIRE_SCHEMA: u32 = 2;
+/// [`Frame::UpdateDelta`] frame; v3 added the telemetry-exposition
+/// [`Frame::MetricsRequest`] / [`Frame::MetricsResponse`] pair.
+pub const WIRE_SCHEMA: u32 = 3;
+
+/// Oldest peer schema this build still speaks. Handshakes negotiate
+/// `min(ours, theirs)` as long as the peer is in
+/// `MIN_WIRE_SCHEMA..=WIRE_SCHEMA`; v3-only frames (the metrics pair)
+/// are rejected as protocol errors on a connection negotiated below v3.
+pub const MIN_WIRE_SCHEMA: u32 = 2;
 
 /// Hard cap on `tag + payload` length (16 MiB). Large enough for a
 /// paper-scale model update (~100k parameters ≈ 400 KiB), small enough
@@ -108,6 +115,24 @@ pub enum WireError {
     Protocol(String),
     /// A read deadline expired before a full frame arrived.
     Timeout,
+}
+
+impl WireError {
+    /// Short variant name, used as the `kind` label of the
+    /// `wire_errors_total` telemetry counter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireError::Io(_) => "Io",
+            WireError::Truncated { .. } => "Truncated",
+            WireError::Oversized { .. } => "Oversized",
+            WireError::UnknownTag(_) => "UnknownTag",
+            WireError::BadPayload(_) => "BadPayload",
+            WireError::SchemaVersion { .. } => "SchemaVersion",
+            WireError::Peer { .. } => "Peer",
+            WireError::Protocol(_) => "Protocol",
+            WireError::Timeout => "Timeout",
+        }
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -286,6 +311,16 @@ pub enum Frame {
         /// Version of the model snapshot that served the request.
         model_version: u64,
     },
+    /// Ask the peer for a telemetry snapshot (schema v3).
+    MetricsRequest,
+    /// The peer's telemetry snapshot in Prometheus text exposition
+    /// format (schema v3). Carried as a u32-length UTF-8 string: a busy
+    /// registry's exposition easily exceeds the u16 budget of the short
+    /// string fields.
+    MetricsResponse {
+        /// Prometheus text exposition of the peer's registry.
+        text: String,
+    },
     /// Typed failure notification (see the `ERR_*` codes).
     Error {
         /// Machine-readable code.
@@ -307,6 +342,8 @@ const TAG_UPDATE: u8 = 0x07;
 const TAG_LOCALIZE_REQ: u8 = 0x08;
 const TAG_LOCALIZE_RESP: u8 = 0x09;
 const TAG_UPDATE_DELTA: u8 = 0x0A;
+const TAG_METRICS_REQ: u8 = 0x0B;
+const TAG_METRICS_RESP: u8 = 0x0C;
 const TAG_ERROR: u8 = 0x0E;
 const TAG_BYE: u8 = 0x0F;
 
@@ -324,6 +361,8 @@ impl Frame {
             Frame::UpdateDelta(_) => "UpdateDelta",
             Frame::LocalizeReq { .. } => "LocalizeReq",
             Frame::LocalizeResp { .. } => "LocalizeResp",
+            Frame::MetricsRequest => "MetricsRequest",
+            Frame::MetricsResponse { .. } => "MetricsResponse",
             Frame::Error { .. } => "Error",
             Frame::Bye => "Bye",
         }
@@ -437,6 +476,11 @@ impl Frame {
                 }
                 put_str(out, device_class);
                 put_u64(out, *model_version);
+            }
+            Frame::MetricsRequest => out.push(TAG_METRICS_REQ),
+            Frame::MetricsResponse { text } => {
+                out.push(TAG_METRICS_RESP);
+                put_lstr(out, text);
             }
             Frame::Error { code, message } => {
                 out.push(TAG_ERROR);
@@ -566,6 +610,8 @@ impl Frame {
                     model_version: r.u64()?,
                 }
             }
+            TAG_METRICS_REQ => Frame::MetricsRequest,
+            TAG_METRICS_RESP => Frame::MetricsResponse { text: r.lstring()? },
             TAG_ERROR => Frame::Error {
                 code: r.u16()?,
                 message: r.string()?,
@@ -596,6 +642,13 @@ fn put_f32(out: &mut Vec<u8>, v: f32) {
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A long string: u32 length prefix. Device names fit in [`put_str`]'s
+/// u16 budget; a metrics exposition does not.
+fn put_lstr(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
@@ -715,6 +768,15 @@ impl<'a> Reader<'a> {
 
     fn string(&mut self) -> Result<String, WireError> {
         let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::BadPayload(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Counterpart of `put_lstr`: u32-length string. `take` bounds the
+    /// claimed length against the remaining payload before allocating.
+    fn lstring(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| WireError::BadPayload(format!("invalid UTF-8 string: {e}")))
@@ -874,11 +936,48 @@ mod tests {
             device_class: "*".to_string(),
             model_version: 6,
         });
+        round_trip(Frame::MetricsRequest);
+        round_trip(Frame::MetricsResponse {
+            text: "# TYPE serve_requests_total counter\nserve_requests_total{building=\"1\"} 3\n"
+                .to_string(),
+        });
         round_trip(Frame::Error {
             code: ERR_SERVE,
             message: "unknown building 9".to_string(),
         });
         round_trip(Frame::Bye);
+    }
+
+    #[test]
+    fn metrics_response_carries_more_than_a_u16_of_text() {
+        // A busy registry's exposition exceeds the short-string budget;
+        // the metrics frame must carry it intact.
+        let text = "x".repeat(u16::MAX as usize + 100);
+        let frame = Frame::MetricsResponse { text: text.clone() };
+        let (back, _) = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(back, Frame::MetricsResponse { text });
+    }
+
+    #[test]
+    fn hostile_metrics_length_is_bounded_by_the_payload() {
+        let mut body = vec![TAG_METRICS_RESP];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(b"tiny");
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn non_utf8_metrics_text_is_a_typed_error() {
+        let mut body = vec![TAG_METRICS_RESP];
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(WireError::BadPayload(msg)) if msg.contains("UTF-8")
+        ));
     }
 
     #[test]

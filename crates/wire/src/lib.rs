@@ -30,6 +30,7 @@
 pub mod conn;
 pub mod fault;
 pub mod frame;
+pub mod metrics;
 pub mod remote;
 pub mod tcp;
 
@@ -37,7 +38,8 @@ pub use conn::FrameConn;
 pub use fault::{FaultDraw, FaultProfile};
 pub use frame::{
     DeltaUpdateFrame, Frame, UpdateFrame, WireAvailability, WireError, ERR_MALFORMED, ERR_PROTOCOL,
-    ERR_SCHEMA, ERR_SERVE, MAX_FRAME_LEN, WIRE_SCHEMA,
+    ERR_SCHEMA, ERR_SERVE, MAX_FRAME_LEN, MIN_WIRE_SCHEMA, WIRE_SCHEMA,
 };
+pub use metrics::{wire_metrics, WireMetrics};
 pub use remote::{RemoteFlServer, RemoteFleet};
 pub use tcp::{run_tcp_load, WireClient, WireServer};

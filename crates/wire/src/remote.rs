@@ -307,6 +307,7 @@ impl Framework for RemoteFlServer {
                 None => false,
             };
             if !sent {
+                crate::metrics::wire_metrics().on_dropout();
                 fleet.kill(i);
                 entry.1 = Availability::DropsOut;
             }
@@ -365,11 +366,13 @@ impl Framework for RemoteFlServer {
                     // Hung or trickling past the deadline: a straggler.
                     // The stream may sit mid-frame, so the connection is
                     // unusable from here on.
+                    crate::metrics::wire_metrics().on_straggler();
                     fleet.kill(i);
                     entry.1 = Availability::Straggles;
                 }
                 _ => {
                     // Disconnected, or answered with the wrong frame.
+                    crate::metrics::wire_metrics().on_dropout();
                     fleet.kill(i);
                     entry.1 = Availability::DropsOut;
                 }

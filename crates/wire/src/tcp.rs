@@ -25,6 +25,7 @@
 use crate::conn::FrameConn;
 use crate::fault::FaultProfile;
 use crate::frame::{Frame, WireError, ERR_MALFORMED, ERR_PROTOCOL, ERR_SERVE};
+use crate::metrics::wire_metrics;
 use safeloc_serve::{LoadOutcome, LoadPlan, LocalizeRequest, LocalizeResponse, Service};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -107,13 +108,21 @@ impl Drop for WireServer {
 /// until the client leaves or sends something unspeakable.
 fn serve_connection(service: &Service, stream: TcpStream) {
     let mut conn = FrameConn::new(stream);
-    if conn.server_handshake().is_err() {
+    let Ok(schema) = conn.server_handshake() else {
         // The handshake already answered with a typed error frame where
         // possible; nothing to salvage on this connection.
         return;
-    }
+    };
     loop {
         match conn.recv() {
+            // Telemetry exposition is a v3 frame: a connection negotiated
+            // down to v2 treats it like any other out-of-protocol frame.
+            Ok(Frame::MetricsRequest) if schema >= 3 => {
+                let text = safeloc_telemetry::render_prometheus(&service.telemetry());
+                if conn.send(&Frame::MetricsResponse { text }).is_err() {
+                    return;
+                }
+            }
             Ok(Frame::LocalizeReq {
                 id,
                 building,
@@ -168,6 +177,7 @@ fn serve_connection(service: &Service, stream: TcpStream) {
 pub struct WireClient {
     conn: FrameConn,
     next_id: u64,
+    schema: u32,
 }
 
 impl WireClient {
@@ -176,11 +186,48 @@ impl WireClient {
     /// # Errors
     ///
     /// Transport errors, plus [`WireError::SchemaVersion`] if the server
-    /// speaks another wire schema.
+    /// speaks an unsupported wire schema.
     pub fn connect(addr: SocketAddr) -> Result<Self, WireError> {
         let mut conn = FrameConn::connect(addr)?;
-        conn.client_handshake()?;
-        Ok(Self { conn, next_id: 0 })
+        let schema = conn.client_handshake()?;
+        Ok(Self {
+            conn,
+            next_id: 0,
+            schema,
+        })
+    }
+
+    /// The wire schema this connection negotiated.
+    pub fn schema(&self) -> u32 {
+        self.schema
+    }
+
+    /// Fetches the server's telemetry snapshot in Prometheus text
+    /// exposition format. The connection stays usable for further
+    /// localization afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] if this connection negotiated below wire
+    /// schema v3 (the server would reject the frame anyway),
+    /// [`WireError::Peer`] on a server-side error frame, plus transport
+    /// errors.
+    pub fn scrape_metrics(&mut self) -> Result<String, WireError> {
+        if self.schema < 3 {
+            return Err(WireError::Protocol(format!(
+                "metrics frames need wire schema v3, connection negotiated v{}",
+                self.schema
+            )));
+        }
+        self.conn.send(&Frame::MetricsRequest)?;
+        match self.conn.recv()? {
+            Frame::MetricsResponse { text } => Ok(text),
+            Frame::Error { code, message } => Err(WireError::Peer { code, message }),
+            other => Err(WireError::Protocol(format!(
+                "expected MetricsResponse, got {}",
+                other.kind()
+            ))),
+        }
     }
 
     /// One localization round trip.
@@ -277,6 +324,7 @@ pub fn run_tcp_load(
                         let draw = fault.draw(request_idx as u64, client as u64);
                         let sent = Instant::now();
                         if draw.latency_ms > 0.0 {
+                            wire_metrics().on_fault("latency");
                             std::thread::sleep(Duration::from_secs_f64(draw.latency_ms / 1e3));
                         }
                         match wire.localize(request) {

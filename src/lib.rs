@@ -15,6 +15,8 @@
 //! | [`baselines`] | FEDLOC / FEDHIL / KRUM / FEDCC / FEDLS / ONLAD |
 //! | [`metrics`] | localization-error statistics and report rendering |
 //! | [`serve`] | online serving: model registry, micro-batched inference, load harness |
+//! | [`wire`] | binary wire protocol: TCP serving front, remote federated rounds |
+//! | [`telemetry`] | lock-light metrics, flight-recorder tracing, Prometheus exposition |
 //! | [`bench`](mod@bench) | paper-figure harness and performance reporting |
 
 pub use safeloc as core;
@@ -26,3 +28,5 @@ pub use safeloc_fl as fl;
 pub use safeloc_metrics as metrics;
 pub use safeloc_nn as nn;
 pub use safeloc_serve as serve;
+pub use safeloc_telemetry as telemetry;
+pub use safeloc_wire as wire;
