@@ -1,0 +1,237 @@
+//! The accepted-findings baseline.
+//!
+//! Pre-existing findings that the team has reviewed and accepted live in
+//! a checked-in text file keyed by `(rule, path, excerpt)` — *not* line
+//! numbers, so unrelated edits above a finding do not churn the file.
+//! `--check` fails on any finding not in the baseline **and** on any
+//! baseline entry no longer produced (stale entries rot into false
+//! confidence); `--bless` rewrites the file from the current findings.
+//!
+//! One rule gets special treatment: `wire-schema-bump` couples the frame
+//! tag set to `WIRE_SCHEMA`. If the tag set changed but the schema
+//! number did not, that is a hard violation that even `--bless` refuses
+//! — a new frame tag without a schema bump would make old peers
+//! misdecode instead of renegotiate.
+
+use super::rules::{parse_schema_coupling, Finding};
+use std::collections::BTreeMap;
+
+/// File-format header; bump if the entry format ever changes.
+const HEADER: &str = "# safeloc_lint baseline v1";
+
+/// The parsed baseline: fingerprint → accepted occurrence count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<String, usize>,
+}
+
+/// Result of checking current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings not covered by the baseline (or beyond their accepted
+    /// count) — these fail `--check`.
+    pub new: Vec<Finding>,
+    /// Baseline fingerprints no longer produced (with how many
+    /// occurrences disappeared) — these also fail `--check`.
+    pub stale: Vec<(String, usize)>,
+    /// Set when the frame tag set changed without a `WIRE_SCHEMA` bump;
+    /// not blessable.
+    pub schema_conflict: Option<String>,
+}
+
+impl Diff {
+    /// `true` when `--check` should pass.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty() && self.schema_conflict.is_none()
+    }
+}
+
+impl Baseline {
+    /// Parses the baseline file format.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line on any malformed entry.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (count, fingerprint) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("baseline line {}: missing count field", i + 1))?;
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", i + 1))?;
+            if fingerprint.split('\t').count() != 3 {
+                return Err(format!(
+                    "baseline line {}: fingerprint must be rule\\tpath\\texcerpt",
+                    i + 1
+                ));
+            }
+            *entries.entry(fingerprint.to_string()).or_insert(0) += count;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Renders findings into the baseline file format (sorted, counted).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.fingerprint()).or_insert(0) += 1;
+        }
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push_str("\n# One accepted finding per line: <count>\\t<rule>\\t<path>\\t<excerpt>\n");
+        out.push_str("# Regenerate with `cargo run --release --bin safeloc_lint -- --bless`.\n");
+        for (fp, n) in &counts {
+            out.push_str(&format!("{n}\t{fp}\n"));
+        }
+        out
+    }
+
+    /// Number of accepted findings (sum of counts).
+    pub fn accepted(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Compares current findings against this baseline.
+    pub fn check(&self, findings: &[Finding]) -> Diff {
+        let mut diff = Diff::default();
+        let mut remaining = self.entries.clone();
+        for f in findings {
+            let fp = f.fingerprint();
+            match remaining.get_mut(&fp) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => diff.new.push(f.clone()),
+            }
+        }
+        for (fp, n) in remaining {
+            if n > 0 {
+                diff.stale.push((fp, n));
+            }
+        }
+        diff.schema_conflict = self.wire_schema_conflict(findings);
+        diff
+    }
+
+    /// The unblessable case: tag set changed, schema did not.
+    fn wire_schema_conflict(&self, findings: &[Finding]) -> Option<String> {
+        let current = findings.iter().find(|f| f.rule == "wire-schema-bump")?;
+        let (cur_tags, cur_schema) = parse_schema_coupling(&current.excerpt)?;
+        for fp in self.entries.keys() {
+            if let Some(rest) = fp.strip_prefix("wire-schema-bump\t") {
+                let excerpt = rest.split_once('\t').map(|(_, e)| e)?;
+                if let Some((base_tags, base_schema)) = parse_schema_coupling(excerpt) {
+                    if base_tags != cur_tags && base_schema == cur_schema {
+                        return Some(format!(
+                            "frame tag table changed (was [{base_tags}], now [{cur_tags}]) but \
+                             WIRE_SCHEMA is still {cur_schema} — bump WIRE_SCHEMA in \
+                             crates/wire/src/frame.rs before re-blessing"
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            excerpt: excerpt.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let findings = vec![
+            finding("panic-path", "a.rs", "x.unwrap();"),
+            finding("panic-path", "a.rs", "x.unwrap();"),
+            finding("det-wall-clock", "b.rs", "Instant::now()"),
+        ];
+        let text = Baseline::render(&findings);
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.accepted(), 3);
+        assert!(base.check(&findings).is_clean());
+    }
+
+    #[test]
+    fn new_and_stale_entries_fail_check() {
+        let old = vec![finding("panic-path", "a.rs", "x.unwrap();")];
+        let base = Baseline::parse(&Baseline::render(&old)).unwrap();
+        // A new finding appears…
+        let now = vec![
+            finding("panic-path", "a.rs", "x.unwrap();"),
+            finding("panic-path", "a.rs", "y.expect(\"boom\");"),
+        ];
+        let diff = base.check(&now);
+        assert_eq!(diff.new.len(), 1);
+        assert!(diff.stale.is_empty());
+        // …or a baselined one disappears.
+        let diff = base.check(&[]);
+        assert!(diff.new.is_empty());
+        assert_eq!(diff.stale.len(), 1);
+        assert!(!diff.is_clean());
+    }
+
+    #[test]
+    fn duplicate_count_overflows_are_new_findings() {
+        let base =
+            Baseline::parse(&Baseline::render(&[finding("panic-path", "a.rs", "u()")])).unwrap();
+        let now = vec![
+            finding("panic-path", "a.rs", "u()"),
+            finding("panic-path", "a.rs", "u()"),
+        ];
+        let diff = base.check(&now);
+        assert_eq!(diff.new.len(), 1, "second occurrence is new");
+    }
+
+    #[test]
+    fn tag_change_without_schema_bump_is_a_hard_conflict() {
+        let old = vec![finding(
+            "wire-schema-bump",
+            "crates/wire/src/frame.rs",
+            "tags=[0x01,0x02] schema=3",
+        )];
+        let base = Baseline::parse(&Baseline::render(&old)).unwrap();
+        // New tag, same schema: conflict.
+        let bad = vec![finding(
+            "wire-schema-bump",
+            "crates/wire/src/frame.rs",
+            "tags=[0x01,0x02,0x03] schema=3",
+        )];
+        assert!(base.check(&bad).schema_conflict.is_some());
+        // New tag with a bump: ordinary new finding, blessable.
+        let good = vec![finding(
+            "wire-schema-bump",
+            "crates/wire/src/frame.rs",
+            "tags=[0x01,0x02,0x03] schema=4",
+        )];
+        let diff = base.check(&good);
+        assert!(diff.schema_conflict.is_none());
+        assert_eq!(diff.new.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected_with_line_numbers() {
+        assert!(Baseline::parse("garbage without tabs")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(Baseline::parse("x\trule\tonly-two")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(Baseline::parse("# comment\n\n3\tr\tp\te\n").is_ok());
+    }
+}

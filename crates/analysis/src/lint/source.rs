@@ -1,0 +1,399 @@
+//! The lexical source model rules run over.
+//!
+//! The offline build environment has no `syn`/`proc-macro2`, so the
+//! linter works from a character-level lexical pass instead of a real
+//! AST. [`SourceFile::parse`] produces three aligned per-line views:
+//!
+//! * **code** — the line with every comment, string literal and char
+//!   literal blanked to spaces. Rule patterns match here, so a rule
+//!   string appearing inside a doc comment or a format string can never
+//!   fire.
+//! * **comments** — only the comment text of the line (everything else
+//!   blanked). Justification tokens (`relaxed:`, `panic-ok:`, `det:`,
+//!   `seqcst:`) are searched here, so a justification must really be a
+//!   comment.
+//! * **test mask** — whether the line sits inside a `#[cfg(test)]`
+//!   item or a `#[test]` function, found by brace matching from the
+//!   attribute. Production-path rules skip masked lines.
+//!
+//! The lexer understands nested block comments, escapes in string/char
+//! literals, raw strings (`r"…"`, `r#"…"#`, any hash depth) and
+//! lifetimes (`'a` is not an unterminated char literal). That is enough
+//! to be exact on this workspace; it does not attempt macros-defining-
+//! macros or exotic token trickery.
+
+/// One parsed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (stable across platforms).
+    pub path: String,
+    /// The crate directory name under `crates/` this file belongs to.
+    pub crate_name: String,
+    /// Raw line text (without trailing newline).
+    pub raw: Vec<String>,
+    /// Comment/string/char-blanked line text, aligned with `raw`.
+    pub code: Vec<String>,
+    /// Comment-only line text, aligned with `raw`.
+    pub comments: Vec<String>,
+    /// `true` where the line is inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Lex {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Lexes `text` into the three aligned views.
+    pub fn parse(path: &str, crate_name: &str, text: &str) -> Self {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let (code, comments) = blank_lines(&raw);
+        let in_test = test_mask(&code);
+        Self {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            raw,
+            code,
+            comments,
+            in_test,
+        }
+    }
+
+    /// `true` if any comment on lines `lo..=hi` (0-based, clamped)
+    /// contains `token` — the justification-window primitive.
+    pub fn comment_window_contains(&self, lo: usize, hi: usize, token: &str) -> bool {
+        let hi = hi.min(self.comments.len().saturating_sub(1));
+        self.comments[lo..=hi].iter().any(|c| c.contains(token))
+    }
+}
+
+/// Blanks comments and literals, producing (code view, comment view).
+fn blank_lines(raw: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut code = Vec::with_capacity(raw.len());
+    let mut comments = Vec::with_capacity(raw.len());
+    let mut state = Lex::Code;
+    for line in raw {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code_line = String::with_capacity(chars.len());
+        let mut comment_line = String::with_capacity(chars.len());
+        let mut i = 0;
+        // A line comment never survives a newline.
+        if state == Lex::LineComment {
+            state = Lex::Code;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                Lex::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = Lex::LineComment;
+                        code_line.push(' ');
+                        comment_line.push('/');
+                        i += 1;
+                    }
+                    '/' if next == Some('*') => {
+                        state = Lex::BlockComment(1);
+                        code_line.push(' ');
+                        comment_line.push('/');
+                        i += 1;
+                    }
+                    '"' => {
+                        state = Lex::Str;
+                        code_line.push(' ');
+                        comment_line.push(' ');
+                    }
+                    'r' if is_raw_string_start(&chars, i) => {
+                        let hashes = count_hashes(&chars, i + 1);
+                        state = Lex::RawStr(hashes);
+                        // Skip `r`, the hashes and the opening quote.
+                        for _ in 0..(2 + hashes as usize) {
+                            code_line.push(' ');
+                            comment_line.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    }
+                    '\'' => {
+                        // Char literal or lifetime. A char literal closes
+                        // within a few chars; a lifetime has no closing
+                        // quote.
+                        if let Some(len) = char_literal_len(&chars, i) {
+                            for _ in 0..len {
+                                code_line.push(' ');
+                                comment_line.push(' ');
+                            }
+                            i += len - 1;
+                        } else {
+                            code_line.push(c);
+                            comment_line.push(' ');
+                        }
+                    }
+                    _ => {
+                        code_line.push(c);
+                        comment_line.push(' ');
+                    }
+                },
+                Lex::LineComment => {
+                    code_line.push(' ');
+                    comment_line.push(c);
+                }
+                Lex::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            state = Lex::Code;
+                        } else {
+                            state = Lex::BlockComment(depth - 1);
+                        }
+                        code_line.push(' ');
+                        code_line.push(' ');
+                        comment_line.push('*');
+                        comment_line.push('/');
+                        i += 1;
+                    } else if c == '/' && next == Some('*') {
+                        state = Lex::BlockComment(depth + 1);
+                        code_line.push(' ');
+                        code_line.push(' ');
+                        comment_line.push('/');
+                        comment_line.push('*');
+                        i += 1;
+                    } else {
+                        code_line.push(' ');
+                        comment_line.push(c);
+                    }
+                }
+                Lex::Str => match c {
+                    '\\' => {
+                        code_line.push(' ');
+                        comment_line.push(' ');
+                        if next.is_some() {
+                            code_line.push(' ');
+                            comment_line.push(' ');
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        state = Lex::Code;
+                        code_line.push(' ');
+                        comment_line.push(' ');
+                    }
+                    _ => {
+                        code_line.push(' ');
+                        comment_line.push(' ');
+                    }
+                },
+                Lex::RawStr(hashes) => {
+                    if c == '"' && hashes_follow(&chars, i + 1, hashes) {
+                        state = Lex::Code;
+                        for _ in 0..(1 + hashes as usize) {
+                            code_line.push(' ');
+                            comment_line.push(' ');
+                        }
+                        i += hashes as usize;
+                    } else {
+                        code_line.push(' ');
+                        comment_line.push(' ');
+                    }
+                }
+            }
+            i += 1;
+        }
+        code.push(code_line);
+        comments.push(comment_line);
+    }
+    (code, comments)
+}
+
+/// `r"`, `r#"`, `r##"`, … — but not a plain identifier containing `r`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false; // part of an identifier like `str` or `for`
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn hashes_follow(chars: &[char], mut i: usize, hashes: u32) -> bool {
+    for _ in 0..hashes {
+        if chars.get(i) != Some(&'#') {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Length (in chars, including both quotes) of a char literal starting
+/// at `i`, or `None` if this quote starts a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escape: scan to the closing quote (handles \n, \', \u{…}).
+            let mut j = i + 2;
+            while j < chars.len() && j < i + 12 {
+                if chars[j] == '\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            if chars.get(i + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // `'a` lifetime (or `'static`)
+            }
+        }
+    }
+}
+
+/// Marks lines covered by `#[cfg(test)]` items and `#[test]` functions.
+fn test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    // Flatten with line offsets so brace matching can cross lines.
+    let mut flat = String::new();
+    let mut line_of = Vec::new(); // char index -> line
+    for (ln, line) in code.iter().enumerate() {
+        for c in line.chars() {
+            flat.push(c);
+            line_of.push(ln);
+        }
+        flat.push('\n');
+        line_of.push(ln);
+    }
+    let chars: Vec<char> = flat.chars().collect();
+    for pat in ["#[cfg(test)]", "#[test]"] {
+        let pat_chars: Vec<char> = pat.chars().collect();
+        let mut from = 0;
+        while let Some(pos) = find_chars(&chars, &pat_chars, from) {
+            from = pos + pat_chars.len();
+            if let Some((_, end)) = item_extent(&chars, pos + pat_chars.len()) {
+                let start_line = line_of[pos.min(line_of.len() - 1)];
+                let end_line = line_of[end.min(line_of.len() - 1)];
+                for m in mask.iter_mut().take(end_line + 1).skip(start_line) {
+                    *m = true;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Substring search over char slices (byte offsets would desync from the
+/// char-indexed line map on non-ASCII source).
+fn find_chars(haystack: &[char], needle: &[char], from: usize) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&i| haystack[i..i + needle.len()] == *needle)
+}
+
+/// The extent of the item following an attribute ending at `from`: scans
+/// past further attributes to the item's closing `}` (brace-matched) or
+/// a `;` at depth 0 for braceless items.
+fn item_extent(chars: &[char], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    let mut depth = 0u32;
+    let mut opened = false;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => {
+                depth += 1;
+                opened = true;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if opened && depth == 0 {
+                    return Some((from, i));
+                }
+            }
+            ';' if !opened && depth == 0 => return Some((from, i)),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked_from_code() {
+        let src = "let x = \"Ordering::Relaxed\"; // Ordering::SeqCst\nlet y = 1;";
+        let f = SourceFile::parse("a.rs", "fl", src);
+        assert!(!f.code[0].contains("Ordering"));
+        assert!(f.comments[0].contains("Ordering::SeqCst"));
+        assert!(f.code[1].contains("let y"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* outer /* inner */ still comment */ let a = r#\"raw \"x\" body\"#; let b = 2;";
+        let f = SourceFile::parse("a.rs", "fl", src);
+        assert!(f.code[0].contains("let a"));
+        assert!(f.code[0].contains("let b"));
+        assert!(!f.code[0].contains("raw"));
+        assert!(f.comments[0].contains("still comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let _ = c; x }";
+        let f = SourceFile::parse("a.rs", "fl", src);
+        assert!(f.code[0].contains("fn f<'a>"));
+        assert!(!f.code[0].contains("'x'"), "char literal blanked");
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_masked() {
+        let src = "fn prod() { body(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}";
+        let f = SourceFile::parse("a.rs", "serve", src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[2] && f.in_test[4] && f.in_test[5]);
+        assert!(!f.in_test[6]);
+    }
+
+    #[test]
+    fn cfg_test_on_a_braceless_item_masks_only_that_item() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() {}";
+        let f = SourceFile::parse("a.rs", "fl", src);
+        assert!(f.in_test[1]);
+        assert!(!f.in_test[2]);
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let src = "let s = \"line one\nline two with .unwrap()\nend\"; done();";
+        let f = SourceFile::parse("a.rs", "serve", src);
+        assert!(!f.code[1].contains("unwrap"));
+        assert!(f.code[2].contains("done()"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture: atomic-ordering positives and negatives. Atomic rules apply
+//! to every crate, so the crate name used when linting does not matter.
+#![allow(dead_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+fn unjustified_relaxed() -> u64 {
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn justified_relaxed() -> u64 {
+    // relaxed: monotonic counter, no other state published through it.
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn unjustified_seqcst() {
+    FLAG.store(true, Ordering::SeqCst);
+}
+
+fn justified_seqcst() -> bool {
+    // seqcst: the flag participates in a store-load fence with COUNT —
+    // both sides must agree on a single total order.
+    FLAG.load(Ordering::SeqCst)
+}
+
+fn acquire_release_are_never_flagged(ready: &AtomicBool) {
+    ready.store(true, Ordering::Release);
+    let _ = ready.load(Ordering::Acquire);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_still_audited() {
+        // Atomic rules apply in test code too: orderings matter wherever
+        // they appear, so this Relaxed needs its justification.
+        // relaxed: single-threaded test, any ordering is equivalent.
+        assert_eq!(COUNT.load(Ordering::Relaxed), COUNT.load(Ordering::Relaxed));
+    }
+}

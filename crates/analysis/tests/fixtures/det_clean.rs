@@ -1,0 +1,52 @@
+//! Fixture: determinism-rule negatives — constructs that look close to
+//! violations but are fine (or carry `det:` justifications) and must NOT
+//! be reported when linted as a bitwise-pinned crate.
+#![allow(dead_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+fn sorted_iteration_is_deterministic() -> Vec<u64> {
+    let scores: BTreeMap<usize, u64> = BTreeMap::new();
+    scores.values().map(|v| v + 1).collect()
+}
+
+fn hash_lookup_without_iteration(map: &HashMap<usize, u64>) -> Option<u64> {
+    // Point lookups have no order to leak.
+    map.get(&3).copied()
+}
+
+fn justified_wall_clock() -> f64 {
+    // det: timing telemetry only — the caller logs it, nothing
+    // model-visible reads it.
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+fn seeded_rng(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0..10)
+}
+
+fn sequential_float_reduction(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * 2.0).sum()
+}
+
+fn parallel_integer_count(xs: &[u64]) -> u64 {
+    // Integer addition is associative: parallel folding is fine.
+    xs.par_iter().filter(|&&x| x > 3).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_is_exempt() {
+        // Test-only iteration and clocks are masked out.
+        let seen: HashSet<usize> = HashSet::new();
+        for _ in seen.iter() {}
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: determinism-rule positives. Linted as if it lived in the
+//! bitwise-pinned `fl` crate. Every flagged construct below must be
+//! reported; the companion `det_clean.rs` holds the negatives.
+#![allow(dead_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+fn hash_iteration_order_leaks() -> Vec<u64> {
+    let scores: HashMap<usize, u64> = HashMap::new();
+    let mut out = Vec::new();
+    for (_, v) in scores.iter() {
+        out.push(v + 1);
+    }
+    let seen: HashSet<usize> = HashSet::new();
+    for id in &seen {
+        out.push(*id as u64);
+    }
+    out
+}
+
+fn wall_clock_feeds_state() -> f64 {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    start.elapsed().as_secs_f64()
+}
+
+fn ambient_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..10)
+}
+
+fn parallel_float_reduction(xs: &[f32]) -> f32 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}

@@ -1,0 +1,39 @@
+//! Fixture: panic-path positives and negatives, linted as if it lived in
+//! the request-handling `serve` crate.
+#![allow(dead_code)]
+
+fn flagged_unwraps(input: Option<u32>, parse: Result<u32, String>) -> u32 {
+    let a = input.unwrap();
+    let b = parse.expect("parsing cannot fail");
+    if a + b > 100 {
+        panic!("overload");
+    }
+    match a {
+        0 => unreachable!("zero is filtered at admission"),
+        1 => todo!("single-sample batches"),
+        2 => unimplemented!(),
+        _ => a + b,
+    }
+}
+
+fn justified_unwrap(widths: &[usize]) -> usize {
+    // panic-ok: the caller validated widths is non-empty one frame up;
+    // an empty slice here is a programming error worth aborting on.
+    let first = widths.first().unwrap();
+    *first
+}
+
+fn typed_error_instead(input: Option<u32>) -> Result<u32, String> {
+    input.ok_or_else(|| "missing input".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_are_exempt() {
+        let v: Result<u32, String> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Option<u32> = Some(4);
+        assert_eq!(w.expect("test fixture"), 4);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a frame-tag table with a duplicate and a gap, linted as if
+//! it were `crates/wire/src/frame.rs`. Must produce wire-tag-unique,
+//! wire-tag-dense, and the wire-schema-bump coupling record.
+#![allow(dead_code)]
+
+pub const WIRE_SCHEMA: u32 = 7;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_DATA: u8 = 0x02;
+const TAG_ACK: u8 = 0x02; // duplicate of TAG_DATA
+const TAG_BYE: u8 = 0x05; // gap: 0x03 and 0x04 are unused

@@ -1,0 +1,10 @@
+//! Fixture: a dense, duplicate-free frame-tag table. Must produce only
+//! the always-on wire-schema-bump coupling record.
+#![allow(dead_code)]
+
+pub const WIRE_SCHEMA: u32 = 2;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_DATA: u8 = 0x02;
+const TAG_ACK: u8 = 0x03;
+const TAG_BYE: u8 = 0x04;

@@ -294,12 +294,15 @@ fn main() {
         let done = Arc::clone(&training_done);
         let trainer = scope.spawn(move || {
             session.run(fl_rounds);
+            // relaxed: a completion flag checked by a polling loop; the
+            // scope join below is the real synchronization point.
             done.store(true, std::sync::atomic::Ordering::Relaxed);
         });
         let started = std::time::Instant::now();
         let mut outcomes = Vec::new();
         let mut wave = 0u64;
         loop {
+            // relaxed: see the completion-flag store above.
             let finishing = training_done.load(std::sync::atomic::Ordering::Relaxed);
             outcomes.push(run_load(
                 &service,

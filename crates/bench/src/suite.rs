@@ -1262,6 +1262,8 @@ impl SuiteRunner {
                 .into_par_iter()
                 .map(|(cell, framework)| {
                     let run = run_prepared_cell(datasets, seed, cell, framework);
+                    // relaxed: progress ticker for log lines only; cells
+                    // never synchronize through it.
                     let done = progress.fetch_add(1, Ordering::Relaxed) + 1;
                     match &run.error {
                         None => eprintln!("  [{done}/{total}] {} done", run.cell.label()),

@@ -255,6 +255,8 @@ impl Aggregator for DefensePipeline {
         let mut telemetry = Vec::with_capacity(self.stages.len() + 1);
         for stage in &mut self.stages {
             let rejected_before = verdicts.rejected_count();
+            // det: wall_ms is telemetry only — no screening decision or
+            // model value ever reads it, so trajectories stay bitwise.
             let start = Instant::now();
             stage.screen(&ctx, &mut verdicts);
             telemetry.push(StageTelemetry {
@@ -264,6 +266,7 @@ impl Aggregator for DefensePipeline {
             });
         }
         let rejected_before = verdicts.rejected_count();
+        // det: aggregation wall_ms is telemetry only, as above.
         let start = Instant::now();
         let params = if verdicts.active_count() == 0 {
             // Every update screened out: the GM survives unchanged, the

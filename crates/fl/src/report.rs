@@ -340,6 +340,8 @@ impl RoundTimer {
     #[allow(clippy::new_without_default)]
     pub fn start() -> Self {
         Self {
+            // det: round timers feed *_ms report fields only; nothing
+            // model-visible reads wall time, trajectories stay bitwise.
             train_start: Instant::now(),
         }
     }
@@ -348,6 +350,7 @@ impl RoundTimer {
     pub fn split(self) -> RoundSplit {
         RoundSplit {
             train_ms: self.train_start.elapsed().as_secs_f64() * 1e3,
+            // det: report-only timing, as in RoundTimer::start.
             aggregate_start: Instant::now(),
         }
     }

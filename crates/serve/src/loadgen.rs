@@ -99,7 +99,7 @@ impl LoadOutcome {
             .flatten()
             .map(|&ns| ns as f64 / 1e6)
             .collect();
-        lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        lat_ms.sort_by(f64::total_cmp);
         let requests = lat_ms.len();
         let wall_ms = self.wall_ns as f64 / 1e6;
         let versions = self
@@ -195,6 +195,11 @@ pub fn run_load(service: &Service, pool: &[LocalizeRequest], plan: &LoadPlan) ->
             .collect();
         handles
             .into_iter()
+            // panic-ok: load clients are our own closure above, which
+            // cannot panic except through a bug in the harness itself;
+            // propagating that bug loudly is the correct behavior for a
+            // measurement tool (silently dropping a client would skew
+            // the reported percentiles instead).
             .map(|h| h.join().expect("load client panicked"))
             .collect()
     });

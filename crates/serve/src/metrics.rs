@@ -10,7 +10,7 @@
 
 use safeloc_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 /// Pre-registered handles for one (building × device-class) route.
@@ -97,13 +97,16 @@ impl ServeMetrics {
     /// Runs `f` over the route's handles, registering them on first use.
     fn with_route(&self, building: usize, device_class: &str, f: impl FnOnce(&RouteHandles)) {
         {
-            let routes = self.routes.read().expect("serve metrics lock poisoned");
+            // Poison recovery: route registration inserts whole entries;
+            // a panicked registrant cannot leave the map torn, and
+            // metrics must never take the serving path down.
+            let routes = self.routes.read().unwrap_or_else(PoisonError::into_inner);
             if let Some(route) = routes.get(&building).and_then(|m| m.get(device_class)) {
                 f(route);
                 return;
             }
         }
-        let mut routes = self.routes.write().expect("serve metrics lock poisoned");
+        let mut routes = self.routes.write().unwrap_or_else(PoisonError::into_inner);
         let per_class = routes.entry(building).or_default();
         let route = per_class
             .entry(device_class.to_string())

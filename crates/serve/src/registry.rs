@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Schema tag of registry snapshot files.
 pub const REGISTRY_SCHEMA: &str = "safeloc-serve/registry/v1";
@@ -156,6 +156,20 @@ impl ModelRegistry {
         Self::default()
     }
 
+    /// Read-locks the map, recovering from poison: every mutation is a
+    /// single `HashMap` insert that either happened or did not, so a
+    /// panicking publisher cannot leave the map torn and the serving
+    /// path must not abort because an unrelated thread died.
+    fn read_models(&self) -> RwLockReadGuard<'_, HashMap<ModelKey, Arc<ServedModel>>> {
+        self.models.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write-locks the map with the same poison recovery as
+    /// [`Self::read_models`].
+    fn write_models(&self) -> RwLockWriteGuard<'_, HashMap<ModelKey, Arc<ServedModel>>> {
+        self.models.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Publishes a network under `key`, atomically replacing any previous
     /// version; returns the new version number.
     ///
@@ -163,7 +177,7 @@ impl ModelRegistry {
     /// keep the `Arc` they already resolved and finish on the old
     /// snapshot.
     pub fn publish(&self, key: ModelKey, network: Sequential, geometry: Option<Building>) -> u64 {
-        let mut models = self.models.write().expect("registry lock poisoned");
+        let mut models = self.write_models();
         let version = models.get(&key).map_or(1, |m| m.version + 1);
         models.insert(
             key.clone(),
@@ -206,18 +220,14 @@ impl ModelRegistry {
 
     /// The current model under `key`, if any.
     pub fn get(&self, key: &ModelKey) -> Option<Arc<ServedModel>> {
-        self.models
-            .read()
-            .expect("registry lock poisoned")
-            .get(key)
-            .cloned()
+        self.read_models().get(key).cloned()
     }
 
     /// Resolves a request's (building, device class) to a servable model:
     /// the class's own variant when published, else the building default —
     /// the HetNN routing rule.
     pub fn resolve(&self, building: usize, device_class: &str) -> Option<Arc<ServedModel>> {
-        let models = self.models.read().expect("registry lock poisoned");
+        let models = self.read_models();
         models
             .get(&ModelKey::new(building, device_class))
             .or_else(|| models.get(&ModelKey::default_for(building)))
@@ -226,20 +236,14 @@ impl ModelRegistry {
 
     /// Every published key, sorted for stable iteration.
     pub fn keys(&self) -> Vec<ModelKey> {
-        let mut keys: Vec<ModelKey> = self
-            .models
-            .read()
-            .expect("registry lock poisoned")
-            .keys()
-            .cloned()
-            .collect();
+        let mut keys: Vec<ModelKey> = self.read_models().keys().cloned().collect();
         keys.sort_by(|a, b| (a.building, &a.device_class).cmp(&(b.building, &b.device_class)));
         keys
     }
 
     /// Number of published (building, device class) entries.
     pub fn len(&self) -> usize {
-        self.models.read().expect("registry lock poisoned").len()
+        self.read_models().len()
     }
 
     /// `true` if nothing has been published.
@@ -257,7 +261,7 @@ impl ModelRegistry {
         // One read-lock acquisition: the file is a consistent point-in-time
         // snapshot even while publishers keep swapping entries.
         let models: Vec<ServedModel> = {
-            let map = self.models.read().expect("registry lock poisoned");
+            let map = self.read_models();
             let mut list: Vec<ServedModel> = map.values().map(|m| (**m).clone()).collect();
             list.sort_by(|a, b| {
                 (a.key.building, &a.key.device_class).cmp(&(b.key.building, &b.key.device_class))
@@ -286,7 +290,7 @@ impl ModelRegistry {
         safeloc_nn::snapshot::check_schema(&file.schema, REGISTRY_SCHEMA)?;
         let registry = Self::new();
         {
-            let mut models = registry.models.write().expect("registry lock poisoned");
+            let mut models = registry.write_models();
             for model in file.models {
                 models.insert(model.key.clone(), Arc::new(model));
             }

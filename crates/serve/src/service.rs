@@ -40,7 +40,7 @@ use safeloc_dataset::DeviceCatalog;
 use safeloc_nn::Matrix;
 use safeloc_telemetry::Registry;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -176,7 +176,9 @@ impl Service {
             admitted.model.version,
         );
         let (reply, rx) = channel();
-        let queue = self.queue.lock().expect("service queue lock poisoned");
+        // Poison recovery: the guarded Option<Sender> is swapped whole,
+        // never left half-written, so serving survives a panicked peer.
+        let queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         let tx = queue.as_ref().ok_or(ServeError::ShuttingDown)?;
         let job = Job {
             admitted,
@@ -205,14 +207,17 @@ impl Service {
     pub fn shutdown(&self) {
         // Dropping the sender disconnects the queue; workers drain what is
         // left and exit.
+        // Poison recovery on both locks: shutdown also runs from Drop,
+        // possibly while unwinding from the very panic that poisoned
+        // them, and must still disconnect the queue and join workers.
         self.queue
             .lock()
-            .expect("service queue lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .take();
         let handles: Vec<JoinHandle<()>> = self
             .workers
             .lock()
-            .expect("service worker lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain(..)
             .collect();
         for handle in handles {
@@ -242,7 +247,9 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, config: ServeConfig, metrics: &Se
             // Hold the receiver while assembling one batch: coalescing is
             // the point, and the next worker takes over as soon as this
             // one moves on to the forward pass.
-            let queue = rx.lock().expect("serve queue lock poisoned");
+            // Poison recovery: a worker that panicked mid-batch already
+            // failed its own tickets; the receiver itself stays valid.
+            let queue = rx.lock().unwrap_or_else(PoisonError::into_inner);
             let first = match queue.recv() {
                 Ok(job) => job,
                 Err(_) => return, // disconnected and drained: shut down
@@ -290,6 +297,9 @@ fn execute_batch(batch: &mut Vec<Job>, metrics: &ServeMetrics) {
         for job in &group {
             rows.extend_from_slice(&job.admitted.features);
         }
+        // panic-ok: infallible by construction — admit() rejected any row
+        // whose width differs from the pinned model's in_dim, and rows is
+        // exactly group.len() such rows.
         let x = Matrix::from_vec(group.len(), cols, rows)
             .expect("admission fixed every row to the model width");
         let labels = model.predict(&x);

@@ -61,6 +61,8 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 /// exposition are unaffected — a disabled registry still renders, it just
 /// stops moving.
 pub fn set_enabled(enabled: bool) {
+    // relaxed: a standalone on/off flag — record paths may observe the
+    // flip slightly late, which only delays when counting stops/starts.
     ENABLED.store(enabled, Ordering::Relaxed);
 }
 
@@ -68,6 +70,7 @@ pub fn set_enabled(enabled: bool) {
 /// entire cost of a disabled record).
 #[inline]
 pub fn enabled() -> bool {
+    // relaxed: see set_enabled — no data is guarded by this flag.
     ENABLED.load(Ordering::Relaxed)
 }
 

@@ -32,12 +32,15 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if crate::enabled() {
+            // relaxed: monotonic event count; no other memory is
+            // published through it, readers only need eventual totals.
             self.value.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// The current count.
     pub fn get(&self) -> u64 {
+        // relaxed: snapshot read; exposition tolerates inter-metric skew.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -59,6 +62,8 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: i64) {
         if crate::enabled() {
+            // relaxed: last-writer-wins point-in-time value, independent
+            // of any other shared state.
             self.value.store(v, Ordering::Relaxed);
         }
     }
@@ -68,6 +73,8 @@ impl Gauge {
     /// it just created without a second load.
     #[inline]
     pub fn add(&self, delta: i64) -> i64 {
+        // relaxed: the RMW is atomic on this one cell, which is all the
+        // depth accounting needs; nothing else is ordered through it.
         if crate::enabled() {
             self.value.fetch_add(delta, Ordering::Relaxed) + delta
         } else {
@@ -77,6 +84,7 @@ impl Gauge {
 
     /// The current value.
     pub fn get(&self) -> i64 {
+        // relaxed: snapshot read; exposition tolerates inter-metric skew.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -139,10 +147,14 @@ impl Histogram {
         if !crate::enabled() {
             return;
         }
+        // relaxed: each bucket/count cell is an independent monotonic
+        // counter; snapshots may see a sample in the bucket before the
+        // count (or vice versa), which exposition accepts by design.
         match Self::bucket_index(v) {
             Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
             None => self.overflow.fetch_add(1, Ordering::Relaxed),
         };
+        // relaxed: independent monotonic counter, as above.
         self.count.fetch_add(1, Ordering::Relaxed);
         self.add_to_sum(v as f64);
     }
@@ -156,6 +168,7 @@ impl Histogram {
             return;
         }
         if !v.is_finite() {
+            // relaxed: independent monotonic counters, as in record().
             self.overflow.fetch_add(1, Ordering::Relaxed);
             self.count.fetch_add(1, Ordering::Relaxed);
             return;
@@ -165,6 +178,7 @@ impl Histogram {
         // `le 4` bucket, exactly as the integer 3 would. Values beyond
         // u64 saturate into the overflow bucket via the `as` conversion.
         let ceiled = clamped.ceil();
+        // relaxed: independent monotonic counters, as in record().
         if ceiled >= u64::MAX as f64 {
             self.overflow.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -173,6 +187,7 @@ impl Histogram {
                 None => self.overflow.fetch_add(1, Ordering::Relaxed),
             };
         }
+        // relaxed: independent monotonic counter, as in record().
         self.count.fetch_add(1, Ordering::Relaxed);
         self.add_to_sum(clamped);
     }
@@ -180,9 +195,13 @@ impl Histogram {
     /// Folds `v` into the running sum with a lock-free CAS loop.
     #[inline]
     fn add_to_sum(&self, v: f64) {
+        // relaxed: the CAS loop only needs atomicity of this one cell —
+        // the loop re-reads on failure, and no other location is
+        // published through the sum, so no acquire/release edge exists.
         let mut current = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + v).to_bits();
+            // relaxed: see above; failure ordering is a pure re-read.
             match self.sum_bits.compare_exchange_weak(
                 current,
                 next,
@@ -197,6 +216,8 @@ impl Histogram {
 
     /// Per-bucket counts (not cumulative), in bound order.
     pub fn bucket_counts(&self) -> Vec<u64> {
+        // relaxed: snapshot reads; exposition tolerates skew between
+        // cells (a bucket may lead its count and vice versa).
         self.buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
@@ -205,16 +226,19 @@ impl Histogram {
 
     /// Samples beyond the last finite bound (plus non-finite samples).
     pub fn overflow_count(&self) -> u64 {
+        // relaxed: snapshot read, as in bucket_counts().
         self.overflow.load(Ordering::Relaxed)
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
+        // relaxed: snapshot read, as in bucket_counts().
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all finite samples (clamped at zero).
     pub fn sum(&self) -> f64 {
+        // relaxed: snapshot read, as in bucket_counts().
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 }

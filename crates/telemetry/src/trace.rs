@@ -56,6 +56,8 @@ impl std::fmt::Debug for FlightRecorder {
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
+    // relaxed: a unique-id ticket; only per-cell atomicity matters,
+    // threads never synchronize through it.
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
 }
 

@@ -118,6 +118,9 @@ impl FaultProfile {
         let drop = rng.gen_range(0.0..1.0f64) < self.drop_probability;
         let slow_reader = rng.gen_range(0.0..1.0f64) < self.slow_reader_probability;
         let latency_ms = if self.latency_ms_std > 0.0 {
+            // panic-ok: Normal::new fails only on non-finite std, and
+            // this branch requires latency_ms_std > 0.0 (NaN compares
+            // false), so the parameters are always finite here.
             Normal::<f64>::new(self.latency_ms_mean, self.latency_ms_std)
                 .expect("finite latency parameters")
                 .sample(&mut rng)

@@ -23,7 +23,7 @@
 use crate::frame::WireError;
 use safeloc_telemetry::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 /// Cached per-(dir, kind) frame and byte counters.
 type FrameHandles = HashMap<(&'static str, &'static str), (Arc<Counter>, Arc<Counter>)>;
@@ -56,14 +56,17 @@ impl WireMetrics {
     /// (`"in"`/`"out"`).
     pub fn on_frame(&self, dir: &'static str, kind: &'static str, bytes: usize) {
         {
-            let frames = self.frames.read().expect("wire metrics lock poisoned");
+            // Poison recovery: counter caches insert whole entries and a
+            // panicked peer cannot tear them; metrics must never abort
+            // the connection-handling thread.
+            let frames = self.frames.read().unwrap_or_else(PoisonError::into_inner);
             if let Some((count, byte_count)) = frames.get(&(dir, kind)) {
                 count.inc();
                 byte_count.add(bytes as u64);
                 return;
             }
         }
-        let mut frames = self.frames.write().expect("wire metrics lock poisoned");
+        let mut frames = self.frames.write().unwrap_or_else(PoisonError::into_inner);
         let (count, byte_count) = frames.entry((dir, kind)).or_insert_with(|| {
             let labels: &[(&str, &str)] = &[("dir", dir), ("kind", kind)];
             (
@@ -103,13 +106,14 @@ impl WireMetrics {
         kind: &'static str,
     ) {
         {
-            let cached = cache.read().expect("wire metrics lock poisoned");
+            // Poison recovery: same single-insert reasoning as on_frame.
+            let cached = cache.read().unwrap_or_else(PoisonError::into_inner);
             if let Some(counter) = cached.get(kind) {
                 counter.inc();
                 return;
             }
         }
-        let mut cached = cache.write().expect("wire metrics lock poisoned");
+        let mut cached = cache.write().unwrap_or_else(PoisonError::into_inner);
         cached
             .entry(kind)
             .or_insert_with(|| self.registry.counter(name, &[("kind", kind)]))

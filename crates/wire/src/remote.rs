@@ -45,7 +45,7 @@ use safeloc_fl::{
 };
 use safeloc_nn::{Activation, Adam, HasParams, Matrix, NamedParams, Sequential, TrainConfig};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Post-deadline grace read per remaining connection: long enough to
@@ -272,7 +272,10 @@ impl Framework for RemoteFlServer {
             .map(|&(i, a)| (i as u32, wire_availability(a)))
             .collect();
 
-        let mut fleet = self.fleet.lock().expect("remote fleet lock poisoned");
+        // Poison recovery: rounds run one at a time; a previous round
+        // that panicked left connections in whatever state the transport
+        // did, which the per-member error handling below already absorbs.
+        let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
         // What actually happened to each cohort member, seeded from the
         // plan and downgraded by transport reality.
         let mut effective: Vec<(usize, Availability)> = plan.cohort().to_vec();
@@ -330,6 +333,9 @@ impl Framework for RemoteFlServer {
             let remaining = deadline_at
                 .saturating_duration_since(Instant::now())
                 .max(DRAIN_GRACE);
+            // panic-ok: `effective` is seeded from the fleet's own cohort
+            // plan, so every participating index has a connection by
+            // construction.
             let conn = fleet.conn_mut(i).expect("participating member has a conn");
             conn.set_read_timeout(Some(remaining)).ok();
             match conn.recv() {
@@ -349,6 +355,8 @@ impl Framework for RemoteFlServer {
                     // Re-materialize exactly what crossed the wire:
                     // `GM + decode(repr)` — the same parameters the
                     // compressing client carries forward locally.
+                    // panic-ok: decode only fails for Dense reprs, and
+                    // this arm is reached only for non-dense ones.
                     let decoded = update
                         .repr
                         .decode(gm_params.num_params())
@@ -384,6 +392,8 @@ impl Framework for RemoteFlServer {
         let timer: RoundSplit = timer.split();
         let outcome = self.aggregator.aggregate(&gm_params, &updates);
         let stages = self.aggregator.take_stage_telemetry();
+        // panic-ok: aggregate() folds updates that were each validated
+        // against the GM architecture, so the outcome always loads back.
         self.gm
             .load(&outcome.params)
             .expect("aggregator preserves architecture");

@@ -60,7 +60,10 @@ impl WireServer {
         let flag = Arc::clone(&shutdown);
         let accept_handle = std::thread::spawn(move || {
             for stream in listener.incoming() {
-                if flag.load(Ordering::SeqCst) {
+                // relaxed: Acquire pairs with the Release in shutdown();
+                // the flag guards nothing but itself, so no total order
+                // across other atomics is needed (was SeqCst).
+                if flag.load(Ordering::Acquire) {
                     break;
                 }
                 match stream {
@@ -87,7 +90,11 @@ impl WireServer {
     /// Stops accepting connections (idempotent). Existing connections keep
     /// draining until their clients leave.
     pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        // relaxed: AcqRel — Release publishes the shutdown to the accept
+        // loop's Acquire load, Acquire makes the swap idempotence check
+        // see a concurrent shutdown; no cross-variable SeqCst order is
+        // involved (was SeqCst).
+        if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
         // Unblock the accept loop with a throwaway connection.
@@ -343,6 +350,9 @@ pub fn run_tcp_load(
             .collect();
         handles
             .into_iter()
+            // panic-ok: the client closure above returns transport
+            // failures as WireError instead of panicking; a panic here is
+            // a harness bug and must surface, not skew the measurement.
             .map(|h| h.join().expect("load client panicked"))
             .collect()
     });
